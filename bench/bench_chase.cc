@@ -1,0 +1,127 @@
+// CL-POLY-CHASE (\S3.3): "applying label inference and the chase always
+// terminates in time polynomial to the length of the queries and the
+// constraints description."
+//
+// Families: (a) oid-key chase over growing star bodies sharing one root;
+// (b) label inference over growing chains with a growing DTD; (c) the
+// labeled-FD chase merging duplicated sibling paths. Time should grow
+// polynomially (roughly quadratically in the body size for the pairwise
+// scan), never geometrically.
+
+#include <benchmark/benchmark.h>
+
+#include "bench_common.h"
+#include "constraints/dtd.h"
+#include "rewrite/chase.h"
+
+namespace tslrw::bench {
+namespace {
+
+void BM_OidKeyChaseStar(benchmark::State& state) {
+  const int k = static_cast<int>(state.range(0));
+  // k arms with value variables that all merge pairwise through the shared
+  // child oid X: <P rec {<X l Z0>}> AND ... AND <P rec {<X l Zk>}>.
+  std::vector<std::string> body;
+  for (int i = 0; i < k; ++i) {
+    body.push_back(StrCat("<P rec {<X l Z", i, ">}>@db"));
+  }
+  TslQuery query = MustParse(
+      StrCat("<f(P) out yes> :- ", Join(body, " AND ")), "Q");
+  for (auto _ : state) {
+    auto chased = ChaseQuery(query);
+    if (!chased.ok()) state.SkipWithError(chased.status().ToString().c_str());
+    benchmark::DoNotOptimize(chased);
+  }
+  state.SetComplexityN(k);
+}
+BENCHMARK(BM_OidKeyChaseStar)->RangeMultiplier(2)->Range(2, 64)->Complexity();
+
+void BM_SetVariableChase(benchmark::State& state) {
+  // k arms alternating set patterns and set variables on the same root
+  // value: each variable gets expanded by the \S3.2 set-variable rule.
+  const int k = static_cast<int>(state.range(0));
+  std::vector<std::string> body;
+  body.push_back("<P rec {<X0 l0 u>}>@db");
+  for (int i = 0; i < k; ++i) {
+    body.push_back(StrCat("<P rec V", i, ">@db"));
+  }
+  TslQuery query = MustParse(
+      StrCat("<f(P) out yes> :- ", Join(body, " AND ")), "Q");
+  for (auto _ : state) {
+    auto chased = ChaseQuery(query);
+    if (!chased.ok()) state.SkipWithError(chased.status().ToString().c_str());
+    benchmark::DoNotOptimize(chased);
+  }
+  state.SetComplexityN(k);
+}
+BENCHMARK(BM_SetVariableChase)->RangeMultiplier(2)->Range(2, 64)->Complexity();
+
+/// A linear DTD a0 -> a1 -> ... -> a{n-1} -> leaf, each level exactly-one.
+Dtd MakeChainDtd(int n) {
+  std::string text;
+  for (int i = 0; i + 1 < n; ++i) {
+    text += StrCat("<!ELEMENT a", i, " (a", i + 1, ")>\n");
+  }
+  text += StrCat("<!ELEMENT a", n - 1, " (leaf)>\n<!ELEMENT leaf CDATA>\n");
+  auto dtd = Dtd::Parse(text);
+  if (!dtd.ok()) std::abort();
+  return std::move(dtd).ValueOrDie();
+}
+
+void BM_LabelInferenceChain(benchmark::State& state) {
+  // A chain query whose middle labels are all variables; the DTD pins each
+  // one. Work is O(depth * rounds) — polynomial.
+  const int depth = static_cast<int>(state.range(0));
+  Dtd dtd = MakeChainDtd(depth + 1);
+  StructuralConstraints constraints(std::move(dtd));
+  ChaseOptions options{&constraints, {}};
+  // <P a0 {<X1 L1 {<X2 L2 ... {<Xd leaf u>} ...>}>}>
+  std::string inner = StrCat("{<Xd leaf u>}");
+  for (int d = depth - 1; d >= 1; --d) {
+    inner = StrCat("{<X", d, " L", d, " ", inner, ">}");
+  }
+  TslQuery query = MustParse(
+      StrCat("<f(P) out yes> :- <P a0 ", inner, ">@db"), "Q");
+  for (auto _ : state) {
+    auto chased = ChaseQuery(query, options);
+    if (!chased.ok()) state.SkipWithError(chased.status().ToString().c_str());
+    benchmark::DoNotOptimize(chased);
+  }
+  state.SetComplexityN(depth);
+}
+BENCHMARK(BM_LabelInferenceChain)
+    ->RangeMultiplier(2)
+    ->Range(2, 32)
+    ->Complexity();
+
+void BM_LabeledFdMerge(benchmark::State& state) {
+  // k duplicate `name` siblings under one person; the FD p -> name merges
+  // them all into one path.
+  const int k = static_cast<int>(state.range(0));
+  auto dtd = Dtd::Parse(R"(
+    <!ELEMENT p (name, phone)>
+    <!ELEMENT name CDATA>
+    <!ELEMENT phone CDATA>
+  )");
+  if (!dtd.ok()) std::abort();
+  StructuralConstraints constraints(std::move(*dtd));
+  ChaseOptions options{&constraints, {}};
+  std::vector<std::string> body;
+  for (int i = 0; i < k; ++i) {
+    body.push_back(StrCat("<P p {<N", i, " name W", i, ">}>@db"));
+  }
+  TslQuery query = MustParse(
+      StrCat("<f(P) out yes> :- ", Join(body, " AND ")), "Q");
+  for (auto _ : state) {
+    auto chased = ChaseQuery(query, options);
+    if (!chased.ok()) state.SkipWithError(chased.status().ToString().c_str());
+    benchmark::DoNotOptimize(chased);
+  }
+  state.SetComplexityN(k);
+}
+BENCHMARK(BM_LabeledFdMerge)->RangeMultiplier(2)->Range(2, 32)->Complexity();
+
+}  // namespace
+}  // namespace tslrw::bench
+
+BENCHMARK_MAIN();

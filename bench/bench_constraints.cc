@@ -1,0 +1,123 @@
+// CL-DTD-GAIN (\S3.3): "The existence of such constraints allows us to
+// find rewritings in cases where, in the absence of constraints, the
+// algorithm would fail."
+//
+// Family: Example-3.3-shaped queries <P p {<X name_i {<Z last_i c>}>}>
+// against the label/value-splitting view (V1). Without a DTD none of them
+// is rewritable; with a per-family DTD (each p has exactly one name_i, and
+// only name_i can carry last_i) all of them are. The `rewritable` counter
+// is the headline: 0 without constraints, k with.
+
+#include <benchmark/benchmark.h>
+
+#include "bench_common.h"
+#include "constraints/dtd.h"
+#include "rewrite/rewriter.h"
+
+namespace tslrw::bench {
+namespace {
+
+TslQuery MakeV1() {
+  return MustParse(
+      "<g(P') p {<pp(P',Y') pr Y'> <h(X') v Z'>}> :- <P' p {<X' Y' Z'>}>@db",
+      "V1");
+}
+
+/// k queries of the Example 3.3 shape over distinct name_i/last_i labels.
+std::vector<TslQuery> MakeFamily(int k) {
+  std::vector<TslQuery> queries;
+  for (int i = 0; i < k; ++i) {
+    queries.push_back(MustParse(
+        StrCat("<f(P) out yes> :- <P p {<X name", i, " {<Z last", i,
+               " c>}>}>@db"),
+        StrCat("Q", i)));
+  }
+  return queries;
+}
+
+/// The family DTD: p has exactly one of each name_i; only name_i has
+/// last_i.
+Dtd MakeFamilyDtd(int k) {
+  std::string text;
+  std::string p_children;
+  for (int i = 0; i < k; ++i) {
+    if (i) p_children += ", ";
+    p_children += StrCat("name", i);
+    text += StrCat("<!ELEMENT name", i, " (last", i, ", first)>\n");
+    text += StrCat("<!ELEMENT last", i, " CDATA>\n");
+  }
+  text += StrCat("<!ELEMENT p (", p_children, ")>\n");
+  text += "<!ELEMENT first CDATA>\n";
+  auto dtd = Dtd::Parse(text);
+  if (!dtd.ok()) std::abort();
+  return std::move(dtd).ValueOrDie();
+}
+
+void RunFamily(benchmark::State& state, bool with_dtd) {
+  const int k = static_cast<int>(state.range(0));
+  std::vector<TslQuery> family = MakeFamily(k);
+  TslQuery v1 = MakeV1();
+  Dtd dtd = MakeFamilyDtd(k);
+  StructuralConstraints constraints(std::move(dtd));
+  RewriteOptions options;
+  if (with_dtd) options.constraints = &constraints;
+  size_t rewritable = 0;
+  for (auto _ : state) {
+    rewritable = 0;
+    for (const TslQuery& q : family) {
+      auto result = RewriteQuery(q, {v1}, options);
+      if (!result.ok()) {
+        state.SkipWithError(result.status().ToString().c_str());
+        return;
+      }
+      if (!result->rewritings.empty()) ++rewritable;
+    }
+    benchmark::DoNotOptimize(rewritable);
+  }
+  state.counters["queries"] = static_cast<double>(k);
+  state.counters["rewritable"] = static_cast<double>(rewritable);
+}
+
+void BM_FamilyWithoutDtd(benchmark::State& state) {
+  RunFamily(state, /*with_dtd=*/false);
+}
+BENCHMARK(BM_FamilyWithoutDtd)->DenseRange(1, 8);
+
+void BM_FamilyWithDtd(benchmark::State& state) {
+  RunFamily(state, /*with_dtd=*/true);
+}
+BENCHMARK(BM_FamilyWithDtd)->DenseRange(1, 8);
+
+void BM_ChaseOverheadOfConstraints(benchmark::State& state) {
+  // The price of carrying a large DTD through the rewrite of a query it
+  // never applies to: should be near-zero marginal cost.
+  const int decls = static_cast<int>(state.range(0));
+  std::string text = "<!ELEMENT p (name)>\n<!ELEMENT name CDATA>\n";
+  for (int i = 0; i < decls; ++i) {
+    text += StrCat("<!ELEMENT e", i, " (c", i, "*)>\n<!ELEMENT c", i,
+                   " CDATA>\n");
+  }
+  auto dtd = Dtd::Parse(text);
+  if (!dtd.ok()) std::abort();
+  StructuralConstraints constraints(std::move(*dtd));
+  RewriteOptions options;
+  options.constraints = &constraints;
+  TslQuery query = MustParse(
+      "<f(P) out yes> :- <P zzz {<X www v>}>@db", "Q");
+  TslQuery view = MakeDumpView("V");
+  for (auto _ : state) {
+    auto result = RewriteQuery(query, {view}, options);
+    if (!result.ok()) state.SkipWithError(result.status().ToString().c_str());
+    benchmark::DoNotOptimize(result);
+  }
+  state.SetComplexityN(decls);
+}
+BENCHMARK(BM_ChaseOverheadOfConstraints)
+    ->RangeMultiplier(4)
+    ->Range(4, 256)
+    ->Complexity();
+
+}  // namespace
+}  // namespace tslrw::bench
+
+BENCHMARK_MAIN();

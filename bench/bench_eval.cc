@@ -1,0 +1,186 @@
+// CL-QNC (\S2): "TSL queries can be computed in polylogarithmic parallel
+// time with polynomially many processors (TSL ⊆ QNC)" — operationally, the
+// sequential evaluator's data complexity should be a low polynomial. We
+// sweep the database size with fixed queries and report items/second; the
+// shape to check is near-linear growth for selective queries and low
+// polynomial for wildcard joins.
+
+#include <benchmark/benchmark.h>
+
+#include "bench_common.h"
+#include "eval/evaluator.h"
+#include "oem/generator.h"
+
+namespace tslrw::bench {
+namespace {
+
+SourceCatalog MakeCatalog(int roots, uint64_t seed = 42) {
+  GeneratorOptions options;
+  options.seed = seed;
+  options.num_roots = roots;
+  options.max_depth = 3;
+  options.max_fanout = 4;
+  options.num_labels = 6;
+  options.num_values = 8;
+  options.root_label = "rec";
+  SourceCatalog catalog;
+  catalog.Put(GenerateOemDatabase("db", options));
+  return catalog;
+}
+
+void BM_EvalSelective(benchmark::State& state) {
+  const int roots = static_cast<int>(state.range(0));
+  SourceCatalog catalog = MakeCatalog(roots);
+  TslQuery query = MustParse(
+      "<f(P) out yes> :- <P rec {<X l0 v0>}>@db", "Q");
+  for (auto _ : state) {
+    auto answer = Evaluate(query, catalog);
+    if (!answer.ok()) state.SkipWithError(answer.status().ToString().c_str());
+    benchmark::DoNotOptimize(answer);
+  }
+  state.SetComplexityN(roots);
+  state.SetItemsProcessed(state.iterations() * roots);
+}
+BENCHMARK(BM_EvalSelective)
+    ->RangeMultiplier(4)
+    ->Range(16, 4096)
+    ->Complexity();
+
+void BM_EvalWildcardProjection(benchmark::State& state) {
+  // Binds every (label, value) pair of every root subobject.
+  const int roots = static_cast<int>(state.range(0));
+  SourceCatalog catalog = MakeCatalog(roots);
+  TslQuery query = MustParse(
+      "<f(P,X) out Z> :- <P rec {<X Y Z>}>@db", "Q");
+  for (auto _ : state) {
+    auto answer = Evaluate(query, catalog);
+    if (!answer.ok()) state.SkipWithError(answer.status().ToString().c_str());
+    benchmark::DoNotOptimize(answer);
+  }
+  state.SetComplexityN(roots);
+  state.SetItemsProcessed(state.iterations() * roots);
+}
+BENCHMARK(BM_EvalWildcardProjection)
+    ->RangeMultiplier(4)
+    ->Range(16, 1024)
+    ->Complexity();
+
+void BM_EvalJoinTwoConditions(benchmark::State& state) {
+  const int roots = static_cast<int>(state.range(0));
+  SourceCatalog catalog = MakeCatalog(roots);
+  TslQuery query = MustParse(
+      "<f(P) out yes> :- <P rec {<X l0 v0>}>@db AND <P rec {<Y l1 v1>}>@db",
+      "Q");
+  for (auto _ : state) {
+    auto answer = Evaluate(query, catalog);
+    if (!answer.ok()) state.SkipWithError(answer.status().ToString().c_str());
+    benchmark::DoNotOptimize(answer);
+  }
+  state.SetComplexityN(roots);
+}
+BENCHMARK(BM_EvalJoinTwoConditions)
+    ->RangeMultiplier(4)
+    ->Range(16, 1024)
+    ->Complexity();
+
+void BM_EvalDeepChain(benchmark::State& state) {
+  // Fixed database, growing query depth: combined complexity.
+  const int depth = static_cast<int>(state.range(0));
+  GeneratorOptions options;
+  options.num_roots = 64;
+  options.max_depth = 6;
+  options.num_labels = 3;
+  options.root_label = "rec";
+  options.atomic_probability = 0.3;
+  SourceCatalog catalog;
+  catalog.Put(GenerateOemDatabase("db", options));
+  std::string inner = "W";
+  for (int d = depth; d >= 1; --d) {
+    inner = StrCat("{<X", d, " Y", d, " ", inner, ">}");
+  }
+  TslQuery query = MustParse(
+      StrCat("<f(P) out yes> :- <P rec ", inner, ">@db"), "Q");
+  for (auto _ : state) {
+    auto answer = Evaluate(query, catalog);
+    if (!answer.ok()) state.SkipWithError(answer.status().ToString().c_str());
+    benchmark::DoNotOptimize(answer);
+  }
+}
+BENCHMARK(BM_EvalDeepChain)->DenseRange(1, 5);
+
+void BM_EvalDescendantStep(benchmark::State& state) {
+  // The \S7 regular-path extension: `**` search over a growing database.
+  // BFS with a visited set: near-linear in reachable objects per anchor.
+  const int roots = static_cast<int>(state.range(0));
+  SourceCatalog catalog = MakeCatalog(roots);
+  TslQuery query = MustParse(
+      "<f(R) has-deep yes> :- <R rec {<X ** v0>}>@db", "Q");
+  for (auto _ : state) {
+    auto answer = Evaluate(query, catalog);
+    if (!answer.ok()) state.SkipWithError(answer.status().ToString().c_str());
+    benchmark::DoNotOptimize(answer);
+  }
+  state.SetComplexityN(roots);
+}
+BENCHMARK(BM_EvalDescendantStep)
+    ->RangeMultiplier(4)
+    ->Range(16, 1024)
+    ->Complexity();
+
+void BM_EvalClosureChain(benchmark::State& state) {
+  // `l+` along a single deep chain of length N: linear in the chain.
+  const int depth = static_cast<int>(state.range(0));
+  OemDatabase db("db");
+  Term prev = Term::MakeAtom("n0");
+  if (!db.PutSet(prev, "hop").ok() || !db.AddRoot(prev).ok()) std::abort();
+  for (int i = 1; i <= depth; ++i) {
+    Term cur = Term::MakeAtom(StrCat("n", i));
+    if (!db.PutSet(cur, "hop").ok() || !db.AddEdge(prev, cur).ok()) {
+      std::abort();
+    }
+    prev = cur;
+  }
+  SourceCatalog catalog;
+  catalog.Put(std::move(db));
+  TslQuery query = MustParse(
+      "<f(X) reach yes> :- <R hop {<X hop+ {}>}>@db", "Q");
+  size_t results = 0;
+  for (auto _ : state) {
+    auto answer = Evaluate(query, catalog);
+    if (!answer.ok()) state.SkipWithError(answer.status().ToString().c_str());
+    results = answer->roots().size();
+    benchmark::DoNotOptimize(answer);
+  }
+  state.counters["reachable"] = static_cast<double>(results);
+  state.SetComplexityN(depth);
+}
+BENCHMARK(BM_EvalClosureChain)
+    ->RangeMultiplier(4)
+    ->Range(16, 1024)
+    ->Complexity();
+
+void BM_MaterializeRestructuringView(benchmark::State& state) {
+  // The (V1)-style label/value-splitting view over a growing database:
+  // the cost of the repository maintaining a materialized view.
+  const int roots = static_cast<int>(state.range(0));
+  SourceCatalog catalog = MakeCatalog(roots);
+  TslQuery view = MustParse(
+      "<g(P') p {<pp(P',Y') pr Y'> <h(X') v Z'>}> :- "
+      "<P' rec {<X' Y' Z'>}>@db",
+      "V1");
+  for (auto _ : state) {
+    auto result = MaterializeView(view, catalog);
+    if (!result.ok()) state.SkipWithError(result.status().ToString().c_str());
+    benchmark::DoNotOptimize(result);
+  }
+  state.SetComplexityN(roots);
+}
+BENCHMARK(BM_MaterializeRestructuringView)
+    ->RangeMultiplier(4)
+    ->Range(16, 1024)
+    ->Complexity();
+
+}  // namespace
+}  // namespace tslrw::bench
+
+BENCHMARK_MAIN();

@@ -1,0 +1,91 @@
+// CL-EXP-MAP (\S5.1): "Step 1 can generate an exponential in the size of
+// the view bodies number of mappings."
+//
+// Family: a view with m interchangeable wildcard paths against a query with
+// k star conditions. Every view path maps onto every query arm, so the
+// number of mappings is k^m — the reported `mappings` counter should grow
+// geometrically in m (and the time with it), while k^1 growth in the query
+// size alone stays polynomial.
+
+#include <benchmark/benchmark.h>
+
+#include <cmath>
+
+#include "bench_common.h"
+#include "rewrite/mapping.h"
+
+namespace tslrw::bench {
+namespace {
+
+void BM_MappingsVsViewPaths(benchmark::State& state) {
+  const int m = static_cast<int>(state.range(0));  // view body paths
+  const int k = 3;                                 // query arms (fixed)
+  // Wildcard arms: labels/values variable so every arm accepts every path.
+  std::vector<std::string> body;
+  for (int i = 0; i < k; ++i) {
+    body.push_back(StrCat("<P rec {<X", i, " Y", i, " Z", i, ">}>@db"));
+  }
+  TslQuery query = MustParse(
+      StrCat("<f(P) out yes> :- ", Join(body, " AND ")), "Q");
+  TslQuery view = MakeWildcardView(m, "V");
+  size_t mappings = 0;
+  for (auto _ : state) {
+    auto result = FindMappings(view, query);
+    if (!result.ok()) state.SkipWithError(result.status().ToString().c_str());
+    mappings = result->size();
+    benchmark::DoNotOptimize(result);
+  }
+  state.counters["mappings"] = static_cast<double>(mappings);
+  state.counters["expected"] = std::pow(static_cast<double>(k), m);
+}
+BENCHMARK(BM_MappingsVsViewPaths)->DenseRange(1, 7);
+
+void BM_MappingsVsQueryArms(benchmark::State& state) {
+  const int k = static_cast<int>(state.range(0));  // query arms
+  const int m = 2;                                 // view paths (fixed)
+  std::vector<std::string> body;
+  for (int i = 0; i < k; ++i) {
+    body.push_back(StrCat("<P rec {<X", i, " Y", i, " Z", i, ">}>@db"));
+  }
+  TslQuery query = MustParse(
+      StrCat("<f(P) out yes> :- ", Join(body, " AND ")), "Q");
+  TslQuery view = MakeWildcardView(m, "V");
+  size_t mappings = 0;
+  for (auto _ : state) {
+    auto result = FindMappings(view, query);
+    if (!result.ok()) state.SkipWithError(result.status().ToString().c_str());
+    mappings = result->size();
+    benchmark::DoNotOptimize(result);
+  }
+  state.counters["mappings"] = static_cast<double>(mappings);  // k^2
+}
+BENCHMARK(BM_MappingsVsQueryArms)->DenseRange(1, 12);
+
+void BM_MappingDiscoverySelective(benchmark::State& state) {
+  // Constant-labeled views have at most one target per path: discovery is
+  // cheap even for large bodies (the common case in practice).
+  const int k = static_cast<int>(state.range(0));
+  TslQuery query = MakeStarQuery(k);
+  std::vector<std::string> body;
+  std::vector<std::string> head;
+  for (int i = 0; i < k; ++i) {
+    body.push_back(StrCat("<P' rec {<A", i, " l", i, " C", i, ">}>@db"));
+    head.push_back(StrCat("<w", i, "(A", i, ") m", i, " C", i, ">"));
+  }
+  TslQuery view = MustParse(StrCat("<v(P') out {", Join(head, " "), "}> :- ",
+                                   Join(body, " AND ")),
+                            "V");
+  size_t mappings = 0;
+  for (auto _ : state) {
+    auto result = FindMappings(view, query);
+    if (!result.ok()) state.SkipWithError(result.status().ToString().c_str());
+    mappings = result->size();
+  }
+  state.counters["mappings"] = static_cast<double>(mappings);  // exactly 1
+}
+BENCHMARK(BM_MappingDiscoverySelective)->RangeMultiplier(2)->Range(2, 32);
+
+}  // namespace
+}  // namespace tslrw::bench
+
+BENCHMARK_MAIN();

@@ -1,0 +1,119 @@
+// CL-CBR (\S1, Fig. 2): capability-based rewriting as the mediator's query
+// processing front end. We sweep the number of integrated sources and the
+// data volume, separating planning cost (pure rewriting, no data access)
+// from execution cost (wrapper materialization + consolidation).
+
+#include <benchmark/benchmark.h>
+
+#include "bench_common.h"
+#include "mediator/cache.h"
+#include "mediator/mediator.h"
+#include "oem/generator.h"
+
+namespace tslrw::bench {
+namespace {
+
+/// n sources, each with a dump capability over its publication-like data.
+Mediator MakeWideMediator(int n) {
+  std::vector<SourceDescription> sources;
+  for (int i = 0; i < n; ++i) {
+    Capability cap;
+    cap.view = MustParse(
+        StrCat("<d", i, "(P') rec {<X' Y' Z'>}> :- <P' rec {<X' Y' Z'>}>@s",
+               i),
+        StrCat("Dump", i));
+    sources.push_back(SourceDescription{StrCat("s", i), {cap}});
+  }
+  auto mediator = Mediator::Make(std::move(sources));
+  if (!mediator.ok()) std::abort();
+  return std::move(mediator).ValueOrDie();
+}
+
+SourceCatalog MakeWideCatalog(int n, int roots_each) {
+  SourceCatalog catalog;
+  for (int i = 0; i < n; ++i) {
+    GeneratorOptions options;
+    options.seed = 1000 + static_cast<uint64_t>(i);
+    options.num_roots = roots_each;
+    options.max_depth = 2;
+    options.num_labels = 4;
+    options.num_values = 4;
+    options.root_label = "rec";
+    catalog.Put(GenerateOemDatabase(StrCat("s", i), options));
+  }
+  return catalog;
+}
+
+void BM_PlanVsSources(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  Mediator mediator = MakeWideMediator(n);
+  TslQuery query = MustParse(
+      "<f(P) out yes> :- <P rec {<X l0 v0>}>@s0", "Q");
+  size_t plans = 0;
+  for (auto _ : state) {
+    auto result = mediator.Plan(query);
+    if (!result.ok()) state.SkipWithError(result.status().ToString().c_str());
+    plans = result->size();
+    benchmark::DoNotOptimize(result);
+  }
+  state.counters["plans"] = static_cast<double>(plans);
+  state.SetComplexityN(n);
+}
+BENCHMARK(BM_PlanVsSources)->RangeMultiplier(2)->Range(1, 16)->Complexity();
+
+void BM_ExecuteVsDataSize(benchmark::State& state) {
+  const int roots = static_cast<int>(state.range(0));
+  Mediator mediator = MakeWideMediator(2);
+  SourceCatalog catalog = MakeWideCatalog(2, roots);
+  TslQuery query = MustParse(
+      "<f(P) out yes> :- <P rec {<X l0 v0>}>@s0", "Q");
+  auto plans = mediator.Plan(query);
+  if (!plans.ok() || plans->empty()) {
+    state.SkipWithError("no plan");
+    return;
+  }
+  for (auto _ : state) {
+    auto answer = mediator.Execute(plans->front(), catalog);
+    if (!answer.ok()) state.SkipWithError(answer.status().ToString().c_str());
+    benchmark::DoNotOptimize(answer);
+  }
+  state.SetComplexityN(roots);
+}
+BENCHMARK(BM_ExecuteVsDataSize)
+    ->RangeMultiplier(4)
+    ->Range(16, 1024)
+    ->Complexity();
+
+void BM_CacheHitVsMiss(benchmark::State& state) {
+  // The \S1 cached-query scenario: answering from the cache versus
+  // recomputing over the base (the win the repository is after).
+  const bool hit = state.range(0) == 1;
+  SourceCatalog catalog = MakeWideCatalog(1, 256);
+  QueryCache cache;
+  TslQuery cached = MustParse(
+      "<c(P') rec {<X' Y' Z'>}> :- "
+      "<P' rec {<U' l0 v0>}>@s0 AND <P' rec {<X' Y' Z'>}>@s0",
+      "L0V0Cache");
+  if (!cache.InsertAndMaterialize(cached, catalog).ok()) {
+    state.SkipWithError("cache warmup failed");
+    return;
+  }
+  // The narrower query filters the cached result further.
+  TslQuery query = MustParse(
+      "<f(P) out yes> :- <P rec {<U l0 v0>}>@s0 AND <P rec {<W l1 v1>}>@s0",
+      "Q");
+  SourceCatalog base = hit ? SourceCatalog{} : catalog;
+  for (auto _ : state) {
+    auto answer = cache.TryAnswer(query, hit ? SourceCatalog{} : catalog,
+                                  /*allow_base_fallback=*/!hit);
+    if (!answer.ok()) state.SkipWithError(answer.status().ToString().c_str());
+    benchmark::DoNotOptimize(answer);
+  }
+  state.SetLabel(hit ? "cache-hit" : "base-recompute");
+}
+BENCHMARK(BM_CacheHitVsMiss)->Arg(1)->Arg(0);
+
+}  // namespace
+}  // namespace tslrw::bench
+
+BENCHMARK_MAIN();

@@ -1,0 +1,164 @@
+// CL-EXP-CAND (\S5.1 + \S3.4): "Step 2 can generate an exponential number
+// of candidate rewritings", and the \S3.4 cover heuristic "can
+// substantially improve" the algorithm. We sweep the number of query
+// conditions k and views v, reporting candidates generated/tested with the
+// heuristic ON vs OFF — the ablation for the paper's one explicit
+// algorithmic design choice — plus end-to-end rewriting latency.
+
+#include <benchmark/benchmark.h>
+
+#include "bench_common.h"
+#include "rewrite/contained.h"
+#include "rewrite/minimize.h"
+#include "rewrite/rewriter.h"
+
+namespace tslrw::bench {
+namespace {
+
+/// One single-arm view per query condition: `<vi(P') oi {...li...}>`.
+std::vector<TslQuery> MakePerArmViews(int k) {
+  std::vector<TslQuery> views;
+  for (int i = 0; i < k; ++i) {
+    views.push_back(MustParse(
+        StrCat("<v", i, "(P') o", i, " {<w", i, "(X') m U'>}> :- ",
+               "<P' rec {<X' l", i, " U'>}>@db"),
+        StrCat("V", i)));
+  }
+  return views;
+}
+
+void RunRewrite(benchmark::State& state, bool heuristic) {
+  const int k = static_cast<int>(state.range(0));
+  TslQuery query = MakeStarQuery(k);
+  std::vector<TslQuery> views = MakePerArmViews(k);
+  RewriteOptions options;
+  options.use_cover_heuristic = heuristic;
+  options.prune_dominated = false;
+  RewriteResult last;
+  for (auto _ : state) {
+    auto result = RewriteQuery(query, views, options);
+    if (!result.ok()) state.SkipWithError(result.status().ToString().c_str());
+    last = std::move(result).value();
+    benchmark::DoNotOptimize(last);
+  }
+  state.counters["candidates"] =
+      static_cast<double>(last.candidates_generated);
+  state.counters["tested"] = static_cast<double>(last.candidates_tested);
+  state.counters["rewritings"] = static_cast<double>(last.rewritings.size());
+}
+
+void BM_RewriteHeuristicOn(benchmark::State& state) {
+  RunRewrite(state, /*heuristic=*/true);
+}
+BENCHMARK(BM_RewriteHeuristicOn)->DenseRange(1, 6);
+
+void BM_RewriteHeuristicOff(benchmark::State& state) {
+  RunRewrite(state, /*heuristic=*/false);
+}
+BENCHMARK(BM_RewriteHeuristicOff)->DenseRange(1, 6);
+
+void BM_RewriteManyIrrelevantViews(benchmark::State& state) {
+  // Robustness to catalog size: v irrelevant views next to one useful one.
+  const int v = static_cast<int>(state.range(0));
+  TslQuery query = MakeStarQuery(2);
+  std::vector<TslQuery> views = MakePerArmViews(2);
+  for (int i = 0; i < v; ++i) {
+    views.push_back(MustParse(
+        StrCat("<z", i, "(P') zz {<y", i, "(X') m U'>}> :- ",
+               "<P' zebra", i, " {<X' q U'>}>@db"),
+        StrCat("Z", i)));
+  }
+  for (auto _ : state) {
+    auto result = RewriteQuery(query, views);
+    if (!result.ok()) state.SkipWithError(result.status().ToString().c_str());
+    benchmark::DoNotOptimize(result);
+  }
+  state.SetComplexityN(v);
+}
+BENCHMARK(BM_RewriteManyIrrelevantViews)
+    ->RangeMultiplier(2)
+    ->Range(1, 64)
+    ->Complexity();
+
+void BM_RewriteAmbiguousViews(benchmark::State& state) {
+  // A wildcard view against k wildcard arms: k mappings per view path; the
+  // candidate space explodes and the verifier prunes — worst case of the
+  // whole pipeline (kept small).
+  const int k = static_cast<int>(state.range(0));
+  std::vector<std::string> body;
+  for (int i = 0; i < k; ++i) {
+    body.push_back(StrCat("<P rec {<X", i, " Y", i, " Z", i, ">}>@db"));
+  }
+  TslQuery query = MustParse(
+      StrCat("<f(P) out yes> :- ", Join(body, " AND ")), "Q");
+  TslQuery view = MakeWildcardView(1, "V");
+  RewriteResult last;
+  for (auto _ : state) {
+    auto result = RewriteQuery(query, {view});
+    if (!result.ok()) state.SkipWithError(result.status().ToString().c_str());
+    last = std::move(result).value();
+  }
+  state.counters["mappings"] = static_cast<double>(last.mappings_found);
+  state.counters["tested"] = static_cast<double>(last.candidates_tested);
+}
+BENCHMARK(BM_RewriteAmbiguousViews)->DenseRange(1, 4);
+
+void BM_MaximallyContainedRewriting(benchmark::State& state) {
+  // The \S7 extension on k per-arm views where only j < k arms have views:
+  // the contained search still returns the partial answer plans.
+  const int k = static_cast<int>(state.range(0));
+  TslQuery query = MakeStarQuery(k);
+  std::vector<TslQuery> views = MakePerArmViews(k - 1);  // one arm uncovered
+  RewriteOptions options;
+  size_t rules = 0;
+  for (auto _ : state) {
+    auto result = FindMaximallyContainedRewriting(query, views, options);
+    if (!result.ok()) state.SkipWithError(result.status().ToString().c_str());
+    rules = result->rewriting.rules.size();
+    benchmark::DoNotOptimize(result);
+  }
+  state.counters["rules"] = static_cast<double>(rules);
+}
+BENCHMARK(BM_MaximallyContainedRewriting)->DenseRange(2, 5);
+
+void BM_MinimizeRedundantStar(benchmark::State& state) {
+  // k arms where only one is non-redundant: minimization strips the rest.
+  const int k = static_cast<int>(state.range(0));
+  std::vector<std::string> body{"<P rec {<X l0 u0>}>@db"};
+  for (int i = 1; i < k; ++i) {
+    body.push_back(StrCat("<P rec {<X", i, " l0 W", i, ">}>@db"));
+  }
+  TslQuery query = MustParse(
+      StrCat("<f(P) out yes> :- ", Join(body, " AND ")), "Q");
+  size_t conditions = 0;
+  for (auto _ : state) {
+    auto minimized = MinimizeQuery(query);
+    if (!minimized.ok()) {
+      state.SkipWithError(minimized.status().ToString().c_str());
+    }
+    conditions = minimized->body.size();
+    benchmark::DoNotOptimize(minimized);
+  }
+  state.counters["conditions"] = static_cast<double>(conditions);
+}
+BENCHMARK(BM_MinimizeRedundantStar)->RangeMultiplier(2)->Range(2, 16);
+
+void BM_RewriteSinglePathSpecialCase(benchmark::State& state) {
+  // The \S3.1 algorithm: one condition, one view — the fast path.
+  TslQuery query = MustParse(
+      "<f(P) stanford yes> :- <P p {<X Y leland>}>@db", "Q3");
+  TslQuery view = MustParse(
+      "<g(P') p {<pp(P',Y') pr Y'> <h(X') v Z'>}> :- <P' p {<X' Y' Z'>}>@db",
+      "V1");
+  for (auto _ : state) {
+    auto result = RewriteSinglePath(query, view);
+    if (!result.ok()) state.SkipWithError(result.status().ToString().c_str());
+    benchmark::DoNotOptimize(result);
+  }
+}
+BENCHMARK(BM_RewriteSinglePathSpecialCase);
+
+}  // namespace
+}  // namespace tslrw::bench
+
+BENCHMARK_MAIN();

@@ -1,0 +1,87 @@
+// The \S1 repository scenario (Lore-style): answering queries from cached
+// query results. A previously cached "all SIGMOD publications" result
+// answers a later "SIGMOD 1997" query by filtering the cache — "the
+// rewriting algorithm only needs the query and the cached query statements;
+// it does not need to examine the source data".
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "mediator/cache.h"
+#include "oem/parser.h"
+#include "tsl/parser.h"
+
+namespace {
+
+void Fail(const tslrw::Status& status) {
+  std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
+  std::exit(1);
+}
+
+template <typename T>
+T Must(tslrw::Result<T> result) {
+  if (!result.ok()) Fail(result.status());
+  return std::move(result).value();
+}
+
+}  // namespace
+
+int main() {
+  using namespace tslrw;
+
+  SourceCatalog repository;
+  repository.Put(Must(ParseOemDatabase(R"(
+    database lore {
+      <p1 publication { <t1 title "Views"> <v1 venue "SIGMOD">
+                        <y1 year "1997"> }>
+      <p2 publication { <t2 title "Tsimmis"> <v2 venue "SIGMOD">
+                        <y2 year "1995"> }>
+      <p3 publication { <t3 title "Lore"> <v3 venue "VLDB">
+                        <y3 year "1997"> }>
+    })")));
+
+  QueryCache cache;
+
+  // Warm the cache: all SIGMOD publications, with their subobjects.
+  TslQuery sigmod_all = Must(ParseTslQuery(
+      R"(<c(P') sigmod-pub {<X' Y' Z'>}> :-
+           <P' publication {<V' venue "SIGMOD">}>@lore AND
+           <P' publication {<X' Y' Z'>}>@lore)",
+      "SigmodAll"));
+  if (auto st = cache.InsertAndMaterialize(sigmod_all, repository); !st.ok()) {
+    Fail(st);
+  }
+  std::printf("cached 1 statement: %s\n\n", sigmod_all.ToString().c_str());
+
+  // Query 1: SIGMOD 1997 — answerable by filtering the cache.
+  TslQuery q97 = Must(ParseTslQuery(
+      R"(<f(P) sigmod97 {<X Y Z>}> :-
+           <P publication {<V venue "SIGMOD">}>@lore AND
+           <P publication {<U year "1997">}>@lore AND
+           <P publication {<X Y Z>}>@lore)",
+      "Sigmod97"));
+  SourceCatalog no_base;  // the base source is deliberately unavailable
+  QueryCache::Answer hit =
+      Must(cache.TryAnswer(q97, no_base, /*allow_base_fallback=*/false));
+  std::printf("== SIGMOD 97 (cache %s) ==\nrewriting: %s\n%s\n",
+              hit.from_cache ? "HIT" : "MISS",
+              hit.rewriting.ToString().c_str(),
+              hit.result.ToString().c_str());
+
+  // Query 2: VLDB publications — not derivable from a SIGMOD cache.
+  TslQuery vldb = Must(ParseTslQuery(
+      R"(<f(P) vldb-pub yes> :-
+           <P publication {<V venue "VLDB">}>@lore)",
+      "Vldb"));
+  auto miss = cache.TryAnswer(vldb, no_base, /*allow_base_fallback=*/false);
+  std::printf("== VLDB without base access ==\n%s\n\n",
+              miss.ok() ? "unexpected hit!" : miss.status().ToString().c_str());
+
+  // With base fallback the repository answers it directly.
+  QueryCache::Answer fallback =
+      Must(cache.TryAnswer(vldb, repository, /*allow_base_fallback=*/true));
+  std::printf("== VLDB with base fallback (cache %s) ==\n%s\n",
+              fallback.from_cache ? "HIT" : "MISS",
+              fallback.result.ToString().c_str());
+  return 0;
+}

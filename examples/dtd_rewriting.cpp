@@ -1,0 +1,87 @@
+// Examples 3.3 and 3.5 end-to-end: a query that has NO rewriting over the
+// label/value-splitting view (V1) — until a DTD is supplied, at which point
+// label inference and a labeled functional dependency make the rewriting
+// valid. "The existence of such constraints allows us to find rewritings
+// in cases where, in the absence of constraints, the algorithm would fail."
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "constraints/dtd.h"
+#include "rewrite/rewriter.h"
+#include "tsl/parser.h"
+
+namespace {
+
+void Fail(const tslrw::Status& status) {
+  std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
+  std::exit(1);
+}
+
+template <typename T>
+T Must(tslrw::Result<T> result) {
+  if (!result.ok()) Fail(result.status());
+  return std::move(result).value();
+}
+
+}  // namespace
+
+int main() {
+  using namespace tslrw;
+
+  // (V1): groups the labels of p-objects under pr subobjects and their
+  // values under v subobjects — losing the label/value correspondence.
+  TslQuery v1 = Must(ParseTslQuery(
+      R"(<g(P') p {<pp(P',Y') pr Y'> <h(X') v Z'>}> :-
+           <P' p {<X' Y' Z'>}>@db)",
+      "V1"));
+  // (Q7): people whose *name* contains <last stanford>.
+  TslQuery q7 = Must(ParseTslQuery(
+      R"(<f(P) stanford yes> :-
+           <P p {<X name {<Z last stanford>}>}>@db)",
+      "Q7"));
+  std::printf("view  (V1): %s\nquery (Q7): %s\n\n", v1.ToString().c_str(),
+              q7.ToString().c_str());
+
+  // Without constraints: Example 3.3 — a mapping exists, the candidate
+  // (Q8) is generated, but Step 2 rejects it (its composition is (Q9)).
+  RewriteResult without = Must(RewriteQuery(q7, {v1}));
+  std::printf("== without constraints ==\n"
+              "mappings: %zu, candidates tested: %zu, rewritings: %zu\n",
+              without.mappings_found, without.candidates_tested,
+              without.rewritings.size());
+  std::printf("  (V1) hides which label each value belongs to, so no\n"
+              "  rewriting can exist — Example 3.3.\n\n");
+
+  // The \S3.3 DTD: p has exactly one name; only name carries last.
+  const char* kDtd = R"(
+    <!ELEMENT p (name, phone, address*)>
+    <!ELEMENT name (last, first, middle?, alias?)>
+    <!ELEMENT alias (last, first)>
+    <!ELEMENT address CDATA>
+    <!ELEMENT phone CDATA>
+    <!ELEMENT last CDATA>
+    <!ELEMENT first CDATA>
+    <!ELEMENT middle CDATA>
+  )";
+  Dtd dtd = Must(Dtd::Parse(kDtd));
+  std::printf("== DTD ==\n%s\n", dtd.ToString().c_str());
+  StructuralConstraints constraints(std::move(dtd));
+
+  RewriteOptions options;
+  options.constraints = &constraints;
+  RewriteResult with = Must(RewriteQuery(q7, {v1}, options));
+  std::printf("== with the DTD (Example 3.5) ==\n"
+              "mappings: %zu, candidates tested: %zu, rewritings: %zu\n",
+              with.mappings_found, with.candidates_tested,
+              with.rewritings.size());
+  for (const TslQuery& rw : with.rewritings) {
+    std::printf("  %s\n", rw.ToString().c_str());
+  }
+  std::printf(
+      "\nwhy: composing the candidate with (V1) yields (Q9); label\n"
+      "inference forces the unknown label to `name` (only name objects can\n"
+      "carry a last subobject under this DTD) and the labeled FD p -> name\n"
+      "merges the two name objects, chasing (Q9) to (Q13) = (Q7).\n");
+  return with.rewritings.empty() ? 1 : 0;
+}

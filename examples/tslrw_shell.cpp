@@ -1,0 +1,47 @@
+// An interactive shell over the whole library: define sources, views, and
+// queries; evaluate, rewrite, minimize, and compare them. Works
+// interactively, piped, or on a script file:
+//
+//   ./build/examples/tslrw_shell               # interactive
+//   echo 'help' | ./build/examples/tslrw_shell # piped
+//   ./build/examples/tslrw_shell session.tsl   # script (same as `load`)
+//
+// Statements are one per line; a trailing `\` continues a statement on the
+// next line. See `help` for the command set.
+
+#include <unistd.h>
+
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "repl/repl.h"
+
+int main(int argc, char** argv) {
+  tslrw::ReplSession session;
+  if (argc > 1) {
+    std::ifstream in(argv[1]);
+    if (!in) {
+      std::fprintf(stderr, "cannot open %s\n", argv[1]);
+      return 1;
+    }
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    std::fputs(session.ExecuteScript(buffer.str()).c_str(), stdout);
+    return 0;
+  }
+  bool interactive = isatty(0);
+  std::string line;
+  if (interactive) std::printf("tslrw shell — `help` for commands\n");
+  while (!session.done()) {
+    if (interactive) {
+      std::printf("tslrw> ");
+      std::fflush(stdout);
+    }
+    if (!std::getline(std::cin, line)) break;
+    std::fputs(session.Execute(line).c_str(), stdout);
+  }
+  return 0;
+}

@@ -1,0 +1,81 @@
+#ifndef TSLRW_COMMON_RESULT_H_
+#define TSLRW_COMMON_RESULT_H_
+
+#include <cassert>
+#include <utility>
+#include <variant>
+
+#include "common/status.h"
+
+namespace tslrw {
+
+/// \brief Either a value of type T or a failure Status.
+///
+/// The Arrow-style companion of Status for value-returning fallible
+/// operations. Accessing the value of a failed Result aborts in debug
+/// builds; callers are expected to check ok() (or use ValueOrDie in tests).
+template <typename T>
+class Result {
+ public:
+  /// Implicit construction from a value (success).
+  Result(T value) : rep_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  /// Implicit construction from a non-OK status (failure).
+  Result(Status status) : rep_(std::move(status)) {  // NOLINT(runtime/explicit)
+    assert(!std::get<Status>(rep_).ok() && "Result constructed from OK status");
+  }
+
+  bool ok() const { return std::holds_alternative<T>(rep_); }
+
+  const Status& status() const {
+    static const Status kOk;
+    return ok() ? kOk : std::get<Status>(rep_);
+  }
+
+  const T& value() const& {
+    assert(ok());
+    return std::get<T>(rep_);
+  }
+  T& value() & {
+    assert(ok());
+    return std::get<T>(rep_);
+  }
+  T&& value() && {
+    assert(ok());
+    return std::get<T>(std::move(rep_));
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  /// Returns the value, or terminates with the status message. Test helper.
+  T ValueOrDie() && {
+    if (!ok()) {
+      fprintf(stderr, "Result::ValueOrDie on failure: %s\n",
+              status().ToString().c_str());
+      abort();
+    }
+    return std::get<T>(std::move(rep_));
+  }
+
+ private:
+  std::variant<T, Status> rep_;
+};
+
+/// Assigns the value of a fallible expression to `lhs`, or propagates the
+/// failure Status out of the enclosing function.
+#define TSLRW_ASSIGN_OR_RETURN_IMPL(tmp, lhs, expr) \
+  auto tmp = (expr);                                \
+  if (!tmp.ok()) return tmp.status();               \
+  lhs = std::move(tmp).value();
+
+#define TSLRW_ASSIGN_OR_RETURN_CONCAT(a, b) a##b
+#define TSLRW_ASSIGN_OR_RETURN_NAME(a, b) TSLRW_ASSIGN_OR_RETURN_CONCAT(a, b)
+#define TSLRW_ASSIGN_OR_RETURN(lhs, expr)                                      \
+  TSLRW_ASSIGN_OR_RETURN_IMPL(                                                 \
+      TSLRW_ASSIGN_OR_RETURN_NAME(_tslrw_result_, __LINE__), lhs, expr)
+
+}  // namespace tslrw
+
+#endif  // TSLRW_COMMON_RESULT_H_

@@ -1,0 +1,111 @@
+#ifndef TSLRW_COMMON_STATUS_H_
+#define TSLRW_COMMON_STATUS_H_
+
+#include <memory>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace tslrw {
+
+/// \brief Machine-readable category of a failure.
+///
+/// The library reports recoverable failures through Status / Result<T>
+/// rather than exceptions, in the style of RocksDB and Apache Arrow.
+enum class StatusCode {
+  kOk = 0,
+  /// Caller passed arguments that violate an API contract.
+  kInvalidArgument,
+  /// Text could not be parsed (TSL, OEM data format, DTD).
+  kParseError,
+  /// A query failed a well-formedness check (safety, head oid uniqueness,
+  /// cyclic body pattern, variable-kind clash).
+  kIllFormedQuery,
+  /// The chase derived contradictory constants (\S3.2: "halt with an
+  /// error"); the query is unsatisfiable under the dependencies.
+  kUnsatisfiable,
+  /// Two assignments fused the same answer object with conflicting atomic
+  /// values (\S2 fusion semantics have no consistent model).
+  kFusionConflict,
+  /// A lookup (view name, source name, object id) found nothing.
+  kNotFound,
+  /// Internal invariant violation; indicates a library bug.
+  kInternal,
+};
+
+/// \brief Human-readable name of a StatusCode (e.g. "ParseError").
+std::string_view StatusCodeToString(StatusCode code);
+
+/// \brief The result of an operation that can fail without a value.
+///
+/// A moved-from or default-constructed Status is OK. Failure Statuses carry
+/// a code and a message. The class is cheap to copy in the OK case (single
+/// null pointer).
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() = default;
+
+  /// Constructs a status with the given failure \p code and \p message.
+  Status(StatusCode code, std::string message);
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status ParseError(std::string msg) {
+    return Status(StatusCode::kParseError, std::move(msg));
+  }
+  static Status IllFormedQuery(std::string msg) {
+    return Status(StatusCode::kIllFormedQuery, std::move(msg));
+  }
+  static Status Unsatisfiable(std::string msg) {
+    return Status(StatusCode::kUnsatisfiable, std::move(msg));
+  }
+  static Status FusionConflict(std::string msg) {
+    return Status(StatusCode::kFusionConflict, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return rep_ == nullptr; }
+  StatusCode code() const { return rep_ ? rep_->code : StatusCode::kOk; }
+  /// Failure message; empty for OK statuses.
+  const std::string& message() const;
+
+  bool IsParseError() const { return code() == StatusCode::kParseError; }
+  bool IsUnsatisfiable() const { return code() == StatusCode::kUnsatisfiable; }
+  bool IsNotFound() const { return code() == StatusCode::kNotFound; }
+
+  /// "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+  friend bool operator==(const Status& a, const Status& b) {
+    return a.code() == b.code();
+  }
+
+ private:
+  struct Rep {
+    StatusCode code;
+    std::string message;
+  };
+  std::shared_ptr<const Rep> rep_;  // null == OK
+};
+
+std::ostream& operator<<(std::ostream& os, const Status& s);
+
+/// Propagates a failing Status out of the enclosing function.
+#define TSLRW_RETURN_NOT_OK(expr)                \
+  do {                                           \
+    ::tslrw::Status _st = (expr);                \
+    if (!_st.ok()) return _st;                   \
+  } while (false)
+
+}  // namespace tslrw
+
+#endif  // TSLRW_COMMON_STATUS_H_

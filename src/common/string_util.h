@@ -1,0 +1,41 @@
+#ifndef TSLRW_COMMON_STRING_UTIL_H_
+#define TSLRW_COMMON_STRING_UTIL_H_
+
+#include <sstream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace tslrw {
+
+/// \brief Joins the elements of \p parts with \p sep.
+std::string Join(const std::vector<std::string>& parts, std::string_view sep);
+
+/// \brief Renders any streamable sequence element-by-element with \p sep,
+/// using \p render to stringify each element.
+template <typename Range, typename Fn>
+std::string JoinMapped(const Range& range, std::string_view sep, Fn render) {
+  std::string out;
+  bool first = true;
+  for (const auto& item : range) {
+    if (!first) out += sep;
+    first = false;
+    out += render(item);
+  }
+  return out;
+}
+
+/// \brief printf-lite concatenation of streamable values.
+template <typename... Args>
+std::string StrCat(const Args&... args) {
+  std::ostringstream os;
+  (os << ... << args);
+  return os.str();
+}
+
+/// \brief True iff \p s starts with \p prefix.
+bool StartsWith(std::string_view s, std::string_view prefix);
+
+}  // namespace tslrw
+
+#endif  // TSLRW_COMMON_STRING_UTIL_H_

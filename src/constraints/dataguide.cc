@@ -1,0 +1,156 @@
+#include "constraints/dataguide.h"
+
+#include <deque>
+
+#include "common/string_util.h"
+
+namespace tslrw {
+
+DataGuide DataGuide::Build(const OemDatabase& db) {
+  DataGuide guide;
+  std::map<std::set<Oid>, size_t> index;  // target set -> node id
+
+  // Node 0: synthetic root standing above the database roots.
+  guide.nodes_.push_back(Node{});
+  std::deque<size_t> work;
+
+  auto intern = [&](std::set<Oid> targets) -> size_t {
+    auto it = index.find(targets);
+    if (it != index.end()) return it->second;
+    size_t id = guide.nodes_.size();
+    Node node;
+    for (const Oid& oid : targets) {
+      const OemObject* obj = db.Find(oid);
+      if (obj == nullptr) continue;
+      node.has_atomic = node.has_atomic || obj->is_atomic();
+      node.has_set = node.has_set || !obj->is_atomic();
+    }
+    node.targets = std::move(targets);
+    guide.nodes_.push_back(std::move(node));
+    index.emplace(guide.nodes_.back().targets, id);
+    work.push_back(id);
+    return id;
+  };
+
+  // The synthetic root's children group the database roots by label.
+  {
+    std::map<std::string, std::set<Oid>> by_label;
+    for (const Oid& r : db.roots()) {
+      const OemObject* obj = db.Find(r);
+      if (obj != nullptr) by_label[obj->label].insert(r);
+    }
+    for (auto& [label, targets] : by_label) {
+      guide.nodes_[0].children[label] = intern(std::move(targets));
+    }
+  }
+
+  while (!work.empty()) {
+    size_t id = work.front();
+    work.pop_front();
+    std::map<std::string, std::set<Oid>> by_label;
+    for (const Oid& oid : guide.nodes_[id].targets) {
+      const OemObject* obj = db.Find(oid);
+      if (obj == nullptr || obj->is_atomic()) continue;
+      for (const Oid& child : obj->value.children()) {
+        const OemObject* cobj = db.Find(child);
+        if (cobj != nullptr) by_label[cobj->label].insert(child);
+      }
+    }
+    for (auto& [label, targets] : by_label) {
+      size_t child_id = intern(std::move(targets));
+      guide.nodes_[id].children[label] = child_id;
+    }
+  }
+  return guide;
+}
+
+const DataGuide::Node* DataGuide::Lookup(
+    const std::vector<std::string>& path) const {
+  size_t node = root();
+  for (const std::string& label : path) {
+    auto it = nodes_[node].children.find(label);
+    if (it == nodes_[node].children.end()) return nullptr;
+    node = it->second;
+  }
+  return &nodes_[node];
+}
+
+std::set<std::string> DataGuide::LabelsAfter(
+    const std::vector<std::string>& path) const {
+  std::set<std::string> labels;
+  const Node* node = Lookup(path);
+  if (node == nullptr) return labels;
+  for (const auto& [label, child] : node->children) labels.insert(label);
+  return labels;
+}
+
+Result<Dtd> InferDtdFromData(const OemDatabase& db) {
+  struct Stats {
+    bool seen_atomic = false;
+    bool seen_set = false;
+    size_t instances = 0;
+    // child label -> (min occurrences, max occurrences, #parents seen in)
+    std::map<std::string, std::pair<size_t, size_t>> child_minmax;
+    std::map<std::string, size_t> child_parents;
+  };
+  std::map<std::string, Stats> per_label;
+
+  std::set<Oid> reachable = db.ReachableOids();
+  for (const Oid& oid : reachable) {
+    const OemObject* obj = db.Find(oid);
+    if (obj == nullptr) continue;
+    Stats& stats = per_label[obj->label];
+    ++stats.instances;
+    if (obj->is_atomic()) {
+      stats.seen_atomic = true;
+      continue;
+    }
+    stats.seen_set = true;
+    std::map<std::string, size_t> counts;
+    for (const Oid& child : obj->value.children()) {
+      const OemObject* cobj = db.Find(child);
+      if (cobj != nullptr) ++counts[cobj->label];
+    }
+    for (const auto& [label, n] : counts) {
+      auto [it, inserted] =
+          stats.child_minmax.emplace(label, std::make_pair(n, n));
+      if (!inserted) {
+        it->second.first = std::min(it->second.first, n);
+        it->second.second = std::max(it->second.second, n);
+      }
+      ++stats.child_parents[label];
+    }
+  }
+
+  std::string text;
+  for (const auto& [label, stats] : per_label) {
+    if (stats.seen_atomic && stats.seen_set) continue;  // no DTD summary
+    if (stats.seen_atomic) {
+      text += StrCat("<!ELEMENT ", label, " CDATA>\n");
+      continue;
+    }
+    std::vector<std::string> parts;
+    for (const auto& [child, minmax] : stats.child_minmax) {
+      size_t parents = stats.child_parents.at(child);
+      bool in_all = parents == stats.instances;
+      size_t max = minmax.second;
+      const char* marker;
+      if (in_all && max == 1) {
+        marker = "";  // exactly one everywhere
+      } else if (max == 1) {
+        marker = "?";
+      } else {
+        marker = "*";
+      }
+      parts.push_back(StrCat(child, marker));
+    }
+    if (parts.empty()) {
+      text += StrCat("<!ELEMENT ", label, " EMPTY>\n");
+    } else {
+      text += StrCat("<!ELEMENT ", label, " (", Join(parts, ", "), ")>\n");
+    }
+  }
+  return Dtd::Parse(text);
+}
+
+}  // namespace tslrw

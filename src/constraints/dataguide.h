@@ -1,0 +1,76 @@
+#ifndef TSLRW_CONSTRAINTS_DATAGUIDE_H_
+#define TSLRW_CONSTRAINTS_DATAGUIDE_H_
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "constraints/dtd.h"
+#include "oem/database.h"
+
+namespace tslrw {
+
+/// \brief A strong DataGuide over an OEM database (Goldman & Widom [16],
+/// cited in \S3.3 as a structural description usable by the rewriting
+/// algorithm alongside DTDs).
+///
+/// Every distinct label path from the roots is represented by exactly one
+/// guide node; a node's target set is the set of source objects reachable
+/// by that path. Built by the classic subset (determinization)
+/// construction, which handles DAGs and cycles.
+class DataGuide {
+ public:
+  /// Builds the strong DataGuide of \p db.
+  static DataGuide Build(const OemDatabase& db);
+
+  struct Node {
+    /// Source objects reachable by this node's label path(s).
+    std::set<Oid> targets;
+    /// Outgoing edges: child label -> guide node index.
+    std::map<std::string, size_t> children;
+    /// True when some target is an atomic object.
+    bool has_atomic = false;
+    /// True when some target is a set object.
+    bool has_set = false;
+  };
+
+  const std::vector<Node>& nodes() const { return nodes_; }
+  /// The synthetic root whose children are the database's root labels.
+  size_t root() const { return 0; }
+
+  /// Resolves a label path from the root; nullptr when no object matches.
+  const Node* Lookup(const std::vector<std::string>& path) const;
+
+  /// All labels reachable at the end of \p path ("what can follow?"),
+  /// empty when the path matches nothing — the query-formulation service
+  /// DataGuides exist for.
+  std::set<std::string> LabelsAfter(const std::vector<std::string>& path) const;
+
+  /// The number of distinct label paths represented (guide size).
+  size_t size() const { return nodes_.size(); }
+
+ private:
+  std::vector<Node> nodes_;
+};
+
+/// \brief Derives a DTD-shaped structural summary from an OEM instance, so
+/// instance-level structure can drive the \S3.3 machinery (label inference
+/// and labeled FDs) when no authored DTD exists.
+///
+/// For every label l, the content model unions over all l-objects:
+/// a child label b gets multiplicity `kOne` when every l-object has exactly
+/// one b child, `kOptional` when at most one, `kStar` otherwise; l is CDATA
+/// when every l-object is atomic. Labels whose objects are sometimes atomic
+/// and sometimes set-valued are omitted (no sound summary exists in the DTD
+/// vocabulary).
+///
+/// The derived constraints are valid for the given instance — the right
+/// contract for cached-query rewriting over a repository snapshot; for live
+/// sources an authored DTD remains the sound choice.
+Result<Dtd> InferDtdFromData(const OemDatabase& db);
+
+}  // namespace tslrw
+
+#endif  // TSLRW_CONSTRAINTS_DATAGUIDE_H_

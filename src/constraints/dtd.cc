@@ -1,0 +1,136 @@
+#include "constraints/dtd.h"
+
+#include "common/lexer.h"
+#include "common/string_util.h"
+
+namespace tslrw {
+
+std::string_view MultiplicityToString(Multiplicity m) {
+  switch (m) {
+    case Multiplicity::kOne: return "";
+    case Multiplicity::kOptional: return "?";
+    case Multiplicity::kStar: return "*";
+    case Multiplicity::kPlus: return "+";
+  }
+  return "";
+}
+
+const Dtd::Child* Dtd::Element::FindChild(const std::string& label) const {
+  for (const Child& c : children) {
+    if (c.label == label) return &c;
+  }
+  return nullptr;
+}
+
+namespace {
+
+Multiplicity ParseMarker(TokenCursor* cur) {
+  if (cur->TryConsume(TokenKind::kQuestion)) return Multiplicity::kOptional;
+  if (cur->TryConsume(TokenKind::kStar)) return Multiplicity::kStar;
+  if (cur->TryConsume(TokenKind::kPlus)) return Multiplicity::kPlus;
+  return Multiplicity::kOne;
+}
+
+Multiplicity Weaken(Multiplicity m) {
+  switch (m) {
+    case Multiplicity::kOne: return Multiplicity::kOptional;
+    case Multiplicity::kPlus: return Multiplicity::kStar;
+    default: return m;
+  }
+}
+
+/// Parses `(a, b?, c*)` or `(a | b)`; alternation weakens every alternative
+/// to an optional occurrence.
+Status ParseContentModel(TokenCursor* cur, Dtd::Element* element) {
+  TSLRW_RETURN_NOT_OK(cur->Expect(TokenKind::kLParen).status());
+  bool alternation = false;
+  std::vector<Dtd::Child> children;
+  while (true) {
+    TSLRW_ASSIGN_OR_RETURN(Token name, cur->Expect(TokenKind::kIdent));
+    Multiplicity m = ParseMarker(cur);
+    children.push_back(Dtd::Child{name.text, m});
+    if (cur->TryConsume(TokenKind::kComma)) continue;
+    if (cur->TryConsume(TokenKind::kPipe)) {
+      alternation = true;
+      continue;
+    }
+    TSLRW_RETURN_NOT_OK(cur->Expect(TokenKind::kRParen).status());
+    break;
+  }
+  if (alternation) {
+    for (Dtd::Child& c : children) c.multiplicity = Weaken(c.multiplicity);
+  }
+  // Repeated mentions of one child label weaken to `*`.
+  for (const Dtd::Child& c : children) {
+    if (Dtd::Child* prior = [&]() -> Dtd::Child* {
+          for (Dtd::Child& p : element->children) {
+            if (p.label == c.label) return &p;
+          }
+          return nullptr;
+        }()) {
+      prior->multiplicity = Multiplicity::kStar;
+    } else {
+      element->children.push_back(c);
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<Dtd> Dtd::Parse(std::string_view text) {
+  TSLRW_ASSIGN_OR_RETURN(std::vector<Token> tokens, Tokenize(text));
+  TokenCursor cur(std::move(tokens));
+  Dtd dtd;
+  while (!cur.AtEof()) {
+    TSLRW_RETURN_NOT_OK(cur.Expect(TokenKind::kLAngle).status());
+    TSLRW_RETURN_NOT_OK(cur.Expect(TokenKind::kBang).status());
+    TSLRW_RETURN_NOT_OK(cur.ExpectIdent("ELEMENT"));
+    TSLRW_ASSIGN_OR_RETURN(Token name, cur.Expect(TokenKind::kIdent));
+    if (dtd.elements_.count(name.text) > 0) {
+      return Status::ParseError(
+          StrCat("duplicate <!ELEMENT ", name.text, "> declaration"));
+    }
+    Element element;
+    if (cur.TryConsumeIdent("CDATA")) {
+      element.atomic = true;
+    } else if (cur.TryConsumeIdent("EMPTY")) {
+      element.atomic = false;  // a set element with no permitted children
+    } else {
+      TSLRW_RETURN_NOT_OK(ParseContentModel(&cur, &element));
+    }
+    TSLRW_RETURN_NOT_OK(cur.Expect(TokenKind::kRAngle).status());
+    dtd.elements_.emplace(name.text, std::move(element));
+  }
+  return dtd;
+}
+
+const Dtd::Element* Dtd::Find(const std::string& label) const {
+  auto it = elements_.find(label);
+  return it == elements_.end() ? nullptr : &it->second;
+}
+
+std::string Dtd::ToString() const {
+  std::string out;
+  for (const auto& [name, element] : elements_) {
+    out += StrCat("<!ELEMENT ", name, " ");
+    if (element.atomic) {
+      out += "CDATA";
+    } else if (element.children.empty()) {
+      out += "EMPTY";
+    } else {
+      out += StrCat(
+          "(",
+          JoinMapped(element.children, ", ",
+                     [](const Child& c) {
+                       return StrCat(c.label,
+                                     MultiplicityToString(c.multiplicity));
+                     }),
+          ")");
+    }
+    out += ">\n";
+  }
+  return out;
+}
+
+}  // namespace tslrw

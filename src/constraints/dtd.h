@@ -1,0 +1,69 @@
+#ifndef TSLRW_CONSTRAINTS_DTD_H_
+#define TSLRW_CONSTRAINTS_DTD_H_
+
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+
+namespace tslrw {
+
+/// \brief How often a child element may occur in its parent's content model.
+enum class Multiplicity {
+  kOne,       ///< exactly one (`name`)
+  kOptional,  ///< zero or one (`middle?`)
+  kStar,      ///< zero or more (`address*`)
+  kPlus,      ///< one or more (`author+`)
+};
+
+std::string_view MultiplicityToString(Multiplicity m);
+
+/// \brief A structural description of source data in the DTD subset the
+/// paper uses (\S3.3): `<!ELEMENT name (child-spec, ...)>` with `?`/`*`/`+`
+/// occurrence markers, or `<!ELEMENT name CDATA>` for atomic elements.
+///
+/// Since OEM does not support order, the order of children in a content
+/// model is ignored (footnote 8). Alternation (`|`) is accepted and treated
+/// as making each alternative optional, the weakest reading that stays
+/// sound for inference.
+class Dtd {
+ public:
+  struct Child {
+    std::string label;
+    Multiplicity multiplicity;
+  };
+
+  struct Element {
+    /// True for CDATA declarations: instances are atomic objects.
+    bool atomic = false;
+    std::vector<Child> children;
+
+    /// Looks up \p label among the children; nullptr if not allowed.
+    const Child* FindChild(const std::string& label) const;
+  };
+
+  /// Parses a sequence of `<!ELEMENT ...>` declarations. Duplicate
+  /// declarations for one element are rejected; undeclared child references
+  /// are permitted (open-world, like real DTDs used with OEM data).
+  static Result<Dtd> Parse(std::string_view text);
+
+  /// Content model of \p label; nullptr if the element is not declared.
+  const Element* Find(const std::string& label) const;
+
+  bool declares(const std::string& label) const {
+    return Find(label) != nullptr;
+  }
+  const std::map<std::string, Element>& elements() const { return elements_; }
+
+  /// Re-renders the declarations (sorted by element name).
+  std::string ToString() const;
+
+ private:
+  std::map<std::string, Element> elements_;
+};
+
+}  // namespace tslrw
+
+#endif  // TSLRW_CONSTRAINTS_DTD_H_

@@ -1,0 +1,53 @@
+#include "constraints/inference.h"
+
+namespace tslrw {
+
+std::optional<std::string> StructuralConstraints::InferMiddleLabel(
+    const std::string& parent_label,
+    const std::string& grandchild_label) const {
+  const Dtd::Element* parent = dtd_.Find(parent_label);
+  if (parent == nullptr || parent->atomic) return std::nullopt;
+  std::optional<std::string> unique;
+  for (const Dtd::Child& middle : parent->children) {
+    const Dtd::Element* mid_elem = dtd_.Find(middle.label);
+    // An undeclared middle element could have any children: inference is
+    // only safe when every candidate is declared.
+    bool can_have = mid_elem == nullptr
+                        ? true
+                        : (!mid_elem->atomic &&
+                           mid_elem->FindChild(grandchild_label) != nullptr);
+    if (mid_elem == nullptr) {
+      // Unknown content model: this candidate may or may not allow the
+      // grandchild, so uniqueness can never be established.
+      return std::nullopt;
+    }
+    if (can_have) {
+      if (unique.has_value()) return std::nullopt;  // ambiguous
+      unique = middle.label;
+    }
+  }
+  return unique;
+}
+
+bool StructuralConstraints::HasUniqueChild(
+    const std::string& parent_label, const std::string& child_label) const {
+  const Dtd::Element* parent = dtd_.Find(parent_label);
+  if (parent == nullptr || parent->atomic) return false;
+  const Dtd::Child* child = parent->FindChild(child_label);
+  return child != nullptr && child->multiplicity == Multiplicity::kOne;
+}
+
+bool StructuralConstraints::IsAtomic(const std::string& label) const {
+  const Dtd::Element* element = dtd_.Find(label);
+  return element != nullptr && element->atomic;
+}
+
+bool StructuralConstraints::AllowsChild(const std::string& parent_label,
+                                        const std::string& child_label) const {
+  const Dtd::Element* parent = dtd_.Find(parent_label);
+  if (parent == nullptr) return true;  // open world
+  if (parent->atomic) return false;
+  return parent->FindChild(child_label) != nullptr;
+}
+
+}  // namespace tslrw

@@ -1,0 +1,57 @@
+#ifndef TSLRW_CONSTRAINTS_INFERENCE_H_
+#define TSLRW_CONSTRAINTS_INFERENCE_H_
+
+#include <optional>
+#include <string>
+
+#include "constraints/dtd.h"
+
+namespace tslrw {
+
+/// \brief The two kinds of information the rewriting algorithm extracts
+/// from a structural description (\S3.3):
+///
+///  - **label inference**: in a path expression `a.?.c`, if the only child
+///    label of `a` that can itself have a `c` child is `b`, then `? = b`;
+///  - **labeled functional dependencies**: if objects labeled `a` have
+///    exactly one `b` subobject, the dependency X_a -> Y_b holds and the
+///    chase may unify sibling `b` children of one `a` object.
+///
+/// The class is a thin query layer over a parsed Dtd; it performs no
+/// mutation of queries itself (see rewrite/chase.h for application).
+class StructuralConstraints {
+ public:
+  StructuralConstraints() = default;
+  explicit StructuralConstraints(Dtd dtd) : dtd_(std::move(dtd)) {}
+
+  const Dtd& dtd() const { return dtd_; }
+
+  /// Label inference for `parent.?.grandchild_label`: the unique child
+  /// label `b` of \p parent_label whose content model allows a
+  /// \p grandchild_label child. Returns nullopt if \p parent_label is
+  /// undeclared, or zero / more than one candidate exists.
+  std::optional<std::string> InferMiddleLabel(
+      const std::string& parent_label,
+      const std::string& grandchild_label) const;
+
+  /// True iff \p parent_label objects have *exactly one* \p child_label
+  /// subobject (multiplicity `kOne`), i.e. the labeled FD
+  /// X_parent -> Y_child holds.
+  bool HasUniqueChild(const std::string& parent_label,
+                      const std::string& child_label) const;
+
+  /// True iff the DTD declares \p label as CDATA (atomic objects only).
+  bool IsAtomic(const std::string& label) const;
+
+  /// True iff \p child_label can appear as a child of \p parent_label.
+  /// Undeclared parents permit anything (open world).
+  bool AllowsChild(const std::string& parent_label,
+                   const std::string& child_label) const;
+
+ private:
+  Dtd dtd_;
+};
+
+}  // namespace tslrw
+
+#endif  // TSLRW_CONSTRAINTS_INFERENCE_H_

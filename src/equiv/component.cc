@@ -1,0 +1,126 @@
+#include "equiv/component.h"
+
+#include "common/string_util.h"
+#include "rewrite/mapping.h"
+
+namespace tslrw {
+
+std::string_view ComponentKindToString(ComponentKind kind) {
+  switch (kind) {
+    case ComponentKind::kTop: return "top";
+    case ComponentKind::kMember: return "member";
+    case ComponentKind::kObject: return "object";
+  }
+  return "?";
+}
+
+std::string ComponentQuery::ToString() const {
+  std::string head;
+  switch (kind) {
+    case ComponentKind::kTop:
+      head = StrCat("top(", head_terms[0].ToString(), ")");
+      break;
+    case ComponentKind::kMember:
+      head = StrCat("member(", head_terms[0].ToString(), ",",
+                    head_terms[1].ToString(), ")");
+      break;
+    case ComponentKind::kObject:
+      head = StrCat("<", head_terms[0].ToString(), " ", label.ToString(), " ",
+                    value.ToString(), ">");
+      break;
+  }
+  return StrCat(head, " :- ",
+                JoinMapped(body, " AND ",
+                           [](const Path& p) { return p.ToString(); }));
+}
+
+namespace {
+
+void DecomposePattern(const ObjectPattern& pattern,
+                      const std::vector<Path>& body,
+                      std::vector<ComponentQuery>* out) {
+  ComponentQuery object;
+  object.kind = ComponentKind::kObject;
+  object.head_terms = {pattern.oid};
+  object.label = pattern.label;
+  if (pattern.value.is_term()) {
+    object.value = pattern.value;
+  } else {
+    object.value = PatternValue::FromSet({});  // members live in kMember
+  }
+  object.body = body;
+  out->push_back(std::move(object));
+  if (pattern.value.is_set()) {
+    for (const ObjectPattern& member : pattern.value.set()) {
+      ComponentQuery edge;
+      edge.kind = ComponentKind::kMember;
+      edge.head_terms = {pattern.oid, member.oid};
+      edge.body = body;
+      out->push_back(std::move(edge));
+      DecomposePattern(member, body, out);
+    }
+  }
+}
+
+}  // namespace
+
+Result<std::vector<ComponentQuery>> DecomposeQuery(const TslQuery& query) {
+  TSLRW_ASSIGN_OR_RETURN(std::vector<Path> body, BodyPaths(query));
+  std::vector<ComponentQuery> out;
+  ComponentQuery top;
+  top.kind = ComponentKind::kTop;
+  top.head_terms = {query.head.oid};
+  top.body = body;
+  out.push_back(std::move(top));
+  DecomposePattern(query.head, body, &out);
+  return out;
+}
+
+Result<std::vector<ComponentQuery>> DecomposeRuleSet(const TslRuleSet& rules) {
+  std::vector<ComponentQuery> out;
+  for (const TslQuery& rule : rules.rules) {
+    TSLRW_ASSIGN_OR_RETURN(std::vector<ComponentQuery> parts,
+                           DecomposeQuery(rule));
+    out.insert(out.end(), std::make_move_iterator(parts.begin()),
+               std::make_move_iterator(parts.end()));
+  }
+  return out;
+}
+
+bool ComponentMapsOnto(const ComponentQuery& from, const ComponentQuery& to) {
+  if (from.kind != to.kind) return false;
+  if (from.head_terms.size() != to.head_terms.size()) return false;
+  Substitution seed;
+  for (size_t i = 0; i < from.head_terms.size(); ++i) {
+    if (!MatchInto(from.head_terms[i], to.head_terms[i], &seed)) return false;
+  }
+  if (from.kind == ComponentKind::kObject) {
+    if (!MatchInto(from.label, to.label, &seed)) return false;
+    // Values must correspond exactly: both `{}` markers, or terms related
+    // by the mapping. A copy directive (term) never maps onto constructed
+    // members (`{}`) or vice versa — they build different graphs.
+    if (from.value.is_set() != to.value.is_set()) return false;
+    if (from.value.is_term() &&
+        !MatchInto(from.value.term(), to.value.term(), &seed)) {
+      return false;
+    }
+  }
+  return ExistsBodyMapping(from.body, to.body, seed);
+}
+
+bool ComponentsCover(const std::vector<ComponentQuery>& covering,
+                     const std::vector<ComponentQuery>& covered) {
+  for (const ComponentQuery& p : covered) {
+    bool found = false;
+    for (const ComponentQuery& t : covering) {
+      if (ComponentMapsOnto(t, p)) {
+        found = true;
+        break;
+      }
+    }
+    if (!found) return false;
+  }
+  return true;
+}
+
+}  // namespace tslrw

@@ -1,0 +1,66 @@
+#ifndef TSLRW_EQUIV_COMPONENT_H_
+#define TSLRW_EQUIV_COMPONENT_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "tsl/ast.h"
+#include "tsl/normal_form.h"
+
+namespace tslrw {
+
+/// \brief The three kinds of graph component queries a TSL rule decomposes
+/// into (\S4): roots, edges, and objects of the answer graph.
+enum class ComponentKind {
+  kTop,     ///< `top(t)` — t is a root of the answer graph
+  kMember,  ///< `member(t1, t2)` — edge from object t1 to subobject t2
+  kObject,  ///< `<t label value>` — an object's label and (emptied) value
+};
+
+std::string_view ComponentKindToString(ComponentKind kind);
+
+/// \brief One graph component query: a finer-grain rule whose head
+/// describes a single root / edge / object and whose body is the TSL rule's
+/// body (Example 4.1).
+struct ComponentQuery {
+  ComponentKind kind;
+  /// kTop: {root oid term}. kMember: {parent oid term, child oid term}.
+  /// kObject: {oid term}.
+  std::vector<Term> head_terms;
+  /// kObject only: the object's label term.
+  Term label;
+  /// kObject only: the object's value — a term, or the `{}` marker for set
+  /// objects (their members are carried by kMember components).
+  PatternValue value;
+  /// The originating rule's body, as normal-form paths.
+  std::vector<Path> body;
+
+  /// Datalog-flavoured rendering, e.g. `member(l(X),f(Y)) :- ...`.
+  std::string ToString() const;
+};
+
+/// \brief Decomposes a TSL rule into its graph component queries: one top
+/// rule, one member rule per object–subobject relationship in the head, and
+/// one object rule per head object pattern (\S4, Example 4.1). The rule's
+/// body must be in normal form.
+Result<std::vector<ComponentQuery>> DecomposeQuery(const TslQuery& query);
+
+/// \brief Decomposition of a union of rules: the concatenation of the
+/// rules' decompositions (the \S4 test is defined on sets).
+Result<std::vector<ComponentQuery>> DecomposeRuleSet(const TslRuleSet& rules);
+
+/// \brief Whether some mapping carries \p from onto \p to: kinds equal, the
+/// head of `from` maps onto the head of `to`, and every body path of `from`
+/// maps into a body path of `to` (the Theorem 4.2 mapping; its existence
+/// means `to` is contained in `from`).
+bool ComponentMapsOnto(const ComponentQuery& from, const ComponentQuery& to);
+
+/// \brief Theorem 4.2: every component of \p covered has a component of
+/// \p covering mapping onto it.
+bool ComponentsCover(const std::vector<ComponentQuery>& covering,
+                     const std::vector<ComponentQuery>& covered);
+
+}  // namespace tslrw
+
+#endif  // TSLRW_EQUIV_COMPONENT_H_

@@ -1,0 +1,73 @@
+#include "equiv/equivalence.h"
+
+namespace tslrw {
+
+namespace {
+
+/// Chases every rule; unsatisfiable rules are dropped (they contribute no
+/// answer objects), other chase failures propagate.
+Result<TslRuleSet> ChaseRules(const TslRuleSet& rules,
+                              const ChaseOptions& options) {
+  TslRuleSet out;
+  for (const TslQuery& rule : rules.rules) {
+    Result<TslQuery> chased = ChaseQuery(rule, options);
+    if (!chased.ok()) {
+      if (chased.status().IsUnsatisfiable()) continue;
+      return chased.status();
+    }
+    out.rules.push_back(std::move(chased).value());
+  }
+  return out;
+}
+
+}  // namespace
+
+Result<bool> AreEquivalent(const TslRuleSet& a, const TslRuleSet& b,
+                           const ChaseOptions& options) {
+  TSLRW_ASSIGN_OR_RETURN(TslRuleSet ca, ChaseRules(a, options));
+  TSLRW_ASSIGN_OR_RETURN(TslRuleSet cb, ChaseRules(b, options));
+  TSLRW_ASSIGN_OR_RETURN(std::vector<ComponentQuery> da, DecomposeRuleSet(ca));
+  TSLRW_ASSIGN_OR_RETURN(std::vector<ComponentQuery> db, DecomposeRuleSet(cb));
+  return ComponentsCover(da, db) && ComponentsCover(db, da);
+}
+
+Result<bool> AreEquivalent(const TslQuery& a, const TslQuery& b,
+                           const ChaseOptions& options) {
+  return AreEquivalent(TslRuleSet::Single(a), TslRuleSet::Single(b), options);
+}
+
+Result<bool> IsContainedIn(const TslRuleSet& inner, const TslRuleSet& outer,
+                           const ChaseOptions& options) {
+  TSLRW_ASSIGN_OR_RETURN(TslRuleSet ci, ChaseRules(inner, options));
+  TSLRW_ASSIGN_OR_RETURN(TslRuleSet co, ChaseRules(outer, options));
+  TSLRW_ASSIGN_OR_RETURN(std::vector<ComponentQuery> di, DecomposeRuleSet(ci));
+  TSLRW_ASSIGN_OR_RETURN(std::vector<ComponentQuery> dc, DecomposeRuleSet(co));
+  return ComponentsCover(dc, di);
+}
+
+Result<EquivalenceTester> EquivalenceTester::Make(const TslRuleSet& reference,
+                                                  const ChaseOptions& options) {
+  TSLRW_ASSIGN_OR_RETURN(TslRuleSet chased, ChaseRules(reference, options));
+  TSLRW_ASSIGN_OR_RETURN(std::vector<ComponentQuery> components,
+                         DecomposeRuleSet(chased));
+  return EquivalenceTester(std::move(components), options);
+}
+
+Result<bool> EquivalenceTester::EquivalentTo(
+    const TslRuleSet& candidate) const {
+  TSLRW_ASSIGN_OR_RETURN(TslRuleSet chased, ChaseRules(candidate, options_));
+  TSLRW_ASSIGN_OR_RETURN(std::vector<ComponentQuery> theirs,
+                         DecomposeRuleSet(chased));
+  return ComponentsCover(components_, theirs) &&
+         ComponentsCover(theirs, components_);
+}
+
+Result<bool> EquivalenceTester::ContainedInReference(
+    const TslRuleSet& candidate) const {
+  TSLRW_ASSIGN_OR_RETURN(TslRuleSet chased, ChaseRules(candidate, options_));
+  TSLRW_ASSIGN_OR_RETURN(std::vector<ComponentQuery> theirs,
+                         DecomposeRuleSet(chased));
+  return ComponentsCover(components_, theirs);
+}
+
+}  // namespace tslrw

@@ -1,0 +1,63 @@
+#ifndef TSLRW_EQUIV_EQUIVALENCE_H_
+#define TSLRW_EQUIV_EQUIVALENCE_H_
+
+#include "common/result.h"
+#include "equiv/component.h"
+#include "rewrite/chase.h"
+#include "tsl/ast.h"
+
+namespace tslrw {
+
+/// \brief The \S4 compile-time equivalence test for TSL queries
+/// (Theorems 4.2 and 4.3): chase both sides, decompose them into graph
+/// component queries, and check mutual coverage by mappings.
+///
+/// Rules whose chase is unsatisfiable contribute nothing (they can never
+/// produce answer objects) and are dropped rather than reported as errors.
+/// Queries are normalized (normal form + chase under \p options) before
+/// decomposition, which is what makes the syntactic mapping test complete
+/// under the oid key dependencies (\S5).
+Result<bool> AreEquivalent(const TslRuleSet& a, const TslRuleSet& b,
+                           const ChaseOptions& options = {});
+
+Result<bool> AreEquivalent(const TslQuery& a, const TslQuery& b,
+                           const ChaseOptions& options = {});
+
+/// \brief One-sided test: every answer-graph component produced by \p inner
+/// is also produced by \p outer ("exposed" containment in the sense the
+/// paper borrows from [18]).
+Result<bool> IsContainedIn(const TslRuleSet& inner, const TslRuleSet& outer,
+                           const ChaseOptions& options = {});
+
+/// \brief Amortized equivalence against one fixed reference query: chases
+/// and decomposes the reference once, then tests candidates against it.
+///
+/// The \S3.4 rewriting loop calls the equivalence test once per candidate
+/// with the *same* right-hand side (the chased query); this class factors
+/// that work out of the loop.
+class EquivalenceTester {
+ public:
+  /// Prepares the tester; fails only on hard chase errors (an
+  /// unsatisfiable reference becomes the empty component set).
+  static Result<EquivalenceTester> Make(const TslRuleSet& reference,
+                                        const ChaseOptions& options = {});
+
+  /// Whether \p candidate (chased under the same options) is equivalent to
+  /// the reference.
+  Result<bool> EquivalentTo(const TslRuleSet& candidate) const;
+
+  /// Whether \p candidate is contained in the reference.
+  Result<bool> ContainedInReference(const TslRuleSet& candidate) const;
+
+ private:
+  EquivalenceTester(std::vector<ComponentQuery> components,
+                    ChaseOptions options)
+      : components_(std::move(components)), options_(options) {}
+
+  std::vector<ComponentQuery> components_;
+  ChaseOptions options_;
+};
+
+}  // namespace tslrw
+
+#endif  // TSLRW_EQUIV_EQUIVALENCE_H_

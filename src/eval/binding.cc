@@ -1,0 +1,52 @@
+#include "eval/binding.h"
+
+#include <deque>
+
+namespace tslrw {
+
+namespace {
+
+/// Whether the set values of (adb, a) and (bdb, b) are identical. A set
+/// object's *value* is its child set together with the subgraph below
+/// (\S2): the owners themselves may differ (two distinct objects can hold
+/// the same value), but the child oid sets must coincide and every
+/// reachable child must carry the same label and value on both sides.
+/// Cycle-safe.
+bool SetValuesEqual(const OemDatabase& adb, const Oid& a,
+                    const OemDatabase& bdb, const Oid& b) {
+  const OemObject* a_owner = adb.Find(a);
+  const OemObject* b_owner = bdb.Find(b);
+  if (a_owner == nullptr || b_owner == nullptr) return a_owner == b_owner;
+  if (a_owner->is_atomic() || b_owner->is_atomic()) return false;
+  if (!(a_owner->value == b_owner->value)) return false;
+  std::deque<Oid> work(a_owner->value.children().begin(),
+                       a_owner->value.children().end());
+  std::set<Oid> seen;
+  while (!work.empty()) {
+    Oid oid = work.front();
+    work.pop_front();
+    if (!seen.insert(oid).second) continue;
+    const OemObject* ao = adb.Find(oid);
+    const OemObject* bo = bdb.Find(oid);
+    if (ao == nullptr || bo == nullptr) return ao == bo;
+    if (ao->label != bo->label) return false;
+    if (!(ao->value == bo->value)) return false;
+    if (ao->is_atomic()) continue;
+    for (const Oid& c : ao->value.children()) work.push_back(c);
+  }
+  return true;
+}
+
+}  // namespace
+
+bool operator==(const BoundValue& a, const BoundValue& b) {
+  if (a.is_term() != b.is_term()) return false;
+  if (a.is_term()) return a.term_ == b.term_;
+  // Same owner in the same database: trivially the same value. Otherwise
+  // the values must be compared structurally — two distinct owners (even
+  // within one database) can hold identical set values.
+  if (a.db_ == b.db_ && a.owner_ == b.owner_) return true;
+  return SetValuesEqual(*a.db_, a.owner_, *b.db_, b.owner_);
+}
+
+}  // namespace tslrw

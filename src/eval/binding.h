@@ -1,0 +1,78 @@
+#ifndef TSLRW_EVAL_BINDING_H_
+#define TSLRW_EVAL_BINDING_H_
+
+#include <map>
+#include <string>
+
+#include "oem/database.h"
+#include "oem/term.h"
+
+namespace tslrw {
+
+/// \brief What a variable is bound to during evaluation: per \S2, an
+/// assignment maps object-id variables to O, label variables to C, and
+/// value variables to C ∪ P_D (atomic data or subgraphs).
+///
+/// A subgraph binding ("set value") is represented intensionally as the set
+/// value of a concrete source object: the pair (database, owner oid). The
+/// value is the owner's child set together with the subgraph hanging below,
+/// which stays implicit in the source database until head construction
+/// copies it into the answer.
+class BoundValue {
+ public:
+  /// An atomic binding: a source oid (for V_O) or an atom (label or atomic
+  /// value, for V_C).
+  static BoundValue FromTerm(Term t) {
+    BoundValue v;
+    v.term_ = std::move(t);
+    return v;
+  }
+
+  /// The set value of \p owner in \p db.
+  static BoundValue FromSetValue(const OemDatabase* db, Oid owner) {
+    BoundValue v;
+    v.db_ = db;
+    v.owner_ = std::move(owner);
+    return v;
+  }
+
+  bool is_term() const { return db_ == nullptr; }
+  bool is_set_value() const { return db_ != nullptr; }
+
+  const Term& term() const { return term_; }
+  const OemDatabase* db() const { return db_; }
+  const Oid& owner() const { return owner_; }
+
+  std::string ToString() const {
+    if (is_term()) return term_.ToString();
+    return "setvalue(" + db_->name() + "," + owner_.ToString() + ")";
+  }
+
+  /// Equality is *by value*: two subgraph bindings are equal when the
+  /// owners' set values — child oids and everything reachable below them —
+  /// are identical, even across databases. A view's copied subgraph must
+  /// join with the original source subgraph (\S2 copy semantics preserve
+  /// oids), so pointer identity of the database is not part of the value.
+  friend bool operator==(const BoundValue& a, const BoundValue& b);
+
+  /// Ordering for container use; coarser than ==, refined only by cheap
+  /// fields (equal values in different databases may order apart, which
+  /// merely costs a duplicate assignment that fusion collapses later).
+  friend bool operator<(const BoundValue& a, const BoundValue& b) {
+    if (a.db_ != b.db_) return a.db_ < b.db_;
+    if (!(a.owner_ == b.owner_)) return a.owner_ < b.owner_;
+    return a.term_ < b.term_;
+  }
+
+ private:
+  Term term_;
+  const OemDatabase* db_ = nullptr;
+  Oid owner_;
+};
+
+/// \brief One satisfying assignment θ : V → O ∪ C ∪ P_D.
+using Assignment = std::map<Term, BoundValue>;
+
+}  // namespace tslrw
+
+#endif  // TSLRW_EVAL_BINDING_H_

@@ -1,0 +1,180 @@
+#include "eval/matcher.h"
+
+#include <deque>
+#include <set>
+
+#include "common/string_util.h"
+
+namespace tslrw {
+
+namespace {
+
+/// One-way matching of a body term against a ground term (oid, label, or
+/// atomic value). Variables bind; atoms and function terms must agree
+/// structurally. Returns false and leaves \p a unchanged on mismatch.
+bool MatchTerm(const Term& pattern, const Term& ground, Assignment* a) {
+  switch (pattern.kind()) {
+    case TermKind::kAtom:
+      return pattern == ground;
+    case TermKind::kVariable: {
+      auto it = a->find(pattern);
+      BoundValue bound = BoundValue::FromTerm(ground);
+      if (it != a->end()) return it->second == bound;
+      a->emplace(pattern, std::move(bound));
+      return true;
+    }
+    case TermKind::kFunction: {
+      if (!ground.is_func() || ground.functor() != pattern.functor() ||
+          ground.args().size() != pattern.args().size()) {
+        return false;
+      }
+      Assignment scratch = *a;
+      for (size_t i = 0; i < pattern.args().size(); ++i) {
+        if (!MatchTerm(pattern.args()[i], ground.args()[i], &scratch)) {
+          return false;
+        }
+      }
+      *a = std::move(scratch);
+      return true;
+    }
+  }
+  return false;
+}
+
+void MatchObject(const ObjectPattern& pattern, const Oid& oid,
+                 const OemDatabase& db, const Assignment& a,
+                 std::vector<Assignment>* out);
+
+/// Candidate objects for one set-pattern member below \p parent, according
+/// to the member's step kind: direct children, chains of like-labeled
+/// objects (`l+`), or all proper descendants (`**`). BFS with a visited
+/// set, so cyclic data terminates.
+std::vector<Oid> StepCandidates(const ObjectPattern& member,
+                                const OemObject& parent,
+                                const OemDatabase& db) {
+  std::vector<Oid> out;
+  if (member.step == StepKind::kChild) {
+    out.assign(parent.value.children().begin(),
+               parent.value.children().end());
+    return out;
+  }
+  const bool closure = member.step == StepKind::kClosure;
+  const std::string chain_label =
+      closure && member.label.is_atom() ? member.label.atom_name() : "";
+  std::set<Oid> seen;
+  std::deque<Oid> work(parent.value.children().begin(),
+                       parent.value.children().end());
+  while (!work.empty()) {
+    Oid oid = work.front();
+    work.pop_front();
+    if (!seen.insert(oid).second) continue;
+    const OemObject* obj = db.Find(oid);
+    if (obj == nullptr) continue;
+    if (closure && obj->label != chain_label) continue;
+    out.push_back(oid);
+    if (obj->is_atomic()) continue;
+    for (const Oid& c : obj->value.children()) work.push_back(c);
+  }
+  return out;
+}
+
+/// Matches a value field against the value of \p obj, extending \p a into
+/// zero or more assignments appended to \p out.
+void MatchValue(const PatternValue& pv, const OemObject& obj,
+                const OemDatabase& db, const Assignment& a,
+                std::vector<Assignment>* out) {
+  if (pv.is_term()) {
+    const Term& t = pv.term();
+    if (obj.is_atomic()) {
+      Assignment scratch = a;
+      if (MatchTerm(t, Term::MakeAtom(obj.value.atom()), &scratch)) {
+        out->push_back(std::move(scratch));
+      }
+      return;
+    }
+    // A set value: only a (value) variable can bind to a subgraph (\S2,
+    // value variables range over C ∪ P_D). Constants and function terms
+    // denote atomic data and never match set objects.
+    if (!t.is_var()) return;
+    BoundValue bound = BoundValue::FromSetValue(&db, obj.oid);
+    auto it = a.find(t);
+    if (it != a.end()) {
+      if (it->second == bound) out->push_back(a);
+      return;
+    }
+    Assignment scratch = a;
+    scratch.emplace(t, std::move(bound));
+    out->push_back(std::move(scratch));
+    return;
+  }
+  // Set pattern: the object must be set-valued; each member needs some
+  // witness (witnesses may be shared between members).
+  if (obj.is_atomic()) return;
+  std::vector<Assignment> frontier{a};
+  for (const ObjectPattern& member : pv.set()) {
+    std::vector<Oid> candidates = StepCandidates(member, obj, db);
+    std::vector<Assignment> next;
+    for (const Assignment& cur : frontier) {
+      for (const Oid& candidate : candidates) {
+        MatchObject(member, candidate, db, cur, &next);
+      }
+    }
+    frontier = std::move(next);
+    if (frontier.empty()) return;
+  }
+  out->insert(out->end(), frontier.begin(), frontier.end());
+}
+
+void MatchObject(const ObjectPattern& pattern, const Oid& oid,
+                 const OemDatabase& db, const Assignment& a,
+                 std::vector<Assignment>* out) {
+  const OemObject* obj = db.Find(oid);
+  if (obj == nullptr) return;
+  Assignment scratch = a;
+  if (!MatchTerm(pattern.oid, oid, &scratch)) return;
+  // A descendant step constrains no label (its sentinel is not a pattern).
+  if (pattern.step != StepKind::kDescendant &&
+      !MatchTerm(pattern.label, Term::MakeAtom(obj->label), &scratch)) {
+    return;
+  }
+  MatchValue(pattern.value, *obj, db, scratch, out);
+}
+
+}  // namespace
+
+Result<std::vector<Assignment>> EnumerateAssignments(
+    const std::vector<Condition>& body, const SourceCatalog& catalog,
+    const std::string& default_source) {
+  std::vector<Assignment> frontier{Assignment{}};
+  for (const Condition& cond : body) {
+    const std::string& source =
+        cond.source.empty() ? default_source : cond.source;
+    TSLRW_ASSIGN_OR_RETURN(const OemDatabase* db, catalog.Find(source));
+    // A constant root label prunes the candidate roots once per condition
+    // instead of once per (assignment, root) pair.
+    std::vector<Oid> roots;
+    roots.reserve(db->roots().size());
+    for (const Oid& root : db->roots()) {
+      if (cond.pattern.step == StepKind::kChild &&
+          cond.pattern.label.is_atom()) {
+        const OemObject* obj = db->Find(root);
+        if (obj == nullptr || obj->label != cond.pattern.label.atom_name()) {
+          continue;
+        }
+      }
+      roots.push_back(root);
+    }
+    std::vector<Assignment> next;
+    for (const Assignment& a : frontier) {
+      for (const Oid& root : roots) {
+        MatchObject(cond.pattern, root, *db, a, &next);
+      }
+    }
+    frontier = std::move(next);
+    if (frontier.empty()) break;
+  }
+  std::set<Assignment> dedup(frontier.begin(), frontier.end());
+  return std::vector<Assignment>(dedup.begin(), dedup.end());
+}
+
+}  // namespace tslrw

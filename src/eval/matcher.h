@@ -1,0 +1,33 @@
+#ifndef TSLRW_EVAL_MATCHER_H_
+#define TSLRW_EVAL_MATCHER_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "eval/binding.h"
+#include "oem/database.h"
+#include "tsl/ast.h"
+
+namespace tslrw {
+
+/// \brief Enumerates every assignment θ that satisfies all \p body
+/// conditions against the sources in \p catalog (\S2 body semantics).
+///
+/// Each condition is matched against the *top-level* (root) objects of its
+/// source — query bodies start at the roots. A set pattern member requires
+/// some child to match (subset semantics: "the object may also have other
+/// subobjects"), two members may match the same child, and conditions join
+/// on shared variables. A condition with an empty source string is resolved
+/// against \p default_source.
+///
+/// The returned assignments are deduplicated and deterministic (sorted by
+/// binding content). Fails if a referenced source is absent from the
+/// catalog.
+Result<std::vector<Assignment>> EnumerateAssignments(
+    const std::vector<Condition>& body, const SourceCatalog& catalog,
+    const std::string& default_source);
+
+}  // namespace tslrw
+
+#endif  // TSLRW_EVAL_MATCHER_H_

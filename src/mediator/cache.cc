@@ -1,0 +1,86 @@
+#include "mediator/cache.h"
+
+#include "common/string_util.h"
+#include "eval/evaluator.h"
+#include "rewrite/rewriter.h"
+
+namespace tslrw {
+
+Status QueryCache::InsertAndMaterialize(const TslQuery& view,
+                                        const SourceCatalog& sources) {
+  TSLRW_ASSIGN_OR_RETURN(OemDatabase result, MaterializeView(view, sources));
+  return Insert(view, std::move(result));
+}
+
+Status QueryCache::Insert(const TslQuery& view, OemDatabase result) {
+  if (view.name.empty()) {
+    return Status::InvalidArgument("cached statements must be named");
+  }
+  if (result.name() != view.name) {
+    return Status::InvalidArgument(
+        StrCat("cached result database is named ", result.name(),
+               ", expected the statement name ", view.name));
+  }
+  entries_.insert_or_assign(view.name, Entry{view, std::move(result)});
+  return Status::OK();
+}
+
+std::vector<TslQuery> QueryCache::CachedStatements() const {
+  std::vector<TslQuery> out;
+  out.reserve(entries_.size());
+  for (const auto& [name, entry] : entries_) out.push_back(entry.statement);
+  return out;
+}
+
+Result<QueryCache::Answer> QueryCache::TryAnswer(
+    const TslQuery& query, const SourceCatalog& sources,
+    bool allow_base_fallback) const {
+  RewriteOptions options;
+  options.constraints = constraints_;
+  options.require_total = !allow_base_fallback;
+  TSLRW_ASSIGN_OR_RETURN(RewriteResult rewrites,
+                         RewriteQuery(query, CachedStatements(), options));
+
+  // Prefer the rewriting touching base data least (fewest non-view
+  // conditions), then the shortest one.
+  const TslQuery* best = nullptr;
+  size_t best_base = 0;
+  for (const TslQuery& rw : rewrites.rewritings) {
+    size_t base_conditions = 0;
+    for (const Condition& c : rw.body) {
+      if (entries_.count(c.source) == 0) ++base_conditions;
+    }
+    if (best == nullptr || base_conditions < best_base ||
+        (base_conditions == best_base && rw.body.size() < best->body.size())) {
+      best = &rw;
+      best_base = base_conditions;
+    }
+  }
+
+  SourceCatalog catalog = sources;
+  for (const auto& [name, entry] : entries_) catalog.Put(entry.result);
+
+  if (best != nullptr) {
+    TSLRW_ASSIGN_OR_RETURN(
+        OemDatabase result,
+        Evaluate(*best, catalog, EvalOptions{.answer_name = "answer"}));
+    Answer answer;
+    answer.rewriting = *best;
+    answer.result = std::move(result);
+    answer.from_cache = true;
+    return answer;
+  }
+  if (!allow_base_fallback) {
+    return Status::NotFound("no rewriting over the cached statements");
+  }
+  TSLRW_ASSIGN_OR_RETURN(
+      OemDatabase result,
+      Evaluate(query, catalog, EvalOptions{.answer_name = "answer"}));
+  Answer answer;
+  answer.rewriting = query;
+  answer.result = std::move(result);
+  answer.from_cache = false;
+  return answer;
+}
+
+}  // namespace tslrw

@@ -1,0 +1,63 @@
+#ifndef TSLRW_MEDIATOR_CACHE_H_
+#define TSLRW_MEDIATOR_CACHE_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "constraints/inference.h"
+#include "oem/database.h"
+#include "tsl/ast.h"
+
+namespace tslrw {
+
+/// \brief A repository-side cache of materialized queries (\S1's Lore
+/// scenario): cached query statements play the role of views, and a new
+/// query is answered by rewriting it over them — "the rewriting algorithm
+/// only needs the query and the cached query statements; it does not need
+/// to examine the source data".
+class QueryCache {
+ public:
+  explicit QueryCache(const StructuralConstraints* constraints = nullptr)
+      : constraints_(constraints) {}
+
+  /// Materializes \p view over \p sources and caches statement + result.
+  Status InsertAndMaterialize(const TslQuery& view,
+                              const SourceCatalog& sources);
+
+  /// Caches a pre-materialized result (e.g. shipped from another site).
+  /// The database must be named after the view.
+  Status Insert(const TslQuery& view, OemDatabase result);
+
+  struct Answer {
+    /// The rewriting that produced the result.
+    TslQuery rewriting;
+    OemDatabase result;
+    /// False when the query had to be answered entirely from base data.
+    bool from_cache = false;
+  };
+
+  /// Answers \p query from the cache when a rewriting over the cached
+  /// statements exists; cache misses fall back to evaluating over
+  /// \p sources directly when \p allow_base_fallback (and partial
+  /// rewritings may mix cached and base conditions). NotFound when the
+  /// query cannot be answered at all under the given policy.
+  Result<Answer> TryAnswer(const TslQuery& query, const SourceCatalog& sources,
+                           bool allow_base_fallback) const;
+
+  size_t size() const { return entries_.size(); }
+  std::vector<TslQuery> CachedStatements() const;
+
+ private:
+  struct Entry {
+    TslQuery statement;
+    OemDatabase result;
+  };
+  std::map<std::string, Entry> entries_;
+  const StructuralConstraints* constraints_;
+};
+
+}  // namespace tslrw
+
+#endif  // TSLRW_MEDIATOR_CACHE_H_

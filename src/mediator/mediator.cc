@@ -1,0 +1,214 @@
+#include "mediator/mediator.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "common/string_util.h"
+#include "eval/evaluator.h"
+
+namespace tslrw {
+
+Status ValidateDescriptions(const std::vector<SourceDescription>& sources) {
+  std::set<std::string> names;
+  for (const SourceDescription& sd : sources) {
+    if (sd.source.empty()) {
+      return Status::InvalidArgument("source description without a source");
+    }
+    for (const Capability& cap : sd.capabilities) {
+      if (cap.view.name.empty()) {
+        return Status::InvalidArgument(
+            StrCat("capability view of source ", sd.source, " is unnamed"));
+      }
+      if (!names.insert(cap.view.name).second) {
+        return Status::InvalidArgument(
+            StrCat("duplicate capability view name ", cap.view.name));
+      }
+      for (const Condition& c : cap.view.body) {
+        if (c.source != sd.source) {
+          return Status::InvalidArgument(
+              StrCat("capability view ", cap.view.name, " of source ",
+                     sd.source, " ranges over foreign source ", c.source));
+        }
+      }
+      for (const std::string& var : cap.bound_variables) {
+        bool found = false;
+        for (const Term& v : cap.view.BodyVariables()) {
+          found = found || v.var_name() == var;
+        }
+        if (!found) {
+          return Status::InvalidArgument(
+              StrCat("bound variable ", var, " does not occur in view ",
+                     cap.view.name));
+        }
+      }
+    }
+  }
+  return Status::OK();
+}
+
+std::string MediatorPlan::ToString() const {
+  return StrCat("plan(cost=", cost, ", views=[",
+                JoinMapped(views_used, ",",
+                           [](const std::string& s) { return s; }),
+                "]): ", rewriting.ToString());
+}
+
+Result<Mediator> Mediator::Make(std::vector<SourceDescription> sources,
+                                const StructuralConstraints* constraints) {
+  TSLRW_RETURN_NOT_OK(ValidateDescriptions(sources));
+  return Mediator(std::move(sources), constraints);
+}
+
+std::vector<TslQuery> Mediator::AllViews() const {
+  std::vector<TslQuery> views;
+  for (const SourceDescription& sd : sources_) {
+    for (const Capability& cap : sd.capabilities) views.push_back(cap.view);
+  }
+  return views;
+}
+
+const Capability* Mediator::FindCapability(const std::string& name) const {
+  for (const SourceDescription& sd : sources_) {
+    for (const Capability& cap : sd.capabilities) {
+      if (cap.view.name == name) return &cap;
+    }
+  }
+  return nullptr;
+}
+
+namespace {
+
+/// Whether every occurrence of a bound (`$X`) variable inside \p view_term
+/// was instantiated to a constant in \p inst_term. Skolem arguments are
+/// inspected recursively, so parameters surfaced through head oids (e.g.
+/// `yp(P',YB')`) are covered.
+bool TermParametersBound(const Term& view_term, const Term& inst_term,
+                         const std::set<std::string>& bound) {
+  switch (view_term.kind()) {
+    case TermKind::kAtom:
+      return true;
+    case TermKind::kVariable:
+      return bound.count(view_term.var_name()) == 0 || inst_term.is_atom();
+    case TermKind::kFunction: {
+      if (!inst_term.is_func() ||
+          inst_term.args().size() != view_term.args().size()) {
+        return true;  // structure changed beyond recognition; accept
+      }
+      for (size_t i = 0; i < view_term.args().size(); ++i) {
+        if (!TermParametersBound(view_term.args()[i], inst_term.args()[i],
+                                 bound)) {
+          return false;
+        }
+      }
+      return true;
+    }
+  }
+  return true;
+}
+
+/// Walks the capability's head and its instantiation in a rewriting body
+/// in parallel, checking that every occurrence of a bound (`$X`) variable
+/// was instantiated to a constant the mediator can splice in.
+bool BoundVariablesInstantiated(const ObjectPattern& view_head,
+                                const ObjectPattern& instantiated,
+                                const std::set<std::string>& bound) {
+  auto needs_constant = [&bound](const Term& t) {
+    return t.is_var() && bound.count(t.var_name()) > 0;
+  };
+  if (!TermParametersBound(view_head.oid, instantiated.oid, bound)) {
+    return false;
+  }
+  if (needs_constant(view_head.label) && !instantiated.label.is_atom()) {
+    return false;
+  }
+  if (view_head.value.is_term() && needs_constant(view_head.value.term()) &&
+      !(instantiated.value.is_term() &&
+        instantiated.value.term().is_atom())) {
+    return false;
+  }
+  if (view_head.value.is_set() && instantiated.value.is_set()) {
+    const SetPattern& vh = view_head.value.set();
+    const SetPattern& in = instantiated.value.set();
+    if (vh.size() != in.size()) return true;  // structure changed; accept
+    for (size_t i = 0; i < vh.size(); ++i) {
+      if (!BoundVariablesInstantiated(vh[i], in[i], bound)) return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+Result<std::vector<MediatorPlan>> Mediator::Plan(
+    const TslQuery& query) const {
+  RewriteOptions options;
+  options.constraints = constraints_;
+  options.require_total = true;  // every condition must fit some interface
+  TSLRW_ASSIGN_OR_RETURN(RewriteResult rewrites,
+                         RewriteQuery(query, AllViews(), options));
+  std::vector<MediatorPlan> plans;
+  for (TslQuery& rw : rewrites.rewritings) {
+    MediatorPlan plan;
+    std::set<std::string> used;
+    bool admissible = true;
+    for (const Condition& c : rw.body) {
+      const Capability* cap = FindCapability(c.source);
+      if (cap == nullptr) {
+        admissible = false;  // defensive; total rewritings only use views
+        break;
+      }
+      if (!cap->bound_variables.empty() &&
+          !BoundVariablesInstantiated(cap->view.head, c.pattern,
+                                      cap->bound_variables)) {
+        admissible = false;
+        break;
+      }
+      used.insert(c.source);
+    }
+    if (!admissible) continue;
+    plan.views_used.assign(used.begin(), used.end());
+    plan.cost = rw.body.size();
+    plan.rewriting = std::move(rw);
+    plans.push_back(std::move(plan));
+  }
+  std::sort(plans.begin(), plans.end(),
+            [](const MediatorPlan& a, const MediatorPlan& b) {
+              return a.cost < b.cost;
+            });
+  return plans;
+}
+
+Result<OemDatabase> Mediator::Execute(const MediatorPlan& plan,
+                                      const SourceCatalog& catalog) const {
+  // "Send" each source-specific query to its wrapper: materialize the
+  // capability view over the source data.
+  SourceCatalog view_results;
+  for (const std::string& view_name : plan.views_used) {
+    const Capability* cap = FindCapability(view_name);
+    if (cap == nullptr) {
+      return Status::NotFound(StrCat("unknown capability view ", view_name));
+    }
+    TSLRW_ASSIGN_OR_RETURN(OemDatabase result,
+                           MaterializeView(cap->view, catalog));
+    view_results.Put(std::move(result));
+  }
+  // Collect + consolidate at the mediator: evaluate the rewriting over the
+  // wrapper results (fusion merges per-source fragments by oid).
+  EvalOptions eval;
+  eval.answer_name = plan.rewriting.name.empty() ? "answer"
+                                                 : plan.rewriting.name;
+  return Evaluate(plan.rewriting, view_results, eval);
+}
+
+Result<OemDatabase> Mediator::Answer(const TslQuery& query,
+                                     const SourceCatalog& catalog) const {
+  TSLRW_ASSIGN_OR_RETURN(std::vector<MediatorPlan> plans, Plan(query));
+  if (plans.empty()) {
+    return Status::NotFound(
+        "no capability-conformant plan answers this query");
+  }
+  return Execute(plans.front(), catalog);
+}
+
+}  // namespace tslrw

@@ -1,0 +1,83 @@
+#ifndef TSLRW_MEDIATOR_MEDIATOR_H_
+#define TSLRW_MEDIATOR_MEDIATOR_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "constraints/inference.h"
+#include "mediator/capability.h"
+#include "oem/database.h"
+#include "rewrite/rewriter.h"
+#include "tsl/ast.h"
+
+namespace tslrw {
+
+/// \brief One executable plan produced by the capability-based rewriter: a
+/// total rewriting whose body conditions all refer to capability views, so
+/// every piece of work conforms to some source's interface (Fig. 2's
+/// "candidate plans").
+struct MediatorPlan {
+  TslQuery rewriting;
+  /// Names of the capability views the rewriting touches, i.e. the
+  /// source-specific queries the mediator would send to wrappers.
+  std::vector<std::string> views_used;
+  /// A crude cost estimate (Fig. 2's optimizer hook): the number of view
+  /// accesses; plans are returned cheapest-first.
+  size_t cost = 0;
+
+  std::string ToString() const;
+};
+
+/// \brief The TSIMMIS-style mediator of Fig. 1/2: integrates wrapped
+/// sources whose interfaces are described by capability views and answers
+/// user queries through the rewriting algorithm (the Capability-Based
+/// Rewriter, \S1).
+class Mediator {
+ public:
+  /// \param sources wrapped source descriptions (validated).
+  /// \param constraints optional DTD-derived constraints on the source
+  ///        data, forwarded to the rewriter (\S3.3).
+  static Result<Mediator> Make(std::vector<SourceDescription> sources,
+                               const StructuralConstraints* constraints =
+                                   nullptr);
+
+  /// Capability-based rewriting: every total rewriting of \p query over
+  /// the capability views, cheapest-first. An empty result means the query
+  /// cannot be answered within the sources' interfaces.
+  ///
+  /// Parameterized capabilities are honored: a plan is kept only when each
+  /// bound variable of each used capability is instantiated to a constant
+  /// by the rewriting (the mediator can then fill the `$X` slot).
+  Result<std::vector<MediatorPlan>> Plan(const TslQuery& query) const;
+
+  /// Executes a plan: "sends" each used capability view to its wrapper by
+  /// materializing it over the source data in \p catalog, then evaluates
+  /// the rewriting over the collected results and consolidates them (the
+  /// fusion step of \S1's running example).
+  Result<OemDatabase> Execute(const MediatorPlan& plan,
+                              const SourceCatalog& catalog) const;
+
+  /// Plan + execute the cheapest plan; NotFound when no plan exists.
+  Result<OemDatabase> Answer(const TslQuery& query,
+                             const SourceCatalog& catalog) const;
+
+  const std::vector<SourceDescription>& sources() const { return sources_; }
+
+ private:
+  Mediator(std::vector<SourceDescription> sources,
+           const StructuralConstraints* constraints)
+      : sources_(std::move(sources)), constraints_(constraints) {}
+
+  /// All capability views across sources.
+  std::vector<TslQuery> AllViews() const;
+  /// The capability owning view \p name; nullptr if unknown.
+  const Capability* FindCapability(const std::string& name) const;
+
+  std::vector<SourceDescription> sources_;
+  const StructuralConstraints* constraints_;
+};
+
+}  // namespace tslrw
+
+#endif  // TSLRW_MEDIATOR_MEDIATOR_H_

@@ -1,0 +1,98 @@
+#include "oem/bisim.h"
+
+#include <algorithm>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/string_util.h"
+
+namespace tslrw {
+
+namespace {
+
+struct Node {
+  const OemObject* obj;
+  int side;  // 0 = d1, 1 = d2
+  std::vector<size_t> children;
+  size_t block = 0;  // current partition block
+};
+
+}  // namespace
+
+bool StructurallyEquivalent(const OemDatabase& d1, const OemDatabase& d2) {
+  // Build the disjoint union of the two reachable graphs.
+  std::vector<Node> nodes;
+  std::map<std::pair<int, Oid>, size_t> index;
+  const OemDatabase* dbs[2] = {&d1, &d2};
+  for (int side = 0; side < 2; ++side) {
+    for (const Oid& oid : dbs[side]->ReachableOids()) {
+      const OemObject* obj = dbs[side]->Find(oid);
+      if (obj == nullptr) return false;  // dangling reference
+      index[{side, oid}] = nodes.size();
+      nodes.push_back(Node{obj, side, {}, 0});
+    }
+  }
+  for (auto& [key, idx] : index) {
+    const Node& n = nodes[idx];
+    if (n.obj->is_atomic()) continue;
+    for (const Oid& c : n.obj->value.children()) {
+      auto it = index.find({key.first, c});
+      if (it == index.end()) return false;
+      nodes[idx].children.push_back(it->second);
+    }
+  }
+
+  // Initial partition: (label, atomicity, atomic value).
+  std::map<std::string, size_t> sig_to_block;
+  for (Node& n : nodes) {
+    std::string sig = StrCat(n.obj->label, "\x01",
+                             n.obj->is_atomic() ? "a" : "s", "\x01",
+                             n.obj->is_atomic() ? n.obj->value.atom() : "");
+    auto [it, inserted] = sig_to_block.emplace(sig, sig_to_block.size());
+    (void)inserted;
+    n.block = it->second;
+  }
+
+  // Refine: a node's signature is its block plus the *set* of child blocks.
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    std::map<std::vector<size_t>, size_t> next;
+    std::vector<size_t> new_block(nodes.size());
+    for (size_t i = 0; i < nodes.size(); ++i) {
+      std::vector<size_t> sig;
+      sig.push_back(nodes[i].block);
+      std::vector<size_t> kids;
+      kids.reserve(nodes[i].children.size());
+      for (size_t c : nodes[i].children) kids.push_back(nodes[c].block);
+      std::sort(kids.begin(), kids.end());
+      kids.erase(std::unique(kids.begin(), kids.end()), kids.end());
+      sig.insert(sig.end(), kids.begin(), kids.end());
+      auto [it, inserted] = next.emplace(std::move(sig), next.size());
+      (void)inserted;
+      new_block[i] = it->second;
+    }
+    for (size_t i = 0; i < nodes.size(); ++i) {
+      if (new_block[i] != nodes[i].block) changed = true;
+    }
+    if (changed) {
+      for (size_t i = 0; i < nodes.size(); ++i) nodes[i].block = new_block[i];
+    }
+  }
+
+  // Roots must match up to block equality, in both directions.
+  auto root_blocks = [&](int side) {
+    std::vector<size_t> blocks;
+    for (const Oid& r : dbs[side]->roots()) {
+      auto it = index.find({side, r});
+      if (it != index.end()) blocks.push_back(nodes[it->second].block);
+    }
+    std::sort(blocks.begin(), blocks.end());
+    blocks.erase(std::unique(blocks.begin(), blocks.end()), blocks.end());
+    return blocks;
+  };
+  return root_blocks(0) == root_blocks(1);
+}
+
+}  // namespace tslrw

@@ -1,0 +1,24 @@
+#ifndef TSLRW_OEM_BISIM_H_
+#define TSLRW_OEM_BISIM_H_
+
+#include "oem/database.h"
+
+namespace tslrw {
+
+/// \brief The \S6 "Isomorphism" notion of OEM database equivalence.
+///
+/// Two databases are equivalent when object ids are ignored and only the
+/// object–subobject structure matters: every root of D1 must match some
+/// root of D2 (and vice versa) where objects match iff they have the same
+/// label, the same atomic value if atomic, and *equivalent sets* of
+/// subobjects if set-valued.
+///
+/// Implemented by partition refinement over the union of the two reachable
+/// graphs, which handles cycles (the paper's "equivalent (i.e. isomorphic)
+/// sets of subobjects" recursion is exactly bisimulation equivalence on the
+/// unordered child relation).
+bool StructurallyEquivalent(const OemDatabase& d1, const OemDatabase& d2);
+
+}  // namespace tslrw
+
+#endif  // TSLRW_OEM_BISIM_H_

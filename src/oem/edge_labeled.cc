@@ -1,0 +1,124 @@
+#include "oem/edge_labeled.h"
+
+#include "common/string_util.h"
+
+namespace tslrw {
+
+Status EdgeLabeledDatabase::AddNode(const Oid& oid) {
+  if (!oid.IsGround()) {
+    return Status::InvalidArgument(
+        StrCat("node oid must be ground: ", oid.ToString()));
+  }
+  auto [it, inserted] = nodes_.try_emplace(oid);
+  if (!inserted && it->second.atomic_value.has_value()) {
+    return Status::InvalidArgument(
+        StrCat("node ", oid.ToString(), " already declared atomic"));
+  }
+  return Status::OK();
+}
+
+Status EdgeLabeledDatabase::AddAtomicNode(const Oid& oid, std::string value) {
+  if (!oid.IsGround()) {
+    return Status::InvalidArgument(
+        StrCat("node oid must be ground: ", oid.ToString()));
+  }
+  auto [it, inserted] = nodes_.try_emplace(oid);
+  if (!inserted) {
+    if (it->second.atomic_value != value || !it->second.out.empty()) {
+      return Status::InvalidArgument(
+          StrCat("node ", oid.ToString(), " already declared differently"));
+    }
+    return Status::OK();
+  }
+  it->second.atomic_value = std::move(value);
+  return Status::OK();
+}
+
+Status EdgeLabeledDatabase::AddEdge(const Oid& from, std::string label,
+                                    const Oid& to) {
+  auto it = nodes_.find(from);
+  if (it == nodes_.end()) {
+    return Status::NotFound(StrCat("no node ", from.ToString()));
+  }
+  if (it->second.atomic_value.has_value()) {
+    return Status::InvalidArgument(
+        StrCat("atomic node ", from.ToString(), " cannot have edges"));
+  }
+  it->second.out.emplace(std::move(label), to);
+  return Status::OK();
+}
+
+Status EdgeLabeledDatabase::AddRoot(const Oid& oid) {
+  if (nodes_.count(oid) == 0) {
+    return Status::NotFound(StrCat("no node ", oid.ToString()));
+  }
+  roots_.insert(oid);
+  return Status::OK();
+}
+
+const EdgeLabeledDatabase::Node* EdgeLabeledDatabase::Find(
+    const Oid& oid) const {
+  auto it = nodes_.find(oid);
+  return it == nodes_.end() ? nullptr : &it->second;
+}
+
+Result<OemDatabase> EncodeEdgeLabeled(const EdgeLabeledDatabase& input) {
+  OemDatabase out(input.name());
+  for (const auto& [oid, node] : input.nodes()) {
+    if (node.atomic_value.has_value()) {
+      TSLRW_RETURN_NOT_OK(out.PutAtomic(oid, "node", *node.atomic_value));
+    } else {
+      TSLRW_RETURN_NOT_OK(out.PutSet(oid, "node"));
+    }
+  }
+  for (const auto& [oid, node] : input.nodes()) {
+    for (const auto& [label, target] : node.out) {
+      if (input.Find(target) == nullptr) {
+        return Status::NotFound(
+            StrCat("edge from ", oid.ToString(), " references missing node ",
+                   target.ToString()));
+      }
+      Oid edge_oid =
+          Term::MakeFunc("edge", {oid, Term::MakeAtom(label), target});
+      TSLRW_RETURN_NOT_OK(out.PutSet(edge_oid, label, {target}));
+      TSLRW_RETURN_NOT_OK(out.AddEdge(oid, edge_oid));
+    }
+  }
+  for (const Oid& root : input.roots()) {
+    TSLRW_RETURN_NOT_OK(out.AddRoot(root));
+  }
+  TSLRW_RETURN_NOT_OK(out.Validate());
+  return out;
+}
+
+Result<EdgeLabeledDatabase> DecodeEdgeLabeled(const OemDatabase& encoded) {
+  EdgeLabeledDatabase out(encoded.name());
+  // First pass: nodes.
+  for (const auto& [oid, obj] : encoded.objects()) {
+    if (obj.label != "node") continue;
+    if (obj.is_atomic()) {
+      TSLRW_RETURN_NOT_OK(out.AddAtomicNode(oid, obj.value.atom()));
+    } else {
+      TSLRW_RETURN_NOT_OK(out.AddNode(oid));
+    }
+  }
+  // Second pass: edge objects.
+  for (const auto& [oid, obj] : encoded.objects()) {
+    if (obj.label == "node") continue;
+    if (!oid.is_func() || oid.functor() != "edge" || oid.args().size() != 3 ||
+        obj.is_atomic() || obj.value.children().size() != 1) {
+      return Status::InvalidArgument(
+          StrCat("object ", oid.ToString(),
+                 " is not in the image of EncodeEdgeLabeled"));
+    }
+    const Oid& from = oid.args()[0];
+    const Oid& to = *obj.value.children().begin();
+    TSLRW_RETURN_NOT_OK(out.AddEdge(from, obj.label, to));
+  }
+  for (const Oid& root : encoded.roots()) {
+    TSLRW_RETURN_NOT_OK(out.AddRoot(root));
+  }
+  return out;
+}
+
+}  // namespace tslrw

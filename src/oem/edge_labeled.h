@@ -1,0 +1,70 @@
+#ifndef TSLRW_OEM_EDGE_LABELED_H_
+#define TSLRW_OEM_EDGE_LABELED_H_
+
+#include <map>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "oem/database.h"
+
+namespace tslrw {
+
+/// \brief The "popular variant of the original OEM data model" of \S6
+/// ("OEM variants and rewriting"): labels annotate the *edges* rather than
+/// the nodes, as in later OEM/Lore papers. Nodes carry only an optional
+/// atomic value; structure lives in labeled edges.
+class EdgeLabeledDatabase {
+ public:
+  EdgeLabeledDatabase() = default;
+  explicit EdgeLabeledDatabase(std::string name) : name_(std::move(name)) {}
+
+  const std::string& name() const { return name_; }
+
+  /// Declares a complex (set) node.
+  Status AddNode(const Oid& oid);
+  /// Declares an atomic node with the given value.
+  Status AddAtomicNode(const Oid& oid, std::string value);
+  /// Adds the labeled edge `from --label--> to`.
+  Status AddEdge(const Oid& from, std::string label, const Oid& to);
+  Status AddRoot(const Oid& oid);
+
+  struct Node {
+    std::optional<std::string> atomic_value;
+    /// Outgoing labeled edges (a node may be reached under many labels).
+    std::multimap<std::string, Oid> out;
+  };
+
+  const Node* Find(const Oid& oid) const;
+  const std::set<Oid>& roots() const { return roots_; }
+  const std::map<Oid, Node>& nodes() const { return nodes_; }
+
+ private:
+  std::string name_;
+  std::map<Oid, Node> nodes_;
+  std::set<Oid> roots_;
+};
+
+/// \brief Encodes an edge-labeled database into the node-labeled OEM this
+/// library's query machinery operates on, so "the techniques and
+/// algorithms described in this paper apply with little change" (\S6).
+///
+/// Encoding: every node keeps its oid with the uniform label `node` (atomic
+/// nodes keep their value); every edge `u --l--> v` becomes an
+/// intermediate set object `edge(u,l,v)` labeled `l` whose single child is
+/// v. A TSL path `u.l.v` over the original graph becomes
+/// `<U node {<E l {<V node ...>}>}>` over the encoding. The only implicit
+/// functional dependency the encoding adds beyond oid -> value is carried
+/// by the synthetic edge objects, matching the \S6 observation that the
+/// edge-labeled variant's oid key constrains the value only.
+Result<OemDatabase> EncodeEdgeLabeled(const EdgeLabeledDatabase& input);
+
+/// \brief Inverse of EncodeEdgeLabeled (for databases in the image of the
+/// encoding: `node`-labeled objects with `edge(...)`-oid children).
+Result<EdgeLabeledDatabase> DecodeEdgeLabeled(const OemDatabase& encoded);
+
+}  // namespace tslrw
+
+#endif  // TSLRW_OEM_EDGE_LABELED_H_

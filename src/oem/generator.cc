@@ -1,0 +1,122 @@
+#include "oem/generator.h"
+
+#include <cassert>
+
+#include "common/string_util.h"
+
+namespace tslrw {
+
+namespace {
+
+class Generator {
+ public:
+  Generator(const std::string& name, const GeneratorOptions& options)
+      : options_(options), rng_(options.seed), db_(name) {}
+
+  OemDatabase Build() {
+    for (int r = 0; r < options_.num_roots; ++r) {
+      std::string label = options_.root_label.empty()
+                              ? RandomLabel()
+                              : options_.root_label;
+      Oid root = NewOid();
+      Status st = db_.PutSet(root, label);
+      assert(st.ok());
+      (void)st;
+      st = db_.AddRoot(root);
+      assert(st.ok());
+      Populate(root, options_.max_depth);
+    }
+    assert(db_.Validate().ok());
+    return std::move(db_);
+  }
+
+ private:
+  void Populate(const Oid& parent, int depth) {
+    int fanout = std::uniform_int_distribution<int>(
+        1, std::max(1, options_.max_fanout))(rng_);
+    for (int i = 0; i < fanout; ++i) {
+      if (!set_oids_.empty() && Chance(options_.share_probability)) {
+        const Oid& reused =
+            set_oids_[std::uniform_int_distribution<size_t>(
+                0, set_oids_.size() - 1)(rng_)];
+        Status st = db_.AddEdge(parent, reused);
+        assert(st.ok());
+        (void)st;
+        continue;
+      }
+      Oid child = NewOid();
+      bool atomic = depth <= 1 || Chance(options_.atomic_probability);
+      Status st;
+      if (atomic) {
+        st = db_.PutAtomic(child, RandomLabel(), RandomValue());
+      } else {
+        st = db_.PutSet(child, RandomLabel());
+      }
+      assert(st.ok());
+      (void)st;
+      st = db_.AddEdge(parent, child);
+      assert(st.ok());
+      if (!atomic) {
+        set_oids_.push_back(child);
+        Populate(child, depth - 1);
+      }
+    }
+  }
+
+  bool Chance(double p) {
+    return std::uniform_real_distribution<double>(0.0, 1.0)(rng_) < p;
+  }
+  std::string RandomLabel() {
+    return StrCat("l", std::uniform_int_distribution<int>(
+                           0, options_.num_labels - 1)(rng_));
+  }
+  std::string RandomValue() {
+    return StrCat("v", std::uniform_int_distribution<int>(
+                           0, options_.num_values - 1)(rng_));
+  }
+  Oid NewOid() { return Term::MakeAtom(StrCat("o", next_oid_++)); }
+
+  const GeneratorOptions& options_;
+  std::mt19937_64 rng_;
+  OemDatabase db_;
+  std::vector<Oid> set_oids_;
+  int next_oid_ = 0;
+};
+
+void MustOk(const Status& st) {
+  assert(st.ok());
+  (void)st;
+}
+
+}  // namespace
+
+OemDatabase GenerateOemDatabase(const std::string& name,
+                                const GeneratorOptions& options) {
+  return Generator(name, options).Build();
+}
+
+OemDatabase MakeFig3Database(const std::string& name) {
+  OemDatabase db(name);
+  auto atom = [](const char* s) { return Term::MakeAtom(s); };
+  // Publication 1: "Views" by A. Gupta (Fig. 3, left object).
+  MustOk(db.PutSet(atom("pub1"), "publication"));
+  MustOk(db.AddRoot(atom("pub1")));
+  MustOk(db.PutAtomic(atom("t1"), "title", "Views"));
+  MustOk(db.PutAtomic(atom("a1"), "author", "A. Gupta"));
+  MustOk(db.AddEdge(atom("pub1"), atom("t1")));
+  MustOk(db.AddEdge(atom("pub1"), atom("a1")));
+  // Publication 2: "Constraint..." at SIGMOD 1993 (Fig. 3, right object).
+  MustOk(db.PutSet(atom("pub2"), "publication"));
+  MustOk(db.AddRoot(atom("pub2")));
+  MustOk(db.PutAtomic(atom("t2"), "title", "Constraint Maintenance"));
+  MustOk(db.PutAtomic(atom("a2"), "author", "A. Gupta"));
+  MustOk(db.PutAtomic(atom("v2"), "venue", "SIGMOD"));
+  MustOk(db.PutAtomic(atom("y2"), "year", "1993"));
+  MustOk(db.AddEdge(atom("pub2"), atom("t2")));
+  MustOk(db.AddEdge(atom("pub2"), atom("a2")));
+  MustOk(db.AddEdge(atom("pub2"), atom("v2")));
+  MustOk(db.AddEdge(atom("pub2"), atom("y2")));
+  return db;
+}
+
+}  // namespace tslrw

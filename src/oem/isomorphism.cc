@@ -1,0 +1,180 @@
+#include "oem/isomorphism.h"
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "common/string_util.h"
+
+namespace tslrw {
+
+namespace {
+
+/// A cheap invariant per object: label, atomicity/value, fan-out, fan-in,
+/// and rootness. Candidates must share signatures, which prunes the
+/// backtracking sharply on labeled data.
+struct Signature {
+  std::string label;
+  bool atomic;
+  std::string value;
+  size_t out_degree;
+  size_t in_degree;
+  bool is_root;
+
+  friend bool operator<(const Signature& a, const Signature& b) {
+    return std::tie(a.label, a.atomic, a.value, a.out_degree, a.in_degree,
+                    a.is_root) < std::tie(b.label, b.atomic, b.value,
+                                          b.out_degree, b.in_degree,
+                                          b.is_root);
+  }
+  friend bool operator==(const Signature& a, const Signature& b) {
+    return !(a < b) && !(b < a);
+  }
+};
+
+struct Graph {
+  std::vector<Oid> oids;                 // index -> oid
+  std::map<Oid, size_t> index;           // oid -> index
+  std::vector<Signature> signatures;
+  std::vector<std::vector<size_t>> children;  // sorted index lists? no: sets
+  std::vector<bool> root;
+};
+
+Graph BuildGraph(const OemDatabase& db) {
+  Graph g;
+  for (const Oid& oid : db.ReachableOids()) {
+    g.index[oid] = g.oids.size();
+    g.oids.push_back(oid);
+  }
+  size_t n = g.oids.size();
+  g.signatures.resize(n);
+  g.children.resize(n);
+  g.root.resize(n, false);
+  std::vector<size_t> in_degree(n, 0);
+  for (size_t i = 0; i < n; ++i) {
+    const OemObject* obj = db.Find(g.oids[i]);
+    Signature& sig = g.signatures[i];
+    sig.label = obj->label;
+    sig.atomic = obj->is_atomic();
+    sig.value = obj->is_atomic() ? obj->value.atom() : "";
+    if (!obj->is_atomic()) {
+      for (const Oid& c : obj->value.children()) {
+        auto it = g.index.find(c);
+        if (it == g.index.end()) continue;  // unreachable child: ignored
+        g.children[i].push_back(it->second);
+        ++in_degree[it->second];
+      }
+      std::sort(g.children[i].begin(), g.children[i].end());
+    }
+    sig.out_degree = g.children[i].size();
+  }
+  for (const Oid& r : db.roots()) {
+    auto it = g.index.find(r);
+    if (it != g.index.end()) g.root[it->second] = true;
+  }
+  for (size_t i = 0; i < n; ++i) {
+    g.signatures[i].in_degree = in_degree[i];
+    g.signatures[i].is_root = g.root[i];
+  }
+  return g;
+}
+
+/// Backtracking matcher: assigns d1 nodes (in a signature-rarity order) to
+/// unused d2 nodes with equal signatures, checking child-edge consistency
+/// against already-assigned neighbors in both directions.
+class Matcher {
+ public:
+  Matcher(const Graph& a, const Graph& b) : a_(a), b_(b) {}
+
+  bool Run(std::vector<size_t>* mapping) {
+    size_t n = a_.oids.size();
+    assignment_.assign(n, kUnassigned);
+    used_.assign(n, false);
+    // Rarest signatures first keeps the branching factor low.
+    order_.resize(n);
+    for (size_t i = 0; i < n; ++i) order_[i] = i;
+    std::map<Signature, int> freq;
+    for (const Signature& s : a_.signatures) ++freq[s];
+    std::stable_sort(order_.begin(), order_.end(),
+                     [&](size_t x, size_t y) {
+                       return freq[a_.signatures[x]] < freq[a_.signatures[y]];
+                     });
+    if (!Extend(0)) return false;
+    *mapping = assignment_;
+    return true;
+  }
+
+ private:
+  static constexpr size_t kUnassigned = static_cast<size_t>(-1);
+
+  bool Extend(size_t step) {
+    if (step == order_.size()) return true;
+    size_t u = order_[step];
+    for (size_t v = 0; v < b_.oids.size(); ++v) {
+      if (used_[v]) continue;
+      if (!(a_.signatures[u] == b_.signatures[v])) continue;
+      if (!Consistent(u, v)) continue;
+      assignment_[u] = v;
+      used_[v] = true;
+      if (Extend(step + 1)) return true;
+      assignment_[u] = kUnassigned;
+      used_[v] = false;
+    }
+    return false;
+  }
+
+  /// Edges between u and already-assigned nodes must be mirrored by v.
+  bool Consistent(size_t u, size_t v) const {
+    for (size_t uc : a_.children[u]) {
+      if (assignment_[uc] == kUnassigned) continue;
+      if (!std::binary_search(b_.children[v].begin(), b_.children[v].end(),
+                              assignment_[uc])) {
+        return false;
+      }
+    }
+    for (size_t w = 0; w < a_.oids.size(); ++w) {
+      if (assignment_[w] == kUnassigned) continue;
+      bool a_edge = std::binary_search(a_.children[w].begin(),
+                                       a_.children[w].end(), u);
+      bool b_edge = std::binary_search(b_.children[assignment_[w]].begin(),
+                                       b_.children[assignment_[w]].end(), v);
+      if (a_edge != b_edge) return false;
+    }
+    return true;
+  }
+
+  const Graph& a_;
+  const Graph& b_;
+  std::vector<size_t> assignment_;
+  std::vector<bool> used_;
+  std::vector<size_t> order_;
+};
+
+}  // namespace
+
+std::optional<std::map<Oid, Oid>> FindOidRenaming(const OemDatabase& d1,
+                                                  const OemDatabase& d2) {
+  Graph a = BuildGraph(d1);
+  Graph b = BuildGraph(d2);
+  if (a.oids.size() != b.oids.size()) return std::nullopt;
+  // Signature multisets must agree.
+  std::vector<Signature> sa = a.signatures, sb = b.signatures;
+  std::sort(sa.begin(), sa.end());
+  std::sort(sb.begin(), sb.end());
+  if (!(sa == sb)) return std::nullopt;
+
+  Matcher matcher(a, b);
+  std::vector<size_t> mapping;
+  if (!matcher.Run(&mapping)) return std::nullopt;
+  std::map<Oid, Oid> renaming;
+  for (size_t i = 0; i < a.oids.size(); ++i) {
+    renaming.emplace(a.oids[i], b.oids[mapping[i]]);
+  }
+  return renaming;
+}
+
+bool EquivalentUpToOidRenaming(const OemDatabase& d1, const OemDatabase& d2) {
+  return FindOidRenaming(d1, d2).has_value();
+}
+
+}  // namespace tslrw

@@ -1,0 +1,36 @@
+#ifndef TSLRW_OEM_ISOMORPHISM_H_
+#define TSLRW_OEM_ISOMORPHISM_H_
+
+#include <map>
+#include <optional>
+
+#include "oem/database.h"
+
+namespace tslrw {
+
+/// \brief Equivalence of OEM databases *up to object-id renaming* (\S3:
+/// "It is possible to define OEM database equivalence up to object id
+/// renaming"; \S6 "Isomorphism"): a bijection between the reachable oids of
+/// the two databases that maps roots to roots and preserves labels, atomic
+/// values, and the child relation exactly.
+///
+/// This sits strictly between the \S3 identity (`OemDatabase::Equals`,
+/// which also fixes the oids) and bisimulation
+/// (`StructurallyEquivalent`, which identifies duplicated/unfolded
+/// structure): isomorphic databases are always bisimilar, but a 1-cycle and
+/// a 2-cycle, or a shared child versus two equal copies, are bisimilar
+/// without being isomorphic.
+///
+/// Returns the witnessing bijection (oid of \p d1 -> oid of \p d2) or
+/// nullopt. Backtracking over label/degree-signature classes; graph
+/// isomorphism is not polynomial in general, so intended for test-sized
+/// databases (every legal answer comparison in this library).
+std::optional<std::map<Oid, Oid>> FindOidRenaming(const OemDatabase& d1,
+                                                  const OemDatabase& d2);
+
+/// \brief Convenience wrapper: whether such a bijection exists.
+bool EquivalentUpToOidRenaming(const OemDatabase& d1, const OemDatabase& d2);
+
+}  // namespace tslrw
+
+#endif  // TSLRW_OEM_ISOMORPHISM_H_

@@ -1,0 +1,35 @@
+#ifndef TSLRW_OEM_PARSER_H_
+#define TSLRW_OEM_PARSER_H_
+
+#include <string_view>
+
+#include "common/result.h"
+#include "oem/database.h"
+#include "oem/term.h"
+
+namespace tslrw {
+
+/// \brief Parses the textual OEM data format produced by
+/// OemDatabase::ToString:
+///
+/// ```
+/// database db {
+///   <p1 person {
+///     <n1 name { <l1 last "stanford"> }>
+///     <ph1 phone "555-1234">
+///     @p2              % reference to an object defined elsewhere
+///   }>
+/// }
+/// ```
+///
+/// Top-level objects become roots. Object ids are ground terms (atoms or
+/// function terms such as `f(p1)`); atomic values are quoted strings or bare
+/// identifiers/numbers. `%` comments run to end of line.
+Result<OemDatabase> ParseOemDatabase(std::string_view text);
+
+/// \brief Parses a single ground term, e.g. `p1` or `f(p1,g(x))`.
+Result<Term> ParseGroundTerm(std::string_view text);
+
+}  // namespace tslrw
+
+#endif  // TSLRW_OEM_PARSER_H_

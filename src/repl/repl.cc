@@ -1,0 +1,381 @@
+#include "repl/repl.h"
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+
+#include "common/string_util.h"
+#include "constraints/dataguide.h"
+#include "constraints/dtd.h"
+#include "equiv/equivalence.h"
+#include "eval/evaluator.h"
+#include "oem/parser.h"
+#include "rewrite/candidate.h"
+#include "rewrite/compose.h"
+#include "rewrite/contained.h"
+#include "rewrite/minimize.h"
+#include "rewrite/rewriter.h"
+#include "tsl/parser.h"
+#include "tsl/validate.h"
+
+namespace tslrw {
+
+namespace {
+
+constexpr std::string_view kHelp =
+    "commands:\n"
+    "  source database <name> { ... }   define an OEM source\n"
+    "  dtd <!ELEMENT ...> ...           set structural constraints\n"
+    "  dataguide <source>               infer constraints from an instance\n"
+    "  view (Name) <head> :- <body>     define a view\n"
+    "  query (Name) <head> :- <body>    define a query\n"
+    "  eval <query>                     evaluate against the sources\n"
+    "  rewrite <query> [total]          find equivalent rewritings\n"
+    "  contained <query> [total]        maximally contained rewriting\n"
+    "  explain <query>                  trace the rewriting pipeline\n"
+    "  minimize <query>                 remove redundant conditions\n"
+    "  equivalent <q1> <q2>             compile-time equivalence test\n"
+    "  materialize <view>               view result becomes a source\n"
+    "  show sources|views|queries|constraints\n"
+    "  load <path>                      run a script file\n"
+    "  write <source> <path>            save a source's OEM text\n"
+    "  help | quit\n";
+
+std::string_view Trim(std::string_view s) {
+  while (!s.empty() && std::isspace(static_cast<unsigned char>(s.front()))) {
+    s.remove_prefix(1);
+  }
+  while (!s.empty() && std::isspace(static_cast<unsigned char>(s.back()))) {
+    s.remove_suffix(1);
+  }
+  return s;
+}
+
+/// Splits the first whitespace-delimited word off \p s.
+std::string_view TakeWord(std::string_view* s) {
+  *s = Trim(*s);
+  size_t end = 0;
+  while (end < s->size() &&
+         !std::isspace(static_cast<unsigned char>((*s)[end]))) {
+    ++end;
+  }
+  std::string_view word = s->substr(0, end);
+  s->remove_prefix(end);
+  *s = Trim(*s);
+  return word;
+}
+
+std::string RenderError(const Status& status) {
+  return StrCat("error: ", status.ToString(), "\n");
+}
+
+}  // namespace
+
+std::string ReplSession::Execute(std::string_view line) {
+  std::string_view rest = Trim(line);
+  if (rest.empty() || rest.front() == '%') return "";
+  std::string_view command = TakeWord(&rest);
+  if (command == "help") return std::string(kHelp);
+  if (command == "quit" || command == "exit") {
+    done_ = true;
+    return "";
+  }
+  if (command == "source") return Source(rest);
+  if (command == "dtd") return DefineDtd(rest);
+  if (command == "dataguide") return InferConstraints(rest);
+  if (command == "view") return DefineView(rest);
+  if (command == "query") return DefineQuery(rest);
+  if (command == "eval") return Eval(rest);
+  if (command == "rewrite") return Rewrite(rest, /*contained=*/false);
+  if (command == "contained") return Rewrite(rest, /*contained=*/true);
+  if (command == "explain") return Explain(rest);
+  if (command == "minimize") return Minimize(rest);
+  if (command == "equivalent") return Equivalent(rest);
+  if (command == "materialize") return Materialize(rest);
+  if (command == "show") return Show(rest);
+  if (command == "load") return Load(rest);
+  if (command == "write") return WriteSource(rest);
+  return StrCat("unknown command '", command, "' (try `help`)\n");
+}
+
+std::string ReplSession::ExecuteScript(std::string_view script) {
+  std::string out;
+  std::string statement;
+  size_t pos = 0;
+  while (pos <= script.size() && !done_) {
+    size_t eol = script.find('\n', pos);
+    std::string_view line = script.substr(
+        pos, eol == std::string_view::npos ? script.size() - pos : eol - pos);
+    pos = eol == std::string_view::npos ? script.size() + 1 : eol + 1;
+    std::string_view trimmed = Trim(line);
+    if (!trimmed.empty() && trimmed.back() == '\\') {
+      statement += std::string(trimmed.substr(0, trimmed.size() - 1));
+      statement += ' ';
+      continue;
+    }
+    statement += std::string(line);
+    out += Execute(statement);
+    statement.clear();
+  }
+  if (!Trim(statement).empty()) out += Execute(statement);
+  return out;
+}
+
+std::string ReplSession::Source(std::string_view rest) {
+  auto db = ParseOemDatabase(rest);
+  if (!db.ok()) return RenderError(db.status());
+  std::string name = db->name();
+  catalog_.Put(std::move(db).value());
+  return StrCat("source ", name, " defined (",
+                catalog_.Find(name).value()->ReachableOids().size(),
+                " reachable objects)\n");
+}
+
+std::string ReplSession::DefineDtd(std::string_view rest) {
+  auto dtd = Dtd::Parse(rest);
+  if (!dtd.ok()) return RenderError(dtd.status());
+  size_t elements = dtd->elements().size();
+  constraints_ = StructuralConstraints(std::move(dtd).value());
+  return StrCat("constraints set (", elements, " element declarations)\n");
+}
+
+std::string ReplSession::InferConstraints(std::string_view rest) {
+  std::string_view name = TakeWord(&rest);
+  auto db = catalog_.Find(name);
+  if (!db.ok()) return RenderError(db.status());
+  auto dtd = InferDtdFromData(**db);
+  if (!dtd.ok()) return RenderError(dtd.status());
+  std::string rendered = dtd->ToString();
+  constraints_ = StructuralConstraints(std::move(dtd).value());
+  return StrCat("constraints inferred from ", name, ":\n", rendered);
+}
+
+std::string ReplSession::DefineView(std::string_view rest) {
+  auto view = ParseTslQuery(rest);
+  if (!view.ok()) return RenderError(view.status());
+  if (view->name.empty()) {
+    return "error: views need a (Name) prefix\n";
+  }
+  if (Status st = ValidateQuery(*view); !st.ok()) return RenderError(st);
+  std::string name = view->name;
+  views_.insert_or_assign(name, std::move(view).value());
+  return StrCat("view ", name, " defined\n");
+}
+
+std::string ReplSession::DefineQuery(std::string_view rest) {
+  auto query = ParseTslQuery(rest);
+  if (!query.ok()) return RenderError(query.status());
+  if (query->name.empty()) {
+    return "error: queries need a (Name) prefix\n";
+  }
+  if (Status st = ValidateQuery(*query); !st.ok()) return RenderError(st);
+  std::string name = query->name;
+  queries_.insert_or_assign(name, std::move(query).value());
+  return StrCat("query ", name, " defined\n");
+}
+
+Result<TslQuery> ReplSession::LookupQuery(std::string_view name) const {
+  auto it = queries_.find(name);
+  if (it != queries_.end()) return it->second;
+  auto vit = views_.find(name);
+  if (vit != views_.end()) return vit->second;
+  return Status::NotFound(StrCat("no query or view named ", name));
+}
+
+std::vector<TslQuery> ReplSession::Views() const {
+  std::vector<TslQuery> views;
+  for (const auto& [name, view] : views_) views.push_back(view);
+  return views;
+}
+
+ChaseOptions ReplSession::MakeChaseOptions() const {
+  ChaseOptions options;
+  options.constraints = constraints_ptr();
+  for (const auto& [name, view] : views_) {
+    options.constraint_exempt_sources.insert(name);
+  }
+  return options;
+}
+
+std::string ReplSession::Eval(std::string_view rest) {
+  std::string_view name = TakeWord(&rest);
+  auto query = LookupQuery(name);
+  if (!query.ok()) return RenderError(query.status());
+  auto answer = Evaluate(*query, catalog_);
+  if (!answer.ok()) return RenderError(answer.status());
+  return answer->ToString();
+}
+
+std::string ReplSession::Rewrite(std::string_view rest, bool contained) {
+  std::string_view name = TakeWord(&rest);
+  bool total = TakeWord(&rest) == "total";
+  auto query = LookupQuery(name);
+  if (!query.ok()) return RenderError(query.status());
+  RewriteOptions options;
+  options.constraints = constraints_ptr();
+  options.require_total = total;
+  if (contained) {
+    auto result = FindMaximallyContainedRewriting(*query, Views(), options);
+    if (!result.ok()) return RenderError(result.status());
+    std::string out =
+        StrCat(result->rewriting.rules.size(), " contained rule(s)",
+               result->equivalent ? " (union is equivalent)" : "", "\n");
+    for (const TslQuery& rule : result->rewriting.rules) {
+      out += StrCat("  ", rule.ToString(), "\n");
+    }
+    return out;
+  }
+  auto result = RewriteQuery(*query, Views(), options);
+  if (!result.ok()) return RenderError(result.status());
+  std::string out = StrCat(result->rewritings.size(), " rewriting(s); ",
+                           result->mappings_found, " mapping(s), ",
+                           result->candidates_tested, " candidate(s) tested\n");
+  for (const TslQuery& rw : result->rewritings) {
+    out += StrCat("  ", rw.ToString(), "\n");
+  }
+  return out;
+}
+
+std::string ReplSession::Explain(std::string_view rest) {
+  std::string_view name = TakeWord(&rest);
+  auto query = LookupQuery(name);
+  if (!query.ok()) return RenderError(query.status());
+  ChaseOptions chase_options = MakeChaseOptions();
+  auto chased = ChaseQuery(*query, chase_options);
+  if (!chased.ok()) {
+    if (chased.status().IsUnsatisfiable()) {
+      return StrCat("query is unsatisfiable under the dependencies: ",
+                    chased.status().message(), "\n");
+    }
+    return RenderError(chased.status());
+  }
+  std::string out = StrCat("chased query:\n  ", chased->ToString(), "\n");
+
+  std::vector<TslQuery> chased_views;
+  for (const auto& [vname, view] : views_) {
+    auto cv = ChaseQuery(view, chase_options);
+    if (cv.ok()) chased_views.push_back(std::move(cv).value());
+  }
+  size_t mappings = 0;
+  auto atoms =
+      BuildCandidateAtoms(*chased, chased_views, &mappings);
+  if (!atoms.ok()) return RenderError(atoms.status());
+  out += StrCat("step 1A: ", mappings, " mapping(s) -> ",
+                std::count_if(atoms->begin(), atoms->end(),
+                              [](const CandidateAtom& a) { return a.is_view; }),
+                " view instantiation(s):\n");
+  for (const CandidateAtom& atom : *atoms) {
+    if (!atom.is_view) continue;
+    out += StrCat("  ", atom.condition.ToString(), "  covers {",
+                  JoinMapped(atom.covers, ",",
+                             [](size_t i) { return StrCat(i); }),
+                  "}\n");
+  }
+  RewriteOptions options;
+  options.constraints = constraints_ptr();
+  auto result = RewriteQuery(*query, Views(), options);
+  if (!result.ok()) return RenderError(result.status());
+  out += StrCat("steps 1B-2: ", result->candidates_generated,
+                " candidate(s) generated, ", result->candidates_tested,
+                " composed+tested, ", result->rewritings.size(),
+                " equivalent:\n");
+  for (const TslQuery& rw : result->rewritings) {
+    auto composed = ComposeWithViews(rw, Views());
+    out += StrCat("  ", rw.ToString(), "\n");
+    if (composed.ok()) {
+      for (const TslQuery& rule : composed->rules) {
+        out += StrCat("    expands to: ", rule.ToString(), "\n");
+      }
+    }
+  }
+  return out;
+}
+
+std::string ReplSession::Minimize(std::string_view rest) {
+  std::string_view name = TakeWord(&rest);
+  auto query = LookupQuery(name);
+  if (!query.ok()) return RenderError(query.status());
+  auto minimized = MinimizeQuery(*query, MakeChaseOptions());
+  if (!minimized.ok()) return RenderError(minimized.status());
+  return StrCat(minimized->ToString(), "\n");
+}
+
+std::string ReplSession::Equivalent(std::string_view rest) {
+  std::string_view a = TakeWord(&rest);
+  std::string_view b = TakeWord(&rest);
+  auto qa = LookupQuery(a);
+  if (!qa.ok()) return RenderError(qa.status());
+  auto qb = LookupQuery(b);
+  if (!qb.ok()) return RenderError(qb.status());
+  auto eq = AreEquivalent(*qa, *qb, MakeChaseOptions());
+  if (!eq.ok()) return RenderError(eq.status());
+  return *eq ? "equivalent\n" : "not equivalent\n";
+}
+
+std::string ReplSession::Materialize(std::string_view rest) {
+  std::string_view name = TakeWord(&rest);
+  auto it = views_.find(name);
+  if (it == views_.end()) {
+    return StrCat("error: no view named ", name, "\n");
+  }
+  auto result = MaterializeView(it->second, catalog_);
+  if (!result.ok()) return RenderError(result.status());
+  size_t objects = result->ReachableOids().size();
+  catalog_.Put(std::move(result).value());
+  return StrCat("view ", name, " materialized as a source (", objects,
+                " objects)\n");
+}
+
+std::string ReplSession::Show(std::string_view rest) {
+  std::string_view what = TakeWord(&rest);
+  if (what == "sources") {
+    std::string out;
+    for (const auto& [name, db] : catalog_.sources()) {
+      out += StrCat(name, ": ", db.ReachableOids().size(),
+                    " reachable objects, ", db.roots().size(), " roots\n");
+    }
+    return out.empty() ? "no sources\n" : out;
+  }
+  if (what == "views") {
+    std::string out;
+    for (const auto& [name, view] : views_) {
+      out += StrCat("(", name, ") ", view.ToString(), "\n");
+    }
+    return out.empty() ? "no views\n" : out;
+  }
+  if (what == "queries") {
+    std::string out;
+    for (const auto& [name, query] : queries_) {
+      out += StrCat("(", name, ") ", query.ToString(), "\n");
+    }
+    return out.empty() ? "no queries\n" : out;
+  }
+  if (what == "constraints") {
+    if (!constraints_.has_value()) return "no constraints\n";
+    return constraints_->dtd().ToString();
+  }
+  return "usage: show sources|views|queries|constraints\n";
+}
+
+std::string ReplSession::Load(std::string_view rest) {
+  std::string path(TakeWord(&rest));
+  std::ifstream in(path);
+  if (!in) return StrCat("error: cannot open ", path, "\n");
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return ExecuteScript(buffer.str());
+}
+
+std::string ReplSession::WriteSource(std::string_view rest) {
+  std::string_view name = TakeWord(&rest);
+  std::string path(TakeWord(&rest));
+  auto db = catalog_.Find(name);
+  if (!db.ok()) return RenderError(db.status());
+  if (path.empty()) return "usage: write <source> <path>\n";
+  std::ofstream out(path);
+  if (!out) return StrCat("error: cannot open ", path, " for writing\n");
+  out << (*db)->ToString();
+  return StrCat("wrote ", name, " to ", path, "\n");
+}
+
+}  // namespace tslrw

@@ -1,0 +1,94 @@
+#ifndef TSLRW_REPL_REPL_H_
+#define TSLRW_REPL_REPL_H_
+
+#include <map>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "common/result.h"
+#include "constraints/inference.h"
+#include "oem/database.h"
+#include "rewrite/chase.h"
+#include "tsl/ast.h"
+
+namespace tslrw {
+
+/// \brief The interactive session behind the `tslrw_shell` example binary:
+/// a line-oriented interface to the whole library — define sources, views,
+/// queries, and constraints; evaluate, rewrite, minimize, compare.
+///
+/// Commands (one per line; `%` comments; statements may span lines until
+/// they parse — the shell feeds complete statements):
+///
+/// ```
+/// source database db { <p1 person { <n1 name ann> }> }
+/// dtd <!ELEMENT person (name)> <!ELEMENT name CDATA>
+/// dataguide db                  % infer constraints from an instance
+/// view (V1) <g(P') p {...}> :- <P' p {...}>@db
+/// query (Q3) <f(P) out yes> :- <P p {<X Y leland>}>@db
+/// eval Q3
+/// rewrite Q3 [total]
+/// contained Q3 [total]
+/// explain Q3                    % mappings, candidates, verdicts
+/// minimize Q3
+/// equivalent Q3 Q4
+/// materialize V1                % view result becomes a source
+/// show sources|views|queries|constraints
+/// help
+/// ```
+///
+/// Execute returns the text to print; errors are rendered, not thrown, so
+/// a scripted session never aborts.
+class ReplSession {
+ public:
+  ReplSession() = default;
+
+  /// Executes one command line and returns its output (possibly
+  /// multi-line, without a trailing prompt).
+  std::string Execute(std::string_view line);
+
+  /// Executes a script: one command per line (`\` at end of line
+  /// continues a statement). Also behind the `load <path>` command.
+  std::string ExecuteScript(std::string_view script);
+
+  /// True after a `quit`/`exit` command.
+  bool done() const { return done_; }
+
+  const SourceCatalog& catalog() const { return catalog_; }
+
+ private:
+  std::string Source(std::string_view rest);
+  std::string DefineDtd(std::string_view rest);
+  std::string InferConstraints(std::string_view rest);
+  std::string DefineView(std::string_view rest);
+  std::string DefineQuery(std::string_view rest);
+  std::string Eval(std::string_view rest);
+  std::string Rewrite(std::string_view rest, bool contained);
+  std::string Explain(std::string_view rest);
+  std::string Minimize(std::string_view rest);
+  std::string Equivalent(std::string_view rest);
+  std::string Materialize(std::string_view rest);
+  std::string Show(std::string_view rest);
+  std::string Load(std::string_view rest);
+  std::string WriteSource(std::string_view rest);
+
+  Result<TslQuery> LookupQuery(std::string_view name) const;
+  const StructuralConstraints* constraints_ptr() const {
+    return constraints_.has_value() ? &*constraints_ : nullptr;
+  }
+  std::vector<TslQuery> Views() const;
+  /// Chase options with constraints scoped away from view-sourced
+  /// conditions (constraints describe source data, not view output).
+  ChaseOptions MakeChaseOptions() const;
+
+  SourceCatalog catalog_;
+  std::map<std::string, TslQuery, std::less<>> views_;
+  std::map<std::string, TslQuery, std::less<>> queries_;
+  std::optional<StructuralConstraints> constraints_;
+  bool done_ = false;
+};
+
+}  // namespace tslrw
+
+#endif  // TSLRW_REPL_REPL_H_

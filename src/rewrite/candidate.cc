@@ -1,0 +1,61 @@
+#include "rewrite/candidate.h"
+
+#include "common/string_util.h"
+#include "rewrite/mapping.h"
+
+namespace tslrw {
+
+Result<std::vector<CandidateAtom>> BuildCandidateAtoms(
+    const TslQuery& chased_query, const std::vector<TslQuery>& chased_views,
+    size_t* mappings_found, bool allow_partial_mappings) {
+  std::vector<CandidateAtom> atoms;
+  int view_index = 0;
+  for (const TslQuery& original_view : chased_views) {
+    TslQuery view = allow_partial_mappings
+                        ? RenameVariablesApart(
+                              original_view, StrCat("_pm", ++view_index))
+                        : original_view;
+    TSLRW_ASSIGN_OR_RETURN(std::vector<Path> from, BodyPaths(view));
+    TSLRW_ASSIGN_OR_RETURN(std::vector<Path> to, BodyPaths(chased_query));
+    std::vector<BodyMapping> mappings =
+        FindBodyMappings(from, to, Substitution(), allow_partial_mappings);
+    if (mappings_found != nullptr) *mappings_found += mappings.size();
+    for (const BodyMapping& m : mappings) {
+      CandidateAtom atom;
+      atom.condition =
+          Condition{m.subst.Apply(view.head), /*source=*/view.name};
+      for (size_t t : m.target) {
+        if (t != BodyMapping::kUnmapped) atom.covers.insert(t);
+      }
+      atom.is_view = true;
+      atoms.push_back(std::move(atom));
+    }
+  }
+  for (size_t i = 0; i < chased_query.body.size(); ++i) {
+    CandidateAtom atom;
+    atom.condition = chased_query.body[i];
+    atom.covers = {i};
+    atom.is_view = false;
+    atoms.push_back(std::move(atom));
+  }
+  return atoms;
+}
+
+bool CandidateEnumerator::Admissible(
+    const std::vector<size_t>& chosen) const {
+  bool has_view = false;
+  std::set<size_t> covered;
+  for (size_t i : chosen) {
+    has_view = has_view || atoms_[i].is_view;
+    if (options_.require_total && !atoms_[i].is_view) return false;
+    covered.insert(atoms_[i].covers.begin(), atoms_[i].covers.end());
+  }
+  if (!has_view) return false;  // a rewriting must use some view
+  if (options_.use_cover_heuristic &&
+      covered.size() != num_query_conditions_) {
+    return false;
+  }
+  return true;
+}
+
+}  // namespace tslrw

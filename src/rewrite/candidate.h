@@ -1,0 +1,95 @@
+#ifndef TSLRW_REWRITE_CANDIDATE_H_
+#define TSLRW_REWRITE_CANDIDATE_H_
+
+#include <set>
+#include <vector>
+
+#include "common/result.h"
+#include "rewrite/rewriter.h"
+#include "tsl/ast.h"
+
+namespace tslrw {
+
+/// \brief One building block for Step 1B candidate bodies: an instantiated
+/// view head θ(head(V)) or an original query condition, plus the set of
+/// query-body conditions it "covers" (the \S3.4 heuristic's bookkeeping).
+struct CandidateAtom {
+  Condition condition;
+  std::set<size_t> covers;
+  bool is_view = false;
+};
+
+/// \brief Step 1A + atom assembly: discovers all containment mappings from
+/// each (chased) view body into the (chased) query body and materializes
+/// one view atom per mapping, followed by one atom per query condition.
+/// \p mappings_found, if non-null, receives the total mapping count.
+///
+/// With \p allow_partial_mappings, view body paths may stay unmapped
+/// (BodyMapping::kUnmapped): the instantiated head then keeps unbound view
+/// variables, which is the extra freedom the maximally-contained rewriting
+/// search needs (an over-restrictive view is still a sound source of
+/// contained answers). View variables are renamed apart per view in that
+/// mode, so leftovers never capture query variables.
+Result<std::vector<CandidateAtom>> BuildCandidateAtoms(
+    const TslQuery& chased_query, const std::vector<TslQuery>& chased_views,
+    size_t* mappings_found, bool allow_partial_mappings = false);
+
+/// \brief Step 1B enumeration: subsets of atoms of size 1..k (Lemma 5.2),
+/// shortest first, subject to (i) at least one view atom, (ii)
+/// `options.require_total` excludes query-condition atoms, (iii) the cover
+/// heuristic, when enabled, demands the union of covers equal the whole
+/// query body.
+class CandidateEnumerator {
+ public:
+  CandidateEnumerator(std::vector<CandidateAtom> atoms,
+                      size_t num_query_conditions,
+                      const RewriteOptions& options)
+      : atoms_(std::move(atoms)),
+        num_query_conditions_(num_query_conditions),
+        options_(options) {}
+
+  const std::vector<CandidateAtom>& atoms() const { return atoms_; }
+
+  /// Invokes \p fn on each admissible atom-index subset until \p fn
+  /// returns false or `options.max_candidates` subsets have been emitted.
+  /// Returns whether enumeration ran to completion.
+  template <typename Fn>
+  bool Enumerate(Fn fn) const {
+    std::vector<size_t> chosen;
+    size_t emitted = 0;
+    bool complete = true;
+    for (size_t len = 1; len <= num_query_conditions_ && complete; ++len) {
+      complete = EnumerateLen(len, 0, &chosen, &emitted, fn);
+    }
+    return complete;
+  }
+
+ private:
+  template <typename Fn>
+  bool EnumerateLen(size_t len, size_t start, std::vector<size_t>* chosen,
+                    size_t* emitted, Fn fn) const {
+    if (chosen->size() == len) {
+      if (!Admissible(*chosen)) return true;
+      if (*emitted >= options_.max_candidates) return false;
+      ++*emitted;
+      return fn(*chosen);
+    }
+    for (size_t i = start; i < atoms_.size(); ++i) {
+      chosen->push_back(i);
+      bool keep_going = EnumerateLen(len, i + 1, chosen, emitted, fn);
+      chosen->pop_back();
+      if (!keep_going) return false;
+    }
+    return true;
+  }
+
+  bool Admissible(const std::vector<size_t>& chosen) const;
+
+  std::vector<CandidateAtom> atoms_;
+  size_t num_query_conditions_;
+  const RewriteOptions& options_;
+};
+
+}  // namespace tslrw
+
+#endif  // TSLRW_REWRITE_CANDIDATE_H_

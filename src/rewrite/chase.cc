@@ -1,0 +1,342 @@
+#include "rewrite/chase.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <vector>
+
+#include "common/string_util.h"
+#include "rewrite/mapping.h"
+#include "rewrite/substitution.h"
+#include "tsl/normal_form.h"
+
+namespace tslrw {
+
+namespace {
+
+/// One occurrence of an oid term in the body: path index + step depth.
+struct Occurrence {
+  size_t path;
+  size_t depth;
+};
+
+/// What one occurrence says about the value of its object.
+struct ValueFact {
+  enum Kind {
+    kSetWithMember,  ///< the path continues below this step
+    kEmptySet,       ///< tail is `{}`
+    kTerm,           ///< tail is a term (variable / atom / function term)
+  };
+  Kind kind;
+  Term term;  // meaningful for kTerm
+};
+
+ValueFact ValueAt(const Path& path, size_t depth) {
+  if (depth + 1 < path.steps.size()) {
+    return {ValueFact::kSetWithMember, Term()};
+  }
+  if (path.tail.is_set()) return {ValueFact::kEmptySet, Term()};
+  return {ValueFact::kTerm, path.tail.term()};
+}
+
+/// Generates a variable name not used in the query.
+class FreshNames {
+ public:
+  explicit FreshNames(const TslQuery& q) {
+    for (const Term& v : q.HeadVariables()) used_.insert(v.var_name());
+    for (const Term& v : q.BodyVariables()) used_.insert(v.var_name());
+  }
+
+  std::string Next(const char* stem) {
+    while (true) {
+      std::string candidate = StrCat(stem, counter_++);
+      if (used_.insert(candidate).second) return candidate;
+    }
+  }
+
+ private:
+  std::set<std::string> used_;
+  int counter_ = 1;
+};
+
+/// Result of one scan: either a substitution to apply (restart), an
+/// unsatisfiability error, or no change.
+struct StepOutcome {
+  bool changed = false;
+  Substitution subst;
+  Status error;
+};
+
+bool HeadUsesVariable(const TslQuery& q, const Term& var) {
+  std::set<Term> head_vars = q.HeadVariables();
+  return head_vars.count(var) > 0;
+}
+
+/// Applies the \S3.2 oid-key rules to one pair of occurrences of the same
+/// oid term. On progress fills `out` and returns true.
+bool ChaseOidPair(const TslQuery& q, const std::vector<Path>& paths,
+                  const Occurrence& a, const Occurrence& b,
+                  FreshNames* fresh, StepOutcome* out) {
+  const Path::Step& sa = paths[a.path].steps[a.depth];
+  const Path::Step& sb = paths[b.path].steps[b.depth];
+
+  // Labels: oid -> label. A descendant step carries no label information
+  // (its label field is a sentinel), so label merging is skipped there;
+  // closure steps do pin the endpoint's label (every chain member carries
+  // it), so they participate normally.
+  if (sa.kind != StepKind::kDescendant && sb.kind != StepKind::kDescendant &&
+      !(sa.label == sb.label)) {
+    if (sa.label.is_var() || sb.label.is_var()) {
+      const Term& var = sa.label.is_var() ? sa.label : sb.label;
+      const Term& other = sa.label.is_var() ? sb.label : sa.label;
+      out->changed = true;
+      out->subst.BindTerm(var, other);
+      return true;
+    }
+    out->error = Status::Unsatisfiable(
+        StrCat("object ", sa.oid.ToString(), " would need labels ",
+               sa.label.ToString(), " and ", sb.label.ToString()));
+    return true;
+  }
+
+  // Values: oid -> value.
+  ValueFact va = ValueAt(paths[a.path], a.depth);
+  ValueFact vb = ValueAt(paths[b.path], b.depth);
+  if (vb.kind != ValueFact::kTerm && va.kind == ValueFact::kTerm) {
+    std::swap(va, vb);  // keep the term side in vb
+  }
+  if (va.kind != ValueFact::kTerm) {
+    if (vb.kind != ValueFact::kTerm) return false;  // set vs set: nothing
+    const Term& t = vb.term;
+    if (!t.is_var()) {
+      out->error = Status::Unsatisfiable(
+          StrCat("object ", sa.oid.ToString(),
+                 " is set-valued in one condition but has atomic value ",
+                 t.ToString(), " in another"));
+      return true;
+    }
+    if (va.kind == ValueFact::kSetWithMember) {
+      // \S3.2 rule for set variables: V becomes a fresh {<X Y Z>}
+      // everywhere, head included (Example 3.4).
+      Term x = Term::MakeVar(fresh->Next("Xf"), VarKind::kObjectId);
+      Term y = Term::MakeVar(fresh->Next("Yf"), VarKind::kLabelValue);
+      Term z = Term::MakeVar(fresh->Next("Zf"), VarKind::kLabelValue);
+      ObjectPattern member{x, y, PatternValue::FromTerm(z)};
+      out->changed = true;
+      out->subst.BindSet(t, SetPattern{std::move(member)});
+      return true;
+    }
+    // Empty-set occurrence: only the set-ness of V is implied. Rewriting V
+    // to `{}` is sound for body occurrences but would change the copy
+    // semantics of a head occurrence, so we only chase body-only variables.
+    if (!HeadUsesVariable(q, t)) {
+      out->changed = true;
+      out->subst.BindSet(t, SetPattern{});
+      return true;
+    }
+    return false;
+  }
+
+  // Both occurrences carry terms.
+  const Term& ta = va.term;
+  const Term& tb = vb.term;
+  if (ta == tb) return false;
+  if (ta.is_var() || tb.is_var()) {
+    const Term& var = ta.is_var() ? ta : tb;
+    const Term& other = ta.is_var() ? tb : ta;
+    if (var.is_var() && other.is_var()) {
+      out->changed = true;
+      out->subst.BindTerm(other, var);  // replace the second with the first
+      return true;
+    }
+    out->changed = true;
+    out->subst.BindTerm(var, other);
+    return true;
+  }
+  out->error = Status::Unsatisfiable(
+      StrCat("object ", sa.oid.ToString(), " would need values ",
+             ta.ToString(), " and ", tb.ToString()));
+  return true;
+}
+
+/// Structural-conflict detection (an extension in the \S3.3 spirit: the
+/// paper names label inference and labeled FDs as "two cases where
+/// information can easily be inferred" — these are two more): a pattern
+/// that descends below a CDATA-declared label, demands a set value from
+/// one, or asks for a child label the parent's content model excludes can
+/// never match data conforming to the DTD.
+bool DetectStructuralConflicts(const std::vector<Path>& paths,
+                               const StructuralConstraints& constraints,
+                               const std::set<std::string>& exempt,
+                               StepOutcome* out) {
+  for (const Path& path : paths) {
+    if (exempt.count(path.source) > 0) continue;
+    for (size_t i = 0; i < path.steps.size(); ++i) {
+      const Path::Step& step = path.steps[i];
+      if (!step.label.is_atom() || step.kind != StepKind::kChild) continue;
+      const std::string& label = step.label.atom_name();
+      bool continues = i + 1 < path.steps.size();
+      bool wants_set = continues || (i + 1 == path.steps.size() &&
+                                     path.tail.is_set());
+      if (wants_set && constraints.IsAtomic(label)) {
+        out->error = Status::Unsatisfiable(
+            StrCat("pattern needs subobjects under ", label,
+                   ", which the constraints declare atomic (CDATA)"));
+        return true;
+      }
+      if (continues && path.steps[i + 1].kind == StepKind::kChild &&
+          path.steps[i + 1].label.is_atom() &&
+          !constraints.AllowsChild(label,
+                                   path.steps[i + 1].label.atom_name())) {
+        out->error = Status::Unsatisfiable(
+            StrCat("the constraints do not allow a ",
+                   path.steps[i + 1].label.atom_name(), " subobject under ",
+                   label));
+        return true;
+      }
+    }
+  }
+  return false;
+}
+
+/// \S3.3 label inference over one path: `a.?.c` with a unique middle.
+bool InferLabels(const std::vector<Path>& paths,
+                 const StructuralConstraints& constraints,
+                 const std::set<std::string>& exempt, StepOutcome* out) {
+  for (const Path& path : paths) {
+    if (exempt.count(path.source) > 0) continue;
+    for (size_t i = 0; i + 1 < path.steps.size(); ++i) {
+      if (!path.steps[i + 1].label.is_var()) continue;
+      if (!path.steps[i].label.is_atom()) continue;
+      // The grandchild evidence: the step below the unknown label.
+      if (i + 2 >= path.steps.size()) continue;
+      if (!path.steps[i + 2].label.is_atom()) continue;
+      // Label inference is a statement about direct parent/child pairs.
+      if (path.steps[i].kind != StepKind::kChild ||
+          path.steps[i + 1].kind != StepKind::kChild ||
+          path.steps[i + 2].kind != StepKind::kChild) {
+        continue;
+      }
+      std::optional<std::string> middle = constraints.InferMiddleLabel(
+          path.steps[i].label.atom_name(),
+          path.steps[i + 2].label.atom_name());
+      if (!middle.has_value()) continue;
+      out->changed = true;
+      out->subst.BindTerm(path.steps[i + 1].label,
+                          Term::MakeAtom(*middle));
+      return true;
+    }
+  }
+  return false;
+}
+
+/// \S3.3 labeled-FD chase: same parent oid, same unique child label —
+/// unify the child oid terms.
+bool ChaseLabeledFds(const std::vector<Path>& paths,
+                     const std::map<Term, std::vector<Occurrence>>& occs,
+                     const StructuralConstraints& constraints,
+                     const std::set<std::string>& exempt, StepOutcome* out) {
+  for (const auto& [oid, list] : occs) {
+    for (size_t i = 0; i < list.size(); ++i) {
+      for (size_t j = i + 1; j < list.size(); ++j) {
+        const Path& pa = paths[list[i].path];
+        const Path& pb = paths[list[j].path];
+        if (exempt.count(pa.source) > 0 || exempt.count(pb.source) > 0) {
+          continue;
+        }
+        size_t da = list[i].depth;
+        size_t db = list[j].depth;
+        if (da + 1 >= pa.steps.size() || db + 1 >= pb.steps.size()) continue;
+        const Path::Step& parent = pa.steps[da];
+        const Path::Step& ca = pa.steps[da + 1];
+        const Path::Step& cb = pb.steps[db + 1];
+        // Labeled FDs speak about *direct* subobjects only.
+        if (ca.kind != StepKind::kChild || cb.kind != StepKind::kChild) {
+          continue;
+        }
+        if (ca.oid == cb.oid) continue;
+        if (!parent.label.is_atom() || !ca.label.is_atom() ||
+            !(ca.label == cb.label)) {
+          continue;
+        }
+        if (!constraints.HasUniqueChild(parent.label.atom_name(),
+                                        ca.label.atom_name())) {
+          continue;
+        }
+        TermSubstitution unifier;
+        if (!Unify(ca.oid, cb.oid, &unifier)) {
+          out->error = Status::Unsatisfiable(
+              StrCat("functional dependency ", parent.label.atom_name(),
+                     " -> ", ca.label.atom_name(), " forces ",
+                     ca.oid.ToString(), " = ", cb.oid.ToString(),
+                     " but they do not unify"));
+          return true;
+        }
+        out->changed = true;
+        for (const auto& [var, value] : unifier.bindings()) {
+          out->subst.BindTerm(var, value);
+        }
+        return true;
+      }
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+Result<TslQuery> ChaseQuery(const TslQuery& query,
+                            const ChaseOptions& options) {
+  TslQuery q = ToNormalForm(query);
+  // The chase terminates on acyclic bodies; the cap is a defensive bound
+  // against library bugs, far above what any legal input can need.
+  constexpr int kMaxRounds = 100000;
+  for (int round = 0; round < kMaxRounds; ++round) {
+    TSLRW_ASSIGN_OR_RETURN(std::vector<Path> paths, BodyPaths(q));
+
+    std::map<Term, std::vector<Occurrence>> occurrences;
+    for (size_t p = 0; p < paths.size(); ++p) {
+      for (size_t d = 0; d < paths[p].steps.size(); ++d) {
+        occurrences[paths[p].steps[d].oid].push_back(Occurrence{p, d});
+      }
+    }
+
+    StepOutcome out;
+    FreshNames fresh(q);
+    bool acted = false;
+
+    // 1. The oid key dependency (always on).
+    for (const auto& [oid, list] : occurrences) {
+      if (acted) break;
+      for (size_t i = 0; i < list.size() && !acted; ++i) {
+        for (size_t j = i + 1; j < list.size() && !acted; ++j) {
+          acted = ChaseOidPair(q, paths, list[i], list[j], &fresh, &out);
+        }
+      }
+    }
+    // 2. Structural constraints (conflicts, label inference, labeled FDs),
+    // skipping conditions over exempt sources (typically views).
+    if (!acted && options.constraints != nullptr) {
+      acted = DetectStructuralConflicts(
+          paths, *options.constraints, options.constraint_exempt_sources,
+          &out);
+    }
+    if (!acted && options.constraints != nullptr) {
+      acted = InferLabels(paths, *options.constraints,
+                          options.constraint_exempt_sources, &out);
+    }
+    if (!acted && options.constraints != nullptr) {
+      acted = ChaseLabeledFds(paths, occurrences, *options.constraints,
+                              options.constraint_exempt_sources, &out);
+    }
+
+    if (!acted) {
+      return ToNormalForm(q);  // re-split + dedup (\S3.2 rule 6)
+    }
+    if (!out.error.ok()) return out.error;
+    q = ToNormalForm(out.subst.Apply(q));
+  }
+  return Status::Internal("chase failed to terminate (library bug)");
+}
+
+}  // namespace tslrw

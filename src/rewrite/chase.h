@@ -1,0 +1,51 @@
+#ifndef TSLRW_REWRITE_CHASE_H_
+#define TSLRW_REWRITE_CHASE_H_
+
+#include <set>
+#include <string>
+
+#include "common/result.h"
+#include "constraints/inference.h"
+#include "tsl/ast.h"
+
+namespace tslrw {
+
+/// \brief Chase options: supplying structural constraints enables the \S3.3
+/// label inference and labeled-FD rules (plus structural-conflict
+/// detection) in addition to the always-on \S3.2 oid-key-dependency rules.
+struct ChaseOptions {
+  const StructuralConstraints* constraints = nullptr;
+  /// Sources whose conditions the constraint-derived rules must ignore:
+  /// a DTD describes the *source* data, and a view's answer objects may
+  /// reuse source label spellings with entirely different structure (V1's
+  /// head label is `p`). The rewriting pipeline lists the view names here
+  /// when chasing candidates. The \S3.2 oid-key rules are source-agnostic
+  /// and always apply.
+  std::set<std::string> constraint_exempt_sources;
+};
+
+/// \brief Chases a TSL query to a fixpoint under
+///
+///  1. the key dependency oid -> (label, value) implicit in OEM object
+///     identity, using the \S3.2 extension for set variables: when one
+///     occurrence of an oid has a set pattern and another binds a value
+///     variable V, every occurrence of V (head included) is replaced by a
+///     fresh `{<X Y Z>}` — exactly the (Q11) -> (Q10) transformation of
+///     Example 3.4;
+///  2. with constraints: label inference (`a.?.c  ==>  ? = b` when b is the
+///     only child of a that can carry a c child) and labeled functional
+///     dependencies (an `a` object has exactly one `b` child, so sibling
+///     `b` oid terms unify) — the Example 3.5 derivations (Q9) -> (Q12) ->
+///     (Q13).
+///
+/// The input is converted to normal form first; the output is in normal
+/// form with duplicate conditions dropped (\S3.2 rule 6). Fails with
+/// Unsatisfiable when the dependencies force two distinct constants
+/// together ("halt with an error"); such a query has no model respecting
+/// object identity. Termination is guaranteed by body acyclicity (\S3.2).
+Result<TslQuery> ChaseQuery(const TslQuery& query,
+                            const ChaseOptions& options = {});
+
+}  // namespace tslrw
+
+#endif  // TSLRW_REWRITE_CHASE_H_

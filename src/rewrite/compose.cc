@@ -1,0 +1,161 @@
+#include "rewrite/compose.h"
+
+#include <deque>
+#include <map>
+
+#include "common/string_util.h"
+#include "rewrite/substitution.h"
+#include "tsl/normal_form.h"
+
+namespace tslrw {
+
+namespace {
+
+/// Unifies the remaining steps of \p path (from index \p i) against the
+/// head node \p node, collecting every successful unifier into \p out.
+void Descend(const Path& path, size_t i, const ObjectPattern& node,
+             Substitution subst, std::vector<Substitution>* out) {
+  if (!subst.UnifyTerms(path.steps[i].oid, node.oid)) return;
+  if (!subst.UnifyTerms(path.steps[i].label, node.label)) return;
+  const size_t d = i + 1;
+  if (d == path.steps.size()) {
+    // Tail position.
+    if (path.tail.is_term()) {
+      const Term& t = path.tail.term();
+      if (node.value.is_term()) {
+        if (subst.UnifyTerms(t, node.value.term())) {
+          out->push_back(std::move(subst));
+        }
+      } else if (t.is_var() && subst.BindSet(t, node.value.set())) {
+        // The condition's tail variable denotes the view object's set
+        // value: bind it to the constructed members.
+        out->push_back(std::move(subst));
+      }
+      return;
+    }
+    // Tail `{}`: the view object must be set-valued.
+    if (node.value.is_set()) {
+      out->push_back(std::move(subst));
+    } else if (node.value.term().is_var() &&
+               subst.BindSet(node.value.term(), SetPattern{})) {
+      // Copied value: the copied source object must itself be a set.
+      out->push_back(std::move(subst));
+    }
+    return;
+  }
+  // The path continues below this head object.
+  if (node.value.is_set()) {
+    for (const ObjectPattern& member : node.value.set()) {
+      Descend(path, d, member, subst, out);
+    }
+    return;
+  }
+  const Term& u = node.value.term();
+  if (u.is_var()) {
+    // The view copies the source subgraph bound to u here; the remaining
+    // path must hold inside that subgraph. Pushing it into the view body
+    // as a set binding expresses exactly that (copied objects keep their
+    // source oids).
+    Path rest;
+    rest.steps.assign(path.steps.begin() + static_cast<long>(d),
+                      path.steps.end());
+    rest.tail = path.tail;
+    rest.source = path.source;
+    if (subst.BindSet(u, SetPattern{UnflattenPath(rest).pattern})) {
+      out->push_back(std::move(subst));
+    }
+  }
+  // Below an atomic head value there is nothing to match.
+}
+
+std::vector<Substitution> UnifyPathWithHead(const Path& path,
+                                            const ObjectPattern& head) {
+  std::vector<Substitution> out;
+  Descend(path, 0, head, Substitution(), &out);
+  return out;
+}
+
+}  // namespace
+
+Result<TslRuleSet> ComposeWithViews(const TslQuery& rewriting,
+                                    const std::vector<TslQuery>& views) {
+  std::map<std::string, const TslQuery*> by_name;
+  for (const TslQuery& v : views) by_name[v.name] = &v;
+
+  std::deque<TslQuery> work{ToNormalForm(rewriting)};
+  TslRuleSet result;
+  int instance = 0;
+  // Far above anything legal inputs produce; cyclic view definitions (a
+  // view whose body refers to itself) are the only way to approach it.
+  constexpr int kMaxSteps = 100000;
+  for (int steps = 0; !work.empty(); ++steps) {
+    if (steps > kMaxSteps) {
+      return Status::InvalidArgument(
+          "composition did not terminate; are the view definitions cyclic?");
+    }
+    TslQuery rule = std::move(work.front());
+    work.pop_front();
+
+    size_t view_cond = rule.body.size();
+    for (size_t i = 0; i < rule.body.size(); ++i) {
+      if (by_name.count(rule.body[i].source) > 0) {
+        view_cond = i;
+        break;
+      }
+    }
+    if (view_cond == rule.body.size()) {
+      // Fully resolved: keep if not a duplicate.
+      bool duplicate = false;
+      for (const TslQuery& r : result.rules) duplicate = duplicate || r == rule;
+      if (!duplicate) result.rules.push_back(std::move(rule));
+      continue;
+    }
+
+    TSLRW_ASSIGN_OR_RETURN(Path path, FlattenPath(rule.body[view_cond]));
+    for (const Path::Step& step : path.steps) {
+      if (step.kind != StepKind::kChild) {
+        return Status::IllFormedQuery(
+            StrCat("condition ", rule.body[view_cond].ToString(),
+                   " uses a regular path step over a view; composition of "
+                   "regular path expressions is unsupported (\\S7 future "
+                   "work)"));
+      }
+    }
+    const TslQuery& view_def = *by_name.at(rule.body[view_cond].source);
+    TslQuery view =
+        RenameVariablesApart(view_def, StrCat("_i", ++instance));
+    for (const Substitution& subst : UnifyPathWithHead(path, view.head)) {
+      TslQuery resolvent;
+      resolvent.name = rule.name;
+      resolvent.head = subst.Apply(rule.head);
+      for (size_t i = 0; i < rule.body.size(); ++i) {
+        if (i == view_cond) continue;
+        resolvent.body.push_back(subst.Apply(rule.body[i]));
+      }
+      for (const Condition& vc : view.body) {
+        resolvent.body.push_back(subst.Apply(vc));
+      }
+      work.push_back(ToNormalForm(resolvent));
+    }
+    // No unifier: this resolvent can never produce answers; drop it.
+  }
+  return result;
+}
+
+Result<TslRuleSet> ComposeWithViews(const TslRuleSet& rewriting,
+                                    const std::vector<TslQuery>& views) {
+  TslRuleSet out;
+  for (const TslQuery& rule : rewriting.rules) {
+    TSLRW_ASSIGN_OR_RETURN(TslRuleSet part, ComposeWithViews(rule, views));
+    for (TslQuery& r : part.rules) {
+      bool duplicate = false;
+      for (const TslQuery& existing : out.rules) {
+        duplicate = duplicate || existing == r;
+      }
+      if (!duplicate) out.rules.push_back(std::move(r));
+    }
+  }
+  return out;
+}
+
+}  // namespace tslrw

@@ -1,0 +1,49 @@
+#ifndef TSLRW_REWRITE_COMPOSE_H_
+#define TSLRW_REWRITE_COMPOSE_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "tsl/ast.h"
+
+namespace tslrw {
+
+/// \brief Query–view composition (\S3.1 Step 2A): given a rewriting query
+/// Q' whose body refers to views by name, substitutes each `@View`
+/// condition by the view's body, unifying the condition's path against the
+/// view's head ("extending resolution and unification for semistructured
+/// data").
+///
+/// Mechanics per `@View` path condition:
+///  - steps unify top-down against the view head tree; a step descending
+///    into a head set value may unify with *any* member, so one condition
+///    can yield several resolvents — the result is therefore a union of
+///    rules (TSL rule sets are closed under composition, unlike MSL/StruQL,
+///    \S6);
+///  - a path reaching a head position whose value is a view (copy)
+///    variable pushes its remaining steps below that variable into the view
+///    body (a set binding), expressing that the copied source subgraph must
+///    contain the rest of the path;
+///  - a path *tail* variable landing on a head set value is bound to that
+///    set pattern; on a head term it unifies with it.
+///
+/// View body variables are renamed apart per condition instance, so two
+/// conditions over one view join only where the unifiers force them to
+/// (see (V1)o(Q4)n in Example 3.1, whose two conditions yield X'/X'' and
+/// leland-constrained copies).
+///
+/// Conditions over sources that are not in \p views pass through untouched.
+/// Resolvents with no unifier are dropped; if nothing survives, the result
+/// is the empty rule set (a query that returns nothing).
+Result<TslRuleSet> ComposeWithViews(const TslQuery& rewriting,
+                                    const std::vector<TslQuery>& views);
+
+/// \brief Rule-set overload: composes each rule and unions the results.
+Result<TslRuleSet> ComposeWithViews(const TslRuleSet& rewriting,
+                                    const std::vector<TslQuery>& views);
+
+}  // namespace tslrw
+
+#endif  // TSLRW_REWRITE_COMPOSE_H_

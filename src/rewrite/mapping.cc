@@ -1,0 +1,199 @@
+#include "rewrite/mapping.h"
+
+#include <algorithm>
+#include <set>
+
+#include "common/string_util.h"
+
+namespace tslrw {
+
+bool MatchInto(const Term& from, const Term& to, Substitution* subst) {
+  switch (from.kind()) {
+    case TermKind::kAtom:
+      return from == to;
+    case TermKind::kVariable: {
+      if (!SortsCompatible(from, to)) return false;
+      if (const Term* bound = subst->LookupTerm(from)) return *bound == to;
+      if (subst->LookupSet(from) != nullptr) return false;
+      return subst->BindTerm(from, to);
+    }
+    case TermKind::kFunction: {
+      if (!to.is_func() || to.functor() != from.functor() ||
+          to.args().size() != from.args().size()) {
+        return false;
+      }
+      Substitution scratch = *subst;
+      for (size_t i = 0; i < from.args().size(); ++i) {
+        if (!MatchInto(from.args()[i], to.args()[i], &scratch)) return false;
+      }
+      *subst = std::move(scratch);
+      return true;
+    }
+  }
+  return false;
+}
+
+namespace {
+
+/// The subpattern of \p to below depth \p d, as a one-member set pattern —
+/// the right-hand side of a set mapping.
+SetPattern RemainderSet(const Path& to, size_t d) {
+  Path suffix;
+  suffix.steps.assign(to.steps.begin() + static_cast<long>(d),
+                      to.steps.end());
+  suffix.tail = to.tail;
+  suffix.source = to.source;
+  return SetPattern{UnflattenPath(suffix).pattern};
+}
+
+/// Tries to map path \p from into path \p to under \p subst.
+bool MapPathInto(const Path& from, const Path& to, Substitution* subst) {
+  if (from.source != to.source) return false;
+  if (from.steps.size() > to.steps.size()) return false;
+  Substitution scratch = *subst;
+  for (size_t i = 0; i < from.steps.size(); ++i) {
+    // Regular-path steps only map onto steps of the identical kind (the
+    // conservative choice; rewriting theory for RPEs is \S7 future work).
+    if (from.steps[i].kind != to.steps[i].kind) return false;
+    if (!MatchInto(from.steps[i].oid, to.steps[i].oid, &scratch)) return false;
+    if (!MatchInto(from.steps[i].label, to.steps[i].label, &scratch)) {
+      return false;
+    }
+  }
+  const size_t d = from.steps.size();
+  const bool to_continues = to.steps.size() > d;
+
+  if (from.tail.is_set()) {
+    // `{}`: the matched object must be set-valued in `to` as well.
+    if (!to_continues && !to.tail.is_set()) return false;
+    *subst = std::move(scratch);
+    return true;
+  }
+
+  const Term& tail = from.tail.term();
+  if (tail.is_atom() || tail.is_func()) {
+    // A concrete value: `to` must end here with the identical term.
+    if (to_continues || !to.tail.is_term()) return false;
+    if (!MatchInto(tail, to.tail.term(), &scratch)) return false;
+    *subst = std::move(scratch);
+    return true;
+  }
+
+  // Tail variable: binds to `to`'s tail term, to `{}`, or — the set-mapping
+  // case — to the remaining subpattern of `to`.
+  if (const Term* bound = scratch.LookupTerm(tail)) {
+    if (to_continues || !to.tail.is_term() || !(*bound == to.tail.term())) {
+      return false;
+    }
+    *subst = std::move(scratch);
+    return true;
+  }
+  if (const SetPattern* bound = scratch.LookupSet(tail)) {
+    SetPattern expected;
+    if (to_continues) {
+      expected = RemainderSet(to, d);
+    } else if (to.tail.is_set()) {
+      expected = to.tail.set();
+    } else {
+      return false;
+    }
+    if (!(*bound == expected)) return false;
+    *subst = std::move(scratch);
+    return true;
+  }
+  bool ok;
+  if (to_continues) {
+    ok = scratch.BindSet(tail, RemainderSet(to, d));
+  } else if (to.tail.is_term()) {
+    ok = MatchInto(tail, to.tail.term(), &scratch);
+  } else {
+    ok = scratch.BindSet(tail, to.tail.set());
+  }
+  if (!ok) return false;
+  *subst = std::move(scratch);
+  return true;
+}
+
+struct BodyMappingLess {
+  bool operator()(const BodyMapping& a, const BodyMapping& b) const {
+    if (!(a.subst == b.subst)) return a.subst < b.subst;
+    return a.target < b.target;
+  }
+};
+
+}  // namespace
+
+std::vector<BodyMapping> FindBodyMappings(const std::vector<Path>& from,
+                                          const std::vector<Path>& to,
+                                          const Substitution& seed,
+                                          bool allow_unmapped) {
+  std::vector<BodyMapping> out;
+  std::set<BodyMapping, BodyMappingLess> dedup;
+  // Depth-first product over target choices for each `from` path.
+  struct Frame {
+    size_t index;
+    Substitution subst;
+    std::vector<size_t> target;
+  };
+  std::vector<Frame> stack{{0, seed, {}}};
+  while (!stack.empty()) {
+    Frame frame = std::move(stack.back());
+    stack.pop_back();
+    if (frame.index == from.size()) {
+      BodyMapping m{std::move(frame.subst), std::move(frame.target)};
+      if (allow_unmapped && !from.empty() &&
+          std::all_of(m.target.begin(), m.target.end(), [](size_t t) {
+            return t == BodyMapping::kUnmapped;
+          })) {
+        continue;  // the vacuous all-unmapped mapping carries no signal
+      }
+      if (dedup.insert(m).second) out.push_back(std::move(m));
+      continue;
+    }
+    if (allow_unmapped) {
+      Frame skip{frame.index + 1, frame.subst, frame.target};
+      skip.target.push_back(BodyMapping::kUnmapped);
+      stack.push_back(std::move(skip));
+    }
+    for (size_t j = 0; j < to.size(); ++j) {
+      Substitution subst = frame.subst;
+      if (!MapPathInto(from[frame.index], to[j], &subst)) continue;
+      Frame next{frame.index + 1, std::move(subst), frame.target};
+      next.target.push_back(j);
+      stack.push_back(std::move(next));
+    }
+  }
+  std::sort(out.begin(), out.end(), BodyMappingLess{});
+  return out;
+}
+
+bool ExistsBodyMapping(const std::vector<Path>& from,
+                       const std::vector<Path>& to,
+                       const Substitution& seed) {
+  // Depth-first with early exit on the first complete assignment.
+  struct Frame {
+    size_t index;
+    Substitution subst;
+  };
+  std::vector<Frame> stack{{0, seed}};
+  while (!stack.empty()) {
+    Frame frame = std::move(stack.back());
+    stack.pop_back();
+    if (frame.index == from.size()) return true;
+    for (size_t j = 0; j < to.size(); ++j) {
+      Substitution subst = frame.subst;
+      if (!MapPathInto(from[frame.index], to[j], &subst)) continue;
+      stack.push_back(Frame{frame.index + 1, std::move(subst)});
+    }
+  }
+  return false;
+}
+
+Result<std::vector<BodyMapping>> FindMappings(const TslQuery& view,
+                                              const TslQuery& query) {
+  TSLRW_ASSIGN_OR_RETURN(std::vector<Path> from, BodyPaths(view));
+  TSLRW_ASSIGN_OR_RETURN(std::vector<Path> to, BodyPaths(query));
+  return FindBodyMappings(from, to);
+}
+
+}  // namespace tslrw

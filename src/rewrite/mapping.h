@@ -1,0 +1,80 @@
+#ifndef TSLRW_REWRITE_MAPPING_H_
+#define TSLRW_REWRITE_MAPPING_H_
+
+#include <vector>
+
+#include "common/result.h"
+#include "rewrite/substitution.h"
+#include "tsl/ast.h"
+#include "tsl/normal_form.h"
+
+namespace tslrw {
+
+/// \brief A containment mapping from one normal-form body into another
+/// (\S3.1 Step 1A, generalized from [7] "to cope with object nesting").
+struct BodyMapping {
+  /// target[i] for an unmapped `from` path (partial mappings only).
+  static constexpr size_t kUnmapped = static_cast<size_t>(-1);
+
+  Substitution subst;
+  /// target[i] is the index of the `to` path that `from` path i maps into
+  /// ("covers", in the sense of the \S3.4 heuristic), or kUnmapped.
+  std::vector<size_t> target;
+
+  bool IsTotal() const {
+    for (size_t t : target) {
+      if (t == kUnmapped) return false;
+    }
+    return true;
+  }
+};
+
+/// \brief One-way syntactic matching: extends \p subst so that
+/// subst(from) == to. Variables of `from` bind to subterms of `to`
+/// (respecting the V_O / V_C sorts); atoms and functors must coincide.
+/// Returns false and leaves \p subst unchanged on mismatch.
+bool MatchInto(const Term& from, const Term& to, Substitution* subst);
+
+/// \brief Enumerates every mapping from the paths of \p from into the paths
+/// of \p to, starting from \p seed.
+///
+/// A path maps into a path of the same source by aligning steps from the
+/// top (both describe matches rooted at source top-level objects). When the
+/// `from` path ends in a value variable while the `to` path continues, the
+/// variable is bound to the remaining subpattern as a *set mapping*
+/// (Example 3.2); when both end at the same depth the tails must match
+/// (constants exactly, variables by binding). A `from` path strictly deeper
+/// than its target never maps — that only becomes possible after the \S3.2
+/// chase has turned forced set variables into set patterns.
+///
+/// The result is deduplicated and deterministically ordered.
+///
+/// With \p allow_unmapped, a `from` path may also be left out of the
+/// mapping (its target becomes BodyMapping::kUnmapped and its variables may
+/// stay unbound). Partial mappings are what the maximally-contained
+/// rewriting search needs: a view condition with no counterpart in the
+/// query only makes the view more selective, which is sound for
+/// containment though not for equivalence. The all-unmapped mapping is
+/// suppressed.
+std::vector<BodyMapping> FindBodyMappings(const std::vector<Path>& from,
+                                          const std::vector<Path>& to,
+                                          const Substitution& seed = {},
+                                          bool allow_unmapped = false);
+
+/// \brief Existence check with early exit: whether at least one (total)
+/// body mapping from \p from into \p to extends \p seed. Equivalent to
+/// `!FindBodyMappings(from, to, seed).empty()` but stops at the first
+/// witness — the right primitive for the \S4 coverage test, where bodies
+/// with many interchangeable paths otherwise force factorial enumeration.
+bool ExistsBodyMapping(const std::vector<Path>& from,
+                       const std::vector<Path>& to, const Substitution& seed);
+
+/// \brief Step 1A of the rewriting algorithm: all mappings from the body of
+/// \p view into the body of \p query. Both must be in normal form (fails
+/// with InvalidArgument otherwise); callers normally chase them first.
+Result<std::vector<BodyMapping>> FindMappings(const TslQuery& view,
+                                              const TslQuery& query);
+
+}  // namespace tslrw
+
+#endif  // TSLRW_REWRITE_MAPPING_H_

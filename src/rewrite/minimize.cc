@@ -1,0 +1,30 @@
+#include "rewrite/minimize.h"
+
+#include "equiv/equivalence.h"
+#include "tsl/validate.h"
+
+namespace tslrw {
+
+Result<TslQuery> MinimizeQuery(const TslQuery& query,
+                               const ChaseOptions& options) {
+  TSLRW_ASSIGN_OR_RETURN(TslQuery current, ChaseQuery(query, options));
+  bool changed = true;
+  while (changed && current.body.size() > 1) {
+    changed = false;
+    for (size_t i = 0; i < current.body.size(); ++i) {
+      TslQuery candidate = current;
+      candidate.body.erase(candidate.body.begin() + static_cast<long>(i));
+      if (!CheckSafety(candidate).ok()) continue;
+      TSLRW_ASSIGN_OR_RETURN(bool equivalent,
+                             AreEquivalent(candidate, current, options));
+      if (equivalent) {
+        current = std::move(candidate);
+        changed = true;
+        break;
+      }
+    }
+  }
+  return current;
+}
+
+}  // namespace tslrw

@@ -1,0 +1,28 @@
+#ifndef TSLRW_REWRITE_MINIMIZE_H_
+#define TSLRW_REWRITE_MINIMIZE_H_
+
+#include "common/result.h"
+#include "rewrite/chase.h"
+#include "tsl/ast.h"
+
+namespace tslrw {
+
+/// \brief Minimizes a TSL query: removes body conditions whose deletion
+/// preserves equivalence (the Chandra–Merlin minimization, run through the
+/// \S4 TSL equivalence test so nesting, oids, and set values are handled).
+///
+/// The result is a normal-form query with the same head, equivalent to the
+/// input for all databases, from which no further condition can be dropped.
+/// Chasing first (with \p options) both normalizes and can expose
+/// redundancy that is invisible syntactically. An Unsatisfiable input is
+/// reported as such.
+///
+/// Useful before rewriting (smaller k shrinks the Step 1B candidate space,
+/// \S5.1) and after composition (resolvent bodies routinely contain
+/// subsumed conditions).
+Result<TslQuery> MinimizeQuery(const TslQuery& query,
+                               const ChaseOptions& options = {});
+
+}  // namespace tslrw
+
+#endif  // TSLRW_REWRITE_MINIMIZE_H_

@@ -1,0 +1,168 @@
+#include "rewrite/rewriter.h"
+
+#include <algorithm>
+#include <set>
+
+#include "common/string_util.h"
+#include "equiv/equivalence.h"
+#include "rewrite/candidate.h"
+#include "rewrite/compose.h"
+#include "tsl/normal_form.h"
+#include "tsl/validate.h"
+
+namespace tslrw {
+
+namespace {
+
+/// Chases the query and every view; NotOk on hard errors. An unsatisfiable
+/// query is surfaced as an empty optional; unsatisfiable views (always
+/// empty) are silently dropped.
+struct ChasedInputs {
+  TslQuery query;
+  std::vector<TslQuery> views;
+  bool query_unsatisfiable = false;
+};
+
+Result<ChasedInputs> ChaseInputs(const TslQuery& query,
+                                 const std::vector<TslQuery>& views,
+                                 const ChaseOptions& chase_options) {
+  if (UsesRegexSteps(query)) {
+    return Status::IllFormedQuery(
+        "rewriting queries with regular path expressions (l+, **) is the "
+        "paper's future work (\\S7); only plain TSL bodies are supported");
+  }
+  for (const TslQuery& view : views) {
+    if (UsesRegexSteps(view)) {
+      return Status::IllFormedQuery(
+          StrCat("view ", view.name,
+                 " uses regular path expressions; rewriting over such views "
+                 "is unsupported (\\S7 future work)"));
+    }
+  }
+  ChasedInputs out;
+  Result<TslQuery> chased_query = ChaseQuery(query, chase_options);
+  if (!chased_query.ok()) {
+    if (!chased_query.status().IsUnsatisfiable()) {
+      return chased_query.status();
+    }
+    out.query_unsatisfiable = true;
+    return out;
+  }
+  out.query = std::move(chased_query).value();
+  for (const TslQuery& view : views) {
+    TSLRW_RETURN_NOT_OK(ValidateQuery(view));
+    if (view.name.empty()) {
+      return Status::InvalidArgument(
+          "views must be named; the name is the rewritten query's source");
+    }
+    Result<TslQuery> cv = ChaseQuery(view, chase_options);
+    if (!cv.ok()) {
+      if (cv.status().IsUnsatisfiable()) continue;  // view is always empty
+      return cv.status();
+    }
+    out.views.push_back(std::move(cv).value());
+  }
+  return out;
+}
+
+}  // namespace
+
+Result<RewriteResult> RewriteQuery(const TslQuery& query,
+                                   const std::vector<TslQuery>& views,
+                                   const RewriteOptions& options) {
+  TSLRW_RETURN_NOT_OK(ValidateQuery(query));
+  ChaseOptions chase_options;
+  chase_options.constraints = options.constraints;
+  // The constraints describe the source data; candidate bodies contain
+  // conditions over the views, whose answer objects may reuse source label
+  // spellings (V1's head label is `p`) — exempt them.
+  for (const TslQuery& view : views) {
+    chase_options.constraint_exempt_sources.insert(view.name);
+  }
+  TSLRW_ASSIGN_OR_RETURN(ChasedInputs inputs,
+                         ChaseInputs(query, views, chase_options));
+  if (inputs.query_unsatisfiable) return RewriteResult{};
+  const TslQuery& q = inputs.query;
+
+  RewriteResult result;
+  // Step 1A: mappings from each view body into the query body, turned into
+  // candidate atoms.
+  TSLRW_ASSIGN_OR_RETURN(
+      std::vector<CandidateAtom> atoms,
+      BuildCandidateAtoms(q, inputs.views, &result.mappings_found));
+
+  // Steps 1B-1C-2: assemble, chase, compose, and verify candidates. The
+  // query side of every equivalence test is fixed: decompose it once.
+  TSLRW_ASSIGN_OR_RETURN(
+      EquivalenceTester tester,
+      EquivalenceTester::Make(TslRuleSet::Single(q), chase_options));
+  std::vector<std::set<size_t>> accepted_atom_sets;
+  Status failure;  // first hard error inside the enumeration callback
+  CandidateEnumerator enumerator(std::move(atoms), q.body.size(), options);
+  bool complete = enumerator.Enumerate([&](const std::vector<size_t>& chosen) {
+    ++result.candidates_generated;
+    std::set<size_t> chosen_set(chosen.begin(), chosen.end());
+    if (options.prune_dominated) {
+      for (const std::set<size_t>& prior : accepted_atom_sets) {
+        if (std::includes(chosen_set.begin(), chosen_set.end(),
+                          prior.begin(), prior.end())) {
+          return true;  // dominated by an accepted, smaller rewriting
+        }
+      }
+    }
+
+    TslQuery candidate;
+    candidate.name = StrCat(q.name.empty() ? "rewriting" : q.name, "_rw",
+                            result.candidates_generated);
+    candidate.head = q.head;  // Lemma 5.4
+    for (size_t i : chosen) {
+      candidate.body.push_back(enumerator.atoms()[i].condition);
+    }
+    if (!CheckSafety(candidate).ok()) return true;  // unsafe: skip
+
+    // Step 1C: label inference + chase of the candidate.
+    Result<TslQuery> chased = ChaseQuery(candidate, chase_options);
+    if (!chased.ok()) {
+      if (chased.status().IsUnsatisfiable()) return true;
+      failure = chased.status();
+      return false;
+    }
+
+    // Step 2: compose with the views and test equivalence with the query.
+    ++result.candidates_tested;
+    Result<TslRuleSet> composed = ComposeWithViews(*chased, inputs.views);
+    if (!composed.ok()) {
+      failure = composed.status();
+      return false;
+    }
+    Result<bool> equivalent = tester.EquivalentTo(*composed);
+    if (!equivalent.ok()) {
+      failure = equivalent.status();
+      return false;
+    }
+    if (*equivalent) {
+      accepted_atom_sets.push_back(std::move(chosen_set));
+      result.rewritings.push_back(std::move(candidate));
+    }
+    return true;
+  });
+  TSLRW_RETURN_NOT_OK(failure);
+  result.truncated = !complete && failure.ok();
+  return result;
+}
+
+Result<RewriteResult> RewriteSinglePath(const TslQuery& query,
+                                        const TslQuery& view,
+                                        const RewriteOptions& options) {
+  TslQuery normal = ToNormalForm(query);
+  if (normal.body.size() != 1) {
+    return Status::InvalidArgument(
+        StrCat("RewriteSinglePath needs a single path condition; got ",
+               normal.body.size()));
+  }
+  RewriteOptions single = options;
+  single.require_total = true;  // the one condition must become the view
+  return RewriteQuery(query, {view}, single);
+}
+
+}  // namespace tslrw

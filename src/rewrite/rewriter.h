@@ -1,0 +1,84 @@
+#ifndef TSLRW_REWRITE_REWRITER_H_
+#define TSLRW_REWRITE_REWRITER_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "common/result.h"
+#include "constraints/inference.h"
+#include "rewrite/chase.h"
+#include "tsl/ast.h"
+
+namespace tslrw {
+
+/// \brief Knobs for the \S3.4 rewriting algorithm.
+struct RewriteOptions {
+  /// Structural constraints (DTD-derived) used for label inference and the
+  /// labeled-FD chase on the query, the views, and the candidates (\S3.3).
+  const StructuralConstraints* constraints = nullptr;
+
+  /// The \S3.4 heuristic: only construct candidates whose view
+  /// instantiations and query conditions together "cover" all conditions
+  /// of the query body. Sound and completeness-preserving; typically
+  /// shrinks the candidate space by orders of magnitude (see
+  /// bench_rewrite's ablation).
+  bool use_cover_heuristic = true;
+
+  /// Only emit *total* rewritings — every body condition refers to a view
+  /// (\S1: sources behind limited interfaces can only be reached through
+  /// their capability views).
+  bool require_total = false;
+
+  /// Keep only rewritings that are minimal with respect to their condition
+  /// sets: a rewriting is dropped when an accepted one uses a strict subset
+  /// of its conditions. Matches the paper's "Results" note: a pruned
+  /// rewriting is represented by a trivial sibling that is at least as
+  /// efficient under any reasonable cost model.
+  bool prune_dominated = true;
+
+  /// Hard cap on candidates examined (the space is exponential, \S5.1);
+  /// when hit, RewriteResult::truncated is set.
+  size_t max_candidates = 1000000;
+};
+
+/// \brief Output of the rewriting algorithm, including the counters the
+/// complexity benchmarks report.
+struct RewriteResult {
+  /// Rewriting queries: each refers to at least one view and is equivalent
+  /// to the input query (verified by composition + the \S4 test). Heads are
+  /// identical to the query head (Lemma 5.4).
+  std::vector<TslQuery> rewritings;
+
+  /// Diagnostics.
+  size_t mappings_found = 0;
+  size_t candidates_generated = 0;
+  size_t candidates_tested = 0;
+  bool truncated = false;
+};
+
+/// \brief The complete rewriting algorithm of \S3.4.
+///
+/// Pipeline: convert the query and views to normal form, apply label
+/// inference and the chase; discover all containment mappings from each
+/// view body into the query body (Step 1A); assemble candidate bodies from
+/// instantiated view heads and original query conditions (Step 1B), chase
+/// each candidate (Step 1C); then verify each candidate by composing it
+/// with the views and testing equivalence with the query (Step 2). Sound
+/// and complete for TSL (Theorem 5.5) in the absence of arbitrary FDs.
+///
+/// The query is rejected (IllFormedQuery) if unsafe or otherwise ill
+/// formed; an Unsatisfiable query yields an empty result.
+Result<RewriteResult> RewriteQuery(const TslQuery& query,
+                                   const std::vector<TslQuery>& views,
+                                   const RewriteOptions& options = {});
+
+/// \brief The \S3.1 special case: a single-path-condition query against one
+/// view. Returns at most one rewriting (there is at most one mapping).
+/// Fails with InvalidArgument if the query body has more than one path.
+Result<RewriteResult> RewriteSinglePath(const TslQuery& query,
+                                        const TslQuery& view,
+                                        const RewriteOptions& options = {});
+
+}  // namespace tslrw
+
+#endif  // TSLRW_REWRITE_REWRITER_H_

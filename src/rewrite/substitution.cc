@@ -1,0 +1,98 @@
+#include "rewrite/substitution.h"
+
+#include "common/string_util.h"
+
+namespace tslrw {
+
+bool Substitution::BindTerm(const Term& var, const Term& value) {
+  if (set_bindings_.count(var) > 0) return false;
+  return terms_.Bind(var, value);
+}
+
+bool Substitution::BindSet(const Term& var, SetPattern members) {
+  if (terms_.Lookup(var) != nullptr) return false;
+  std::set<Term> pattern_vars;
+  for (const ObjectPattern& m : members) m.CollectVariables(&pattern_vars);
+  if (pattern_vars.count(var) > 0) return false;  // occurs check
+  auto it = set_bindings_.find(var);
+  if (it != set_bindings_.end()) return it->second == members;
+  set_bindings_.emplace(var, std::move(members));
+  return true;
+}
+
+bool Substitution::UnifyTerms(const Term& a, const Term& b) {
+  std::set<Term> vars;
+  a.CollectVariables(&vars);
+  b.CollectVariables(&vars);
+  for (const Term& v : vars) {
+    if (set_bindings_.count(v) > 0) return false;
+  }
+  return Unify(a, b, &terms_);
+}
+
+bool Substitution::IsBound(const Term& var) const {
+  return terms_.Lookup(var) != nullptr || set_bindings_.count(var) > 0;
+}
+
+const Term* Substitution::LookupTerm(const Term& var) const {
+  return terms_.Lookup(var);
+}
+
+const SetPattern* Substitution::LookupSet(const Term& var) const {
+  auto it = set_bindings_.find(var);
+  return it == set_bindings_.end() ? nullptr : &it->second;
+}
+
+ObjectPattern Substitution::Apply(const ObjectPattern& pattern) const {
+  ObjectPattern out;
+  out.oid = terms_.Apply(pattern.oid);
+  out.label = terms_.Apply(pattern.label);
+  out.step = pattern.step;
+  if (pattern.value.is_term()) {
+    const Term& vt = pattern.value.term();
+    if (const SetPattern* set = vt.is_var() ? LookupSet(vt) : nullptr) {
+      // Substitute recursively inside the bound pattern; the per-binding
+      // occurs check keeps this well-founded.
+      SetPattern members;
+      members.reserve(set->size());
+      for (const ObjectPattern& m : *set) members.push_back(Apply(m));
+      out.value = PatternValue::FromSet(std::move(members));
+    } else {
+      out.value = PatternValue::FromTerm(terms_.Apply(vt));
+    }
+  } else {
+    SetPattern members;
+    members.reserve(pattern.value.set().size());
+    for (const ObjectPattern& m : pattern.value.set()) {
+      members.push_back(Apply(m));
+    }
+    out.value = PatternValue::FromSet(std::move(members));
+  }
+  return out;
+}
+
+Condition Substitution::Apply(const Condition& condition) const {
+  return Condition{Apply(condition.pattern), condition.source};
+}
+
+TslQuery Substitution::Apply(const TslQuery& query) const {
+  TslQuery out;
+  out.name = query.name;
+  out.head = Apply(query.head);
+  out.body.reserve(query.body.size());
+  for (const Condition& c : query.body) out.body.push_back(Apply(c));
+  return out;
+}
+
+std::string Substitution::ToString() const {
+  std::vector<std::string> parts;
+  for (const auto& [var, value] : terms_.bindings()) {
+    parts.push_back(StrCat(var.ToString(), " -> ", value.ToString()));
+  }
+  for (const auto& [var, set] : set_bindings_) {
+    parts.push_back(StrCat(var.ToString(), " -> ", tslrw::ToString(set)));
+  }
+  return StrCat("[", Join(parts, ", "), "]");
+}
+
+}  // namespace tslrw

@@ -1,0 +1,75 @@
+#ifndef TSLRW_REWRITE_SUBSTITUTION_H_
+#define TSLRW_REWRITE_SUBSTITUTION_H_
+
+#include <map>
+#include <string>
+
+#include "oem/term.h"
+#include "tsl/ast.h"
+
+namespace tslrw {
+
+/// \brief A mapping in the sense of \S3.1: variables map to terms, and —
+/// the "Set Mappings" extension — value variables may map to set patterns
+/// (Example 3.2: `Z' -> {<Z last stanford>}`).
+///
+/// Set bindings take effect only where the variable stands alone in a value
+/// field; inside terms only the term bindings apply (a variable bound to a
+/// set pattern cannot occur inside an oid term — sorts forbid it).
+class Substitution {
+ public:
+  Substitution() = default;
+
+  /// Binds \p var to \p value; false if already bound differently (to a
+  /// term or to a set pattern).
+  bool BindTerm(const Term& var, const Term& value);
+
+  /// Binds value variable \p var to \p members (possibly empty: `{}`).
+  /// Rejects a binding whose pattern contains \p var itself (occurs check).
+  bool BindSet(const Term& var, SetPattern members);
+
+  /// Two-way unification of \p a and \p b within this substitution's term
+  /// bindings (used by query–view composition, \S3.1 Step 2A). Variables
+  /// carrying set bindings refuse term unification. Returns false and
+  /// leaves the substitution unchanged on failure.
+  bool UnifyTerms(const Term& a, const Term& b);
+
+  bool IsBound(const Term& var) const;
+  const Term* LookupTerm(const Term& var) const;
+  const SetPattern* LookupSet(const Term& var) const;
+
+  const TermSubstitution& terms() const { return terms_; }
+  const std::map<Term, SetPattern>& sets() const { return set_bindings_; }
+  size_t size() const { return terms_.size() + set_bindings_.size(); }
+  bool empty() const { return size() == 0; }
+
+  Term Apply(const Term& t) const { return terms_.Apply(t); }
+  /// Applies the substitution to a pattern; a value-field variable with a
+  /// set binding becomes that set pattern, with the substitution applied
+  /// recursively inside it.
+  ObjectPattern Apply(const ObjectPattern& pattern) const;
+  Condition Apply(const Condition& condition) const;
+  TslQuery Apply(const TslQuery& query) const;
+
+  /// Paper-style rendering: `[P' -> P, Z' -> {<Z last stanford>}]`.
+  std::string ToString() const;
+
+  friend bool operator==(const Substitution& a, const Substitution& b) {
+    return a.terms_.bindings() == b.terms_.bindings() &&
+           a.set_bindings_ == b.set_bindings_;
+  }
+  friend bool operator<(const Substitution& a, const Substitution& b) {
+    if (a.terms_.bindings() != b.terms_.bindings()) {
+      return a.terms_.bindings() < b.terms_.bindings();
+    }
+    return a.set_bindings_ < b.set_bindings_;
+  }
+
+ private:
+  TermSubstitution terms_;
+  std::map<Term, SetPattern> set_bindings_;
+};
+
+}  // namespace tslrw
+
+#endif  // TSLRW_REWRITE_SUBSTITUTION_H_

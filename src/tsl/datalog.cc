@@ -1,0 +1,154 @@
+#include "tsl/datalog.h"
+
+#include <set>
+#include <vector>
+
+#include "common/string_util.h"
+#include "tsl/normal_form.h"
+
+namespace tslrw {
+
+namespace {
+
+/// Datalog spelling: variables verbatim (they are uppercase by
+/// construction), atoms quoted, function terms recursively.
+std::string RenderTerm(const Term& t) {
+  switch (t.kind()) {
+    case TermKind::kAtom:
+      return StrCat("'", t.atom_name(), "'");
+    case TermKind::kVariable:
+      return t.var_name();
+    case TermKind::kFunction:
+      return StrCat(t.functor(), "(",
+                    JoinMapped(t.args(), ",", RenderTerm), ")");
+  }
+  return "";
+}
+
+std::string Pred(const std::string& source, const char* name) {
+  return source.empty() ? std::string(name) : StrCat(source, ".", name);
+}
+
+/// Renders one normal-form body path as top/member/object atoms.
+void RenderPath(const Path& path, std::vector<std::string>* atoms) {
+  atoms->push_back(StrCat(Pred(path.source, "top"), "(",
+                          RenderTerm(path.steps[0].oid), ")"));
+  for (size_t i = 0; i < path.steps.size(); ++i) {
+    std::string value;
+    if (i + 1 < path.steps.size()) {
+      value = "'set'";
+      atoms->push_back(StrCat(Pred(path.source, "member"), "(",
+                              RenderTerm(path.steps[i].oid), ",",
+                              RenderTerm(path.steps[i + 1].oid), ")"));
+    } else if (path.tail.is_set()) {
+      value = "'set'";
+    } else {
+      value = RenderTerm(path.tail.term());
+    }
+    atoms->push_back(StrCat(Pred(path.source, "object"), "(",
+                            RenderTerm(path.steps[i].oid), ",",
+                            RenderTerm(path.steps[i].label), ",", value,
+                            ")"));
+  }
+}
+
+std::string Rule(const std::string& head,
+                 const std::vector<std::string>& body) {
+  if (body.empty()) return StrCat(head, ".\n");
+  return StrCat(head, " :- ", Join(body, ", "), ".\n");
+}
+
+/// The body path whose tail is exactly the variable \p v, if any: its last
+/// step names the object whose (possibly set) value v denotes.
+const Path* PathWithTailVar(const std::vector<Path>& paths, const Term& v) {
+  for (const Path& p : paths) {
+    if (p.tail.is_term() && p.tail.term() == v) return &p;
+  }
+  return nullptr;
+}
+
+void RenderHeadPattern(const ObjectPattern& pattern,
+                       const std::vector<Path>& body_paths,
+                       const std::vector<std::string>& body_atoms,
+                       std::set<std::string>* copy_sources,
+                       std::string* out) {
+  std::string oid = RenderTerm(pattern.oid);
+  if (pattern.value.is_set()) {
+    (*out) += Rule(StrCat("ans.object(", oid, ",",
+                          RenderTerm(pattern.label), ",'set')"),
+                   body_atoms);
+    for (const ObjectPattern& member : pattern.value.set()) {
+      (*out) += Rule(StrCat("ans.member(", oid, ",",
+                            RenderTerm(member.oid), ")"),
+                     body_atoms);
+      RenderHeadPattern(member, body_paths, body_atoms, copy_sources, out);
+    }
+    return;
+  }
+  const Term& v = pattern.value.term();
+  (*out) += Rule(StrCat("ans.object(", oid, ",", RenderTerm(pattern.label),
+                        ",", RenderTerm(v), ")"),
+                 body_atoms);
+  // A value variable may carry a whole subgraph: seed the copy closure
+  // from the children of the body object whose value it is.
+  if (v.is_var()) {
+    if (const Path* owner = PathWithTailVar(body_paths, v)) {
+      std::string owner_oid = RenderTerm(owner->steps.back().oid);
+      std::vector<std::string> body = body_atoms;
+      body.push_back(StrCat(Pred(owner->source, "member"), "(", owner_oid,
+                            ",C)"));
+      (*out) += Rule(StrCat("ans.member(", oid, ",C)"), body);
+      (*out) += Rule(StrCat("copy_", owner->source, "(C)"), body);
+      copy_sources->insert(owner->source);
+    }
+  }
+}
+
+}  // namespace
+
+Result<std::string> ToDatalog(const TslQuery& query) {
+  TslQuery nf = ToNormalForm(query);
+  TSLRW_ASSIGN_OR_RETURN(std::vector<Path> paths, BodyPaths(nf));
+
+  std::vector<std::string> body_atoms;
+  for (const Path& p : paths) RenderPath(p, &body_atoms);
+  // Deduplicate while preserving order.
+  std::set<std::string> seen;
+  std::vector<std::string> unique_atoms;
+  for (std::string& atom : body_atoms) {
+    if (seen.insert(atom).second) unique_atoms.push_back(std::move(atom));
+  }
+
+  std::string out;
+  if (!nf.name.empty()) out += StrCat("% rule ", nf.name, "\n");
+  out += Rule(StrCat("ans.top(", RenderTerm(nf.head.oid), ")"),
+              unique_atoms);
+  std::set<std::string> copy_sources;
+  RenderHeadPattern(nf.head, paths, unique_atoms, &copy_sources, &out);
+  // The "limited recursion" of the [28] reduction: subgraph copies.
+  for (const std::string& source : copy_sources) {
+    std::string copy = StrCat("copy_", source);
+    out += StrCat("% subgraph-copy closure over ", source, "\n");
+    out += Rule(StrCat("ans.member(O,C)"),
+                {StrCat(copy, "(O)"),
+                 StrCat(Pred(source, "member"), "(O,C)")});
+    out += Rule(StrCat("ans.object(O,L,V)"),
+                {StrCat(copy, "(O)"),
+                 StrCat(Pred(source, "object"), "(O,L,V)")});
+    out += Rule(StrCat(copy, "(C)"),
+                {StrCat(copy, "(O)"),
+                 StrCat(Pred(source, "member"), "(O,C)")});
+  }
+  return out;
+}
+
+Result<std::string> ToDatalog(const TslRuleSet& rules) {
+  std::string out;
+  for (const TslQuery& rule : rules.rules) {
+    TSLRW_ASSIGN_OR_RETURN(std::string part, ToDatalog(rule));
+    out += part;
+  }
+  return out;
+}
+
+}  // namespace tslrw

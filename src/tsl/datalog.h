@@ -1,0 +1,38 @@
+#ifndef TSLRW_TSL_DATALOG_H_
+#define TSLRW_TSL_DATALOG_H_
+
+#include <string>
+
+#include "common/result.h"
+#include "tsl/ast.h"
+
+namespace tslrw {
+
+/// \brief Renders a TSL rule (or rule set) as the Datalog-with-function-
+/// symbols program of the [28] reduction the paper cites in \S2/\S6: "TSL
+/// can be translated to Datalog with function symbols and limited recursion
+/// over a fixed schema."
+///
+/// The fixed schema has three EDB/IDB predicates per \S4's decomposition:
+///
+/// ```
+/// top(O)            % O is a root of the (source or answer) graph
+/// member(O1, O2)    % O2 is a subobject of O1
+/// object(O, L, V)   % O has label L and atomic value V ('set' marks sets)
+/// ```
+///
+/// Body conditions over a source `s` use predicates qualified `s.top` etc.;
+/// the head contributes one rule per answer-graph component. A value
+/// variable that may bind a whole subgraph shows up through the auxiliary
+/// `copy(O)` predicate, whose (recursive) closure rules are emitted once —
+/// the "limited form of recursion" of the reduction.
+///
+/// This is a *pretty-printer* for interoperability and inspection (e.g.
+/// feeding a Datalog engine or a paper appendix); evaluation in this
+/// library runs natively on OEM.
+Result<std::string> ToDatalog(const TslQuery& query);
+Result<std::string> ToDatalog(const TslRuleSet& rules);
+
+}  // namespace tslrw
+
+#endif  // TSLRW_TSL_DATALOG_H_

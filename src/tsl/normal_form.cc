@@ -1,0 +1,119 @@
+#include "tsl/normal_form.h"
+
+#include <algorithm>
+
+#include "common/string_util.h"
+
+namespace tslrw {
+
+namespace {
+
+bool PatternIsNormal(const ObjectPattern& p) {
+  if (p.value.is_term()) return true;
+  if (p.value.set().size() > 1) return false;
+  return p.value.set().empty() || PatternIsNormal(p.value.set().front());
+}
+
+/// Splits \p pattern into one single-path pattern per root-to-leaf path.
+void SplitPattern(const ObjectPattern& pattern,
+                  std::vector<ObjectPattern>* out) {
+  if (pattern.value.is_term() || pattern.value.set().empty()) {
+    out->push_back(pattern);
+    return;
+  }
+  for (const ObjectPattern& member : pattern.value.set()) {
+    std::vector<ObjectPattern> member_paths;
+    SplitPattern(member, &member_paths);
+    for (ObjectPattern& mp : member_paths) {
+      ObjectPattern path;
+      path.oid = pattern.oid;
+      path.label = pattern.label;
+      path.step = pattern.step;
+      path.value = PatternValue::FromSet({std::move(mp)});
+      out->push_back(std::move(path));
+    }
+  }
+}
+
+}  // namespace
+
+bool IsNormalForm(const TslQuery& query) {
+  return std::all_of(query.body.begin(), query.body.end(),
+                     [](const Condition& c) {
+                       return PatternIsNormal(c.pattern);
+                     });
+}
+
+TslQuery ToNormalForm(const TslQuery& query) {
+  TslQuery out;
+  out.name = query.name;
+  out.head = query.head;
+  for (const Condition& cond : query.body) {
+    std::vector<ObjectPattern> paths;
+    SplitPattern(cond.pattern, &paths);
+    for (ObjectPattern& p : paths) {
+      Condition c{std::move(p), cond.source};
+      if (std::find(out.body.begin(), out.body.end(), c) == out.body.end()) {
+        out.body.push_back(std::move(c));
+      }
+    }
+  }
+  return out;
+}
+
+std::string Path::ToString() const {
+  return UnflattenPath(*this).ToString();
+}
+
+Result<Path> FlattenPath(const Condition& condition) {
+  Path path;
+  path.source = condition.source;
+  const ObjectPattern* cur = &condition.pattern;
+  while (true) {
+    path.steps.push_back(Path::Step{cur->oid, cur->label, cur->step});
+    if (cur->value.is_term()) {
+      path.tail = cur->value;
+      return path;
+    }
+    const SetPattern& members = cur->value.set();
+    if (members.empty()) {
+      path.tail = PatternValue::FromSet({});
+      return path;
+    }
+    if (members.size() > 1) {
+      return Status::InvalidArgument(
+          StrCat("condition is not in normal form: ",
+                 condition.pattern.ToString()));
+    }
+    cur = &members.front();
+  }
+}
+
+Result<std::vector<Path>> BodyPaths(const TslQuery& query) {
+  std::vector<Path> paths;
+  paths.reserve(query.body.size());
+  for (const Condition& c : query.body) {
+    TSLRW_ASSIGN_OR_RETURN(Path p, FlattenPath(c));
+    paths.push_back(std::move(p));
+  }
+  return paths;
+}
+
+Condition UnflattenPath(const Path& path) {
+  ObjectPattern pattern;
+  pattern.oid = path.steps.back().oid;
+  pattern.label = path.steps.back().label;
+  pattern.step = path.steps.back().kind;
+  pattern.value = path.tail;
+  for (size_t i = path.steps.size() - 1; i-- > 0;) {
+    ObjectPattern parent;
+    parent.oid = path.steps[i].oid;
+    parent.label = path.steps[i].label;
+    parent.step = path.steps[i].kind;
+    parent.value = PatternValue::FromSet({std::move(pattern)});
+    pattern = std::move(parent);
+  }
+  return Condition{std::move(pattern), path.source};
+}
+
+}  // namespace tslrw

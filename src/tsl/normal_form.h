@@ -1,0 +1,62 @@
+#ifndef TSLRW_TSL_NORMAL_FORM_H_
+#define TSLRW_TSL_NORMAL_FORM_H_
+
+#include <vector>
+
+#include "common/result.h"
+#include "tsl/ast.h"
+
+namespace tslrw {
+
+/// \brief True iff every set-valued value field in the body holds at most
+/// one object pattern (\S2, "Normal Form TSL Queries").
+bool IsNormalForm(const TslQuery& query);
+
+/// \brief Converts a TSL query into normal form by splitting each body
+/// condition into one condition per root-to-leaf path, e.g. (Q1) -> (Q2):
+///
+/// ```
+/// <P person {<G gender female> <X Y Z>}>@db
+///   ==>  <P person {<G gender female>}>@db AND <P person {<X Y Z>}>@db
+/// ```
+///
+/// The head is left untouched (normal form constrains bodies only). The
+/// conversion preserves semantics because a set pattern requires an
+/// independent witness per member (\S2). Duplicate conditions are dropped.
+TslQuery ToNormalForm(const TslQuery& query);
+
+/// \brief A normal-form body condition viewed as a path: a chain of
+/// (oid, label) steps ending in a term or in the empty set pattern `{}`.
+struct Path {
+  struct Step {
+    Term oid;
+    Term label;
+    /// Edge semantics from the previous step (kChild for plain TSL;
+    /// kClosure/kDescendant for the \S7 regular-path extension). The first
+    /// step of a condition is always kChild.
+    StepKind kind = StepKind::kChild;
+  };
+  std::vector<Step> steps;
+  /// Terminal value: a term, or the empty-set marker (is_set() with no
+  /// members) when the path ends in `{}`.
+  PatternValue tail;
+  /// Source of the originating condition.
+  std::string source;
+
+  size_t depth() const { return steps.size(); }
+  std::string ToString() const;
+};
+
+/// \brief Flattens a normal-form condition into a Path. Fails with
+/// InvalidArgument if some set field has more than one member.
+Result<Path> FlattenPath(const Condition& condition);
+
+/// \brief Rebuilds the condition from a path (inverse of FlattenPath).
+Condition UnflattenPath(const Path& path);
+
+/// \brief Flattens every condition of a normal-form body into paths.
+Result<std::vector<Path>> BodyPaths(const TslQuery& query);
+
+}  // namespace tslrw
+
+#endif  // TSLRW_TSL_NORMAL_FORM_H_

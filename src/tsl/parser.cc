@@ -1,0 +1,254 @@
+#include "tsl/parser.h"
+
+#include <cctype>
+#include <map>
+
+#include "common/lexer.h"
+#include "common/string_util.h"
+
+namespace tslrw {
+
+namespace {
+
+bool LooksLikeVariable(const std::string& ident) {
+  return !ident.empty() && std::isupper(static_cast<unsigned char>(ident[0]));
+}
+
+/// Parses a term; all variables provisionally get VarKind::kLabelValue and
+/// are re-sorted by ResolveVariableKinds once the whole rule is known.
+Result<Term> ParseTerm(TokenCursor* cur) {
+  const Token& tok = cur->Peek();
+  if (tok.kind == TokenKind::kString) {
+    return Term::MakeAtom(cur->Next().text);
+  }
+  if (tok.kind != TokenKind::kIdent) {
+    return cur->ErrorHere("expected a term");
+  }
+  std::string head = cur->Next().text;
+  if (cur->TryConsume(TokenKind::kLParen)) {
+    std::vector<Term> args;
+    if (!cur->TryConsume(TokenKind::kRParen)) {
+      while (true) {
+        TSLRW_ASSIGN_OR_RETURN(Term arg, ParseTerm(cur));
+        args.push_back(std::move(arg));
+        if (cur->TryConsume(TokenKind::kComma)) continue;
+        TSLRW_RETURN_NOT_OK(cur->Expect(TokenKind::kRParen).status());
+        break;
+      }
+    }
+    return Term::MakeFunc(std::move(head), std::move(args));
+  }
+  if (LooksLikeVariable(head)) {
+    return Term::MakeVar(std::move(head), VarKind::kLabelValue);
+  }
+  return Term::MakeAtom(std::move(head));
+}
+
+Result<ObjectPattern> ParsePattern(TokenCursor* cur, int* anon_labels) {
+  TSLRW_RETURN_NOT_OK(cur->Expect(TokenKind::kLAngle).status());
+  ObjectPattern pattern;
+  TSLRW_ASSIGN_OR_RETURN(pattern.oid, ParseTerm(cur));
+  // Label position: `*` (any label), `**` (descendant), `label+` (closure),
+  // or a plain term. The starred forms are the \S7 regular-path-expression
+  // extension.
+  if (cur->TryConsume(TokenKind::kStar)) {
+    if (cur->TryConsume(TokenKind::kStar)) {
+      pattern.step = StepKind::kDescendant;
+      pattern.label = Term::MakeAtom("**");  // unused sentinel
+    } else {
+      pattern.label = Term::MakeVar(StrCat("AnonLabel", ++*anon_labels),
+                                    VarKind::kLabelValue);
+    }
+  } else {
+    TSLRW_ASSIGN_OR_RETURN(pattern.label, ParseTerm(cur));
+    if (pattern.label.is_func()) {
+      return cur->ErrorHere("a label must be an atom or a variable");
+    }
+    if (cur->TryConsume(TokenKind::kPlus)) {
+      if (!pattern.label.is_atom()) {
+        return cur->ErrorHere("a closure step needs a constant label");
+      }
+      pattern.step = StepKind::kClosure;
+    }
+  }
+  if (cur->TryConsume(TokenKind::kLBrace)) {
+    SetPattern members;
+    while (!cur->TryConsume(TokenKind::kRBrace)) {
+      TSLRW_ASSIGN_OR_RETURN(ObjectPattern member,
+                             ParsePattern(cur, anon_labels));
+      members.push_back(std::move(member));
+    }
+    pattern.value = PatternValue::FromSet(std::move(members));
+  } else {
+    TSLRW_ASSIGN_OR_RETURN(Term value, ParseTerm(cur));
+    pattern.value = PatternValue::FromTerm(std::move(value));
+  }
+  TSLRW_RETURN_NOT_OK(cur->Expect(TokenKind::kRAngle).status());
+  return pattern;
+}
+
+Result<TslQuery> ParseRule(TokenCursor* cur, std::string name) {
+  // Optional paper-style "(Q3)" rule name prefix.
+  if (cur->Peek().kind == TokenKind::kLParen) {
+    cur->Next();
+    TSLRW_ASSIGN_OR_RETURN(Token name_tok, cur->Expect(TokenKind::kIdent));
+    TSLRW_RETURN_NOT_OK(cur->Expect(TokenKind::kRParen).status());
+    if (name.empty()) name = name_tok.text;
+  }
+  TslQuery query;
+  query.name = std::move(name);
+  int anon_labels = 0;
+  TSLRW_ASSIGN_OR_RETURN(query.head, ParsePattern(cur, &anon_labels));
+  TSLRW_RETURN_NOT_OK(cur->Expect(TokenKind::kTurnstile).status());
+  while (true) {
+    Condition cond;
+    TSLRW_ASSIGN_OR_RETURN(cond.pattern, ParsePattern(cur, &anon_labels));
+    if (cur->TryConsume(TokenKind::kAt)) {
+      TSLRW_ASSIGN_OR_RETURN(Token src, cur->Expect(TokenKind::kIdent));
+      cond.source = src.text;
+    }
+    query.body.push_back(std::move(cond));
+    if (!cur->TryConsumeIdent("AND")) break;
+  }
+  return ResolveVariableKinds(query);
+}
+
+/// Where a variable name has been seen; used to resolve V_O vs V_C.
+enum class Position { kNeutral, kObjectId, kLabelValue };
+
+class KindResolver {
+ public:
+  /// Records uses. \p in_args is true while descending into function-term
+  /// arguments, where either sort may legally appear.
+  void NoteTerm(const Term& t, Position pos, bool in_args) {
+    switch (t.kind()) {
+      case TermKind::kAtom:
+        return;
+      case TermKind::kVariable:
+        Note(t.var_name(), in_args ? Position::kNeutral : pos);
+        return;
+      case TermKind::kFunction:
+        for (const Term& a : t.args()) NoteTerm(a, pos, /*in_args=*/true);
+        return;
+    }
+  }
+
+  void NotePattern(const ObjectPattern& p) {
+    NoteTerm(p.oid, Position::kObjectId, /*in_args=*/false);
+    NoteTerm(p.label, Position::kLabelValue, /*in_args=*/false);
+    if (p.value.is_term()) {
+      NoteTerm(p.value.term(), Position::kLabelValue, /*in_args=*/false);
+    } else {
+      for (const ObjectPattern& m : p.value.set()) NotePattern(m);
+    }
+  }
+
+  /// Fails iff some name occurs in both oid and label/value positions.
+  Status Check() const {
+    for (const auto& [name, positions] : uses_) {
+      if (positions.first && positions.second) {
+        return Status::IllFormedQuery(
+            StrCat("variable ", name,
+                   " is used both as an object id and as a label/value; "
+                   "V_O and V_C must be disjoint"));
+      }
+    }
+    return Status::OK();
+  }
+
+  VarKind KindOf(const std::string& name) const {
+    auto it = uses_.find(name);
+    if (it == uses_.end()) return VarKind::kObjectId;
+    if (it->second.first) return VarKind::kObjectId;
+    if (it->second.second) return VarKind::kLabelValue;
+    // Seen only inside function-term arguments (e.g. X in `h(X)` when the
+    // rule's body is an instantiated view head): Skolem arguments carry
+    // source oids, so object-id is the sort that round-trips.
+    return VarKind::kObjectId;
+  }
+
+ private:
+  void Note(const std::string& name, Position pos) {
+    auto& entry = uses_[name];
+    if (pos == Position::kObjectId) entry.first = true;
+    if (pos == Position::kLabelValue) entry.second = true;
+  }
+
+  // name -> (used as oid, used as label/value)
+  std::map<std::string, std::pair<bool, bool>> uses_;
+};
+
+Term Resort(const Term& t, const KindResolver& resolver) {
+  switch (t.kind()) {
+    case TermKind::kAtom:
+      return t;
+    case TermKind::kVariable:
+      return Term::MakeVar(t.var_name(), resolver.KindOf(t.var_name()));
+    case TermKind::kFunction: {
+      std::vector<Term> args;
+      args.reserve(t.args().size());
+      for (const Term& a : t.args()) args.push_back(Resort(a, resolver));
+      return Term::MakeFunc(t.functor(), std::move(args));
+    }
+  }
+  return t;
+}
+
+ObjectPattern ResortPattern(const ObjectPattern& p,
+                            const KindResolver& resolver) {
+  ObjectPattern out;
+  out.oid = Resort(p.oid, resolver);
+  out.label = Resort(p.label, resolver);
+  out.step = p.step;
+  if (p.value.is_term()) {
+    out.value = PatternValue::FromTerm(Resort(p.value.term(), resolver));
+  } else {
+    SetPattern members;
+    members.reserve(p.value.set().size());
+    for (const ObjectPattern& m : p.value.set()) {
+      members.push_back(ResortPattern(m, resolver));
+    }
+    out.value = PatternValue::FromSet(std::move(members));
+  }
+  return out;
+}
+
+}  // namespace
+
+Result<TslQuery> ResolveVariableKinds(const TslQuery& query) {
+  KindResolver resolver;
+  resolver.NotePattern(query.head);
+  for (const Condition& c : query.body) resolver.NotePattern(c.pattern);
+  TSLRW_RETURN_NOT_OK(resolver.Check());
+  TslQuery out;
+  out.name = query.name;
+  out.head = ResortPattern(query.head, resolver);
+  out.body.reserve(query.body.size());
+  for (const Condition& c : query.body) {
+    out.body.push_back(Condition{ResortPattern(c.pattern, resolver), c.source});
+  }
+  return out;
+}
+
+Result<TslQuery> ParseTslQuery(std::string_view text, std::string name) {
+  TSLRW_ASSIGN_OR_RETURN(std::vector<Token> tokens, Tokenize(text));
+  TokenCursor cur(std::move(tokens));
+  TSLRW_ASSIGN_OR_RETURN(TslQuery query, ParseRule(&cur, std::move(name)));
+  if (!cur.AtEof()) {
+    return cur.ErrorHere("trailing input after rule");
+  }
+  return query;
+}
+
+Result<std::vector<TslQuery>> ParseTslProgram(std::string_view text) {
+  TSLRW_ASSIGN_OR_RETURN(std::vector<Token> tokens, Tokenize(text));
+  TokenCursor cur(std::move(tokens));
+  std::vector<TslQuery> rules;
+  while (!cur.AtEof()) {
+    TSLRW_ASSIGN_OR_RETURN(TslQuery rule, ParseRule(&cur, ""));
+    rules.push_back(std::move(rule));
+  }
+  return rules;
+}
+
+}  // namespace tslrw

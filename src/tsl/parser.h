@@ -1,0 +1,51 @@
+#ifndef TSLRW_TSL_PARSER_H_
+#define TSLRW_TSL_PARSER_H_
+
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+#include "tsl/ast.h"
+
+namespace tslrw {
+
+/// \brief Parses one TSL rule in the paper's concrete syntax, e.g.
+///
+/// ```
+/// <f(P) female {<f(X) Y Z>}> :-
+///     <P person {<G gender female>}>@db AND <P person {<X Y Z>}>@db
+/// ```
+///
+/// Conventions (matching the paper's examples):
+///  - unquoted identifiers with an uppercase first letter are variables
+///    (primes allowed: `X'`, `Y''`); everything else is an atomic constant
+///    (lowercase identifiers, numbers, or quoted strings);
+///  - `f(...)` is an uninterpreted function term;
+///  - `{}` in a body matches any set object; `{p1 ... pn}` requires a
+///    matching subobject for each member;
+///  - each body condition may name its source with `@source`;
+///  - `%` comments run to end of line.
+///
+/// Variable sorts (V_O vs V_C, \S2) are resolved from positions of use: a
+/// variable standing alone in an oid field is an object-id variable; one in
+/// a label or value field is a label/value variable. A name used in both
+/// kinds of position is rejected (the sets are disjoint by definition).
+///
+/// \param text the rule text
+/// \param name rule name (used as the view's source name); if empty, a
+///        leading parenthesized name `(Q3) <...> :- ...` is honored.
+Result<TslQuery> ParseTslQuery(std::string_view text,
+                               std::string name = "");
+
+/// \brief Parses a sequence of rules, each optionally prefixed by a
+/// parenthesized name, exactly as listings appear in the paper.
+Result<std::vector<TslQuery>> ParseTslProgram(std::string_view text);
+
+/// \brief Re-derives variable sorts for a query assembled programmatically
+/// (see ParseTslQuery for the position rules). Fails if some name is used
+/// in both oid and label/value positions.
+Result<TslQuery> ResolveVariableKinds(const TslQuery& query);
+
+}  // namespace tslrw
+
+#endif  // TSLRW_TSL_PARSER_H_

@@ -1,0 +1,151 @@
+#include "tsl/validate.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <vector>
+
+#include "common/string_util.h"
+
+namespace tslrw {
+
+Status CheckSafety(const TslQuery& query) {
+  std::set<Term> body_vars = query.BodyVariables();
+  for (const Term& v : query.HeadVariables()) {
+    if (body_vars.count(v) == 0) {
+      return Status::IllFormedQuery(
+          StrCat("unsafe query: head variable ", v.ToString(),
+                 " does not appear in the body"));
+    }
+  }
+  return Status::OK();
+}
+
+namespace {
+
+void CollectHeadOids(const ObjectPattern& p, std::vector<Term>* oids) {
+  oids->push_back(p.oid);
+  if (p.value.is_set()) {
+    for (const ObjectPattern& m : p.value.set()) CollectHeadOids(m, oids);
+  }
+}
+
+void CollectEdges(const ObjectPattern& p,
+                  std::multimap<Term, Term>* edges) {
+  if (p.value.is_term()) return;
+  for (const ObjectPattern& m : p.value.set()) {
+    edges->emplace(p.oid, m.oid);
+    CollectEdges(m, edges);
+  }
+}
+
+}  // namespace
+
+Status CheckHeadOids(const TslQuery& query) {
+  if (!query.head.oid.is_func()) {
+    return Status::IllFormedQuery(
+        StrCat("head root oid ", query.head.oid.ToString(),
+               " is not a function term; TSL answers are rooted at freshly "
+               "minted objects"));
+  }
+  std::vector<Term> oids;
+  CollectHeadOids(query.head, &oids);
+  std::set<Term> seen;
+  for (const Term& oid : oids) {
+    if (oid.is_atom()) {
+      return Status::IllFormedQuery(
+          StrCat("head oid ", oid.ToString(),
+                 " is an atomic constant; head oids must be function terms "
+                 "(fresh objects) or oid variables (copied objects)"));
+    }
+    if (!seen.insert(oid).second) {
+      return Status::IllFormedQuery(
+          StrCat("head oid term ", oid.ToString(),
+                 " is not unique within the head"));
+    }
+  }
+  return Status::OK();
+}
+
+Status CheckAcyclicBody(const TslQuery& query) {
+  std::multimap<Term, Term> edges;
+  for (const Condition& c : query.body) CollectEdges(c.pattern, &edges);
+  std::set<Term> nodes;
+  for (const auto& [a, b] : edges) {
+    nodes.insert(a);
+    nodes.insert(b);
+  }
+  // Iterative DFS cycle detection over oid terms.
+  std::map<Term, int> state;  // 0 unseen / 1 on stack / 2 done
+  for (const Term& start : nodes) {
+    if (state[start] != 0) continue;
+    std::vector<std::pair<Term, bool>> stack{{start, false}};
+    while (!stack.empty()) {
+      auto [node, exiting] = stack.back();
+      stack.pop_back();
+      if (exiting) {
+        state[node] = 2;
+        continue;
+      }
+      if (state[node] == 1) continue;
+      state[node] = 1;
+      stack.emplace_back(node, true);
+      auto [lo, hi] = edges.equal_range(node);
+      for (auto it = lo; it != hi; ++it) {
+        if (state[it->second] == 1) {
+          return Status::IllFormedQuery(
+              StrCat("cyclic object pattern through oid term ",
+                     it->second.ToString()));
+        }
+        if (state[it->second] == 0) stack.emplace_back(it->second, false);
+      }
+    }
+  }
+  return Status::OK();
+}
+
+namespace {
+
+bool PatternUsesRegexSteps(const ObjectPattern& p) {
+  if (p.step != StepKind::kChild) return true;
+  if (p.value.is_term()) return false;
+  for (const ObjectPattern& m : p.value.set()) {
+    if (PatternUsesRegexSteps(m)) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+Status CheckRegexStepPlacement(const TslQuery& query) {
+  if (PatternUsesRegexSteps(query.head)) {
+    return Status::IllFormedQuery(
+        "regular path steps (l+, **) cannot appear in a head; heads "
+        "construct concrete answer graphs");
+  }
+  for (const Condition& c : query.body) {
+    if (c.pattern.step != StepKind::kChild) {
+      return Status::IllFormedQuery(
+          "a condition's top-level pattern matches roots directly and "
+          "cannot be a closure or descendant step");
+    }
+  }
+  return Status::OK();
+}
+
+bool UsesRegexSteps(const TslQuery& query) {
+  for (const Condition& c : query.body) {
+    if (PatternUsesRegexSteps(c.pattern)) return true;
+  }
+  return false;
+}
+
+Status ValidateQuery(const TslQuery& query) {
+  TSLRW_RETURN_NOT_OK(CheckSafety(query));
+  TSLRW_RETURN_NOT_OK(CheckHeadOids(query));
+  TSLRW_RETURN_NOT_OK(CheckAcyclicBody(query));
+  TSLRW_RETURN_NOT_OK(CheckRegexStepPlacement(query));
+  return Status::OK();
+}
+
+}  // namespace tslrw

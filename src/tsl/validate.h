@@ -1,0 +1,47 @@
+#ifndef TSLRW_TSL_VALIDATE_H_
+#define TSLRW_TSL_VALIDATE_H_
+
+#include "common/status.h"
+#include "tsl/ast.h"
+
+namespace tslrw {
+
+/// \brief Safety (\S2): every variable of the head also appears in the body
+/// — the same syntactic test used for conjunctive queries.
+Status CheckSafety(const TslQuery& query);
+
+/// \brief Head oid discipline (\S2): the oid terms of distinct head object
+/// patterns are syntactically distinct ("Terms that appear in an object id
+/// field in the head of a TSL query must be unique"), the root head oid is
+/// a function term (answers are trees rooted at freshly minted objects),
+/// and no head oid is an atomic constant. Nested head patterns may carry
+/// either function terms (constructed objects) or object-id variables —
+/// the latter re-emit matched source objects, the copy semantics used by
+/// the paper's (Q10) `<f(P) Stan-student {<X Y Z>}>`.
+Status CheckHeadOids(const TslQuery& query);
+
+/// \brief Rejects cyclic object patterns in the body (\S2: positive TSL
+/// queries "without cyclic object patterns"): the graph over body oid terms
+/// induced by the object–subobject pattern relation must be acyclic. This
+/// is also what guarantees termination of the \S3.2 chase extension.
+Status CheckAcyclicBody(const TslQuery& query);
+
+/// \brief Regular-path steps (`l+`, `**`) are legal only as set-pattern
+/// members in the body: heads construct concrete graphs and a condition's
+/// top-level pattern matches roots directly.
+Status CheckRegexStepPlacement(const TslQuery& query);
+
+/// \brief True iff some body pattern uses a closure or descendant step.
+/// The rewriting pipeline rejects such queries explicitly — rewriting with
+/// regular path expressions is the paper's future work (\S7).
+bool UsesRegexSteps(const TslQuery& query);
+
+/// \brief All well-formedness checks for the rewriting pipeline: safety,
+/// head oid discipline, body acyclicity, and regex-step placement.
+/// (Variable-sort disjointness is enforced structurally by the parser /
+/// ResolveVariableKinds.)
+Status ValidateQuery(const TslQuery& query);
+
+}  // namespace tslrw
+
+#endif  // TSLRW_TSL_VALIDATE_H_

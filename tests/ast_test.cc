@@ -1,0 +1,96 @@
+#include "tsl/ast.h"
+
+#include <gtest/gtest.h>
+
+#include "fixtures.h"
+#include "tsl/parser.h"
+
+namespace tslrw {
+namespace {
+
+using testing::MustParse;
+
+TEST(AstTest, PatternValueAccessors) {
+  PatternValue term = PatternValue::FromTerm(Term::MakeAtom("x"));
+  EXPECT_TRUE(term.is_term());
+  EXPECT_FALSE(term.is_set());
+  PatternValue empty = PatternValue::FromSet({});
+  EXPECT_TRUE(empty.is_set());
+  EXPECT_TRUE(empty.set().empty());
+  EXPECT_EQ(empty.ToString(), "{}");
+  // Default-constructed is the empty set pattern.
+  PatternValue def;
+  EXPECT_TRUE(def.is_set());
+  EXPECT_EQ(def, empty);
+  EXPECT_NE(def, term);
+}
+
+TEST(AstTest, CollectVariablesWalksEverything) {
+  TslQuery q = MustParse(testing::kQ1);
+  std::set<Term> head_vars = q.HeadVariables();
+  EXPECT_EQ(head_vars.size(), 4u);  // P, X, Y, Z
+  std::set<Term> body_vars = q.BodyVariables();
+  EXPECT_EQ(body_vars.size(), 5u);  // P, G, X, Y, Z
+}
+
+TEST(AstTest, SourcesListsDistinctSources) {
+  TslQuery q = MustParse(
+      "<f(A,B) pair yes> :- <A x U>@db1 AND <B y V>@db2 AND <A x W>@db1");
+  EXPECT_EQ(q.Sources(), (std::set<std::string>{"db1", "db2"}));
+}
+
+TEST(AstTest, ApplyTermSubstitutionReachesNestedPatterns) {
+  TslQuery q = MustParse(testing::kQ7);
+  TermSubstitution subst;
+  subst.Bind(Term::MakeVar("Z", VarKind::kObjectId), Term::MakeAtom("z9"));
+  TslQuery out = ApplyTermSubstitution(subst, q);
+  EXPECT_NE(out.ToString().find("z9"), std::string::npos);
+  EXPECT_EQ(out.ToString().find("<Z "), std::string::npos);
+}
+
+TEST(AstTest, RenameVariablesApartIsConsistent) {
+  TslQuery q = MustParse(testing::kQ2);
+  TslQuery renamed = RenameVariablesApart(q, "_r1");
+  // Same shape, new names everywhere, sorts preserved.
+  std::set<Term> vars = renamed.BodyVariables();
+  for (const Term& v : vars) {
+    EXPECT_NE(v.var_name().find("_r1"), std::string::npos) << v.ToString();
+  }
+  // P in head and both body conditions stays a single variable.
+  EXPECT_TRUE(vars.count(Term::MakeVar("P_r1", VarKind::kObjectId)));
+  std::set<Term> original = q.BodyVariables();
+  EXPECT_EQ(vars.size(), original.size());
+}
+
+TEST(AstTest, RenameVariablesApartKeepsSemanticsParseable) {
+  TslQuery q = MustParse(testing::kQ10);
+  TslQuery renamed = RenameVariablesApart(q, "_v2");
+  TslQuery round = MustParse(renamed.ToString());
+  EXPECT_EQ(renamed, round);
+}
+
+TEST(AstTest, WithDefaultSourceFillsOnlyEmpty) {
+  TslQuery q = MustParse(
+      "<f(A,B) pair yes> :- <A x U> AND <B y V>@named");
+  TslQuery filled = WithDefaultSource(q, "db");
+  EXPECT_EQ(filled.body[0].source, "db");
+  EXPECT_EQ(filled.body[1].source, "named");
+}
+
+TEST(AstTest, RuleSetToStringOneRulePerLine) {
+  TslRuleSet rules;
+  rules.rules.push_back(MustParse(testing::kQ3, "A"));
+  rules.rules.push_back(MustParse(testing::kQ5, "B"));
+  std::string rendered = rules.ToString();
+  EXPECT_EQ(std::count(rendered.begin(), rendered.end(), '\n'), 1);
+}
+
+TEST(AstTest, OrderingIsTotalOnPatterns) {
+  TslQuery q2 = MustParse(testing::kQ2);
+  std::set<Condition> conditions(q2.body.begin(), q2.body.end());
+  EXPECT_EQ(conditions.size(), 2u);
+  EXPECT_FALSE(q2.body[0] < q2.body[0]);
+}
+
+}  // namespace
+}  // namespace tslrw

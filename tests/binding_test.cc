@@ -1,0 +1,85 @@
+#include "eval/binding.h"
+
+#include <gtest/gtest.h>
+
+#include "eval/evaluator.h"
+#include "fixtures.h"
+#include "tsl/parser.h"
+
+namespace tslrw {
+namespace {
+
+using testing::MustParse;
+using testing::MustParseDb;
+
+Term Atom(const char* s) { return Term::MakeAtom(s); }
+
+TEST(BoundValueTest, TermBindings) {
+  BoundValue a = BoundValue::FromTerm(Atom("x"));
+  BoundValue b = BoundValue::FromTerm(Atom("x"));
+  BoundValue c = BoundValue::FromTerm(Atom("y"));
+  EXPECT_TRUE(a == b);
+  EXPECT_FALSE(a == c);
+  EXPECT_TRUE(a.is_term());
+  EXPECT_FALSE(a.is_set_value());
+  EXPECT_EQ(a.ToString(), "x");
+}
+
+TEST(BoundValueTest, SetValueEqualityIsByValueNotByOwner) {
+  // p and r are distinct objects with the *same* value (child set {c}).
+  OemDatabase db = MustParseDb(R"(
+    database db {
+      <p rec { <c m v> }>
+      <r rec { @c }>
+      <s rec { <d m v> }>
+    })");
+  BoundValue via_p = BoundValue::FromSetValue(&db, Atom("p"));
+  BoundValue via_r = BoundValue::FromSetValue(&db, Atom("r"));
+  BoundValue via_s = BoundValue::FromSetValue(&db, Atom("s"));
+  EXPECT_TRUE(via_p == via_r);   // same child set {c}
+  EXPECT_FALSE(via_p == via_s);  // {c} vs {d}: different oids
+  EXPECT_FALSE(via_p == BoundValue::FromTerm(Atom("p")));
+}
+
+TEST(BoundValueTest, CrossDatabaseEqualityComparesSubgraphs) {
+  OemDatabase a = MustParseDb(
+      "database a { <p rec { <c m { <e q v> }> }> }");
+  OemDatabase same = MustParseDb(
+      "database b { <p rec { <c m { <e q v> }> }> }");
+  OemDatabase differs = MustParseDb(
+      "database c { <p rec { <c m { <e q OTHER> }> }> }");
+  BoundValue in_a = BoundValue::FromSetValue(&a, Atom("p"));
+  EXPECT_TRUE(in_a == BoundValue::FromSetValue(&same, Atom("p")));
+  EXPECT_FALSE(in_a == BoundValue::FromSetValue(&differs, Atom("p")));
+}
+
+TEST(BoundValueTest, CyclicSubgraphComparisonTerminates) {
+  OemDatabase a = MustParseDb(
+      "database a { <p rec { <c m { @p }> }> }");
+  OemDatabase b = MustParseDb(
+      "database b { <p rec { <c m { @p }> }> }");
+  EXPECT_TRUE(BoundValue::FromSetValue(&a, Atom("p")) ==
+              BoundValue::FromSetValue(&b, Atom("p")));
+}
+
+TEST(BoundValueTest, JoinOnSharedValueVariableAcrossOwners) {
+  // End-to-end: V must take the same *value* in both conditions; distinct
+  // owners with identical child sets join.
+  SourceCatalog catalog;
+  catalog.Put(MustParseDb(R"(
+    database db {
+      <p a { <c m v> }>
+      <r b { @c }>
+      <s b { <d m v> }>
+    })"));
+  auto answer = Evaluate(
+      MustParse("<f(P,R) pair yes> :- <P a V>@db AND <R b V>@db"), catalog);
+  ASSERT_TRUE(answer.ok()) << answer.status();
+  // Only (p, r) share the value {c}; (p, s) differ ({c} vs {d}).
+  EXPECT_EQ(answer->roots().size(), 1u);
+  EXPECT_NE(answer->Find(Term::MakeFunc("f", {Atom("p"), Atom("r")})),
+            nullptr);
+}
+
+}  // namespace
+}  // namespace tslrw

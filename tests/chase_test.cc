@@ -1,0 +1,288 @@
+#include "rewrite/chase.h"
+#include "rewrite/rewriter.h"
+
+#include <gtest/gtest.h>
+
+#include "common/string_util.h"
+#include "constraints/dtd.h"
+#include "equiv/equivalence.h"
+#include "eval/evaluator.h"
+#include "fixtures.h"
+#include "tsl/normal_form.h"
+#include "tsl/parser.h"
+
+namespace tslrw {
+namespace {
+
+using testing::MustParse;
+
+TEST(ChaseTest, Example34Q11BecomesQ10) {
+  // The set-variable rule: V in (Q11) is forced to a set by the second
+  // occurrence of P; the chase replaces it with a fresh {<X Y Z>}
+  // everywhere, head included, yielding (Q10) up to variable renaming.
+  TslQuery q11 = MustParse(testing::kQ11, "Q11");
+  auto chased = ChaseQuery(q11);
+  ASSERT_TRUE(chased.ok()) << chased.status();
+  // The head's V became a one-member set pattern.
+  ASSERT_TRUE(chased->head.value.is_set());
+  ASSERT_EQ(chased->head.value.set().size(), 1u);
+  EXPECT_TRUE(chased->head.value.set()[0].oid.is_var());
+  // And the chased query is equivalent to (Q10).
+  auto eq = AreEquivalent(*chased, MustParse(testing::kQ10, "Q10"));
+  ASSERT_TRUE(eq.ok()) << eq.status();
+  EXPECT_TRUE(*eq);
+}
+
+TEST(ChaseTest, FixpointIsIdempotent) {
+  for (std::string_view text :
+       {testing::kQ2, testing::kQ3, testing::kQ9, testing::kQ10,
+        testing::kQ11}) {
+    auto once = ChaseQuery(MustParse(text));
+    ASSERT_TRUE(once.ok()) << once.status() << " for " << text;
+    auto twice = ChaseQuery(*once);
+    ASSERT_TRUE(twice.ok());
+    EXPECT_EQ(*once, *twice) << "chase not idempotent for " << text;
+  }
+}
+
+TEST(ChaseTest, LabelVariableUnifiedAcrossOccurrences) {
+  // X occurs twice; its labels Y and b must coincide, so Y := b.
+  TslQuery q = MustParse(
+      "<f(X) out Z> :- <P p {<X Y Z>}>@db AND <R r {<X b W>}>@db");
+  auto chased = ChaseQuery(q);
+  ASSERT_TRUE(chased.ok()) << chased.status();
+  std::set<Term> vars = chased->BodyVariables();
+  EXPECT_EQ(vars.count(Term::MakeVar("Y", VarKind::kLabelValue)), 0u);
+  // Values Z and W also merge into one variable.
+  bool has_z = vars.count(Term::MakeVar("Z", VarKind::kLabelValue)) > 0;
+  bool has_w = vars.count(Term::MakeVar("W", VarKind::kLabelValue)) > 0;
+  EXPECT_NE(has_z, has_w);
+}
+
+TEST(ChaseTest, ConflictingLabelsUnsatisfiable) {
+  TslQuery q = MustParse(
+      "<f(X) out yes> :- <P p {<X a U>}>@db AND <R r {<X b W>}>@db");
+  auto chased = ChaseQuery(q);
+  EXPECT_FALSE(chased.ok());
+  EXPECT_TRUE(chased.status().IsUnsatisfiable());
+}
+
+TEST(ChaseTest, ConflictingAtomicValuesUnsatisfiable) {
+  TslQuery q = MustParse(
+      "<f(X) out yes> :- <P p {<X a u1>}>@db AND <R p {<X a u2>}>@db");
+  auto chased = ChaseQuery(q);
+  EXPECT_FALSE(chased.ok());
+  EXPECT_TRUE(chased.status().IsUnsatisfiable());
+}
+
+TEST(ChaseTest, SetVersusAtomicUnsatisfiable) {
+  // X is set-valued in one condition and atomic (constant) in the other.
+  TslQuery q = MustParse(
+      "<f(X) out yes> :- <P p {<X a {<Y b c>}>}>@db AND <R p {<X a v>}>@db");
+  auto chased = ChaseQuery(q);
+  EXPECT_FALSE(chased.ok());
+  EXPECT_TRUE(chased.status().IsUnsatisfiable());
+}
+
+TEST(ChaseTest, ValueVariableTakesConstant) {
+  TslQuery q = MustParse(
+      "<f(X) out Z> :- <P p {<X a Z>}>@db AND <R p {<X a v1>}>@db");
+  auto chased = ChaseQuery(q);
+  ASSERT_TRUE(chased.ok()) << chased.status();
+  // Z := v1 everywhere, including the head.
+  ASSERT_TRUE(chased->head.value.is_term());
+  EXPECT_EQ(chased->head.value.term(), Term::MakeAtom("v1"));
+}
+
+TEST(ChaseTest, DuplicateConditionsDropped) {
+  TslQuery q = MustParse(
+      "<f(X) out Z> :- <X a Z>@db AND <X a Z>@db");
+  auto chased = ChaseQuery(q);
+  ASSERT_TRUE(chased.ok());
+  EXPECT_EQ(chased->body.size(), 1u);
+}
+
+TEST(ChaseTest, SemanticsPreservedOnData) {
+  // Chasing must not change query results; validated operationally.
+  SourceCatalog catalog;
+  catalog.Put(testing::MustParseDb(R"(
+    database db {
+      <s1 p { <u1 university stanford> <d1 dept { <dn1 deptname cs> }> }>
+      <s2 p { <u2 university berkeley> }>
+      <s3 p { <u3 university stanford> }>
+    })"));
+  for (std::string_view text : {testing::kQ10, testing::kQ11}) {
+    TslQuery q = MustParse(text, "Q");
+    auto chased = ChaseQuery(q);
+    ASSERT_TRUE(chased.ok()) << chased.status();
+    auto before = Evaluate(q, catalog);
+    auto after = Evaluate(*chased, catalog);
+    ASSERT_TRUE(before.ok() && after.ok());
+    EXPECT_TRUE(before->Equals(*after)) << "chase changed semantics of "
+                                        << text;
+  }
+}
+
+// --- \S3.3: label inference and labeled FDs (Example 3.5) ------------------
+
+class ConstraintChaseTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto dtd = Dtd::Parse(testing::kPersonDtd);
+    ASSERT_TRUE(dtd.ok()) << dtd.status();
+    constraints_ = StructuralConstraints(std::move(dtd).value());
+    options_.constraints = &constraints_;
+  }
+  StructuralConstraints constraints_;
+  ChaseOptions options_;
+};
+
+TEST_F(ConstraintChaseTest, Example35Q9ChasesToQ13) {
+  // (Q9): label inference makes Y'' = name; the labeled FD p -> name makes
+  // X'' = X'; the oid chase merges the two paths. The result must be
+  // equivalent to (Q13) — and hence to (Q7).
+  TslQuery q9 = MustParse(testing::kQ9, "Q9");
+  auto chased = ChaseQuery(q9, options_);
+  ASSERT_TRUE(chased.ok()) << chased.status();
+  // Y'' is gone.
+  EXPECT_EQ(chased->BodyVariables().count(
+                Term::MakeVar("Y''", VarKind::kLabelValue)),
+            0u);
+  auto eq13 = AreEquivalent(*chased, MustParse(testing::kQ13, "Q13"),
+                            options_);
+  ASSERT_TRUE(eq13.ok()) << eq13.status();
+  EXPECT_TRUE(*eq13) << "chased (Q9) = " << chased->ToString();
+  auto eq7 = AreEquivalent(*chased, MustParse(testing::kQ7, "Q7"), options_);
+  ASSERT_TRUE(eq7.ok());
+  EXPECT_TRUE(*eq7);
+}
+
+TEST_F(ConstraintChaseTest, WithoutConstraintsQ9StaysApart) {
+  TslQuery q9 = MustParse(testing::kQ9, "Q9");
+  auto chased = ChaseQuery(q9);  // no constraints
+  ASSERT_TRUE(chased.ok());
+  auto eq = AreEquivalent(*chased, MustParse(testing::kQ7, "Q7"));
+  ASSERT_TRUE(eq.ok());
+  EXPECT_FALSE(*eq);
+}
+
+TEST_F(ConstraintChaseTest, LabelInferenceFiresOnUniqueMiddle) {
+  // In kPersonDtd only `name` among p's children can carry `last`:
+  // p.?.last resolves, and p.?.middle resolves too.
+  for (const char* grandchild : {"last", "middle"}) {
+    TslQuery q = MustParse(
+        StrCat("<f(P) out yes> :- <P p {<X Y {<Z ", grandchild,
+               " m>}>}>@db"));
+    auto chased = ChaseQuery(q, options_);
+    ASSERT_TRUE(chased.ok()) << chased.status();
+    EXPECT_EQ(chased->BodyVariables().count(
+                  Term::MakeVar("Y", VarKind::kLabelValue)),
+              0u)
+        << "no inference for p.?." << grandchild;
+  }
+}
+
+TEST_F(ConstraintChaseTest, LabelInferenceNeedsUniqueMiddle) {
+  // A DTD where both name and alias are children of p carrying `last`:
+  // p.?.last is ambiguous, so Y must survive.
+  auto dtd = Dtd::Parse(R"(
+    <!ELEMENT p (name, alias?, phone)>
+    <!ELEMENT name (last, first)>
+    <!ELEMENT alias (last, first)>
+    <!ELEMENT phone CDATA>
+    <!ELEMENT last CDATA>
+    <!ELEMENT first CDATA>
+  )");
+  ASSERT_TRUE(dtd.ok()) << dtd.status();
+  StructuralConstraints ambiguous(std::move(dtd).value());
+  ChaseOptions options{&ambiguous, {}};
+  TslQuery q = MustParse(
+      "<f(P) out yes> :- <P p {<X Y {<Z last stanford>}>}>@db");
+  auto chased = ChaseQuery(q, options);
+  ASSERT_TRUE(chased.ok());
+  EXPECT_EQ(chased->BodyVariables().count(
+                Term::MakeVar("Y", VarKind::kLabelValue)),
+            1u);
+  // first is equally ambiguous; phone's CDATA never hosts children.
+  TslQuery q2 = MustParse(
+      "<f(P) out yes> :- <P p {<X Y {<Z first jo>}>}>@db");
+  auto chased2 = ChaseQuery(q2, options);
+  ASSERT_TRUE(chased2.ok());
+  EXPECT_EQ(chased2->BodyVariables().count(
+                Term::MakeVar("Y", VarKind::kLabelValue)),
+            1u);
+}
+
+TEST_F(ConstraintChaseTest, LabeledFdMergesSiblings) {
+  // p has exactly one phone: two phone children of one person unify.
+  TslQuery q = MustParse(
+      "<f(P) out yes> :- <P p {<A phone u>}>@db AND <P p {<B phone u>}>@db");
+  auto chased = ChaseQuery(q, options_);
+  ASSERT_TRUE(chased.ok()) << chased.status();
+  EXPECT_EQ(chased->body.size(), 1u);  // merged then deduplicated
+}
+
+TEST_F(ConstraintChaseTest, StarMultiplicityInducesNoFd) {
+  // address* admits several addresses: no merge.
+  TslQuery q = MustParse(
+      "<f(P) out yes> :- <P p {<A address u>}>@db AND "
+      "<P p {<B address u>}>@db");
+  auto chased = ChaseQuery(q, options_);
+  ASSERT_TRUE(chased.ok());
+  EXPECT_EQ(chased->body.size(), 2u);
+}
+
+TEST_F(ConstraintChaseTest, DescendingBelowCdataUnsatisfiable) {
+  // phone is CDATA: a pattern demanding subobjects of a phone can never
+  // match conforming data (structural-conflict extension).
+  TslQuery q = MustParse(
+      "<f(P) out yes> :- <P p {<H phone {<Z digit d>}>}>@db");
+  auto chased = ChaseQuery(q, options_);
+  EXPECT_FALSE(chased.ok());
+  EXPECT_TRUE(chased.status().IsUnsatisfiable());
+  // Same for a `{}` tail (set-ness demanded).
+  TslQuery q2 = MustParse("<f(P) out yes> :- <P p {<H phone {}>}>@db");
+  auto chased2 = ChaseQuery(q2, options_);
+  EXPECT_FALSE(chased2.ok());
+  EXPECT_TRUE(chased2.status().IsUnsatisfiable());
+  // An atomic-value tail is fine.
+  TslQuery q3 = MustParse("<f(P) out N> :- <P p {<H phone N>}>@db");
+  EXPECT_TRUE(ChaseQuery(q3, options_).ok());
+}
+
+TEST_F(ConstraintChaseTest, ForbiddenChildLabelUnsatisfiable) {
+  // p's content model has no zebra child; undeclared parents stay open.
+  TslQuery q = MustParse("<f(P) out yes> :- <P p {<Z zebra u>}>@db");
+  auto chased = ChaseQuery(q, options_);
+  EXPECT_FALSE(chased.ok());
+  EXPECT_TRUE(chased.status().IsUnsatisfiable());
+  TslQuery open = MustParse(
+      "<f(P) out yes> :- <P undeclared {<Z zebra u>}>@db");
+  EXPECT_TRUE(ChaseQuery(open, options_).ok());
+  // Without constraints, no conflict is raised at all.
+  EXPECT_TRUE(ChaseQuery(q).ok());
+}
+
+TEST_F(ConstraintChaseTest, ConflictsPruneRewriterCandidates) {
+  // A query that the DTD renders unsatisfiable yields an empty rewriting
+  // result rather than an error (consistent with the unsat contract).
+  TslQuery q = MustParse("<f(P) out yes> :- <P p {<Z zebra u>}>@db", "Q");
+  RewriteOptions options;
+  options.constraints = &constraints_;
+  auto result = RewriteQuery(q, {MustParse(testing::kV1, "V1")}, options);
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_TRUE(result->rewritings.empty());
+}
+
+TEST_F(ConstraintChaseTest, FdConflictUnsatisfiable) {
+  // The unique phone of P would need two different atomic values.
+  TslQuery q = MustParse(
+      "<f(P) out yes> :- <P p {<A phone u1>}>@db AND "
+      "<P p {<B phone u2>}>@db");
+  auto chased = ChaseQuery(q, options_);
+  EXPECT_FALSE(chased.ok());
+  EXPECT_TRUE(chased.status().IsUnsatisfiable());
+}
+
+}  // namespace
+}  // namespace tslrw

@@ -1,0 +1,170 @@
+#include "rewrite/compose.h"
+
+#include <gtest/gtest.h>
+
+#include "equiv/equivalence.h"
+#include "eval/evaluator.h"
+#include "fixtures.h"
+#include "tsl/normal_form.h"
+#include "tsl/parser.h"
+
+namespace tslrw {
+namespace {
+
+using testing::MustParse;
+using testing::MustParseDb;
+
+TEST(ComposeTest, Example31CompositionMatchesPaper) {
+  // (V1)o(Q4)n must be equivalent to the paper's printed composition and,
+  // by Example 3.1, to the original (Q3).
+  TslQuery q4n = MustParse(testing::kQ4n, "Q4n");
+  auto composed = ComposeWithViews(q4n, {MustParse(testing::kV1, "V1")});
+  ASSERT_TRUE(composed.ok()) << composed.status();
+  ASSERT_FALSE(composed->rules.empty());
+  auto eq_paper = AreEquivalent(
+      *composed, TslRuleSet::Single(MustParse(testing::kV1oQ4n, "ref")));
+  ASSERT_TRUE(eq_paper.ok()) << eq_paper.status();
+  EXPECT_TRUE(*eq_paper) << "composed:\n" << composed->ToString();
+  auto eq_q3 = AreEquivalent(
+      *composed, TslRuleSet::Single(MustParse(testing::kQ3, "Q3")));
+  ASSERT_TRUE(eq_q3.ok());
+  EXPECT_TRUE(*eq_q3);
+}
+
+TEST(ComposeTest, Example33CompositionGivesQ9NotQ7) {
+  // (Q8) composes to (Q9), which is *not* equivalent to (Q7): the
+  // name/value correspondence is lost (that is the point of Example 3.3).
+  TslQuery q8 = MustParse(testing::kQ8, "Q8");
+  auto composed = ComposeWithViews(q8, {MustParse(testing::kV1, "V1")});
+  ASSERT_TRUE(composed.ok()) << composed.status();
+  auto eq_q9 = AreEquivalent(
+      *composed, TslRuleSet::Single(MustParse(testing::kQ9, "Q9")));
+  ASSERT_TRUE(eq_q9.ok()) << eq_q9.status();
+  EXPECT_TRUE(*eq_q9) << "composed:\n" << composed->ToString();
+  auto eq_q7 = AreEquivalent(
+      *composed, TslRuleSet::Single(MustParse(testing::kQ7, "Q7")));
+  ASSERT_TRUE(eq_q7.ok());
+  EXPECT_FALSE(*eq_q7);
+}
+
+TEST(ComposeTest, Example32CompositionEquivalentToQ5) {
+  TslQuery q6 = MustParse(testing::kQ6, "Q6");
+  auto composed = ComposeWithViews(q6, {MustParse(testing::kV1, "V1")});
+  ASSERT_TRUE(composed.ok()) << composed.status();
+  auto eq = AreEquivalent(
+      *composed, TslRuleSet::Single(MustParse(testing::kQ5, "Q5")));
+  ASSERT_TRUE(eq.ok()) << eq.status();
+  EXPECT_TRUE(*eq) << "composed:\n" << composed->ToString();
+}
+
+TEST(ComposeTest, NonViewConditionsPassThrough) {
+  TslQuery q = MustParse(
+      "<f(P) out yes> :- <P p {<X l v>}>@db AND "
+      "<g(P) p {<h(X) v leland>}>@V1");
+  auto composed = ComposeWithViews(q, {MustParse(testing::kV1, "V1")});
+  ASSERT_TRUE(composed.ok()) << composed.status();
+  ASSERT_EQ(composed->rules.size(), 1u);
+  int db_conditions = 0;
+  for (const Condition& c : composed->rules[0].body) {
+    EXPECT_EQ(c.source, "db");
+    ++db_conditions;
+  }
+  EXPECT_GE(db_conditions, 2);
+}
+
+TEST(ComposeTest, NoViewReferencesIsIdentity) {
+  TslQuery q3 = MustParse(testing::kQ3, "Q3");
+  auto composed = ComposeWithViews(q3, {MustParse(testing::kV1, "V1")});
+  ASSERT_TRUE(composed.ok());
+  ASSERT_EQ(composed->rules.size(), 1u);
+  EXPECT_EQ(composed->rules[0], ToNormalForm(q3));
+}
+
+TEST(ComposeTest, UnsatisfiablePathYieldsEmptyRuleSet) {
+  // (V1)'s head has no `zzz`-labeled member: no unifier, no rules.
+  TslQuery q = MustParse("<f(P) out yes> :- <g(P) p {<W zzz U>}>@V1");
+  auto composed = ComposeWithViews(q, {MustParse(testing::kV1, "V1")});
+  ASSERT_TRUE(composed.ok()) << composed.status();
+  EXPECT_TRUE(composed->rules.empty());
+}
+
+TEST(ComposeTest, AmbiguousBranchYieldsUnionOfRules) {
+  // <W M U> can unify with both head members of (V1): pr and v branches.
+  TslQuery q = MustParse("<f(P,M) out M> :- <g(P) p {<W M U>}>@V1");
+  auto composed = ComposeWithViews(q, {MustParse(testing::kV1, "V1")});
+  ASSERT_TRUE(composed.ok()) << composed.status();
+  EXPECT_EQ(composed->rules.size(), 2u);
+}
+
+TEST(ComposeTest, ViewVariablesRenamedApartPerInstance) {
+  // Two conditions over (V1) must not share X'/Y'/Z' instances: the paper's
+  // (V1)o(Q4)n has X' in one condition and X''/Y'' in the other.
+  TslQuery q4n = MustParse(testing::kQ4n, "Q4n");
+  auto composed = ComposeWithViews(q4n, {MustParse(testing::kV1, "V1")});
+  ASSERT_TRUE(composed.ok());
+  ASSERT_EQ(composed->rules.size(), 1u);
+  // P joins the two pulled-in view bodies; the X' instances stay distinct,
+  // so the composed body keeps two separate paths.
+  EXPECT_EQ(composed->rules[0].body.size(), 2u);
+}
+
+TEST(ComposeTest, DeepPathIntoCopiedSubgraphPushedIntoViewBody) {
+  // (Q6)'s path continues below h(X) whose value is the copied Z'; the
+  // remaining <Z last stanford> must end up under Z' in the view body.
+  TslQuery q6 = MustParse(testing::kQ6, "Q6");
+  auto composed = ComposeWithViews(q6, {MustParse(testing::kV1, "V1")});
+  ASSERT_TRUE(composed.ok());
+  ASSERT_EQ(composed->rules.size(), 1u);
+  bool found_deep = false;
+  for (const Condition& c : composed->rules[0].body) {
+    auto path = FlattenPath(c);
+    ASSERT_TRUE(path.ok());
+    if (path->depth() == 3 && path->tail.is_term() &&
+        path->tail.term() == Term::MakeAtom("stanford")) {
+      found_deep = true;
+    }
+  }
+  EXPECT_TRUE(found_deep) << composed->ToString();
+}
+
+TEST(ComposeTest, CompositionAgreesWithMaterialization) {
+  // Operational check: evaluating Q' over the materialized view equals
+  // evaluating V o Q' over the base data.
+  SourceCatalog catalog;
+  catalog.Put(MustParseDb(R"(
+    database db {
+      <p1 p { <n1 name leland> <g1 gender female> }>
+      <p2 p { <n2 name jane> }>
+    })"));
+  TslQuery v1 = MustParse(testing::kV1, "V1");
+  TslQuery q4 = MustParse(testing::kQ4, "Q4");
+  auto composed = ComposeWithViews(q4, {v1});
+  ASSERT_TRUE(composed.ok()) << composed.status();
+
+  SourceCatalog with_view = catalog;
+  auto view_db = MaterializeView(v1, catalog);
+  ASSERT_TRUE(view_db.ok()) << view_db.status();
+  with_view.Put(std::move(*view_db));
+
+  auto over_view = Evaluate(q4, with_view, {.answer_name = "ans"});
+  ASSERT_TRUE(over_view.ok()) << over_view.status();
+  auto over_base = EvaluateRuleSet(*composed, catalog, {.answer_name = "ans"});
+  ASSERT_TRUE(over_base.ok()) << over_base.status();
+  EXPECT_TRUE(over_view->Equals(*over_base))
+      << "over view:\n" << over_view->ToString()
+      << "composed over base:\n" << over_base->ToString();
+}
+
+TEST(ComposeTest, RuleSetOverloadUnionsResults) {
+  TslRuleSet rules;
+  rules.rules.push_back(
+      MustParse("<f(P) out yes> :- <g(P) p {<h(X) v leland>}>@V1", "A"));
+  rules.rules.push_back(
+      MustParse("<f(P) out yes> :- <g(P) p {<pp(P,Y) pr name>}>@V1", "B"));
+  auto composed = ComposeWithViews(rules, {MustParse(testing::kV1, "V1")});
+  ASSERT_TRUE(composed.ok()) << composed.status();
+  EXPECT_EQ(composed->rules.size(), 2u);
+}
+
+}  // namespace
+}  // namespace tslrw

@@ -1,0 +1,143 @@
+#include "rewrite/contained.h"
+
+#include <gtest/gtest.h>
+
+#include "equiv/equivalence.h"
+#include "eval/evaluator.h"
+#include "fixtures.h"
+#include "rewrite/compose.h"
+#include "tsl/parser.h"
+
+namespace tslrw {
+namespace {
+
+using testing::MustParse;
+using testing::MustParseDb;
+
+TEST(ContainedTest, EquivalentRewritingIsFoundAndMarked) {
+  // Where an equivalent rewriting exists, the maximally contained one is
+  // that rewriting, flagged equivalent.
+  TslQuery q3 = MustParse(testing::kQ3, "Q3");
+  TslQuery v1 = MustParse(testing::kV1, "V1");
+  auto result = FindMaximallyContainedRewriting(q3, {v1});
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_TRUE(result->equivalent);
+  ASSERT_GE(result->rewriting.rules.size(), 1u);
+}
+
+TEST(ContainedTest, PartialViewGivesContainedNotEquivalent) {
+  // The view publishes only gender=female people; a query over all people
+  // is only *partially* answerable: contained, not equivalent.
+  TslQuery view = MustParse(
+      "<v(P') fem {<w(X') m Z'>}> :- "
+      "<P' person {<G' gender female>}>@db AND "
+      "<P' person {<X' name Z'>}>@db",
+      "FemaleNames");
+  TslQuery query = MustParse(
+      "<f(P) out Z> :- <P person {<X name Z>}>@db", "Q");
+  RewriteOptions options;
+  options.require_total = true;
+  auto result = FindMaximallyContainedRewriting(query, {view}, options);
+  ASSERT_TRUE(result.ok()) << result.status();
+  ASSERT_GE(result->rewriting.rules.size(), 1u);
+  EXPECT_FALSE(result->equivalent);
+
+  // Operational check: the contained rewriting returns exactly the
+  // view-covered subset of the query's answer.
+  SourceCatalog catalog;
+  catalog.Put(MustParseDb(R"(
+    database db {
+      <p1 person { <g1 gender female> <n1 name ann> }>
+      <p2 person { <g2 gender male> <n2 name bob> }>
+    })"));
+  SourceCatalog views_only;
+  auto materialized = MaterializeView(view, catalog);
+  ASSERT_TRUE(materialized.ok());
+  views_only.Put(std::move(*materialized));
+  auto partial = EvaluateRuleSet(result->rewriting, views_only,
+                                 {.answer_name = "ans"});
+  ASSERT_TRUE(partial.ok()) << partial.status();
+  // Only ann (via p1) is reachable through the view.
+  EXPECT_EQ(partial->roots().size(), 1u);
+  auto full = Evaluate(query, catalog, {.answer_name = "ans"});
+  ASSERT_TRUE(full.ok());
+  EXPECT_EQ(full->roots().size(), 2u);
+}
+
+TEST(ContainedTest, UnionOfPartialViewsCanBeEquivalent) {
+  // Female and male views together cover a gender-filtered query family.
+  TslQuery female = MustParse(
+      "<vf(P') fem {<wf(X') nm Z'>}> :- "
+      "<P' person {<G' gender female>}>@db AND "
+      "<P' person {<X' name Z'>}>@db",
+      "Female");
+  TslQuery male = MustParse(
+      "<vm(P') mal {<wm(X') nm Z'>}> :- "
+      "<P' person {<G' gender male>}>@db AND "
+      "<P' person {<X' name Z'>}>@db",
+      "Male");
+  // A query already restricted to females is fully covered by one view.
+  TslQuery query = MustParse(
+      "<f(P) out Z> :- <P person {<G gender female>}>@db AND "
+      "<P person {<X name Z>}>@db",
+      "Q");
+  RewriteOptions options;
+  options.require_total = true;
+  auto result = FindMaximallyContainedRewriting(query, {female, male},
+                                                options);
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_TRUE(result->equivalent)
+      << "the Female view alone answers the female-restricted query";
+}
+
+TEST(ContainedTest, SubsumedRulesPruned) {
+  // Two copies of one view: accepted rules through either are mutually
+  // contained; only one survives pruning.
+  TslQuery v1 = MustParse(
+      "<a(P') o {<aa(X') m U'>}> :- <P' rec {<X' l U'>}>@db", "CopyA");
+  TslQuery v2 = MustParse(
+      "<b(P') o {<bb(X') m U'>}> :- <P' rec {<X' l U'>}>@db", "CopyB");
+  TslQuery query = MustParse("<f(P) out yes> :- <P rec {<X l u>}>@db", "Q");
+  RewriteOptions options;
+  options.require_total = true;
+  auto result = FindMaximallyContainedRewriting(query, {v1, v2}, options);
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_EQ(result->rewriting.rules.size(), 1u);
+  EXPECT_TRUE(result->equivalent);
+}
+
+TEST(ContainedTest, NothingContainedWhenViewsIrrelevant) {
+  TslQuery view = MustParse(
+      "<v(X') out U'> :- <X' zebra U'>@db", "Zebra");
+  TslQuery query = MustParse("<f(P) out yes> :- <P rec {<X l u>}>@db", "Q");
+  auto result = FindMaximallyContainedRewriting(query, {view},
+                                                RewriteOptions{
+                                                    .require_total = true});
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_TRUE(result->rewriting.rules.empty());
+  EXPECT_FALSE(result->equivalent);
+}
+
+TEST(ContainedTest, AllAcceptedRulesAreActuallyContained) {
+  // Cross-check the containment claim through composition, independently.
+  TslQuery view = MustParse(
+      "<v(P') fem {<w(X') m Z'>}> :- "
+      "<P' person {<G' gender female>}>@db AND "
+      "<P' person {<X' name Z'>}>@db",
+      "FemaleNames");
+  TslQuery query = MustParse(
+      "<f(P) out Z> :- <P person {<X name Z>}>@db", "Q");
+  auto result = FindMaximallyContainedRewriting(
+      query, {view}, RewriteOptions{.require_total = true});
+  ASSERT_TRUE(result.ok());
+  for (const TslQuery& rule : result->rewriting.rules) {
+    auto composed = ComposeWithViews(rule, {view});
+    ASSERT_TRUE(composed.ok());
+    auto contained = IsContainedIn(*composed, TslRuleSet::Single(query));
+    ASSERT_TRUE(contained.ok());
+    EXPECT_TRUE(*contained) << rule.ToString();
+  }
+}
+
+}  // namespace
+}  // namespace tslrw

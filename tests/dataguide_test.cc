@@ -1,0 +1,140 @@
+#include "constraints/dataguide.h"
+
+#include <gtest/gtest.h>
+
+#include "constraints/inference.h"
+#include "fixtures.h"
+#include "oem/generator.h"
+#include "rewrite/chase.h"
+#include "tsl/parser.h"
+
+namespace tslrw {
+namespace {
+
+using testing::MustParse;
+using testing::MustParseDb;
+
+OemDatabase PersonDb() {
+  return MustParseDb(R"(
+    database db {
+      <p1 p {
+        <n1 name { <l1 last smith> <f1 first ann> }>
+        <ph1 phone "555-0001">
+      }>
+      <p2 p {
+        <n2 name { <l2 last jones> <f2 first bob> }>
+        <ph2 phone "555-0002">
+        <a1 address "12 main st">
+        <a2 address "old address">
+      }>
+    })");
+}
+
+TEST(DataGuideTest, EveryLabelPathRepresentedOnce) {
+  DataGuide guide = DataGuide::Build(PersonDb());
+  // Paths: (root), p, p.name, p.name.last, p.name.first, p.phone,
+  // p.address -> 7 nodes.
+  EXPECT_EQ(guide.size(), 7u);
+  const DataGuide::Node* p = guide.Lookup({"p"});
+  ASSERT_NE(p, nullptr);
+  EXPECT_EQ(p->targets.size(), 2u);
+  const DataGuide::Node* last = guide.Lookup({"p", "name", "last"});
+  ASSERT_NE(last, nullptr);
+  EXPECT_EQ(last->targets.size(), 2u);
+  EXPECT_TRUE(last->has_atomic);
+  EXPECT_FALSE(last->has_set);
+  EXPECT_EQ(guide.Lookup({"p", "zebra"}), nullptr);
+}
+
+TEST(DataGuideTest, LabelsAfterAnswersFormulationQueries) {
+  DataGuide guide = DataGuide::Build(PersonDb());
+  EXPECT_EQ(guide.LabelsAfter({}), std::set<std::string>{"p"});
+  EXPECT_EQ(guide.LabelsAfter({"p"}),
+            (std::set<std::string>{"name", "phone", "address"}));
+  EXPECT_EQ(guide.LabelsAfter({"p", "name"}),
+            (std::set<std::string>{"last", "first"}));
+  EXPECT_TRUE(guide.LabelsAfter({"p", "phone"}).empty());
+  EXPECT_TRUE(guide.LabelsAfter({"nope"}).empty());
+}
+
+TEST(DataGuideTest, HandlesDagsAndCycles) {
+  OemDatabase db = MustParseDb(R"(
+    database db {
+      <a node { <b node { @a }> <c node x> }>
+    })");
+  DataGuide guide = DataGuide::Build(db);
+  // node, node.node, node.node.node... the subset construction converges.
+  EXPECT_LE(guide.size(), 6u);
+  EXPECT_NE(guide.Lookup({"node", "node", "node"}), nullptr);
+}
+
+TEST(DataGuideTest, DeterministicOnGeneratedData) {
+  GeneratorOptions options;
+  options.seed = 5;
+  options.num_roots = 10;
+  options.max_depth = 3;
+  OemDatabase db = GenerateOemDatabase("db", options);
+  DataGuide a = DataGuide::Build(db);
+  DataGuide b = DataGuide::Build(db);
+  EXPECT_EQ(a.size(), b.size());
+}
+
+TEST(InferDtdTest, MultiplicityFromInstance) {
+  auto dtd = InferDtdFromData(PersonDb());
+  ASSERT_TRUE(dtd.ok()) << dtd.status();
+  const Dtd::Element* p = dtd->Find("p");
+  ASSERT_NE(p, nullptr);
+  // name and phone occur exactly once in both persons; address at most
+  // twice and not everywhere.
+  EXPECT_EQ(p->FindChild("name")->multiplicity, Multiplicity::kOne);
+  EXPECT_EQ(p->FindChild("phone")->multiplicity, Multiplicity::kOne);
+  EXPECT_EQ(p->FindChild("address")->multiplicity, Multiplicity::kStar);
+  EXPECT_TRUE(dtd->Find("last")->atomic);
+  EXPECT_TRUE(dtd->Find("name") != nullptr && !dtd->Find("name")->atomic);
+}
+
+TEST(InferDtdTest, MixedAtomicityOmitted) {
+  OemDatabase db = MustParseDb(R"(
+    database db {
+      <a rec { <x m v> }>
+      <b m { <y q w> }>
+    })");
+  // m appears as an atomic object (x) and as a set object (b).
+  auto dtd = InferDtdFromData(db);
+  ASSERT_TRUE(dtd.ok()) << dtd.status();
+  EXPECT_FALSE(dtd->declares("m"));
+  EXPECT_TRUE(dtd->declares("rec"));
+}
+
+TEST(InferDtdTest, SingleOccurrenceInSomeParentsIsOptional) {
+  OemDatabase db = MustParseDb(R"(
+    database db {
+      <a rec { <x tag v> }>
+      <b rec { <y other w> }>
+    })");
+  auto dtd = InferDtdFromData(db);
+  ASSERT_TRUE(dtd.ok());
+  EXPECT_EQ(dtd->Find("rec")->FindChild("tag")->multiplicity,
+            Multiplicity::kOptional);
+}
+
+TEST(InferDtdTest, DrivesTheChaseLikeAnAuthoredDtd) {
+  // The instance-derived DTD makes the Example 3.5 style inference work:
+  // on PersonDb, p.?.last must be name, and p -> name is an FD.
+  auto dtd = InferDtdFromData(PersonDb());
+  ASSERT_TRUE(dtd.ok());
+  StructuralConstraints constraints(std::move(dtd).value());
+  EXPECT_EQ(constraints.InferMiddleLabel("p", "last"), "name");
+  EXPECT_TRUE(constraints.HasUniqueChild("p", "name"));
+  ChaseOptions options{&constraints, {}};
+  TslQuery q = MustParse(
+      "<f(P) out yes> :- <P p {<X Y {<Z last smith>}>}>@db");
+  auto chased = ChaseQuery(q, options);
+  ASSERT_TRUE(chased.ok()) << chased.status();
+  EXPECT_EQ(chased->BodyVariables().count(
+                Term::MakeVar("Y", VarKind::kLabelValue)),
+            0u);
+}
+
+}  // namespace
+}  // namespace tslrw

@@ -1,0 +1,92 @@
+#include "tsl/datalog.h"
+
+#include <gtest/gtest.h>
+
+#include "fixtures.h"
+#include "tsl/parser.h"
+
+namespace tslrw {
+namespace {
+
+using testing::MustParse;
+
+TEST(DatalogTest, SimpleRuleRenders) {
+  TslQuery q = MustParse(testing::kQ3, "Q3");
+  auto program = ToDatalog(q);
+  ASSERT_TRUE(program.ok()) << program.status();
+  // Body over db: top + two object atoms (root and child).
+  EXPECT_NE(program->find("db.top(P)"), std::string::npos);
+  EXPECT_NE(program->find("db.object(P,'p','set')"), std::string::npos);
+  EXPECT_NE(program->find("db.member(P,X)"), std::string::npos);
+  EXPECT_NE(program->find("db.object(X,Y,'leland')"), std::string::npos);
+  // Head: one answer root + its object fact.
+  EXPECT_NE(program->find("ans.top(f(P))"), std::string::npos);
+  EXPECT_NE(program->find("ans.object(f(P),'stanford','yes')"),
+            std::string::npos);
+}
+
+TEST(DatalogTest, HeadStructureBecomesMemberRules) {
+  TslQuery q = MustParse(testing::kQ14, "Q14");
+  auto program = ToDatalog(q);
+  ASSERT_TRUE(program.ok()) << program.status();
+  EXPECT_NE(program->find("ans.member(l(X),f(Y))"), std::string::npos);
+  EXPECT_NE(program->find("ans.member(f(Y),n(Z))"), std::string::npos);
+  EXPECT_NE(program->find("ans.object(l(X),'l','set')"), std::string::npos);
+  EXPECT_NE(program->find("ans.object(n(Z),'n',V)"), std::string::npos);
+}
+
+TEST(DatalogTest, SubgraphCopyEmitsClosureRules) {
+  // (Q11)'s head value V copies a subgraph: the limited recursion shows up.
+  TslQuery q = MustParse(testing::kQ11, "Q11");
+  auto program = ToDatalog(q);
+  ASSERT_TRUE(program.ok()) << program.status();
+  EXPECT_NE(program->find("copy_db(C)"), std::string::npos);
+  EXPECT_NE(program->find("ans.member(O,C) :- copy_db(O), db.member(O,C)."),
+            std::string::npos);
+  EXPECT_NE(
+      program->find("ans.object(O,L,V) :- copy_db(O), db.object(O,L,V)."),
+      std::string::npos);
+  EXPECT_NE(program->find("copy_db(C) :- copy_db(O), db.member(O,C)."),
+            std::string::npos);
+}
+
+TEST(DatalogTest, NoCopyRulesWithoutSubgraphValues) {
+  auto program = ToDatalog(MustParse(testing::kQ3, "Q3"));
+  ASSERT_TRUE(program.ok());
+  EXPECT_EQ(program->find("copy_"), std::string::npos);
+}
+
+TEST(DatalogTest, BodyAtomsDeduplicated) {
+  // Both (Q2) conditions share the root atom: it appears once per rule.
+  TslQuery q = MustParse(testing::kQ2, "Q2");
+  auto program = ToDatalog(q);
+  ASSERT_TRUE(program.ok());
+  std::string needle = "db.object(P,'person','set')";
+  size_t first = program->find(needle);
+  ASSERT_NE(first, std::string::npos);
+  // Within the first rule line, the atom occurs exactly once.
+  size_t line_end = program->find('\n', first);
+  std::string line = program->substr(0, line_end);
+  size_t second_in_line = line.find(needle, first + 1);
+  EXPECT_EQ(second_in_line, std::string::npos);
+}
+
+TEST(DatalogTest, QuotedAtomsSurviveSpecialSpelling) {
+  TslQuery q = MustParse(testing::kQ10, "Q10");
+  auto program = ToDatalog(q);
+  ASSERT_TRUE(program.ok());
+  EXPECT_NE(program->find("'Stan-student'"), std::string::npos);
+}
+
+TEST(DatalogTest, RuleSetsConcatenate) {
+  TslRuleSet rules;
+  rules.rules.push_back(MustParse(testing::kQ3, "A"));
+  rules.rules.push_back(MustParse(testing::kQ5, "B"));
+  auto program = ToDatalog(rules);
+  ASSERT_TRUE(program.ok());
+  EXPECT_NE(program->find("% rule A"), std::string::npos);
+  EXPECT_NE(program->find("% rule B"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace tslrw

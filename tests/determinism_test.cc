@@ -1,0 +1,125 @@
+// Determinism and stability: a rewriting engine that returns different
+// plans on identical inputs is a debugging nightmare, so every public
+// entry point must be reproducible run-to-run (no address-ordered
+// containers leaking into results, no unstable iteration).
+
+#include <gtest/gtest.h>
+
+#include "common/string_util.h"
+#include "equiv/equivalence.h"
+#include "eval/evaluator.h"
+#include "fixtures.h"
+#include "mediator/mediator.h"
+#include "oem/generator.h"
+#include "random_rules.h"
+#include "rewrite/contained.h"
+#include "rewrite/rewriter.h"
+
+namespace tslrw {
+namespace {
+
+using testing::MustParse;
+using testing::MustParseDb;
+
+std::string RenderRewritings(const RewriteResult& r) {
+  std::string out;
+  for (const TslQuery& q : r.rewritings) out += q.ToString() + "\n";
+  return out;
+}
+
+TEST(DeterminismTest, RewritingsAreStableAcrossRuns) {
+  testing::RandomRules rules(99, 4, 4, "l0");
+  std::vector<TslQuery> views = {rules.View("V1", "db"),
+                                 rules.CopyView("V2", "db")};
+  for (int i = 0; i < 4; ++i) {
+    TslQuery query = rules.Query("Q", "db");
+    auto a = RewriteQuery(query, views);
+    auto b = RewriteQuery(query, views);
+    ASSERT_TRUE(a.ok() && b.ok());
+    EXPECT_EQ(RenderRewritings(*a), RenderRewritings(*b));
+    EXPECT_EQ(a->mappings_found, b->mappings_found);
+    EXPECT_EQ(a->candidates_generated, b->candidates_generated);
+  }
+}
+
+TEST(DeterminismTest, ContainedRewritingsAreStable) {
+  TslQuery view = MustParse(
+      "<v(P') fem {<w(X') nm Z'>}> :- "
+      "<P' person {<G' gender female>}>@db AND "
+      "<P' person {<X' name Z'>}>@db",
+      "Fem");
+  TslQuery query = MustParse("<f(P) out Z> :- <P person {<X name Z>}>@db");
+  auto a = FindMaximallyContainedRewriting(query, {view});
+  auto b = FindMaximallyContainedRewriting(query, {view});
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_EQ(a->rewriting.ToString(), b->rewriting.ToString());
+  EXPECT_EQ(a->equivalent, b->equivalent);
+}
+
+TEST(DeterminismTest, MediatorPlansAreStableAndCostOrdered) {
+  std::vector<SourceDescription> sources;
+  for (int i = 0; i < 3; ++i) {
+    Capability cap;
+    cap.view = MustParse(
+        StrCat("<d", i, "(P') rec {<X' Y' Z'>}> :- <P' rec {<X' Y' Z'>}>@s",
+               i % 2),
+        StrCat("Dump", i));
+    sources.push_back(SourceDescription{StrCat("s", i % 2), {cap}});
+  }
+  // Merge duplicate source entries (s0 appears twice).
+  std::vector<SourceDescription> merged = {
+      SourceDescription{"s0",
+                        {sources[0].capabilities[0],
+                         sources[2].capabilities[0]}},
+      sources[1]};
+  auto mediator = Mediator::Make(merged);
+  ASSERT_TRUE(mediator.ok()) << mediator.status();
+  TslQuery query = MustParse(
+      "<f(P) out yes> :- <P rec {<X l0 u>}>@s0 AND <P rec {<Y l1 w>}>@s0",
+      "Q");
+  auto a = mediator->Plan(query);
+  auto b = mediator->Plan(query);
+  ASSERT_TRUE(a.ok() && b.ok());
+  ASSERT_EQ(a->size(), b->size());
+  for (size_t i = 0; i < a->size(); ++i) {
+    EXPECT_EQ((*a)[i].ToString(), (*b)[i].ToString());
+    if (i > 0) {
+      EXPECT_LE((*a)[i - 1].cost, (*a)[i].cost);
+    }
+  }
+}
+
+TEST(DeterminismTest, RuleSetFusionConflictsAreDetected) {
+  // Two rules fuse the same oid with contradictory atomic values: the
+  // union evaluation must fail loudly, not last-write-win.
+  SourceCatalog catalog;
+  catalog.Put(MustParseDb(
+      "database db { <p1 p { <a1 m u1> <a2 n u2> }> }"));
+  TslRuleSet rules;
+  rules.rules.push_back(MustParse("<f(P) out Z> :- <P p {<X m Z>}>@db", "A"));
+  rules.rules.push_back(MustParse("<f(P) out Z> :- <P p {<X n Z>}>@db", "B"));
+  auto answer = EvaluateRuleSet(rules, catalog);
+  ASSERT_FALSE(answer.ok());
+  EXPECT_EQ(answer.status().code(), StatusCode::kFusionConflict);
+}
+
+TEST(DeterminismTest, EquivalenceVerdictsAreStable) {
+  testing::RandomRules rules(7, 4, 4, "l0");
+  std::vector<TslQuery> pool;
+  for (int i = 0; i < 4; ++i) pool.push_back(rules.Query("Q", "db"));
+  for (const TslQuery& x : pool) {
+    for (const TslQuery& y : pool) {
+      auto a = AreEquivalent(x, y);
+      auto b = AreEquivalent(x, y);
+      ASSERT_TRUE(a.ok() && b.ok());
+      EXPECT_EQ(*a, *b);
+      // Symmetry, while we are here.
+      auto rev = AreEquivalent(y, x);
+      ASSERT_TRUE(rev.ok());
+      EXPECT_EQ(*a, *rev);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace tslrw

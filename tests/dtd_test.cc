@@ -1,0 +1,108 @@
+#include "constraints/dtd.h"
+
+#include <gtest/gtest.h>
+
+#include "constraints/inference.h"
+#include "fixtures.h"
+
+namespace tslrw {
+namespace {
+
+TEST(DtdTest, ParsesPaperDtd) {
+  auto dtd = Dtd::Parse(testing::kPersonDtd);
+  ASSERT_TRUE(dtd.ok()) << dtd.status();
+  const Dtd::Element* p = dtd->Find("p");
+  ASSERT_NE(p, nullptr);
+  EXPECT_FALSE(p->atomic);
+  ASSERT_EQ(p->children.size(), 3u);
+  EXPECT_EQ(p->children[0].label, "name");
+  EXPECT_EQ(p->children[0].multiplicity, Multiplicity::kOne);
+  EXPECT_EQ(p->children[2].label, "address");
+  EXPECT_EQ(p->children[2].multiplicity, Multiplicity::kStar);
+  const Dtd::Element* name = dtd->Find("name");
+  ASSERT_NE(name, nullptr);
+  EXPECT_EQ(name->FindChild("middle")->multiplicity, Multiplicity::kOptional);
+  EXPECT_TRUE(dtd->Find("phone")->atomic);
+  EXPECT_FALSE(dtd->declares("zebra"));
+}
+
+TEST(DtdTest, PlusEmptyAndAlternation) {
+  auto dtd = Dtd::Parse(R"(
+    <!ELEMENT a (b+, c)>
+    <!ELEMENT b EMPTY>
+    <!ELEMENT c (d | e)>
+  )");
+  ASSERT_TRUE(dtd.ok()) << dtd.status();
+  EXPECT_EQ(dtd->Find("a")->FindChild("b")->multiplicity, Multiplicity::kPlus);
+  EXPECT_TRUE(dtd->Find("b")->children.empty());
+  EXPECT_FALSE(dtd->Find("b")->atomic);
+  // Alternation weakens both branches to optional.
+  EXPECT_EQ(dtd->Find("c")->FindChild("d")->multiplicity,
+            Multiplicity::kOptional);
+  EXPECT_EQ(dtd->Find("c")->FindChild("e")->multiplicity,
+            Multiplicity::kOptional);
+}
+
+TEST(DtdTest, RepeatedChildWeakensToStar) {
+  auto dtd = Dtd::Parse("<!ELEMENT a (b, b)>");
+  ASSERT_TRUE(dtd.ok());
+  EXPECT_EQ(dtd->Find("a")->FindChild("b")->multiplicity, Multiplicity::kStar);
+}
+
+TEST(DtdTest, RejectsMalformedDeclarations) {
+  EXPECT_FALSE(Dtd::Parse("<!ELEMENT a>").ok());
+  EXPECT_FALSE(Dtd::Parse("<ELEMENT a (b)>").ok());
+  EXPECT_FALSE(Dtd::Parse("<!ELEMENT a (b)> <!ELEMENT a (c)>").ok());
+  EXPECT_FALSE(Dtd::Parse("<!ELEMENT a (b,)>").ok());
+}
+
+TEST(DtdTest, RoundTripsToString) {
+  auto dtd = Dtd::Parse(testing::kPersonDtd);
+  ASSERT_TRUE(dtd.ok());
+  auto round = Dtd::Parse(dtd->ToString());
+  ASSERT_TRUE(round.ok()) << round.status();
+  EXPECT_EQ(dtd->ToString(), round->ToString());
+}
+
+TEST(StructuralConstraintsTest, InferMiddleLabelFromPaper) {
+  auto dtd = Dtd::Parse(testing::kPersonDtd);
+  ASSERT_TRUE(dtd.ok());
+  StructuralConstraints c(std::move(dtd).value());
+  // Example 3.5: "the only subobject of a p object with a last subobject
+  // is a name object".
+  EXPECT_EQ(c.InferMiddleLabel("p", "last"), "name");
+  EXPECT_EQ(c.InferMiddleLabel("p", "middle"), "name");
+  // name.?.last: alias and ... only alias among name's children has last?
+  // name's children: last, first, middle?, alias?; alias has (last, first).
+  EXPECT_EQ(c.InferMiddleLabel("name", "last"), "alias");
+  // Unknown parent: no inference.
+  EXPECT_EQ(c.InferMiddleLabel("zebra", "last"), std::nullopt);
+}
+
+TEST(StructuralConstraintsTest, UniqueChildFds) {
+  auto dtd = Dtd::Parse(testing::kPersonDtd);
+  ASSERT_TRUE(dtd.ok());
+  StructuralConstraints c(std::move(dtd).value());
+  EXPECT_TRUE(c.HasUniqueChild("p", "name"));
+  EXPECT_TRUE(c.HasUniqueChild("p", "phone"));
+  EXPECT_FALSE(c.HasUniqueChild("p", "address"));   // star
+  EXPECT_FALSE(c.HasUniqueChild("name", "middle")); // optional
+  EXPECT_FALSE(c.HasUniqueChild("p", "zebra"));
+  EXPECT_FALSE(c.HasUniqueChild("zebra", "name"));
+}
+
+TEST(StructuralConstraintsTest, AtomicityAndAllowsChild) {
+  auto dtd = Dtd::Parse(testing::kPersonDtd);
+  ASSERT_TRUE(dtd.ok());
+  StructuralConstraints c(std::move(dtd).value());
+  EXPECT_TRUE(c.IsAtomic("phone"));
+  EXPECT_FALSE(c.IsAtomic("p"));
+  EXPECT_FALSE(c.IsAtomic("zebra"));
+  EXPECT_TRUE(c.AllowsChild("p", "name"));
+  EXPECT_FALSE(c.AllowsChild("p", "last"));
+  EXPECT_FALSE(c.AllowsChild("phone", "anything"));
+  EXPECT_TRUE(c.AllowsChild("zebra", "anything"));  // open world
+}
+
+}  // namespace
+}  // namespace tslrw

@@ -1,0 +1,210 @@
+// Cross-module edge cases and failure injection: error paths that the
+// happy-path suites never reach, plus classic semantic corner cases
+// (bisimulation on cycles, views over views, fresh-name hygiene in the
+// chase).
+
+#include <gtest/gtest.h>
+
+#include "common/string_util.h"
+#include "equiv/equivalence.h"
+#include "eval/evaluator.h"
+#include "fixtures.h"
+#include "mediator/mediator.h"
+#include "oem/bisim.h"
+#include "rewrite/chase.h"
+#include "rewrite/compose.h"
+#include "tsl/parser.h"
+
+namespace tslrw {
+namespace {
+
+using testing::MustParse;
+using testing::MustParseDb;
+
+Term Atom(const char* s) { return Term::MakeAtom(s); }
+
+// --- bisimulation classics ---------------------------------------------------
+
+TEST(BisimEdgeTest, CyclesOfDifferentLengthAreBisimilar) {
+  // a 1-cycle and a 2-cycle with identical labels unfold to the same
+  // infinite tree: the \S6 equivalence must identify them.
+  OemDatabase one("a");
+  ASSERT_TRUE(one.PutSet(Atom("x"), "n").ok());
+  ASSERT_TRUE(one.AddEdge(Atom("x"), Atom("x")).ok());
+  ASSERT_TRUE(one.AddRoot(Atom("x")).ok());
+  OemDatabase two("b");
+  ASSERT_TRUE(two.PutSet(Atom("p"), "n").ok());
+  ASSERT_TRUE(two.PutSet(Atom("q"), "n").ok());
+  ASSERT_TRUE(two.AddEdge(Atom("p"), Atom("q")).ok());
+  ASSERT_TRUE(two.AddEdge(Atom("q"), Atom("p")).ok());
+  ASSERT_TRUE(two.AddRoot(Atom("p")).ok());
+  EXPECT_TRUE(StructurallyEquivalent(one, two));
+  // But a finite chain is NOT bisimilar to a cycle (its leaf dead-ends).
+  OemDatabase chain("c");
+  ASSERT_TRUE(chain.PutSet(Atom("u"), "n").ok());
+  ASSERT_TRUE(chain.PutSet(Atom("v"), "n").ok());
+  ASSERT_TRUE(chain.AddEdge(Atom("u"), Atom("v")).ok());
+  ASSERT_TRUE(chain.AddRoot(Atom("u")).ok());
+  EXPECT_FALSE(StructurallyEquivalent(one, chain));
+}
+
+TEST(BisimEdgeTest, SharedVersusDuplicatedSubtrees) {
+  // One root pointing twice at one child vs. two distinct equal children:
+  // bisimilar (sets of subobjects are compared up to equivalence).
+  OemDatabase shared = MustParseDb(
+      "database a { <r n { <c m v> }> }");
+  OemDatabase duplicated = MustParseDb(
+      "database b { <r n { <c1 m v> <c2 m v> }> }");
+  EXPECT_TRUE(StructurallyEquivalent(shared, duplicated));
+}
+
+// --- evaluator failure injection ---------------------------------------------
+
+TEST(EvalEdgeTest, SubgraphBindingInOidPositionFails) {
+  // V binds a subgraph; f(V) needs an atomic term: IllFormedQuery.
+  SourceCatalog catalog;
+  catalog.Put(MustParseDb("database db { <p1 p { <n1 m x> }> }"));
+  auto result = Evaluate(
+      MustParse("<f(V) out yes> :- <P p V>@db"), catalog);
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kIllFormedQuery);
+}
+
+TEST(EvalEdgeTest, HeadLabelBoundToOidFails) {
+  // The parser's V_O/V_C disjointness makes this unwritable in concrete
+  // syntax, so build it programmatically: a head whose label field holds an
+  // oid variable that binds to a function-term oid.
+  SourceCatalog catalog;
+  catalog.Put(MustParseDb("database db { <p1 p { <n1 m x> }> }"));
+  auto view = MaterializeView(
+      MustParse("<g(P') p {<h(X') v Z'>}> :- <P' p {<X' Y' Z'>}>@db", "V"),
+      catalog);
+  ASSERT_TRUE(view.ok());
+  catalog.Put(std::move(*view));
+  TslQuery q = MustParse("<f(P) out yes> :- <g(P) p {<W v Z>}>@V");
+  q.head.label = Term::MakeVar("W", VarKind::kObjectId);  // binds to h(n1)
+  auto result = Evaluate(q, catalog);
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kIllFormedQuery);
+}
+
+TEST(EvalEdgeTest, FunctionTermHeadValueRejected) {
+  SourceCatalog catalog;
+  catalog.Put(MustParseDb("database db { <p1 p { <n1 m x> }> }"));
+  auto result = Evaluate(
+      MustParse("<f(P) out g(P)> :- <P p {<N m x>}>@db"), catalog);
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kIllFormedQuery);
+}
+
+TEST(EvalEdgeTest, EmptyBodyQueryYieldsOneAnswerPerNoAssignment) {
+  // A body over an empty database produces no assignments and no roots —
+  // not an error.
+  SourceCatalog catalog;
+  catalog.Put(OemDatabase("db"));
+  auto result = Evaluate(MustParse("<f(P) out yes> :- <P p V>@db"), catalog);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->size(), 0u);
+}
+
+// --- composition: views over views, cycles -----------------------------------
+
+TEST(ComposeEdgeTest, ViewOverViewExpandsTransitively) {
+  // V2 is defined over V1; composing a query over V2 must reach @db.
+  TslQuery v1 = MustParse(
+      "<a(P') lvl1 {<aa(X') m U'>}> :- <P' rec {<X' l U'>}>@db", "V1");
+  TslQuery v2 = MustParse(
+      "<b(P'') lvl2 {<bb(X'') n U''>}> :- "
+      "<a(P'') lvl1 {<aa(X'') m U''>}>@V1", "V2");
+  TslQuery q = MustParse("<f(P) out yes> :- <b(P) lvl2 {<bb(X) n u>}>@V2");
+  auto composed = ComposeWithViews(q, {v1, v2});
+  ASSERT_TRUE(composed.ok()) << composed.status();
+  ASSERT_EQ(composed->rules.size(), 1u);
+  for (const Condition& c : composed->rules[0].body) {
+    EXPECT_EQ(c.source, "db") << composed->rules[0].ToString();
+  }
+}
+
+TEST(ComposeEdgeTest, CyclicViewDefinitionsDetected) {
+  // V references itself: composition must terminate with an error rather
+  // than loop forever.
+  TslQuery v = MustParse(
+      "<a(P') lvl {<aa(X') m U'>}> :- <a(P') lvl {<aa(X') m U'>}>@V", "V");
+  TslQuery q = MustParse("<f(P) out yes> :- <a(P) lvl {<aa(X) m u>}>@V");
+  auto composed = ComposeWithViews(q, {v});
+  EXPECT_FALSE(composed.ok());
+  EXPECT_EQ(composed.status().code(), StatusCode::kInvalidArgument);
+}
+
+// --- chase hygiene -----------------------------------------------------------
+
+TEST(ChaseEdgeTest, FreshNamesAvoidExistingVariables) {
+  // The query already uses Xf1/Yf1/Zf1: the \S3.2 set-variable rule must
+  // mint names that do not collide.
+  TslQuery q = MustParse(
+      "<f(P) out yes> :- <P rec {<Xf1 Yf1 Zf1>}>@db AND <P rec V>@db");
+  auto chased = ChaseQuery(q);
+  ASSERT_TRUE(chased.ok()) << chased.status();
+  // All variables distinct: the two conditions keep separate witnesses.
+  std::set<Term> vars = chased->BodyVariables();
+  EXPECT_GE(vars.size(), 5u) << chased->ToString();
+  auto round = ParseTslQuery(chased->ToString());
+  ASSERT_TRUE(round.ok()) << round.status();
+}
+
+TEST(ChaseEdgeTest, HeadOnlySetVariableChasedIntoCopyPattern) {
+  // (Q11)-style: V in the head; chase rewrites it to a copy pattern whose
+  // oid variable lands in the head oid position — still well formed.
+  TslQuery q = MustParse(testing::kQ11, "Q11");
+  auto chased = ChaseQuery(q);
+  ASSERT_TRUE(chased.ok());
+  auto reparsed = ParseTslQuery(chased->ToString());
+  ASSERT_TRUE(reparsed.ok()) << reparsed.status() << "\n"
+                             << chased->ToString();
+  EXPECT_EQ(*reparsed, *chased);
+}
+
+// --- mediator failure injection ----------------------------------------------
+
+TEST(MediatorEdgeTest, ExecuteWithMissingSourceData) {
+  Capability cap;
+  cap.view = MustParse(
+      "<d(P') rec {<X' Y' Z'>}> :- <P' rec {<X' Y' Z'>}>@s0", "Dump");
+  auto mediator = Mediator::Make({SourceDescription{"s0", {cap}}});
+  ASSERT_TRUE(mediator.ok());
+  TslQuery q = MustParse("<f(P) out yes> :- <P rec {<X l u>}>@s0");
+  auto plans = mediator->Plan(q);
+  ASSERT_TRUE(plans.ok());
+  ASSERT_FALSE(plans->empty());
+  SourceCatalog empty;  // wrapper's backing data is gone
+  auto answer = mediator->Execute(plans->front(), empty);
+  EXPECT_FALSE(answer.ok());
+  EXPECT_TRUE(answer.status().IsNotFound());
+}
+
+// --- equivalence across sources ----------------------------------------------
+
+TEST(EquivalenceEdgeTest, SameShapeDifferentSourcesNotEquivalent) {
+  TslQuery a = MustParse("<f(P) out Z> :- <P p {<X l Z>}>@db1");
+  TslQuery b = MustParse("<f(P) out Z> :- <P p {<X l Z>}>@db2");
+  auto eq = AreEquivalent(a, b);
+  ASSERT_TRUE(eq.ok());
+  EXPECT_FALSE(*eq);
+}
+
+TEST(EquivalenceEdgeTest, EmptyRuleSetsAreEquivalent) {
+  TslRuleSet empty_a, empty_b;
+  auto eq = AreEquivalent(empty_a, empty_b);
+  ASSERT_TRUE(eq.ok());
+  EXPECT_TRUE(*eq);
+  // And an unsatisfiable singleton equals the empty set.
+  TslRuleSet unsat;
+  unsat.rules.push_back(MustParse(
+      "<f(X) out yes> :- <P p {<X a u1>}>@db AND <R p {<X a u2>}>@db", "U"));
+  auto eq2 = AreEquivalent(unsat, empty_a);
+  ASSERT_TRUE(eq2.ok());
+  EXPECT_TRUE(*eq2);
+}
+
+}  // namespace
+}  // namespace tslrw

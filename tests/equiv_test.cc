@@ -1,0 +1,273 @@
+#include "equiv/equivalence.h"
+
+#include <gtest/gtest.h>
+
+#include "equiv/component.h"
+#include "fixtures.h"
+#include "tsl/normal_form.h"
+#include "tsl/parser.h"
+
+namespace tslrw {
+namespace {
+
+using testing::MustParse;
+
+// --- Example 4.1: decomposition of (Q14) -----------------------------------
+
+TEST(ComponentTest, Example41DecomposesIntoSixRules) {
+  TslQuery q14 = MustParse(testing::kQ14, "Q14");
+  auto parts = DecomposeQuery(q14);
+  ASSERT_TRUE(parts.ok()) << parts.status();
+  // 1 top + 2 member + 3 object rules.
+  ASSERT_EQ(parts->size(), 6u);
+  int tops = 0, members = 0, objects = 0;
+  for (const ComponentQuery& c : *parts) {
+    switch (c.kind) {
+      case ComponentKind::kTop: ++tops; break;
+      case ComponentKind::kMember: ++members; break;
+      case ComponentKind::kObject: ++objects; break;
+    }
+  }
+  EXPECT_EQ(tops, 1);
+  EXPECT_EQ(members, 2);
+  EXPECT_EQ(objects, 3);
+  // top(l(X)) heads the decomposition.
+  EXPECT_EQ((*parts)[0].kind, ComponentKind::kTop);
+  EXPECT_EQ((*parts)[0].head_terms[0].ToString(), "l(X)");
+  // Every component carries the full body.
+  for (const ComponentQuery& c : *parts) {
+    EXPECT_EQ(c.body.size(), 1u);
+  }
+}
+
+TEST(ComponentTest, MemberRulesRecordEdges) {
+  TslQuery q14 = MustParse(testing::kQ14, "Q14");
+  auto parts = DecomposeQuery(q14);
+  ASSERT_TRUE(parts.ok());
+  std::vector<std::pair<std::string, std::string>> edges;
+  for (const ComponentQuery& c : *parts) {
+    if (c.kind == ComponentKind::kMember) {
+      edges.emplace_back(c.head_terms[0].ToString(),
+                         c.head_terms[1].ToString());
+    }
+  }
+  EXPECT_EQ(edges, (std::vector<std::pair<std::string, std::string>>{
+                       {"l(X)", "f(Y)"}, {"f(Y)", "n(Z)"}}));
+}
+
+TEST(ComponentTest, ObjectRulesEmptySetValues) {
+  // Set-valued head objects decompose into `{}` object rules; the member
+  // rules carry the structure. Atomic/copied values stay as terms.
+  TslQuery q14 = MustParse(testing::kQ14, "Q14");
+  auto parts = DecomposeQuery(q14);
+  ASSERT_TRUE(parts.ok());
+  int empty_sets = 0, term_values = 0;
+  for (const ComponentQuery& c : *parts) {
+    if (c.kind != ComponentKind::kObject) continue;
+    if (c.value.is_set()) {
+      EXPECT_TRUE(c.value.set().empty());
+      ++empty_sets;
+    } else {
+      ++term_values;
+    }
+  }
+  EXPECT_EQ(empty_sets, 2);   // l(X) and f(Y)
+  EXPECT_EQ(term_values, 1);  // <n(Z) n V>
+}
+
+// --- Theorem 4.2 / 4.3 ------------------------------------------------------
+
+TEST(EquivalenceTest, AlphaRenamingIsEquivalent) {
+  TslQuery a = MustParse("<f(P) out Z> :- <P p {<X l Z>}>@db");
+  TslQuery b = MustParse("<f(Q) out W> :- <Q p {<Y l W>}>@db");
+  auto eq = AreEquivalent(a, b);
+  ASSERT_TRUE(eq.ok()) << eq.status();
+  EXPECT_TRUE(*eq);
+}
+
+TEST(EquivalenceTest, DifferentSkolemFunctorsDiffer) {
+  // \S3 equivalence is identity of answer graphs — oids included.
+  TslQuery a = MustParse("<f(P) out Z> :- <P p {<X l Z>}>@db");
+  TslQuery b = MustParse("<g(P) out Z> :- <P p {<X l Z>}>@db");
+  auto eq = AreEquivalent(a, b);
+  ASSERT_TRUE(eq.ok());
+  EXPECT_FALSE(*eq);
+}
+
+TEST(EquivalenceTest, DifferentLabelsDiffer) {
+  TslQuery a = MustParse("<f(P) out Z> :- <P p {<X l Z>}>@db");
+  TslQuery b = MustParse("<f(P) other Z> :- <P p {<X l Z>}>@db");
+  auto eq = AreEquivalent(a, b);
+  ASSERT_TRUE(eq.ok());
+  EXPECT_FALSE(*eq);
+}
+
+TEST(EquivalenceTest, RedundantConditionIsEquivalent) {
+  // The second condition is subsumed by the first (classic CQ redundancy).
+  TslQuery a = MustParse("<f(P) out yes> :- <P p {<X l leland>}>@db");
+  TslQuery b = MustParse(
+      "<f(P) out yes> :- <P p {<X l leland>}>@db AND <P p {<Y l W>}>@db");
+  auto eq = AreEquivalent(a, b);
+  ASSERT_TRUE(eq.ok()) << eq.status();
+  EXPECT_TRUE(*eq);
+}
+
+TEST(EquivalenceTest, StricterConditionIsNotEquivalent) {
+  TslQuery a = MustParse("<f(P) out yes> :- <P p {<X l Z>}>@db");
+  TslQuery b = MustParse("<f(P) out yes> :- <P p {<X l leland>}>@db");
+  auto eq = AreEquivalent(a, b);
+  ASSERT_TRUE(eq.ok());
+  EXPECT_FALSE(*eq);
+  auto contained = IsContainedIn(TslRuleSet::Single(b), TslRuleSet::Single(a));
+  ASSERT_TRUE(contained.ok());
+  EXPECT_TRUE(*contained);
+  auto reverse = IsContainedIn(TslRuleSet::Single(a), TslRuleSet::Single(b));
+  ASSERT_TRUE(reverse.ok());
+  EXPECT_FALSE(*reverse);
+}
+
+TEST(EquivalenceTest, Q10EquivalentToQ11ViaChase) {
+  // Theorem 4.3 together with the \S3.2 chase (Example 3.4).
+  auto eq = AreEquivalent(MustParse(testing::kQ10, "A"),
+                          MustParse(testing::kQ11, "B"));
+  ASSERT_TRUE(eq.ok()) << eq.status();
+  EXPECT_TRUE(*eq);
+}
+
+TEST(EquivalenceTest, Q1EquivalentToQ2) {
+  auto eq = AreEquivalent(MustParse(testing::kQ1, "A"),
+                          MustParse(testing::kQ2, "B"));
+  ASSERT_TRUE(eq.ok()) << eq.status();
+  EXPECT_TRUE(*eq);
+}
+
+TEST(EquivalenceTest, HeadStructureMatters) {
+  // Same body; one head nests the copied object, the other flattens it.
+  TslQuery a = MustParse("<f(P) out {<f(X) m Z>}> :- <P p {<X l Z>}>@db");
+  TslQuery b = MustParse("<f(P) out {}> :- <P p {<X l Z>}>@db");
+  auto eq = AreEquivalent(a, b);
+  ASSERT_TRUE(eq.ok());
+  EXPECT_FALSE(*eq);
+}
+
+TEST(EquivalenceTest, CopyDirectiveVersusConstructedMembersDiffer) {
+  // <X Y Z> copies source objects; <f(X) Y Z> constructs fresh ones.
+  TslQuery a = MustParse("<g(P) out {<X Y Z>}> :- <P p {<X Y Z>}>@db");
+  TslQuery b = MustParse("<g(P) out {<f(X) Y Z>}> :- <P p {<X Y Z>}>@db");
+  auto eq = AreEquivalent(a, b);
+  ASSERT_TRUE(eq.ok());
+  EXPECT_FALSE(*eq);
+}
+
+TEST(EquivalenceTest, UnionCoversSplitRules) {
+  // One rule per gender versus a single label-variable rule: the union is
+  // contained in the general rule but not equivalent (other genders).
+  TslRuleSet split;
+  split.rules.push_back(MustParse(
+      "<f(P) rec {<f(G) gender female>}> :- "
+      "<P p {<G gender female>}>@db", "A"));
+  split.rules.push_back(MustParse(
+      "<f(P) rec {<f(G) gender male>}> :- <P p {<G gender male>}>@db", "B"));
+  TslRuleSet general = TslRuleSet::Single(MustParse(
+      "<f(P) rec {<f(G) gender W>}> :- <P p {<G gender W>}>@db", "C"));
+  auto contained = IsContainedIn(split, general);
+  ASSERT_TRUE(contained.ok()) << contained.status();
+  EXPECT_TRUE(*contained);
+  auto eq = AreEquivalent(split, general);
+  ASSERT_TRUE(eq.ok());
+  EXPECT_FALSE(*eq);
+}
+
+TEST(EquivalenceTest, UnsatisfiableRuleContributesNothing) {
+  TslRuleSet with_unsat;
+  with_unsat.rules.push_back(
+      MustParse("<f(P) out Z> :- <P p {<X l Z>}>@db", "A"));
+  with_unsat.rules.push_back(MustParse(
+      "<f(P) out Z> :- <P p {<X l Z>}>@db AND <Q q {<X m u>}>@db", "B"));
+  TslRuleSet clean = TslRuleSet::Single(
+      MustParse("<f(P) out Z> :- <P p {<X l Z>}>@db", "C"));
+  auto eq = AreEquivalent(with_unsat, clean);
+  ASSERT_TRUE(eq.ok()) << eq.status();
+  EXPECT_TRUE(*eq);
+}
+
+TEST(ComponentTest, MapsOntoRequiresMatchingKindHeadAndValue) {
+  auto parts_of = [](std::string_view text) {
+    auto parts = DecomposeQuery(MustParse(text, "Q"));
+    EXPECT_TRUE(parts.ok());
+    return std::move(parts).ValueOrDie();
+  };
+  auto a = parts_of("<f(P) out Z> :- <P p {<X l Z>}>@db");
+  auto b = parts_of("<f(Q) out W> :- <Q p {<Y l W>}>@db");
+  // top maps onto top, never onto an object rule.
+  EXPECT_TRUE(ComponentMapsOnto(a[0], b[0]));
+  EXPECT_FALSE(ComponentMapsOnto(a[0], b[1]));
+  // The object rule's value term must map (Z -> W works; constant doesn't).
+  auto c = parts_of("<f(Q) out fixed> :- <Q p {<Y l W>}>@db");
+  EXPECT_TRUE(ComponentMapsOnto(a[1], b[1]));
+  EXPECT_FALSE(ComponentMapsOnto(c[1], a[1]));  // fixed cannot map onto Z
+  // Z -> fixed in the head conflicts with Z -> W in the body (c's body
+  // does not pin the value), so no mapping — c is NOT contained in a.
+  EXPECT_FALSE(ComponentMapsOnto(a[1], c[1]));
+  // Against a body that does pin the value, the head binding is
+  // consistent and the mapping exists.
+  auto e = parts_of("<f(Q) out fixed> :- <Q p {<Y l fixed>}>@db");
+  EXPECT_TRUE(ComponentMapsOnto(a[1], e[1]));
+  // A `{}`-valued object rule never maps onto a term-valued one.
+  auto d = parts_of("<f(Q) out {}> :- <Q p {<Y l W>}>@db");
+  EXPECT_FALSE(ComponentMapsOnto(d[1], a[1]));
+  EXPECT_FALSE(ComponentMapsOnto(a[1], d[1]));
+}
+
+TEST(ComponentTest, HeadSeedConstrainsBodyMapping) {
+  // Heads force P' -> P; the body condition of `a` (constant leland) then
+  // cannot map into b's wildcard body.
+  auto a = DecomposeQuery(
+      MustParse("<f(P) out yes> :- <P p {<X l leland>}>@db", "A"));
+  auto b = DecomposeQuery(
+      MustParse("<f(P) out yes> :- <P p {<X l Z>}>@db", "B"));
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_FALSE(ComponentMapsOnto((*a)[0], (*b)[0]));  // leland vs Z
+  EXPECT_TRUE(ComponentMapsOnto((*b)[0], (*a)[0]));   // Z -> leland
+}
+
+TEST(ComponentTest, ToStringRendersDatalogStyle) {
+  auto parts = DecomposeQuery(MustParse(testing::kQ14, "Q14"));
+  ASSERT_TRUE(parts.ok());
+  EXPECT_NE((*parts)[0].ToString().find("top(l(X)) :- "), std::string::npos);
+  EXPECT_NE((*parts)[1].ToString().find("<l(X) l {}> :- "),
+            std::string::npos);
+  EXPECT_NE((*parts)[2].ToString().find("member(l(X),f(Y)) :- "),
+            std::string::npos);
+}
+
+TEST(EquivalenceTest, TesterMatchesOneShotApi) {
+  TslQuery q = MustParse(testing::kQ3, "Q3");
+  auto tester = EquivalenceTester::Make(TslRuleSet::Single(q));
+  ASSERT_TRUE(tester.ok()) << tester.status();
+  for (std::string_view text : {testing::kQ3, testing::kQ5, testing::kQ7}) {
+    TslRuleSet other = TslRuleSet::Single(MustParse(text, "O"));
+    auto one_shot = AreEquivalent(TslRuleSet::Single(q), other);
+    auto amortized = tester->EquivalentTo(other);
+    ASSERT_TRUE(one_shot.ok() && amortized.ok());
+    EXPECT_EQ(*one_shot, *amortized) << text;
+    auto contained = IsContainedIn(other, TslRuleSet::Single(q));
+    auto amortized_containment = tester->ContainedInReference(other);
+    ASSERT_TRUE(contained.ok() && amortized_containment.ok());
+    EXPECT_EQ(*contained, *amortized_containment) << text;
+  }
+}
+
+TEST(EquivalenceTest, EquivalenceIsReflexiveOnPaperQueries) {
+  for (std::string_view text :
+       {testing::kQ1, testing::kQ3, testing::kQ5, testing::kQ7,
+        testing::kQ9, testing::kQ10, testing::kQ14}) {
+    TslQuery q = MustParse(text, "Q");
+    auto eq = AreEquivalent(q, q);
+    ASSERT_TRUE(eq.ok()) << eq.status();
+    EXPECT_TRUE(*eq) << "not self-equivalent: " << text;
+  }
+}
+
+}  // namespace
+}  // namespace tslrw

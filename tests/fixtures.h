@@ -1,0 +1,124 @@
+#ifndef TSLRW_TESTS_FIXTURES_H_
+#define TSLRW_TESTS_FIXTURES_H_
+
+#include <string>
+#include <string_view>
+
+#include <gtest/gtest.h>
+
+#include "oem/database.h"
+#include "oem/parser.h"
+#include "tsl/ast.h"
+#include "tsl/parser.h"
+
+namespace tslrw::testing {
+
+/// Every numbered rule from the paper, transliterated into the library's
+/// concrete syntax. Differences from the printed page: `Stanford` (OCR
+/// capitalization in heads) is `stanford`; `Stan-student` is quoted because
+/// an unquoted uppercase identifier lexes as a variable; and in (Q8) the
+/// paper prints `pp(P,Y)` where faithful application of mapping (M6)
+/// (Y' -> name) yields `pp(P,name)`.
+
+// --- \S2: semantics example ------------------------------------------------
+inline constexpr std::string_view kQ1 =
+    "<f(P) female {<f(X) Y Z>}> :- "
+    "<P person {<G gender female> <X Y Z>}>@db";
+
+inline constexpr std::string_view kQ2 =
+    "<f(P) female {<f(X) Y Z>}> :- "
+    "<P person {<G gender female>}>@db AND <P person {<X Y Z>}>@db";
+
+// --- Example 3.1: view (V1), query (Q3), candidate (Q4) ---------------------
+inline constexpr std::string_view kV1 =
+    "<g(P') p {<pp(P',Y') pr Y'> <h(X') v Z'>}> :- <P' p {<X' Y' Z'>}>@db";
+
+inline constexpr std::string_view kQ3 =
+    "<f(P) stanford yes> :- <P p {<X Y leland>}>@db";
+
+inline constexpr std::string_view kQ4 =
+    "<f(P) stanford yes> :- "
+    "<g(P) p {<pp(P,Y) pr Y> <h(X) v leland>}>@V1";
+
+// (Q4) in normal form.
+inline constexpr std::string_view kQ4n =
+    "<f(P) stanford yes> :- "
+    "<g(P) p {<pp(P,Y) pr Y>}>@V1 AND <g(P) p {<h(X) v leland>}>@V1";
+
+// (V1)o(Q4)n: the composition of the candidate with the view.
+inline constexpr std::string_view kV1oQ4n =
+    "<f(P) stanford yes> :- "
+    "<P p {<X' Y Z'>}>@db AND <P p {<X'' Y'' leland>}>@db";
+
+// --- Example 3.2: set mappings ----------------------------------------------
+inline constexpr std::string_view kQ5 =
+    "<f(P) stanford yes> :- <P p {<X Y {<Z last stanford>}>}>@db";
+
+inline constexpr std::string_view kQ6 =
+    "<f(P) stanford yes> :- "
+    "<g(P) p {<pp(P,Y) pr Y> <h(X) v {<Z last stanford>}>}>@V1";
+
+// --- Example 3.3: a mapping without a rewriting ------------------------------
+inline constexpr std::string_view kQ7 =
+    "<f(P) stanford yes> :- <P p {<X name {<Z last stanford>}>}>@db";
+
+inline constexpr std::string_view kQ8 =
+    "<f(P) stanford yes> :- "
+    "<g(P) p {<pp(P,name) pr name> <h(X) v {<Z last stanford>}>}>@V1";
+
+inline constexpr std::string_view kQ9 =
+    "<f(P) stanford yes> :- "
+    "<P p {<X' name Z'>}>@db AND "
+    "<P p {<X'' Y'' {<Z last stanford>}>}>@db";
+
+// --- Example 3.4: chase on a set variable ------------------------------------
+inline constexpr std::string_view kQ10 =
+    "<f(P) \"Stan-student\" {<X Y Z>}> :- "
+    "<P p {<U university stanford>}>@db AND <P p {<X Y Z>}>@db";
+
+inline constexpr std::string_view kQ11 =
+    "<f(P) \"Stan-student\" V> :- "
+    "<P p {<U university stanford>}>@db AND <P p V>@db";
+
+// --- Example 3.5: DTD-enabled rewriting --------------------------------------
+inline constexpr std::string_view kQ12 =
+    "<f(P) stanford yes> :- "
+    "<P p {<X' name Z'>}>@db AND "
+    "<P p {<X' name {<Z last stanford>}>}>@db";
+
+inline constexpr std::string_view kQ13 =
+    "<f(P) stanford yes> :- "
+    "<P p {<X' name {<Z last stanford> <A B C>}>}>@db";
+
+inline constexpr std::string_view kPersonDtd = R"(
+<!ELEMENT p (name, phone, address*)>
+<!ELEMENT name (last, first, middle?, alias?)>
+<!ELEMENT alias (last, first)>
+<!ELEMENT address CDATA>
+<!ELEMENT phone CDATA>
+<!ELEMENT last CDATA>
+<!ELEMENT first CDATA>
+<!ELEMENT middle CDATA>
+)";
+
+// --- Example 4.1: component decomposition ------------------------------------
+inline constexpr std::string_view kQ14 =
+    "<l(X) l {<f(Y) m {<n(Z) n V>}>}> :- <X a {<Y b {<Z c V>}>}>@db";
+
+/// Parses a rule or fails the test.
+inline TslQuery MustParse(std::string_view text, std::string name = "") {
+  auto result = ParseTslQuery(text, std::move(name));
+  EXPECT_TRUE(result.ok()) << result.status() << "\n  while parsing: " << text;
+  return std::move(result).ValueOrDie();
+}
+
+/// Parses an OEM database literal or fails the test.
+inline OemDatabase MustParseDb(std::string_view text) {
+  auto result = ParseOemDatabase(text);
+  EXPECT_TRUE(result.ok()) << result.status() << "\n  while parsing: " << text;
+  return std::move(result).ValueOrDie();
+}
+
+}  // namespace tslrw::testing
+
+#endif  // TSLRW_TESTS_FIXTURES_H_

@@ -1,0 +1,147 @@
+// Cross-module integration scenarios: the full Fig. 2 pipeline combined
+// with \S3.3 structural constraints, repository caching on top of a
+// mediator, and end-to-end operational checks that tie several modules
+// together the way a deployment would.
+
+#include <gtest/gtest.h>
+
+#include "constraints/dataguide.h"
+#include "constraints/dtd.h"
+#include "eval/evaluator.h"
+#include "fixtures.h"
+#include "mediator/cache.h"
+#include "mediator/mediator.h"
+#include "tsl/parser.h"
+
+namespace tslrw {
+namespace {
+
+using testing::MustParse;
+using testing::MustParseDb;
+
+SourceCatalog PeopleCatalog() {
+  SourceCatalog catalog;
+  catalog.Put(MustParseDb(R"(
+    database s1 {
+      <p1 p {
+        <n1 name { <l1 last stanford> <f1 first jeff> }>
+        <ph1 phone "650-1"> }>
+      <p2 p {
+        <n2 name { <l2 last widom> <f2 first jennifer> }>
+        <ph2 phone "650-2"> }>
+    })"));
+  return catalog;
+}
+
+/// The only interface s1 offers is the label/value-splitting (V1).
+Capability SplitCapability() {
+  Capability cap;
+  cap.view = MustParse(
+      "<g(P') p {<pp(P',Y') pr Y'> <h(X') v Z'>}> :- <P' p {<X' Y' Z'>}>@s1",
+      "Split");
+  return cap;
+}
+
+TEST(IntegrationTest, DtdUnlocksMediatorPlan) {
+  // Without constraints, the Example 3.3 argument applies: the split view
+  // cannot answer a name-specific query, so the mediator has no plan.
+  TslQuery query = MustParse(
+      "<f(P) stanford yes> :- <P p {<X name {<Z last stanford>}>}>@s1",
+      "Q7");
+  auto plain = Mediator::Make({SourceDescription{"s1", {SplitCapability()}}});
+  ASSERT_TRUE(plain.ok());
+  auto no_plans = plain->Plan(query);
+  ASSERT_TRUE(no_plans.ok()) << no_plans.status();
+  EXPECT_TRUE(no_plans->empty());
+
+  // With the \S3.3 DTD, Example 3.5's derivation makes the plan valid.
+  auto dtd = Dtd::Parse(testing::kPersonDtd);
+  ASSERT_TRUE(dtd.ok());
+  StructuralConstraints constraints(std::move(dtd).value());
+  auto informed = Mediator::Make(
+      {SourceDescription{"s1", {SplitCapability()}}}, &constraints);
+  ASSERT_TRUE(informed.ok());
+  auto plans = informed->Plan(query);
+  ASSERT_TRUE(plans.ok()) << plans.status();
+  ASSERT_GE(plans->size(), 1u);
+
+  // Execute the plan and cross-check against direct evaluation.
+  SourceCatalog catalog = PeopleCatalog();
+  auto via_mediator = informed->Execute(plans->front(), catalog);
+  ASSERT_TRUE(via_mediator.ok()) << via_mediator.status();
+  auto direct = Evaluate(query, catalog, {.answer_name = "Q7"});
+  ASSERT_TRUE(direct.ok());
+  EXPECT_TRUE(via_mediator->Equals(*direct))
+      << "mediator:\n" << via_mediator->ToString()
+      << "direct:\n" << direct->ToString();
+  EXPECT_EQ(direct->roots().size(), 1u);  // only p1 has last=stanford
+}
+
+TEST(IntegrationTest, InstanceDerivedConstraintsAlsoUnlockThePlan) {
+  // Same scenario, but the constraints come from the data itself
+  // (DataGuide-style inference) instead of an authored DTD.
+  SourceCatalog catalog = PeopleCatalog();
+  auto dtd = InferDtdFromData(*catalog.Find("s1").value());
+  ASSERT_TRUE(dtd.ok()) << dtd.status();
+  StructuralConstraints constraints(std::move(dtd).value());
+  ASSERT_TRUE(constraints.HasUniqueChild("p", "name"));
+  ASSERT_EQ(constraints.InferMiddleLabel("p", "last"), "name");
+
+  TslQuery query = MustParse(
+      "<f(P) stanford yes> :- <P p {<X name {<Z last stanford>}>}>@s1",
+      "Q7");
+  auto mediator = Mediator::Make(
+      {SourceDescription{"s1", {SplitCapability()}}}, &constraints);
+  ASSERT_TRUE(mediator.ok());
+  auto plans = mediator->Plan(query);
+  ASSERT_TRUE(plans.ok()) << plans.status();
+  EXPECT_GE(plans->size(), 1u);
+}
+
+TEST(IntegrationTest, CacheInFrontOfMediatorAnswers) {
+  // Repository pattern: cache a broad mediator answer, serve narrower
+  // queries from the cache without touching sources again.
+  SourceCatalog catalog = PeopleCatalog();
+  QueryCache cache;
+  TslQuery broad = MustParse(
+      "<c(P') person {<X' Y' Z'>}> :- <P' p {<X' Y' Z'>}>@s1", "AllPeople");
+  ASSERT_TRUE(cache.InsertAndMaterialize(broad, catalog).ok());
+
+  TslQuery narrow = MustParse(
+      "<f(P) has-phone N> :- <P p {<H phone N>}>@s1", "Phones");
+  SourceCatalog unavailable;  // sources offline
+  auto answer =
+      cache.TryAnswer(narrow, unavailable, /*allow_base_fallback=*/false);
+  ASSERT_TRUE(answer.ok()) << answer.status();
+  EXPECT_TRUE(answer->from_cache);
+  EXPECT_EQ(answer->result.roots().size(), 2u);
+
+  auto direct = Evaluate(narrow, catalog, {.answer_name = "answer"});
+  ASSERT_TRUE(direct.ok());
+  EXPECT_TRUE(answer->result.Equals(*direct));
+}
+
+TEST(IntegrationTest, MaterializedViewChainsThroughShellPrimitives) {
+  // Materialize a view, define a second view over the first, rewrite a
+  // query down the chain, evaluate everything, compare — the full stack.
+  SourceCatalog catalog = PeopleCatalog();
+  TslQuery v1 = MustParse(
+      "<a(P') lvl1 {<aa(X') m Z'>}> :- <P' p {<X' phone Z'>}>@s1", "L1");
+  auto m1 = MaterializeView(v1, catalog);
+  ASSERT_TRUE(m1.ok());
+  catalog.Put(std::move(*m1));
+  TslQuery v2 = MustParse(
+      "<b(P'') lvl2 {<bb(X'') n Z''>}> :- <a(P'') lvl1 {<aa(X'') m Z''>}>@L1",
+      "L2");
+  auto m2 = MaterializeView(v2, catalog);
+  ASSERT_TRUE(m2.ok());
+  catalog.Put(std::move(*m2));
+  auto answer = Evaluate(
+      MustParse("<f(P) out N> :- <b(P) lvl2 {<bb(X) n N>}>@L2", "Q"),
+      catalog);
+  ASSERT_TRUE(answer.ok()) << answer.status();
+  EXPECT_EQ(answer->roots().size(), 2u);
+}
+
+}  // namespace
+}  // namespace tslrw

@@ -1,0 +1,209 @@
+#include "rewrite/mapping.h"
+
+#include <gtest/gtest.h>
+
+#include "fixtures.h"
+#include "tsl/normal_form.h"
+#include "tsl/parser.h"
+
+namespace tslrw {
+namespace {
+
+using testing::MustParse;
+
+Term OidVar(const char* s) { return Term::MakeVar(s, VarKind::kObjectId); }
+Term ValVar(const char* s) { return Term::MakeVar(s, VarKind::kLabelValue); }
+Term Atom(const char* s) { return Term::MakeAtom(s); }
+
+TEST(MatchIntoTest, VariablesBindToArbitraryTerms) {
+  Substitution s;
+  EXPECT_TRUE(MatchInto(OidVar("P'"), OidVar("P"), &s));
+  EXPECT_TRUE(MatchInto(ValVar("Z'"), Atom("leland"), &s));
+  EXPECT_EQ(s.Apply(OidVar("P'")), OidVar("P"));
+  // Bound variables must keep their image.
+  EXPECT_TRUE(MatchInto(OidVar("P'"), OidVar("P"), &s));
+  EXPECT_FALSE(MatchInto(OidVar("P'"), OidVar("Q"), &s));
+}
+
+TEST(MatchIntoTest, FunctionTermsMatchStructurally) {
+  Substitution s;
+  Term from = Term::MakeFunc("g", {OidVar("P'")});
+  Term to = Term::MakeFunc("g", {Atom("p1")});
+  EXPECT_TRUE(MatchInto(from, to, &s));
+  EXPECT_EQ(s.Apply(OidVar("P'")), Atom("p1"));
+  EXPECT_FALSE(MatchInto(Term::MakeFunc("h", {OidVar("X")}), to, &s));
+}
+
+TEST(MatchIntoTest, SortsAreRespected) {
+  Substitution s;
+  // A label/value variable cannot map to an oid function term.
+  EXPECT_FALSE(MatchInto(ValVar("Y"), Term::MakeFunc("f", {Atom("a")}), &s));
+  // Variables of different sorts may alias (see SortsCompatible).
+  EXPECT_TRUE(MatchInto(OidVar("X"), ValVar("Y"), &s));
+}
+
+// --- Example 3.1: the unique mapping (M2) from (V1) to (Q3) ---------------
+
+TEST(FindMappingsTest, Example31ProducesM2) {
+  auto mappings = FindMappings(MustParse(testing::kV1, "V1"),
+                               MustParse(testing::kQ3, "Q3"));
+  ASSERT_TRUE(mappings.ok()) << mappings.status();
+  ASSERT_EQ(mappings->size(), 1u);
+  const Substitution& m2 = (*mappings)[0].subst;
+  // (M2) [P' -> P, X' -> X, Y' -> Y, Z' -> leland]
+  EXPECT_EQ(m2.Apply(OidVar("P'")), OidVar("P"));
+  EXPECT_EQ(m2.Apply(OidVar("X'")), OidVar("X"));
+  EXPECT_EQ(m2.Apply(ValVar("Y'")), ValVar("Y"));
+  EXPECT_EQ(m2.Apply(ValVar("Z'")), Atom("leland"));
+  EXPECT_EQ((*mappings)[0].target, std::vector<size_t>{0});
+}
+
+// --- Example 3.2: the set mapping (M5) from (V1) to (Q5) -------------------
+
+TEST(FindMappingsTest, Example32ProducesSetMappingM5) {
+  auto mappings = FindMappings(MustParse(testing::kV1, "V1"),
+                               MustParse(testing::kQ5, "Q5"));
+  ASSERT_TRUE(mappings.ok()) << mappings.status();
+  ASSERT_EQ(mappings->size(), 1u);
+  const Substitution& m5 = (*mappings)[0].subst;
+  EXPECT_EQ(m5.Apply(OidVar("P'")), OidVar("P"));
+  EXPECT_EQ(m5.Apply(OidVar("X'")), OidVar("X"));
+  EXPECT_EQ(m5.Apply(ValVar("Y'")), ValVar("Y"));
+  // Z' -> {<Z last stanford>}
+  const SetPattern* bound = m5.LookupSet(ValVar("Z'"));
+  ASSERT_NE(bound, nullptr);
+  TslQuery q5 = MustParse(testing::kQ5);
+  const ObjectPattern& inner =
+      q5.body[0].pattern.value.set()[0].value.set()[0];
+  ASSERT_EQ(bound->size(), 1u);
+  EXPECT_EQ((*bound)[0], inner);
+}
+
+// --- Example 3.3: a mapping exists even though no rewriting does -----------
+
+TEST(FindMappingsTest, Example33ProducesM6) {
+  auto mappings = FindMappings(MustParse(testing::kV1, "V1"),
+                               MustParse(testing::kQ7, "Q7"));
+  ASSERT_TRUE(mappings.ok()) << mappings.status();
+  ASSERT_EQ(mappings->size(), 1u);
+  const Substitution& m6 = (*mappings)[0].subst;
+  EXPECT_EQ(m6.Apply(ValVar("Y'")), Atom("name"));
+  ASSERT_NE(m6.LookupSet(ValVar("Z'")), nullptr);
+}
+
+TEST(FindMappingsTest, NoMappingWhenLabelsClash) {
+  TslQuery view = MustParse("<v(X') out yes> :- <X' a Z'>@db", "V");
+  TslQuery query = MustParse("<f(X) out yes> :- <X b Z>@db", "Q");
+  auto mappings = FindMappings(view, query);
+  ASSERT_TRUE(mappings.ok());
+  EXPECT_TRUE(mappings->empty());
+}
+
+TEST(FindMappingsTest, NoMappingAcrossSources) {
+  TslQuery view = MustParse("<v(X') out yes> :- <X' a Z'>@other", "V");
+  TslQuery query = MustParse("<f(X) out yes> :- <X a Z>@db", "Q");
+  auto mappings = FindMappings(view, query);
+  ASSERT_TRUE(mappings.ok());
+  EXPECT_TRUE(mappings->empty());
+}
+
+TEST(FindMappingsTest, ViewDeeperThanQueryDoesNotMap) {
+  // The view demands a child under X'; the query only binds a value
+  // variable there (only the chase can bridge this, Example 3.4).
+  TslQuery view = MustParse("<v(P') o yes> :- <P' p {<X' Y' Z'>}>@db", "V");
+  TslQuery query = MustParse("<f(P) o V> :- <P p V>@db", "Q");
+  auto mappings = FindMappings(view, query);
+  ASSERT_TRUE(mappings.ok());
+  EXPECT_TRUE(mappings->empty());
+}
+
+TEST(FindMappingsTest, ConstantTailMustMatchExactly) {
+  TslQuery view = MustParse("<v(P') o yes> :- <P' p {<X' l leland>}>@db", "V");
+  EXPECT_TRUE(
+      FindMappings(view, MustParse("<f(P) o yes> :- <P p {<X l leland>}>@db"))
+          ->size() == 1u);
+  // Variable in the query where the view demands a constant: no mapping.
+  EXPECT_TRUE(
+      FindMappings(view, MustParse("<f(P) o Z> :- <P p {<X l Z>}>@db"))
+          ->empty());
+  // Different constant: no mapping.
+  EXPECT_TRUE(
+      FindMappings(view, MustParse("<f(P) o yes> :- <P p {<X l jane>}>@db"))
+          ->empty());
+}
+
+TEST(FindMappingsTest, MultiPathViewsNeedConsistentBindings) {
+  TslQuery view = MustParse(
+      "<v(P') o yes> :- <P' p {<X' a U'>}>@db AND <P' p {<Y' b W'>}>@db",
+      "V");
+  // Query joins both paths on the same P: one mapping.
+  auto both = FindMappings(view, MustParse(
+      "<f(P) o yes> :- <P p {<X a U>}>@db AND <P p {<Y b W>}>@db"));
+  ASSERT_TRUE(both.ok());
+  EXPECT_EQ(both->size(), 1u);
+  // Query uses two different roots: P' cannot be both.
+  auto split = FindMappings(view, MustParse(
+      "<f(P,R) o yes> :- <P p {<X a U>}>@db AND <R p {<Y b W>}>@db"));
+  ASSERT_TRUE(split.ok());
+  EXPECT_TRUE(split->empty());
+}
+
+TEST(FindMappingsTest, MultipleMappingsEnumerated) {
+  // A one-path view maps into each of the query's two a-paths.
+  TslQuery view = MustParse("<v(P') o yes> :- <P' p {<X' a U'>}>@db", "V");
+  auto mappings = FindMappings(view, MustParse(
+      "<f(P) o yes> :- <P p {<X a u1>}>@db AND <P p {<Y a u2>}>@db"));
+  ASSERT_TRUE(mappings.ok());
+  EXPECT_EQ(mappings->size(), 2u);
+}
+
+TEST(FindMappingsTest, EmptySetTailNeedsSetObject) {
+  TslQuery view = MustParse("<v(X') o yes> :- <X' a {}>@db", "V");
+  // Query path continues below: the object is a set. Mapping exists.
+  EXPECT_EQ(
+      FindMappings(view, MustParse("<f(X) o yes> :- <X a {<Y b c>}>@db"))
+          ->size(),
+      1u);
+  // Query ends in an atomic constant: no mapping.
+  EXPECT_TRUE(
+      FindMappings(view, MustParse("<f(X) o yes> :- <X a v1>@db"))->empty());
+}
+
+TEST(FindMappingsTest, SetBindingMustBeConsistentAcrossPaths) {
+  // Z' is the tail of both view paths; its two images must be identical
+  // set patterns.
+  TslQuery view = MustParse(
+      "<v(P') o yes> :- <P' a Z'>@db AND <P' b Z'>@db", "V");
+  auto same = FindMappings(view, MustParse(
+      "<f(P) o yes> :- <P a {<X m c>}>@db AND <P b {<X m c>}>@db"));
+  ASSERT_TRUE(same.ok());
+  // Note: <P a ...> and <P b ...> disagree on P's label; mapping discovery
+  // is purely syntactic (the chase would reject this query), so the
+  // consistent set binding maps.
+  EXPECT_EQ(same->size(), 1u);
+  auto differ = FindMappings(view, MustParse(
+      "<f(P) o yes> :- <P a {<X m c>}>@db AND <P b {<Y n d>}>@db"));
+  ASSERT_TRUE(differ.ok());
+  EXPECT_TRUE(differ->empty());
+}
+
+TEST(FindMappingsTest, RequiresNormalForm) {
+  TslQuery q1 = MustParse(testing::kQ1);
+  EXPECT_FALSE(FindMappings(q1, q1).ok());
+  TslQuery nf = ToNormalForm(q1);
+  EXPECT_TRUE(FindMappings(nf, nf).ok());
+}
+
+TEST(FindMappingsTest, IdentityMappingAlwaysFound) {
+  for (std::string_view text :
+       {testing::kQ2, testing::kQ3, testing::kQ5, testing::kQ7,
+        testing::kQ9}) {
+    TslQuery q = ToNormalForm(MustParse(text));
+    auto mappings = FindMappings(q, q);
+    ASSERT_TRUE(mappings.ok());
+    EXPECT_GE(mappings->size(), 1u) << "no self-mapping for " << text;
+  }
+}
+
+}  // namespace
+}  // namespace tslrw

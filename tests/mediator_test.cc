@@ -1,0 +1,265 @@
+#include "mediator/mediator.h"
+
+#include <gtest/gtest.h>
+
+#include "eval/evaluator.h"
+#include "fixtures.h"
+#include "mediator/cache.h"
+#include "tsl/parser.h"
+
+namespace tslrw {
+namespace {
+
+using testing::MustParse;
+using testing::MustParseDb;
+
+/// Two bibliographic sources with different publications (the Fig. 1/2
+/// integration scenario). Source s1 only supports year-filtered queries;
+/// source s2 exports everything.
+SourceCatalog BiblioCatalog() {
+  SourceCatalog catalog;
+  catalog.Put(MustParseDb(R"(
+    database s1 {
+      <a1 publication {
+        <t1 title "Views"> <v1 venue "SIGMOD"> <y1 year "1997">
+      }>
+      <a2 publication {
+        <t2 title "Constraints"> <v2 venue "VLDB"> <y2 year "1997">
+      }>
+      <a3 publication {
+        <t3 title "Mediators"> <v3 venue "SIGMOD"> <y3 year "1993">
+      }>
+    })"));
+  catalog.Put(MustParseDb(R"(
+    database s2 {
+      <b1 publication {
+        <u1 title "Wrappers"> <w1 venue "SIGMOD"> <x1 year "1997">
+      }>
+      <b2 publication {
+        <u2 title "Warehouses"> <w2 venue "SIGMOD"> <x2 year "1996">
+      }>
+    })"));
+  return catalog;
+}
+
+/// s1's interface: only year-1997 queries (a fixed-constant capability).
+/// The view republishes matching publications with all their subobjects.
+Capability Year97Capability() {
+  Capability cap;
+  cap.view = MustParse(
+      "<y97(P') pub {<X' Y' Z'>}> :- "
+      "<P' publication {<U' year \"1997\">}>@s1 AND "
+      "<P' publication {<X' Y' Z'>}>@s1",
+      "Y97");
+  return cap;
+}
+
+/// s2's interface: any publication dump.
+Capability DumpCapability() {
+  Capability cap;
+  cap.view = MustParse(
+      "<dump(P') pub {<X' Y' Z'>}> :- <P' publication {<X' Y' Z'>}>@s2",
+      "Dump2");
+  return cap;
+}
+
+Mediator MakeBiblioMediator() {
+  SourceDescription s1{"s1", {Year97Capability()}};
+  SourceDescription s2{"s2", {DumpCapability()}};
+  auto mediator = Mediator::Make({s1, s2});
+  EXPECT_TRUE(mediator.ok()) << mediator.status();
+  return std::move(mediator).ValueOrDie();
+}
+
+TEST(MediatorTest, ValidationCatchesBadDescriptions) {
+  Capability unnamed = Year97Capability();
+  unnamed.view.name.clear();
+  EXPECT_FALSE(
+      Mediator::Make({SourceDescription{"s1", {unnamed}}}).ok());
+
+  Capability foreign = Year97Capability();
+  EXPECT_FALSE(
+      Mediator::Make({SourceDescription{"s2", {foreign}}}).ok());
+
+  Capability dup = Year97Capability();
+  EXPECT_FALSE(Mediator::Make({SourceDescription{
+                   "s1", {Year97Capability(), dup}}})
+                   .ok());
+
+  Capability ghost_param = Year97Capability();
+  ghost_param.bound_variables = {"Nope'"};
+  EXPECT_FALSE(
+      Mediator::Make({SourceDescription{"s1", {ghost_param}}}).ok());
+}
+
+TEST(MediatorTest, Sigmod97RunningExample) {
+  // The \S1 running example: all "SIGMOD 97" publications. s1 can only be
+  // asked for year=1997; the SIGMOD filter runs at the mediator, expressed
+  // as a condition over the view's output.
+  Mediator mediator = MakeBiblioMediator();
+  TslQuery query = MustParse(
+      "<f(P) sigmod97 yes> :- "
+      "<P publication {<U year \"1997\">}>@s1 AND "
+      "<P publication {<V venue \"SIGMOD\">}>@s1",
+      "Sigmod97");
+  auto plans = mediator.Plan(query);
+  ASSERT_TRUE(plans.ok()) << plans.status();
+  ASSERT_GE(plans->size(), 1u);
+  EXPECT_EQ(plans->front().views_used, std::vector<std::string>{"Y97"});
+
+  SourceCatalog catalog = BiblioCatalog();
+  auto answer = mediator.Execute(plans->front(), catalog);
+  ASSERT_TRUE(answer.ok()) << answer.status();
+  // Only a1 ("Views", SIGMOD, 1997) qualifies in s1.
+  EXPECT_EQ(answer->roots().size(), 1u);
+  EXPECT_NE(answer->Find(Term::MakeFunc("f", {Term::MakeAtom("a1")})),
+            nullptr);
+
+  // Cross-check against evaluating the user query on the raw source.
+  auto direct = Evaluate(query, catalog, {.answer_name = "direct"});
+  ASSERT_TRUE(direct.ok());
+  OemDatabase renamed = *answer;
+  renamed.set_name("direct");
+  EXPECT_TRUE(renamed.Equals(*direct));
+}
+
+TEST(MediatorTest, QueryOutsideCapabilitiesHasNoPlan) {
+  // s1 cannot answer year-1993 queries: its only capability fixes 1997.
+  Mediator mediator = MakeBiblioMediator();
+  TslQuery query = MustParse(
+      "<f(P) sigmod93 yes> :- "
+      "<P publication {<U year \"1993\">}>@s1 AND "
+      "<P publication {<V venue \"SIGMOD\">}>@s1",
+      "Sigmod93");
+  auto plans = mediator.Plan(query);
+  ASSERT_TRUE(plans.ok()) << plans.status();
+  EXPECT_TRUE(plans->empty());
+  auto answer = mediator.Answer(query, BiblioCatalog());
+  EXPECT_FALSE(answer.ok());
+  EXPECT_TRUE(answer.status().IsNotFound());
+}
+
+TEST(MediatorTest, PlansSortedByCost) {
+  // Against s2's dump capability, both single-view plans and any larger
+  // ones are found; the cheapest comes first.
+  Mediator mediator = MakeBiblioMediator();
+  TslQuery query = MustParse(
+      "<f(P) s2pub yes> :- <P publication {<W venue \"SIGMOD\">}>@s2",
+      "S2Pubs");
+  auto plans = mediator.Plan(query);
+  ASSERT_TRUE(plans.ok()) << plans.status();
+  ASSERT_GE(plans->size(), 1u);
+  for (size_t i = 1; i < plans->size(); ++i) {
+    EXPECT_LE((*plans)[i - 1].cost, (*plans)[i].cost);
+  }
+}
+
+TEST(MediatorTest, ParameterizedCapabilityRequiresConstant) {
+  // s2 also offers "publications with venue = $W": the parameter surfaces
+  // through the head Skolem and must be instantiated by the rewriting.
+  Capability by_venue;
+  by_venue.view = MustParse(
+      "<bv(P',W') pub {<X' Y' Z'>}> :- "
+      "<P' publication {<V' venue W'>}>@s2 AND "
+      "<P' publication {<X' Y' Z'>}>@s2",
+      "ByVenue");
+  by_venue.bound_variables = {"W'"};
+  auto mediator = Mediator::Make({SourceDescription{"s2", {by_venue}}});
+  ASSERT_TRUE(mediator.ok()) << mediator.status();
+
+  // Constant venue: the parameter is bound; a plan exists.
+  TslQuery constant = MustParse(
+      "<f(P) out yes> :- <P publication {<V venue \"SIGMOD\">}>@s2", "C");
+  auto plans = mediator->Plan(constant);
+  ASSERT_TRUE(plans.ok()) << plans.status();
+  EXPECT_GE(plans->size(), 1u);
+
+  // Venue left variable: the source cannot run the template; no plan.
+  TslQuery open = MustParse(
+      "<f(P,W) out W> :- <P publication {<V venue W>}>@s2", "O");
+  auto open_plans = mediator->Plan(open);
+  ASSERT_TRUE(open_plans.ok()) << open_plans.status();
+  EXPECT_TRUE(open_plans->empty());
+}
+
+TEST(MediatorTest, ConsolidatesAcrossSources) {
+  // A two-source query joins nothing but unions per-source answers under
+  // distinct Skolem oids.
+  Mediator mediator = MakeBiblioMediator();
+  TslQuery query = MustParse(
+      "<f(P,R) pair yes> :- "
+      "<P publication {<U year \"1997\">}>@s1 AND "
+      "<R publication {<W year \"1997\">}>@s2",
+      "Pairs");
+  auto answer = mediator.Answer(query, BiblioCatalog());
+  ASSERT_TRUE(answer.ok()) << answer.status();
+  // a1, a2 from s1 x b1 from s2 = 2 pairs.
+  EXPECT_EQ(answer->roots().size(), 2u);
+}
+
+// --- Cached queries (\S1, Lore scenario) ------------------------------------
+
+TEST(QueryCacheTest, AnswersFromCacheWithoutTouchingBase) {
+  SourceCatalog catalog = BiblioCatalog();
+  QueryCache cache;
+  // Cache "all SIGMOD publications" (with their subobjects).
+  TslQuery sigmod_all = MustParse(
+      "<c(P') sig {<X' Y' Z'>}> :- "
+      "<P' publication {<V' venue \"SIGMOD\">}>@s1 AND "
+      "<P' publication {<X' Y' Z'>}>@s1",
+      "SigmodCache");
+  ASSERT_TRUE(cache.InsertAndMaterialize(sigmod_all, catalog).ok());
+  EXPECT_EQ(cache.size(), 1u);
+
+  // "SIGMOD 97" filters the cached result for 1997 — the paper's \S1
+  // cached-query illustration.
+  TslQuery query = MustParse(
+      "<f(P) sigmod97 yes> :- "
+      "<P publication {<V venue \"SIGMOD\">}>@s1 AND "
+      "<P publication {<U year \"1997\">}>@s1",
+      "Sigmod97");
+  SourceCatalog empty;  // prove base data is not needed
+  auto answer = cache.TryAnswer(query, empty, /*allow_base_fallback=*/false);
+  ASSERT_TRUE(answer.ok()) << answer.status();
+  EXPECT_TRUE(answer->from_cache);
+  EXPECT_EQ(answer->result.roots().size(), 1u);  // only a1
+
+  // Matches direct evaluation over the base.
+  auto direct = Evaluate(query, catalog, {.answer_name = "answer"});
+  ASSERT_TRUE(direct.ok());
+  EXPECT_TRUE(answer->result.Equals(*direct));
+}
+
+TEST(QueryCacheTest, MissWithoutFallbackIsNotFound) {
+  QueryCache cache;
+  TslQuery query = MustParse(
+      "<f(P) out yes> :- <P publication {<U year \"1997\">}>@s1", "Q");
+  auto answer =
+      cache.TryAnswer(query, BiblioCatalog(), /*allow_base_fallback=*/false);
+  EXPECT_FALSE(answer.ok());
+  EXPECT_TRUE(answer.status().IsNotFound());
+}
+
+TEST(QueryCacheTest, MissWithFallbackEvaluatesBase) {
+  QueryCache cache;
+  TslQuery query = MustParse(
+      "<f(P) out yes> :- <P publication {<U year \"1997\">}>@s1", "Q");
+  auto answer =
+      cache.TryAnswer(query, BiblioCatalog(), /*allow_base_fallback=*/true);
+  ASSERT_TRUE(answer.ok()) << answer.status();
+  EXPECT_FALSE(answer->from_cache);
+  EXPECT_EQ(answer->result.roots().size(), 2u);  // a1, a2
+}
+
+TEST(QueryCacheTest, InsertValidatesNames) {
+  QueryCache cache;
+  TslQuery unnamed = MustParse(testing::kV1);
+  unnamed.name.clear();
+  EXPECT_FALSE(cache.Insert(unnamed, OemDatabase("x")).ok());
+  TslQuery named = MustParse(testing::kV1, "V1");
+  EXPECT_FALSE(cache.Insert(named, OemDatabase("wrong")).ok());
+  EXPECT_TRUE(cache.Insert(named, OemDatabase("V1")).ok());
+}
+
+}  // namespace
+}  // namespace tslrw

@@ -1,0 +1,98 @@
+#include "rewrite/minimize.h"
+
+#include <gtest/gtest.h>
+
+#include "constraints/dtd.h"
+#include "equiv/equivalence.h"
+#include "fixtures.h"
+#include "tsl/parser.h"
+
+namespace tslrw {
+namespace {
+
+using testing::MustParse;
+
+TEST(MinimizeTest, RemovesSubsumedCondition) {
+  // The wildcard condition is implied by the constant one.
+  TslQuery q = MustParse(
+      "<f(P) out yes> :- <P p {<X l leland>}>@db AND <P p {<Y l W>}>@db");
+  auto minimized = MinimizeQuery(q);
+  ASSERT_TRUE(minimized.ok()) << minimized.status();
+  EXPECT_EQ(minimized->body.size(), 1u);
+  auto eq = AreEquivalent(*minimized, q);
+  ASSERT_TRUE(eq.ok());
+  EXPECT_TRUE(*eq);
+}
+
+TEST(MinimizeTest, KeepsIndependentConditions) {
+  TslQuery q = MustParse(
+      "<f(P) out yes> :- <P p {<X a u1>}>@db AND <P p {<Y b u2>}>@db");
+  auto minimized = MinimizeQuery(q);
+  ASSERT_TRUE(minimized.ok());
+  EXPECT_EQ(minimized->body.size(), 2u);
+}
+
+TEST(MinimizeTest, SafetyBlocksRemoval) {
+  // The wildcard condition subsumes nothing else, but W is in the head: it
+  // must stay even though another condition covers P.
+  TslQuery q = MustParse(
+      "<f(P) out W> :- <P p {<X l leland>}>@db AND <P p {<Y l W>}>@db");
+  auto minimized = MinimizeQuery(q);
+  ASSERT_TRUE(minimized.ok());
+  EXPECT_EQ(minimized->body.size(), 2u);
+}
+
+TEST(MinimizeTest, IdempotentAndEquivalencePreserving) {
+  for (std::string_view text :
+       {testing::kQ2, testing::kQ3, testing::kQ9, testing::kQ10}) {
+    TslQuery q = MustParse(text, "Q");
+    auto once = MinimizeQuery(q);
+    ASSERT_TRUE(once.ok()) << once.status() << " for " << text;
+    auto twice = MinimizeQuery(*once);
+    ASSERT_TRUE(twice.ok());
+    EXPECT_EQ(*once, *twice);
+    auto eq = AreEquivalent(*once, q);
+    ASSERT_TRUE(eq.ok());
+    EXPECT_TRUE(*eq) << "minimization changed " << text;
+  }
+}
+
+TEST(MinimizeTest, UnsatisfiableReported) {
+  TslQuery q = MustParse(
+      "<f(X) out yes> :- <P p {<X a u1>}>@db AND <R p {<X a u2>}>@db");
+  auto minimized = MinimizeQuery(q);
+  EXPECT_FALSE(minimized.ok());
+  EXPECT_TRUE(minimized.status().IsUnsatisfiable());
+}
+
+TEST(MinimizeTest, ConstraintsExposeRedundancy) {
+  // Under the person DTD, (Q9)'s two conditions merge (label inference +
+  // the p -> name FD chase them onto one oid) and minimization then drops
+  // the weaker residual path. Without the DTD the conditions share no oid
+  // term and both survive.
+  auto dtd = Dtd::Parse(testing::kPersonDtd);
+  ASSERT_TRUE(dtd.ok());
+  StructuralConstraints constraints(std::move(dtd).value());
+  ChaseOptions options{&constraints, {}};
+  TslQuery q9 = MustParse(testing::kQ9, "Q9");
+  auto minimized = MinimizeQuery(q9, options);
+  ASSERT_TRUE(minimized.ok()) << minimized.status();
+  EXPECT_EQ(minimized->body.size(), 1u) << minimized->ToString();
+  // Without the DTD the two conditions are independent.
+  auto plain = MinimizeQuery(q9);
+  ASSERT_TRUE(plain.ok());
+  EXPECT_EQ(plain->body.size(), 2u);
+}
+
+TEST(MinimizeTest, BranchingQueryCollapsesDuplicatedPaths) {
+  // Three copies of one pattern with renamed variables: one survives.
+  TslQuery q = MustParse(
+      "<f(P) out yes> :- <P p {<X1 a {<Y1 b c>}>}>@db AND "
+      "<P p {<X2 a {<Y2 b c>}>}>@db AND <P p {<X3 a {<Y3 b c>}>}>@db");
+  auto minimized = MinimizeQuery(q);
+  ASSERT_TRUE(minimized.ok());
+  EXPECT_EQ(minimized->body.size(), 1u);
+}
+
+}  // namespace
+}  // namespace tslrw

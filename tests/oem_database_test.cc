@@ -1,0 +1,234 @@
+#include "oem/database.h"
+
+#include <gtest/gtest.h>
+
+#include "oem/bisim.h"
+#include "oem/generator.h"
+#include "oem/parser.h"
+
+namespace tslrw {
+namespace {
+
+Term Atom(const char* s) { return Term::MakeAtom(s); }
+
+OemDatabase SmallDb() {
+  OemDatabase db("db");
+  EXPECT_TRUE(db.PutSet(Atom("p1"), "person").ok());
+  EXPECT_TRUE(db.PutAtomic(Atom("g1"), "gender", "female").ok());
+  EXPECT_TRUE(db.PutAtomic(Atom("n1"), "name", "ashish").ok());
+  EXPECT_TRUE(db.AddEdge(Atom("p1"), Atom("g1")).ok());
+  EXPECT_TRUE(db.AddEdge(Atom("p1"), Atom("n1")).ok());
+  EXPECT_TRUE(db.AddRoot(Atom("p1")).ok());
+  return db;
+}
+
+TEST(OemDatabaseTest, PutAndFind) {
+  OemDatabase db = SmallDb();
+  const OemObject* p = db.Find(Atom("p1"));
+  ASSERT_NE(p, nullptr);
+  EXPECT_EQ(p->label, "person");
+  EXPECT_TRUE(p->value.is_set());
+  EXPECT_EQ(p->value.children().size(), 2u);
+  const OemObject* g = db.Find(Atom("g1"));
+  ASSERT_NE(g, nullptr);
+  EXPECT_TRUE(g->is_atomic());
+  EXPECT_EQ(g->value.atom(), "female");
+}
+
+TEST(OemDatabaseTest, OidIsKeyAcrossInserts) {
+  OemDatabase db = SmallDb();
+  // Same content: fine (idempotent).
+  EXPECT_TRUE(db.PutAtomic(Atom("g1"), "gender", "female").ok());
+  // Different atomic value / label / kind: rejected.
+  EXPECT_FALSE(db.PutAtomic(Atom("g1"), "gender", "male").ok());
+  EXPECT_FALSE(db.PutAtomic(Atom("g1"), "sex", "female").ok());
+  EXPECT_FALSE(db.PutSet(Atom("g1"), "gender").ok());
+}
+
+TEST(OemDatabaseTest, PutSetFusesChildren) {
+  OemDatabase db("db");
+  ASSERT_TRUE(db.PutSet(Atom("s"), "rec", {Atom("a")}).ok());
+  ASSERT_TRUE(db.PutSet(Atom("s"), "rec", {Atom("b")}).ok());
+  const OemObject* s = db.Find(Atom("s"));
+  ASSERT_NE(s, nullptr);
+  EXPECT_EQ(s->value.children().size(), 2u);
+}
+
+TEST(OemDatabaseTest, NonGroundOidRejected) {
+  OemDatabase db("db");
+  Term var = Term::MakeVar("X", VarKind::kObjectId);
+  EXPECT_FALSE(db.PutAtomic(var, "l", "v").ok());
+  EXPECT_FALSE(db.AddRoot(var).ok());
+}
+
+TEST(OemDatabaseTest, FunctionTermOids) {
+  OemDatabase db("ans");
+  Term fp = Term::MakeFunc("f", {Atom("p1")});
+  ASSERT_TRUE(db.PutSet(fp, "female").ok());
+  ASSERT_TRUE(db.AddRoot(fp).ok());
+  EXPECT_NE(db.Find(fp), nullptr);
+  EXPECT_EQ(db.ReachableOids().size(), 1u);
+}
+
+TEST(OemDatabaseTest, ReachabilityIgnoresOrphans) {
+  OemDatabase db = SmallDb();
+  ASSERT_TRUE(db.PutAtomic(Atom("orphan"), "x", "y").ok());
+  std::set<Oid> reach = db.ReachableOids();
+  EXPECT_EQ(reach.size(), 3u);
+  EXPECT_EQ(reach.count(Atom("orphan")), 0u);
+}
+
+TEST(OemDatabaseTest, ValidateCatchesDanglingChild) {
+  OemDatabase db = SmallDb();
+  ASSERT_TRUE(db.AddEdge(Atom("p1"), Atom("missing")).ok());
+  EXPECT_FALSE(db.Validate().ok());
+}
+
+TEST(OemDatabaseTest, EqualityIsIdentityOnReachablePortion) {
+  OemDatabase a = SmallDb();
+  OemDatabase b = SmallDb();
+  EXPECT_TRUE(a.Equals(b));
+  // Orphans don't matter.
+  ASSERT_TRUE(b.PutAtomic(Atom("orphan"), "x", "y").ok());
+  EXPECT_TRUE(a.Equals(b));
+  // A different atomic value does.
+  OemDatabase c("db");
+  ASSERT_TRUE(c.PutSet(Atom("p1"), "person").ok());
+  ASSERT_TRUE(c.PutAtomic(Atom("g1"), "gender", "male").ok());
+  ASSERT_TRUE(c.PutAtomic(Atom("n1"), "name", "ashish").ok());
+  ASSERT_TRUE(c.AddEdge(Atom("p1"), Atom("g1")).ok());
+  ASSERT_TRUE(c.AddEdge(Atom("p1"), Atom("n1")).ok());
+  ASSERT_TRUE(c.AddRoot(Atom("p1")).ok());
+  EXPECT_FALSE(a.Equals(c));
+  // Different oids for the same structure: not equal under \S3 identity.
+  OemDatabase d("db");
+  ASSERT_TRUE(d.PutSet(Atom("q1"), "person").ok());
+  ASSERT_TRUE(d.PutAtomic(Atom("g2"), "gender", "female").ok());
+  ASSERT_TRUE(d.PutAtomic(Atom("n2"), "name", "ashish").ok());
+  ASSERT_TRUE(d.AddEdge(Atom("q1"), Atom("g2")).ok());
+  ASSERT_TRUE(d.AddEdge(Atom("q1"), Atom("n2")).ok());
+  ASSERT_TRUE(d.AddRoot(Atom("q1")).ok());
+  EXPECT_FALSE(a.Equals(d));
+  // ... but equivalent under the \S6 isomorphism comparator.
+  EXPECT_TRUE(StructurallyEquivalent(a, d));
+  EXPECT_FALSE(StructurallyEquivalent(a, c));
+}
+
+TEST(OemDatabaseTest, CyclicGraphsSupported) {
+  OemDatabase db("db");
+  ASSERT_TRUE(db.PutSet(Atom("a"), "node").ok());
+  ASSERT_TRUE(db.PutSet(Atom("b"), "node").ok());
+  ASSERT_TRUE(db.AddEdge(Atom("a"), Atom("b")).ok());
+  ASSERT_TRUE(db.AddEdge(Atom("b"), Atom("a")).ok());
+  ASSERT_TRUE(db.AddRoot(Atom("a")).ok());
+  EXPECT_EQ(db.ReachableOids().size(), 2u);
+  EXPECT_TRUE(db.Validate().ok());
+  // Printing terminates and re-parses to an equal database.
+  auto round = ParseOemDatabase(db.ToString());
+  ASSERT_TRUE(round.ok()) << round.status();
+  EXPECT_TRUE(db.Equals(*round));
+}
+
+TEST(OemParserTest, ParsesNestedObjects) {
+  auto db = ParseOemDatabase(R"(
+    database db {
+      <p1 person {
+        <n1 name { <l1 last "stanford"> }>
+        <ph1 phone "555-1234">
+      }>
+    })");
+  ASSERT_TRUE(db.ok()) << db.status();
+  EXPECT_EQ(db->name(), "db");
+  EXPECT_EQ(db->roots().size(), 1u);
+  EXPECT_EQ(db->ReachableOids().size(), 4u);
+  const OemObject* l1 = db->Find(Atom("l1"));
+  ASSERT_NE(l1, nullptr);
+  EXPECT_EQ(l1->value.atom(), "stanford");
+  const OemObject* ph = db->Find(Atom("ph1"));
+  ASSERT_NE(ph, nullptr);
+  EXPECT_EQ(ph->value.atom(), "555-1234");
+}
+
+TEST(OemParserTest, ParsesReferencesAndFunctionOids) {
+  auto db = ParseOemDatabase(R"(
+    database ans {
+      <f(p1) female { <f(n1) name ashish> }>
+      <g(p1) person { @f(n1) }>
+    })");
+  ASSERT_TRUE(db.ok()) << db.status();
+  Term fn1 = Term::MakeFunc("f", {Atom("n1")});
+  const OemObject* shared = db->Find(fn1);
+  ASSERT_NE(shared, nullptr);
+  const OemObject* g = db->Find(Term::MakeFunc("g", {Atom("p1")}));
+  ASSERT_NE(g, nullptr);
+  EXPECT_EQ(g->value.children().count(fn1), 1u);
+}
+
+TEST(OemParserTest, RoundTripsToString) {
+  OemDatabase db = MakeFig3Database();
+  auto round = ParseOemDatabase(db.ToString());
+  ASSERT_TRUE(round.ok()) << round.status();
+  EXPECT_TRUE(db.Equals(*round));
+  EXPECT_EQ(db.ToString(), round->ToString());
+}
+
+TEST(OemParserTest, RejectsMalformedInput) {
+  EXPECT_FALSE(ParseOemDatabase("database db { <p1 person }").ok());
+  EXPECT_FALSE(ParseOemDatabase("database db { <p1> }").ok());
+  EXPECT_FALSE(ParseOemDatabase("db { }").ok());
+  EXPECT_FALSE(ParseOemDatabase("database db { } extra").ok());
+  // Reference to an undefined object fails validation.
+  EXPECT_FALSE(ParseOemDatabase("database db { <a x { @nope }> }").ok());
+}
+
+TEST(OemGeneratorTest, DeterministicAndValid) {
+  GeneratorOptions opt;
+  opt.seed = 7;
+  opt.num_roots = 5;
+  opt.max_depth = 3;
+  OemDatabase a = GenerateOemDatabase("g", opt);
+  OemDatabase b = GenerateOemDatabase("g", opt);
+  EXPECT_TRUE(a.Equals(b));
+  EXPECT_TRUE(a.Validate().ok());
+  EXPECT_EQ(a.roots().size(), 5u);
+  opt.seed = 8;
+  OemDatabase c = GenerateOemDatabase("g", opt);
+  EXPECT_FALSE(a.Equals(c));
+}
+
+TEST(OemGeneratorTest, SharingCreatesDags) {
+  GeneratorOptions opt;
+  opt.seed = 3;
+  opt.num_roots = 4;
+  opt.max_depth = 4;
+  opt.share_probability = 0.5;
+  opt.atomic_probability = 0.3;
+  OemDatabase db = GenerateOemDatabase("g", opt);
+  EXPECT_TRUE(db.Validate().ok());
+  // With heavy sharing, some object is referenced by two parents.
+  std::map<Oid, int> indegree;
+  for (const auto& [oid, obj] : db.objects()) {
+    if (obj.is_atomic()) continue;
+    for (const Oid& c : obj.value.children()) indegree[c]++;
+  }
+  bool shared = false;
+  for (const auto& [oid, deg] : indegree) shared = shared || deg > 1;
+  EXPECT_TRUE(shared);
+}
+
+TEST(Fig3Test, MatchesPaperStructure) {
+  OemDatabase db = MakeFig3Database();
+  EXPECT_TRUE(db.Validate().ok());
+  EXPECT_EQ(db.roots().size(), 2u);
+  const OemObject* pub2 = db.Find(Atom("pub2"));
+  ASSERT_NE(pub2, nullptr);
+  EXPECT_EQ(pub2->label, "publication");
+  EXPECT_EQ(pub2->value.children().size(), 4u);
+  const OemObject* y2 = db.Find(Atom("y2"));
+  ASSERT_NE(y2, nullptr);
+  EXPECT_EQ(y2->label, "year");
+  EXPECT_EQ(y2->value.atom(), "1993");
+}
+
+}  // namespace
+}  // namespace tslrw

@@ -1,0 +1,80 @@
+#include <gtest/gtest.h>
+
+#include "fixtures.h"
+#include "rewrite/mapping.h"
+#include "tsl/normal_form.h"
+#include "tsl/parser.h"
+
+namespace tslrw {
+namespace {
+
+using testing::MustParse;
+
+std::vector<Path> Paths(const TslQuery& q) {
+  auto paths = BodyPaths(ToNormalForm(q));
+  EXPECT_TRUE(paths.ok()) << paths.status();
+  return std::move(paths).ValueOrDie();
+}
+
+TEST(PartialMappingTest, UnmappedPathsAllowed) {
+  // The view's gender path has no counterpart in the query; with
+  // allow_unmapped it can be skipped while the name path maps.
+  TslQuery view = MustParse(
+      "<v(P') fem {<w(X') nm Z'>}> :- "
+      "<P' person {<G' gender female>}>@db AND "
+      "<P' person {<X' name Z'>}>@db",
+      "V");
+  TslQuery query = MustParse("<f(P) out Z> :- <P person {<X name Z>}>@db");
+  // Total mappings: none.
+  auto total = FindBodyMappings(Paths(view), Paths(query));
+  EXPECT_TRUE(total.empty());
+  // Partial mappings: the name path maps, the gender path is kUnmapped.
+  auto partial = FindBodyMappings(Paths(view), Paths(query), Substitution(),
+                                  /*allow_unmapped=*/true);
+  ASSERT_FALSE(partial.empty());
+  bool found = false;
+  for (const BodyMapping& m : partial) {
+    bool gender_skipped = m.target[0] == BodyMapping::kUnmapped;
+    bool name_mapped = m.target[1] == 0;
+    found = found || (gender_skipped && name_mapped && !m.IsTotal());
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(PartialMappingTest, AllUnmappedSuppressed) {
+  TslQuery view = MustParse("<v(P') o U'> :- <P' zebra U'>@db", "V");
+  TslQuery query = MustParse("<f(P) out yes> :- <P rec {<X l u>}>@db");
+  auto partial = FindBodyMappings(Paths(view), Paths(query), Substitution(),
+                                  /*allow_unmapped=*/true);
+  // The only option would be skipping everything, which carries no signal.
+  EXPECT_TRUE(partial.empty());
+}
+
+TEST(PartialMappingTest, TotalMappingsAreASubset) {
+  TslQuery view = MustParse(testing::kV1, "V1");
+  for (std::string_view text : {testing::kQ3, testing::kQ5, testing::kQ7}) {
+    TslQuery query = MustParse(text);
+    auto total = FindBodyMappings(Paths(view), Paths(query));
+    auto partial = FindBodyMappings(Paths(view), Paths(query), Substitution(),
+                                    /*allow_unmapped=*/true);
+    EXPECT_GE(partial.size(), total.size());
+    for (const BodyMapping& t : total) {
+      bool present = false;
+      for (const BodyMapping& p : partial) {
+        present = present || (p.subst == t.subst && p.target == t.target);
+      }
+      EXPECT_TRUE(present) << "total mapping missing from partial set";
+    }
+  }
+}
+
+TEST(PartialMappingTest, IsTotalReflectsTargets) {
+  BodyMapping m;
+  m.target = {0, 1};
+  EXPECT_TRUE(m.IsTotal());
+  m.target.push_back(BodyMapping::kUnmapped);
+  EXPECT_FALSE(m.IsTotal());
+}
+
+}  // namespace
+}  // namespace tslrw

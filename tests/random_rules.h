@@ -1,0 +1,131 @@
+#ifndef TSLRW_TESTS_RANDOM_RULES_H_
+#define TSLRW_TESTS_RANDOM_RULES_H_
+
+#include <random>
+#include <string>
+#include <vector>
+
+#include "common/string_util.h"
+#include "oem/generator.h"
+#include "tsl/ast.h"
+#include "tsl/parser.h"
+
+namespace tslrw::testing {
+
+/// \brief Deterministic generator of random safe TSL queries and views over
+/// the alphabet produced by GenerateOemDatabase (labels l0..l{L-1}, atomic
+/// values v0..v{V-1}, roots labeled `root_label`).
+///
+/// Produced rules are paths of depth 1..max_depth whose steps use either a
+/// constant label or a label variable, and whose tails are constants,
+/// variables, or `{}`; views restructure by republishing the matched
+/// subobjects under Skolem ids. All rules parse, validate, and are safe by
+/// construction.
+class RandomRules {
+ public:
+  RandomRules(uint64_t seed, int num_labels, int num_values,
+              std::string root_label)
+      : rng_(seed),
+        num_labels_(num_labels),
+        num_values_(num_values),
+        root_label_(std::move(root_label)) {}
+
+  /// A random query named \p name over \p source: 1-2 path conditions
+  /// joined on the root variable, head `<q(P) out yes>`.
+  TslQuery Query(const std::string& name, const std::string& source) {
+    int conditions = 1 + Pick(2);
+    std::vector<std::string> body;
+    for (int c = 0; c < conditions; ++c) {
+      body.push_back(PathCondition("P", source, 1 + Pick(2)));
+    }
+    std::string text =
+        StrCat("<q", Pick(3), "(P) out yes> :- ", Join(body, " AND "));
+    return MustParseRule(text, name);
+  }
+
+  /// A random view named \p name over \p source: republishes the matched
+  /// root and one subobject layer under fresh Skolem ids.
+  TslQuery View(const std::string& name, const std::string& source) {
+    std::string label = StepLabel("LV'");
+    std::string text = StrCat(
+        "<v(P') vout {<w(X') m Z'>}> :- <P' ", root_label_, " {<X' ", label,
+        " Z'>}>@", source);
+    return MustParseRule(text, name);
+  }
+
+  /// A view that copies whole subobjects (exercises copy semantics).
+  TslQuery CopyView(const std::string& name, const std::string& source) {
+    std::string text = StrCat("<v(P') vout {<X' Y' Z'>}> :- <P' ",
+                              root_label_, " {<X' Y' Z'>}>@", source);
+    return MustParseRule(text, name);
+  }
+
+  /// A two-level view: republishes a depth-2 body path with nested head
+  /// structure (exercises deep mapping alignment and composition's
+  /// push-below-copied-value branch).
+  TslQuery DeepView(const std::string& name, const std::string& source) {
+    std::string l1 = StepLabel("LA'");
+    std::string l2 = StepLabel("LB'");
+    std::string text = StrCat(
+        "<v(P') vout {<w(X') mid {<u(W') leaf Z'>}>}> :- <P' ", root_label_,
+        " {<X' ", l1, " {<W' ", l2, " Z'>}>}>@", source);
+    return MustParseRule(text, name);
+  }
+
+ private:
+  std::string PathCondition(const std::string& root_var,
+                            const std::string& source, int depth) {
+    std::string open = StrCat("<", root_var, " ", root_label_, " {");
+    std::string close = "}>";
+    std::string inner;
+    for (int d = 0; d < depth; ++d) {
+      std::string oid = StrCat("X", root_var, d, Pick(2));
+      std::string label = StepLabel(StrCat("L", d, Pick(2)));
+      if (d + 1 < depth) {
+        inner += StrCat("<", oid, " ", label, " {");
+      } else {
+        inner += StrCat("<", oid, " ", label, " ", Tail(d), ">");
+        for (int u = 0; u < d; ++u) inner += "}>";
+      }
+    }
+    return StrCat(open, inner, close, "@", source);
+  }
+
+  std::string StepLabel(const std::string& var_name) {
+    // 60% constant label, 40% variable.
+    if (Pick(10) < 6) return StrCat("l", Pick(num_labels_));
+    return var_name;
+  }
+
+  std::string Tail(int depth) {
+    switch (Pick(4)) {
+      case 0: return StrCat("v", Pick(num_values_));  // constant
+      case 1: return "{}";
+      default: return StrCat("W", depth, Pick(3));    // variable
+    }
+  }
+
+  int Pick(int n) {
+    return std::uniform_int_distribution<int>(0, n - 1)(rng_);
+  }
+
+  static TslQuery MustParseRule(const std::string& text,
+                                const std::string& name) {
+    auto parsed = ParseTslQuery(text, name);
+    if (!parsed.ok()) {
+      fprintf(stderr, "RandomRules produced unparsable rule: %s\n  %s\n",
+              text.c_str(), parsed.status().ToString().c_str());
+      abort();
+    }
+    return std::move(parsed).ValueOrDie();
+  }
+
+  std::mt19937_64 rng_;
+  int num_labels_;
+  int num_values_;
+  std::string root_label_;
+};
+
+}  // namespace tslrw::testing
+
+#endif  // TSLRW_TESTS_RANDOM_RULES_H_

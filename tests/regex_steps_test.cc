@@ -1,0 +1,241 @@
+// The \S7 regular-path-expression extension (evaluation side): `l+`
+// closure steps, `**` descendant steps, and the `*` any-label shorthand.
+// The rewriting pipeline must reject them explicitly — the paper defers
+// that theory — while evaluation, chase, and equivalence handle them.
+
+#include <gtest/gtest.h>
+
+#include "equiv/equivalence.h"
+#include "eval/evaluator.h"
+#include "fixtures.h"
+#include "rewrite/compose.h"
+#include "rewrite/contained.h"
+#include "rewrite/rewriter.h"
+#include "tsl/normal_form.h"
+#include "tsl/parser.h"
+#include "tsl/validate.h"
+
+namespace tslrw {
+namespace {
+
+using testing::MustParse;
+using testing::MustParseDb;
+
+SourceCatalog PartsCatalog() {
+  // A part hierarchy: engine contains block contains piston; the doc
+  // subobject hangs off the middle level. A cyclic `likes` graph tests
+  // termination.
+  SourceCatalog catalog;
+  catalog.Put(MustParseDb(R"(
+    database db {
+      <e1 part {
+        <b1 part {
+          <p1 part { <s1 serial "s-123"> }>
+          <d1 doc "block manual">
+        }>
+        <w1 weight "300kg">
+      }>
+      <x1 misc { <y1 inner { <z1 deep "treasure"> }> }>
+      <c1 node { <c2 node { @c1 } > }>
+    })"));
+  return catalog;
+}
+
+TEST(RegexStepsTest, ParsingAndPrinting) {
+  TslQuery plus = MustParse("<f(X) out yes> :- <R part {<X part+ V>}>@db");
+  ASSERT_TRUE(plus.body[0].pattern.value.is_set());
+  EXPECT_EQ(plus.body[0].pattern.value.set()[0].step, StepKind::kClosure);
+  EXPECT_NE(plus.ToString().find("part+"), std::string::npos);
+  EXPECT_EQ(MustParse(plus.ToString()), plus);  // syntactic round-trip
+
+  TslQuery desc = MustParse("<f(X) out yes> :- <R misc {<X ** V>}>@db");
+  EXPECT_EQ(desc.body[0].pattern.value.set()[0].step, StepKind::kDescendant);
+  EXPECT_NE(desc.ToString().find("**"), std::string::npos);
+  EXPECT_EQ(MustParse(desc.ToString()), desc);
+
+  // `*` is sugar for a fresh label variable: a plain child step.
+  TslQuery any = MustParse("<f(X) out yes> :- <R misc {<X * V>}>@db");
+  EXPECT_EQ(any.body[0].pattern.value.set()[0].step, StepKind::kChild);
+  EXPECT_TRUE(any.body[0].pattern.value.set()[0].label.is_var());
+
+  // A closure step needs a constant label.
+  EXPECT_FALSE(ParseTslQuery("<f(X) out yes> :- <R a {<X Y+ V>}>@db").ok());
+}
+
+TEST(RegexStepsTest, ClosureMatchesChainsOfLikeLabeledObjects) {
+  SourceCatalog catalog = PartsCatalog();
+  // All parts transitively inside e1 (depth 1 and deeper).
+  auto answer = Evaluate(
+      MustParse("<f(X) sub yes> :- <E part {<X part+ V>}>@db"), catalog);
+  ASSERT_TRUE(answer.ok()) << answer.status();
+  // Chains from e1: b1, b1->p1; from b1: p1. Roots f(b1), f(p1).
+  EXPECT_EQ(answer->roots().size(), 2u);
+  EXPECT_NE(answer->Find(Term::MakeFunc("f", {Term::MakeAtom("b1")})),
+            nullptr);
+  EXPECT_NE(answer->Find(Term::MakeFunc("f", {Term::MakeAtom("p1")})),
+            nullptr);
+  // The chain stops at non-part objects: no doc/weight/serial results.
+  EXPECT_EQ(answer->Find(Term::MakeFunc("f", {Term::MakeAtom("d1")})),
+            nullptr);
+}
+
+TEST(RegexStepsTest, ClosureChainsDoNotSkipForeignLabels) {
+  // s1 is below p1 via part-chain, but s1 itself is labeled serial: a
+  // part+ step cannot land on it, nor pass through d1 (doc) to anything.
+  SourceCatalog catalog = PartsCatalog();
+  auto answer = Evaluate(
+      MustParse("<f(X) hit V> :- <E part {<X part+ {<S serial V>}>}>@db"),
+      catalog);
+  ASSERT_TRUE(answer.ok());
+  // Only p1 carries a serial.
+  EXPECT_EQ(answer->roots().size(), 1u);
+}
+
+TEST(RegexStepsTest, DescendantReachesAnyDepthAndLabel) {
+  SourceCatalog catalog = PartsCatalog();
+  auto answer = Evaluate(
+      MustParse("<f(X) deep yes> :- <M misc {<X ** \"treasure\">}>@db"),
+      catalog);
+  ASSERT_TRUE(answer.ok()) << answer.status();
+  EXPECT_EQ(answer->roots(),
+            std::set<Oid>{Term::MakeFunc("f", {Term::MakeAtom("z1")})});
+}
+
+TEST(RegexStepsTest, DescendantTerminatesOnCycles) {
+  SourceCatalog catalog = PartsCatalog();
+  auto answer = Evaluate(
+      MustParse("<f(X) inloop yes> :- <C node {<X ** {}>}>@db"), catalog);
+  ASSERT_TRUE(answer.ok()) << answer.status();
+  // Descendants of c1: c2 and (via the cycle) c1 itself; both set-valued.
+  EXPECT_EQ(answer->roots().size(), 2u);
+}
+
+TEST(RegexStepsTest, DescendantEquivalentQueriesViaIdentityMapping) {
+  TslQuery a = MustParse("<f(X) out V> :- <M misc {<X ** V>}>@db", "A");
+  TslQuery b = MustParse("<f(Y) out W> :- <N misc {<Y ** W>}>@db", "B");
+  auto eq = AreEquivalent(a, b);
+  ASSERT_TRUE(eq.ok()) << eq.status();
+  EXPECT_TRUE(*eq);
+  // Descendant and plain-child queries are *not* identified.
+  TslQuery c = MustParse("<f(Y) out W> :- <N misc {<Y AnonLabel1 W>}>@db",
+                         "C");
+  auto neq = AreEquivalent(a, c);
+  ASSERT_TRUE(neq.ok());
+  EXPECT_FALSE(*neq);
+}
+
+TEST(RegexStepsTest, ChaseHandlesClosureEndpointsSoundly) {
+  // X occurs as a part+ endpoint and as a direct child with a label
+  // variable: the endpoint label (part) pins Y := part.
+  TslQuery q = MustParse(
+      "<f(X) out yes> :- <E part {<X part+ V>}>@db AND "
+      "<R other {<X Y W>}>@db");
+  auto chased = ChaseQuery(q);
+  ASSERT_TRUE(chased.ok()) << chased.status();
+  EXPECT_EQ(chased->BodyVariables().count(
+                Term::MakeVar("Y", VarKind::kLabelValue)),
+            0u);
+  // A descendant endpoint pins nothing.
+  TslQuery q2 = MustParse(
+      "<f(X) out yes> :- <E misc {<X ** V>}>@db AND <R other {<X Y W>}>@db");
+  auto chased2 = ChaseQuery(q2);
+  ASSERT_TRUE(chased2.ok());
+  EXPECT_EQ(chased2->BodyVariables().count(
+                Term::MakeVar("Y", VarKind::kLabelValue)),
+            1u);
+}
+
+TEST(RegexStepsTest, ValidationRejectsRegexInHeadsAndAtTopLevel) {
+  TslQuery in_head = MustParse("<f(X) out yes> :- <R a {<X b V>}>@db");
+  in_head.head.value = PatternValue::FromSet(
+      {ObjectPattern{Term::MakeFunc("g", {Term::MakeVar(
+                         "X", VarKind::kObjectId)}),
+                     Term::MakeAtom("b"), PatternValue::FromTerm(
+                         Term::MakeVar("V", VarKind::kLabelValue)),
+                     StepKind::kClosure}});
+  EXPECT_FALSE(CheckRegexStepPlacement(in_head).ok());
+
+  TslQuery top = MustParse("<f(X) out yes> :- <R a {<X b V>}>@db");
+  top.body[0].pattern.step = StepKind::kDescendant;
+  EXPECT_FALSE(CheckRegexStepPlacement(top).ok());
+}
+
+TEST(RegexStepsTest, RewritingPipelineRejectsRegexQueries) {
+  TslQuery query = MustParse(
+      "<f(X) out yes> :- <E part {<X part+ V>}>@db", "Q");
+  TslQuery view = MustParse(testing::kV1, "V1");
+  auto rewrite = RewriteQuery(query, {view});
+  EXPECT_FALSE(rewrite.ok());
+  EXPECT_EQ(rewrite.status().code(), StatusCode::kIllFormedQuery);
+  auto contained = FindMaximallyContainedRewriting(query, {view});
+  EXPECT_FALSE(contained.ok());
+
+  // And regex *views* are rejected too.
+  TslQuery plain = MustParse(testing::kQ3, "Q3");
+  TslQuery regex_view = MustParse(
+      "<v(X') o V'> :- <E' part {<X' part+ V'>}>@db", "RV");
+  auto with_regex_view = RewriteQuery(plain, {regex_view});
+  EXPECT_FALSE(with_regex_view.ok());
+}
+
+TEST(RegexStepsTest, DirectCompositionOverViewsAlsoRejected) {
+  // ComposeWithViews called directly (outside the guarded rewriter) with a
+  // regex step over a view condition: explicit error, never silent
+  // child-step treatment. Regex conditions over base sources pass through.
+  TslQuery view = MustParse(testing::kV1, "V1");
+  TslQuery over_view = MustParse(
+      "<f(P) out yes> :- <g(P) p {<W v+ U>}>@V1", "Q");
+  auto composed = ComposeWithViews(over_view, {view});
+  EXPECT_FALSE(composed.ok());
+  EXPECT_EQ(composed.status().code(), StatusCode::kIllFormedQuery);
+
+  TslQuery over_base = MustParse(
+      "<f(P) out yes> :- <E part {<X part+ V>}>@db AND "
+      "<g(P) p {<h(X2) v U>}>@V1",
+      "Q2");
+  auto passthrough = ComposeWithViews(over_base, {view});
+  ASSERT_TRUE(passthrough.ok()) << passthrough.status();
+  ASSERT_EQ(passthrough->rules.size(), 1u);
+  bool kept_regex = false;
+  for (const Condition& c : passthrough->rules[0].body) {
+    kept_regex = kept_regex ||
+                 c.ToString().find("part+") != std::string::npos;
+  }
+  EXPECT_TRUE(kept_regex);
+}
+
+TEST(RegexStepsTest, NormalFormAndPathsPreserveStepKinds) {
+  TslQuery q = MustParse(
+      "<f(X,Y) out yes> :- "
+      "<E part {<X part+ {<S serial V>}> <Y ** {<D doc W>}>}>@db");
+  TslQuery nf = ToNormalForm(q);
+  EXPECT_EQ(nf.body.size(), 2u);
+  auto paths = BodyPaths(nf);
+  ASSERT_TRUE(paths.ok());
+  EXPECT_EQ((*paths)[0].steps[1].kind, StepKind::kClosure);
+  EXPECT_EQ((*paths)[1].steps[1].kind, StepKind::kDescendant);
+  EXPECT_EQ(UnflattenPath((*paths)[0]), nf.body[0]);
+  EXPECT_EQ(UnflattenPath((*paths)[1]), nf.body[1]);
+}
+
+TEST(RegexStepsTest, ClosureVersusExplicitChainsAgreeOnData) {
+  // part+ of depth ≤2 equals the union of the depth-1 and depth-2 explicit
+  // queries on this catalog (whose part nesting is 2 deep).
+  SourceCatalog catalog = PartsCatalog();
+  auto closure = Evaluate(
+      MustParse("<f(X) sub yes> :- <E part {<X part+ V>}>@db", "Q"),
+      catalog);
+  ASSERT_TRUE(closure.ok());
+  TslRuleSet explicit_rules;
+  explicit_rules.rules.push_back(MustParse(
+      "<f(X) sub yes> :- <E part {<X part V>}>@db", "Q"));
+  explicit_rules.rules.push_back(MustParse(
+      "<f(X) sub yes> :- <E part {<M part {<X part V>}>}>@db", "Q"));
+  auto unions = EvaluateRuleSet(explicit_rules, catalog,
+                                {.answer_name = "Q"});
+  ASSERT_TRUE(unions.ok());
+  EXPECT_TRUE(closure->Equals(*unions));
+}
+
+}  // namespace
+}  // namespace tslrw

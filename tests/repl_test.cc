@@ -1,0 +1,191 @@
+#include "repl/repl.h"
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+
+namespace tslrw {
+namespace {
+
+using ::testing::Test;
+
+class ReplTest : public Test {
+ protected:
+  std::string Run(std::string_view line) { return session_.Execute(line); }
+
+  void Prepare() {
+    EXPECT_NE(Run("source database db { <p1 p { <n1 name ann> "
+                  "<g1 gender female> }> <p2 p { <n2 name bob> }> }")
+                  .find("source db defined"),
+              std::string::npos);
+    EXPECT_NE(Run("view (V1) <g(P') p {<pp(P',Y') pr Y'> <h(X') v Z'>}> :- "
+                  "<P' p {<X' Y' Z'>}>@db")
+                  .find("view V1 defined"),
+              std::string::npos);
+    EXPECT_NE(Run("query (Q) <f(P) out yes> :- <P p {<X Y ann>}>@db")
+                  .find("query Q defined"),
+              std::string::npos);
+  }
+
+  ReplSession session_;
+};
+
+TEST_F(ReplTest, HelpAndUnknown) {
+  EXPECT_NE(Run("help").find("rewrite <query>"), std::string::npos);
+  EXPECT_NE(Run("frobnicate").find("unknown command"), std::string::npos);
+  EXPECT_EQ(Run(""), "");
+  EXPECT_EQ(Run("% a comment"), "");
+}
+
+TEST_F(ReplTest, QuitEndsSession) {
+  EXPECT_FALSE(session_.done());
+  Run("quit");
+  EXPECT_TRUE(session_.done());
+}
+
+TEST_F(ReplTest, EvalProducesAnswerDatabase) {
+  Prepare();
+  std::string out = Run("eval Q");
+  EXPECT_NE(out.find("f(p1)"), std::string::npos);
+  EXPECT_EQ(out.find("p2"), std::string::npos);
+}
+
+TEST_F(ReplTest, RewriteFindsViewRewriting) {
+  Prepare();
+  std::string out = Run("rewrite Q");
+  EXPECT_NE(out.find("1 rewriting(s)"), std::string::npos);
+  EXPECT_NE(out.find("@V1"), std::string::npos);
+}
+
+TEST_F(ReplTest, ExplainShowsPipelineStages) {
+  Prepare();
+  std::string out = Run("explain Q");
+  EXPECT_NE(out.find("chased query:"), std::string::npos);
+  EXPECT_NE(out.find("step 1A"), std::string::npos);
+  EXPECT_NE(out.find("expands to:"), std::string::npos);
+}
+
+TEST_F(ReplTest, EquivalentComparesQueries) {
+  Prepare();
+  Run("query (Q2) <f(R) out yes> :- <R p {<W M ann>}>@db");
+  EXPECT_EQ(Run("equivalent Q Q2"), "equivalent\n");
+  Run("query (Q3) <f(R) out yes> :- <R p {<W M bob>}>@db");
+  EXPECT_EQ(Run("equivalent Q Q3"), "not equivalent\n");
+  EXPECT_NE(Run("equivalent Q nosuch").find("error"), std::string::npos);
+}
+
+TEST_F(ReplTest, MinimizeDropsRedundantCondition) {
+  Prepare();
+  Run("query (QR) <f(P) out yes> :- <P p {<X Y ann>}>@db AND "
+      "<P p {<W M U>}>@db");
+  std::string out = Run("minimize QR");
+  // One condition survives.
+  EXPECT_EQ(out.find(" AND "), std::string::npos);
+}
+
+TEST_F(ReplTest, MaterializeTurnsViewIntoSource) {
+  Prepare();
+  std::string out = Run("materialize V1");
+  EXPECT_NE(out.find("materialized as a source"), std::string::npos);
+  EXPECT_TRUE(session_.catalog().Contains("V1"));
+  // A query straight over the materialized view evaluates.
+  Run("query (QV) <r(P) hit yes> :- <g(P) p {<h(X) v ann>}>@V1");
+  EXPECT_NE(Run("eval QV").find("r(p1)"), std::string::npos);
+}
+
+TEST_F(ReplTest, DtdCommandEnablesConstraintRewriting) {
+  Prepare();
+  Run("query (Q7) <f(P) stanford yes> :- "
+      "<P p {<X name {<Z last stanford>}>}>@db");
+  EXPECT_NE(Run("rewrite Q7").find("0 rewriting(s)"), std::string::npos);
+  EXPECT_NE(Run("dtd <!ELEMENT p (name, phone)> "
+                "<!ELEMENT name (last, first)> <!ELEMENT phone CDATA> "
+                "<!ELEMENT last CDATA> <!ELEMENT first CDATA>")
+                .find("constraints set"),
+            std::string::npos);
+  EXPECT_NE(Run("rewrite Q7").find("1 rewriting(s)"), std::string::npos);
+  EXPECT_NE(Run("show constraints").find("<!ELEMENT p"), std::string::npos);
+}
+
+TEST_F(ReplTest, DataguideInfersConstraintsFromInstance) {
+  Prepare();
+  std::string out = Run("dataguide db");
+  EXPECT_NE(out.find("constraints inferred"), std::string::npos);
+  EXPECT_NE(out.find("<!ELEMENT p"), std::string::npos);
+  EXPECT_NE(Run("dataguide nosuch").find("error"), std::string::npos);
+}
+
+TEST_F(ReplTest, ContainedCommand) {
+  Prepare();
+  Run("view (Fem) <v(P') fem {<w(X') nm Z'>}> :- "
+      "<P' p {<G' gender female>}>@db AND <P' p {<X' name Z'>}>@db");
+  Run("query (All) <f(P) out Z> :- <P p {<X name Z>}>@db");
+  std::string out = Run("contained All total");
+  EXPECT_NE(out.find("contained rule(s)"), std::string::npos);
+  EXPECT_NE(out.find("@Fem"), std::string::npos);
+}
+
+TEST_F(ReplTest, ShowListsState) {
+  EXPECT_EQ(Run("show sources"), "no sources\n");
+  Prepare();
+  EXPECT_NE(Run("show sources").find("db: "), std::string::npos);
+  EXPECT_NE(Run("show views").find("(V1)"), std::string::npos);
+  EXPECT_NE(Run("show queries").find("(Q)"), std::string::npos);
+  EXPECT_EQ(Run("show constraints"), "no constraints\n");
+  EXPECT_NE(Run("show wat").find("usage"), std::string::npos);
+}
+
+TEST_F(ReplTest, ErrorsAreRenderedNotFatal) {
+  EXPECT_NE(Run("source database broken {").find("error"), std::string::npos);
+  EXPECT_NE(Run("view <unnamed> :- <X a V>@db").find("error"),
+            std::string::npos);
+  EXPECT_NE(Run("query (Bad) <f(P) out W> :- <P a V>@db").find("error"),
+            std::string::npos);  // unsafe
+  EXPECT_NE(Run("eval NoSuch").find("error"), std::string::npos);
+  EXPECT_NE(Run("dtd <!BROKEN>").find("error"), std::string::npos);
+  EXPECT_FALSE(session_.done());
+}
+
+
+TEST_F(ReplTest, ExecuteScriptRunsStatementsWithContinuations) {
+  std::string out = session_.ExecuteScript(
+      "source database db { <p1 p { <n1 name ann> } > }\n"
+      "% comment line\n"
+      "query (Q) <f(P) out yes> :- \\\n"
+      "  <P p {<X name ann>}>@db\n"
+      "eval Q\n");
+  EXPECT_NE(out.find("source db defined"), std::string::npos);
+  EXPECT_NE(out.find("query Q defined"), std::string::npos);
+  EXPECT_NE(out.find("f(p1)"), std::string::npos);
+}
+
+TEST_F(ReplTest, LoadAndWriteRoundTripThroughFiles) {
+  Prepare();
+  std::string dir = ::testing::TempDir();
+  std::string data_path = dir + "/tslrw_repl_test_db.oem";
+  EXPECT_NE(Run("write db " + data_path).find("wrote db"),
+            std::string::npos);
+  std::string script_path = dir + "/tslrw_repl_test.tsl";
+  {
+    std::ofstream script(script_path);
+    script << "query (FromFile) <f(P) out yes> :- <P p {<X name ann>}>@db\n"
+           << "eval FromFile\n";
+  }
+  std::string out = Run("load " + script_path);
+  EXPECT_NE(out.find("query FromFile defined"), std::string::npos);
+  EXPECT_NE(out.find("f(p1)"), std::string::npos);
+  // A fresh session can reload the written source.
+  ReplSession fresh;
+  std::ifstream data(data_path);
+  std::ostringstream buffer;
+  buffer << data.rdbuf();
+  EXPECT_NE(fresh.Execute("source " + buffer.str()).find("source db defined"),
+            std::string::npos);
+  EXPECT_NE(Run("load /no/such/path.tsl").find("error"), std::string::npos);
+  EXPECT_NE(Run("write nosuch " + data_path).find("error"),
+            std::string::npos);
+}
+
+}  // namespace
+}  // namespace tslrw

@@ -1,0 +1,301 @@
+#include "rewrite/rewriter.h"
+
+#include <gtest/gtest.h>
+
+#include "constraints/dtd.h"
+#include "equiv/equivalence.h"
+#include "eval/evaluator.h"
+#include "fixtures.h"
+#include "rewrite/compose.h"
+#include "tsl/parser.h"
+
+namespace tslrw {
+namespace {
+
+using testing::MustParse;
+using testing::MustParseDb;
+
+/// True iff some found rewriting is syntactically over the given source.
+bool UsesSource(const TslQuery& q, const std::string& source) {
+  for (const Condition& c : q.body) {
+    if (c.source == source) return true;
+  }
+  return false;
+}
+
+/// Every rewriting the algorithm returns must be verified: composing it
+/// with the views yields a query equivalent to the original (Theorem 5.5
+/// soundness, checked independently here).
+void ExpectAllSound(const RewriteResult& result, const TslQuery& query,
+                    const std::vector<TslQuery>& views,
+                    const ChaseOptions& chase = {}) {
+  for (const TslQuery& rw : result.rewritings) {
+    auto composed = ComposeWithViews(rw, views);
+    ASSERT_TRUE(composed.ok()) << composed.status();
+    auto eq = AreEquivalent(*composed, TslRuleSet::Single(query), chase);
+    ASSERT_TRUE(eq.ok()) << eq.status();
+    EXPECT_TRUE(*eq) << "unsound rewriting: " << rw.ToString();
+  }
+}
+
+// --- Example 3.1: (Q3) rewritten over (V1) ----------------------------------
+
+TEST(RewriteExamplesTest, Example31FindsQ4) {
+  TslQuery q3 = MustParse(testing::kQ3, "Q3");
+  TslQuery v1 = MustParse(testing::kV1, "V1");
+  auto result = RewriteQuery(q3, {v1});
+  ASSERT_TRUE(result.ok()) << result.status();
+  ASSERT_EQ(result->rewritings.size(), 1u);
+  const TslQuery& found = result->rewritings[0];
+  EXPECT_TRUE(UsesSource(found, "V1"));
+  // The found rewriting matches the paper's (Q4): same head, and its body
+  // is the (M2)-instantiated view head.
+  TslQuery q4 = MustParse(testing::kQ4, "Q4");
+  EXPECT_EQ(found.head, q4.head);
+  auto same = AreEquivalent(
+      ComposeWithViews(found, {v1})->rules[0],
+      ComposeWithViews(q4, {v1})->rules[0]);
+  ASSERT_TRUE(same.ok());
+  EXPECT_TRUE(*same) << "found: " << found.ToString();
+  ExpectAllSound(*result, q3, {v1});
+}
+
+TEST(RewriteExamplesTest, Example31SinglePathEntryPoint) {
+  auto result = RewriteSinglePath(MustParse(testing::kQ3, "Q3"),
+                                  MustParse(testing::kV1, "V1"));
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_EQ(result->rewritings.size(), 1u);
+  EXPECT_EQ(result->mappings_found, 1u);
+}
+
+// --- Example 3.2: set mappings end-to-end -----------------------------------
+
+TEST(RewriteExamplesTest, Example32FindsQ6) {
+  TslQuery q5 = MustParse(testing::kQ5, "Q5");
+  TslQuery v1 = MustParse(testing::kV1, "V1");
+  auto result = RewriteQuery(q5, {v1});
+  ASSERT_TRUE(result.ok()) << result.status();
+  ASSERT_EQ(result->rewritings.size(), 1u);
+  EXPECT_TRUE(UsesSource(result->rewritings[0], "V1"));
+  ExpectAllSound(*result, q5, {v1});
+  // And the rewriting is interchangeable with the paper's (Q6).
+  auto eq = AreEquivalent(
+      ComposeWithViews(result->rewritings[0], {v1})->rules[0],
+      ComposeWithViews(MustParse(testing::kQ6, "Q6"), {v1})->rules[0]);
+  ASSERT_TRUE(eq.ok());
+  EXPECT_TRUE(*eq);
+}
+
+// --- Example 3.3: the correctness test rejects (Q8) -------------------------
+
+TEST(RewriteExamplesTest, Example33FindsNoRewriting) {
+  TslQuery q7 = MustParse(testing::kQ7, "Q7");
+  TslQuery v1 = MustParse(testing::kV1, "V1");
+  auto result = RewriteQuery(q7, {v1});
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_TRUE(result->rewritings.empty())
+      << "Example 3.3: the view loses the label/value correspondence, no "
+         "rewriting exists; found " << result->rewritings[0].ToString();
+  // Step 1 did produce the (M6)-based candidate; Step 2 rejected it.
+  EXPECT_GE(result->mappings_found, 1u);
+  EXPECT_GE(result->candidates_tested, 1u);
+}
+
+// --- Example 3.5: the DTD makes (Q8) a valid rewriting of (Q7) --------------
+
+TEST(RewriteExamplesTest, Example35DtdEnablesRewriting) {
+  auto dtd = Dtd::Parse(testing::kPersonDtd);
+  ASSERT_TRUE(dtd.ok()) << dtd.status();
+  StructuralConstraints constraints(std::move(dtd).value());
+  RewriteOptions options;
+  options.constraints = &constraints;
+
+  TslQuery q7 = MustParse(testing::kQ7, "Q7");
+  TslQuery v1 = MustParse(testing::kV1, "V1");
+  auto result = RewriteQuery(q7, {v1}, options);
+  ASSERT_TRUE(result.ok()) << result.status();
+  ASSERT_GE(result->rewritings.size(), 1u)
+      << "with the person DTD, Example 3.5 derives a rewriting";
+  EXPECT_TRUE(UsesSource(result->rewritings[0], "V1"));
+  ExpectAllSound(*result, q7, {v1}, ChaseOptions{&constraints, {}});
+}
+
+// --- Operational soundness: rewritings answer from materialized views ------
+
+TEST(RewriteExamplesTest, RewritingAnswersFromMaterializedView) {
+  SourceCatalog catalog;
+  catalog.Put(MustParseDb(R"(
+    database db {
+      <p1 p { <n1 name leland> <g1 gender female> }>
+      <p2 p { <n2 name jane> }>
+      <p3 p { <x3 nickname leland> }>
+    })"));
+  TslQuery q3 = MustParse(testing::kQ3, "Q3");
+  TslQuery v1 = MustParse(testing::kV1, "V1");
+  auto result = RewriteQuery(q3, {v1});
+  ASSERT_TRUE(result.ok()) << result.status();
+  ASSERT_EQ(result->rewritings.size(), 1u);
+
+  auto original = Evaluate(q3, catalog, {.answer_name = "ans"});
+  ASSERT_TRUE(original.ok()) << original.status();
+
+  SourceCatalog views_only;  // the rewriting never touches db
+  auto view_db = MaterializeView(v1, catalog);
+  ASSERT_TRUE(view_db.ok()) << view_db.status();
+  views_only.Put(std::move(*view_db));
+  auto rewritten =
+      Evaluate(result->rewritings[0], views_only, {.answer_name = "ans"});
+  ASSERT_TRUE(rewritten.ok()) << rewritten.status();
+
+  EXPECT_TRUE(original->Equals(*rewritten))
+      << "original:\n" << original->ToString()
+      << "rewritten:\n" << rewritten->ToString();
+  // Both p1 and p3 carry the value leland (under different labels) — the
+  // label-losing view still answers the label-agnostic (Q3).
+  EXPECT_EQ(original->roots().size(), 2u);
+}
+
+// --- Multi-condition queries and partial rewritings -------------------------
+
+TEST(RewriteTest, PartialRewritingKeepsResidualCondition) {
+  // A view that exposes only the gender paths; the phone condition must
+  // stay on @db (the mediator filters locally, \S1's CBR story).
+  TslQuery view = MustParse(
+      "<v(P') has-gender {<vg(G') g W'>}> :- "
+      "<P' person {<G' gender W'>}>@db", "GenderView");
+  TslQuery query = MustParse(
+      "<f(P) out yes> :- <P person {<G gender female>}>@db AND "
+      "<P person {<H phone N>}>@db", "Q");
+  auto result = RewriteQuery(query, {view});
+  ASSERT_TRUE(result.ok()) << result.status();
+  ASSERT_GE(result->rewritings.size(), 1u);
+  bool found_partial = false;
+  for (const TslQuery& rw : result->rewritings) {
+    found_partial = found_partial ||
+                    (UsesSource(rw, "GenderView") && UsesSource(rw, "db"));
+  }
+  EXPECT_TRUE(found_partial);
+  ExpectAllSound(*result, query, {view});
+}
+
+TEST(RewriteTest, RequireTotalSuppressesPartialRewritings) {
+  TslQuery view = MustParse(
+      "<v(P') has-gender {<vg(G') g W'>}> :- "
+      "<P' person {<G' gender W'>}>@db", "GenderView");
+  TslQuery query = MustParse(
+      "<f(P) out yes> :- <P person {<G gender female>}>@db AND "
+      "<P person {<H phone N>}>@db", "Q");
+  RewriteOptions options;
+  options.require_total = true;
+  auto result = RewriteQuery(query, {view}, options);
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_TRUE(result->rewritings.empty());
+}
+
+TEST(RewriteTest, TotalRewritingAcrossTwoViews) {
+  TslQuery gender_view = MustParse(
+      "<v(P') has-gender {<vg(G') g W'>}> :- "
+      "<P' person {<G' gender W'>}>@db", "GenderView");
+  TslQuery phone_view = MustParse(
+      "<w(P') has-phone {<wp(H') ph N'>}> :- "
+      "<P' person {<H' phone N'>}>@db", "PhoneView");
+  TslQuery query = MustParse(
+      "<f(P) out yes> :- <P person {<G gender female>}>@db AND "
+      "<P person {<H phone N>}>@db", "Q");
+  RewriteOptions options;
+  options.require_total = true;
+  auto result = RewriteQuery(query, {gender_view, phone_view}, options);
+  ASSERT_TRUE(result.ok()) << result.status();
+  ASSERT_GE(result->rewritings.size(), 1u);
+  for (const TslQuery& rw : result->rewritings) {
+    for (const Condition& c : rw.body) EXPECT_NE(c.source, "db");
+  }
+  ExpectAllSound(*result, query, {gender_view, phone_view});
+}
+
+TEST(RewriteTest, IrrelevantViewYieldsNoMappings) {
+  TslQuery view = MustParse(
+      "<v(X') out U'> :- <X' zebra U'>@db", "ZebraView");
+  auto result = RewriteQuery(MustParse(testing::kQ3, "Q3"), {view});
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_EQ(result->mappings_found, 0u);
+  EXPECT_TRUE(result->rewritings.empty());
+}
+
+TEST(RewriteTest, UnsafeQueriesRejected) {
+  TslQuery q = MustParse("<f(P) out W> :- <P p V>@db");
+  auto result = RewriteQuery(q, {MustParse(testing::kV1, "V1")});
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kIllFormedQuery);
+}
+
+TEST(RewriteTest, UnnamedViewRejected) {
+  TslQuery view = MustParse(testing::kV1);
+  view.name.clear();
+  auto result = RewriteQuery(MustParse(testing::kQ3, "Q3"), {view});
+  EXPECT_FALSE(result.ok());
+}
+
+TEST(RewriteTest, UnsatisfiableQueryYieldsEmptyResult) {
+  TslQuery q = MustParse(
+      "<f(X) out yes> :- <P p {<X a u1>}>@db AND <R p {<X a u2>}>@db");
+  auto result = RewriteQuery(q, {MustParse(testing::kV1, "V1")});
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_TRUE(result->rewritings.empty());
+}
+
+TEST(RewriteTest, CoverHeuristicPreservesResults) {
+  TslQuery q3 = MustParse(testing::kQ3, "Q3");
+  TslQuery v1 = MustParse(testing::kV1, "V1");
+  RewriteOptions with, without;
+  with.use_cover_heuristic = true;
+  without.use_cover_heuristic = false;
+  auto a = RewriteQuery(q3, {v1}, with);
+  auto b = RewriteQuery(q3, {v1}, without);
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_EQ(a->rewritings.size(), b->rewritings.size());
+  // The heuristic never tests more candidates than exhaustive search.
+  EXPECT_LE(a->candidates_generated, b->candidates_generated);
+}
+
+TEST(RewriteTest, DominatedRewritingsPruned) {
+  // Two copies of the same view: the rewriting needs only one view
+  // condition; candidates adding the second (or a residual db condition)
+  // are dominated and pruned.
+  TslQuery q3 = MustParse(testing::kQ3, "Q3");
+  TslQuery v1 = MustParse(testing::kV1, "V1");
+  RewriteOptions options;
+  options.prune_dominated = true;
+  auto result = RewriteQuery(q3, {v1}, options);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->rewritings.size(), 1u);
+  EXPECT_EQ(result->rewritings[0].body.size(), 1u);
+}
+
+TEST(RewriteTest, HeadIsAlwaysQueryHead) {
+  // Lemma 5.4: rewritings carry the original head.
+  TslQuery q5 = MustParse(testing::kQ5, "Q5");
+  auto result = RewriteQuery(q5, {MustParse(testing::kV1, "V1")});
+  ASSERT_TRUE(result.ok());
+  for (const TslQuery& rw : result->rewritings) {
+    EXPECT_EQ(rw.head, q5.head);
+  }
+}
+
+TEST(RewriteTest, BodySizeBoundedByK) {
+  // Lemma 5.2: rewritings use at most k = |body(Q)| conditions.
+  TslQuery query = MustParse(
+      "<f(P) out yes> :- <P person {<G gender female>}>@db AND "
+      "<P person {<H phone N>}>@db", "Q");
+  TslQuery view = MustParse(
+      "<v(P') has-gender {<vg(G') g W'>}> :- "
+      "<P' person {<G' gender W'>}>@db", "GenderView");
+  auto result = RewriteQuery(query, {view});
+  ASSERT_TRUE(result.ok());
+  for (const TslQuery& rw : result->rewritings) {
+    EXPECT_LE(rw.body.size(), 2u);
+  }
+}
+
+}  // namespace
+}  // namespace tslrw

@@ -1,0 +1,90 @@
+#include "common/status.h"
+
+#include <gtest/gtest.h>
+
+#include "common/result.h"
+
+namespace tslrw {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status st;
+  EXPECT_TRUE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kOk);
+  EXPECT_EQ(st.ToString(), "OK");
+  EXPECT_TRUE(st.message().empty());
+}
+
+TEST(StatusTest, FailureCarriesCodeAndMessage) {
+  Status st = Status::ParseError("unexpected '>'");
+  EXPECT_FALSE(st.ok());
+  EXPECT_TRUE(st.IsParseError());
+  EXPECT_EQ(st.message(), "unexpected '>'");
+  EXPECT_EQ(st.ToString(), "ParseError: unexpected '>'");
+}
+
+TEST(StatusTest, AllFactoriesProduceMatchingCodes) {
+  EXPECT_EQ(Status::InvalidArgument("m").code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(Status::ParseError("m").code(), StatusCode::kParseError);
+  EXPECT_EQ(Status::IllFormedQuery("m").code(), StatusCode::kIllFormedQuery);
+  EXPECT_EQ(Status::Unsatisfiable("m").code(), StatusCode::kUnsatisfiable);
+  EXPECT_EQ(Status::FusionConflict("m").code(), StatusCode::kFusionConflict);
+  EXPECT_EQ(Status::NotFound("m").code(), StatusCode::kNotFound);
+  EXPECT_EQ(Status::Internal("m").code(), StatusCode::kInternal);
+}
+
+TEST(StatusTest, CopyIsCheapAndShared) {
+  Status a = Status::NotFound("x");
+  Status b = a;
+  EXPECT_EQ(b.message(), "x");
+  EXPECT_TRUE(b.IsNotFound());
+}
+
+Status FailIfNegative(int x) {
+  if (x < 0) return Status::InvalidArgument("negative");
+  return Status::OK();
+}
+
+Status UsesReturnNotOk(int x) {
+  TSLRW_RETURN_NOT_OK(FailIfNegative(x));
+  return Status::OK();
+}
+
+TEST(StatusTest, ReturnNotOkMacroPropagates) {
+  EXPECT_TRUE(UsesReturnNotOk(1).ok());
+  EXPECT_FALSE(UsesReturnNotOk(-1).ok());
+}
+
+Result<int> ParsePositive(int x) {
+  if (x <= 0) return Status::InvalidArgument("not positive");
+  return x;
+}
+
+Result<int> Doubled(int x) {
+  TSLRW_ASSIGN_OR_RETURN(int v, ParsePositive(x));
+  return v * 2;
+}
+
+TEST(ResultTest, ValueAndStatusAccess) {
+  Result<int> ok = ParsePositive(21);
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ(*ok, 21);
+  Result<int> bad = ParsePositive(-3);
+  EXPECT_FALSE(bad.ok());
+  EXPECT_EQ(bad.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(ResultTest, AssignOrReturnMacro) {
+  EXPECT_EQ(*Doubled(4), 8);
+  EXPECT_FALSE(Doubled(0).ok());
+}
+
+TEST(ResultTest, MoveOnlyFriendly) {
+  Result<std::unique_ptr<int>> r(std::make_unique<int>(7));
+  ASSERT_TRUE(r.ok());
+  std::unique_ptr<int> v = std::move(r).value();
+  EXPECT_EQ(*v, 7);
+}
+
+}  // namespace
+}  // namespace tslrw

@@ -1,0 +1,92 @@
+#include "rewrite/substitution.h"
+
+#include <gtest/gtest.h>
+
+#include "fixtures.h"
+#include "tsl/parser.h"
+
+namespace tslrw {
+namespace {
+
+using testing::MustParse;
+
+Term OidVar(const char* s) { return Term::MakeVar(s, VarKind::kObjectId); }
+Term ValVar(const char* s) { return Term::MakeVar(s, VarKind::kLabelValue); }
+Term Atom(const char* s) { return Term::MakeAtom(s); }
+
+SetPattern OneMember(const char* text) {
+  TslQuery q = MustParse(std::string("<f(X) l yes> :- ") + text + "@db");
+  return SetPattern{q.body[0].pattern};
+}
+
+TEST(SubstitutionTest, TermAndSetBindingsAreExclusive) {
+  Substitution s;
+  EXPECT_TRUE(s.BindTerm(ValVar("Z"), Atom("leland")));
+  EXPECT_FALSE(s.BindSet(ValVar("Z"), OneMember("<A b c>")));
+  Substitution t;
+  EXPECT_TRUE(t.BindSet(ValVar("Z"), OneMember("<A b c>")));
+  EXPECT_FALSE(t.BindTerm(ValVar("Z"), Atom("leland")));
+  // Rebinding a set to the same pattern is fine, to a different one is not.
+  EXPECT_TRUE(t.BindSet(ValVar("Z"), OneMember("<A b c>")));
+  EXPECT_FALSE(t.BindSet(ValVar("Z"), OneMember("<A b d>")));
+}
+
+TEST(SubstitutionTest, OccursCheckOnSetBindings) {
+  Substitution s;
+  EXPECT_FALSE(s.BindSet(ValVar("Z"), OneMember("<A b Z>")));
+}
+
+TEST(SubstitutionTest, ApplyReplacesValueVariableWithSetPattern) {
+  // The Example 3.2 instantiation: applying (M5) to (V1)'s head puts
+  // {<Z last stanford>} where Z' stood.
+  TslQuery v1 = MustParse(testing::kV1, "V1");
+  Substitution m5;
+  ASSERT_TRUE(m5.BindTerm(OidVar("P'"), OidVar("P")));
+  ASSERT_TRUE(m5.BindTerm(OidVar("X'"), OidVar("X")));
+  ASSERT_TRUE(m5.BindTerm(ValVar("Y'"), ValVar("Y")));
+  ASSERT_TRUE(m5.BindSet(ValVar("Z'"), OneMember("<Z last stanford>")));
+  ObjectPattern instantiated = m5.Apply(v1.head);
+  TslQuery q6 = MustParse(testing::kQ6);
+  EXPECT_EQ(instantiated, q6.body[0].pattern)
+      << "got: " << instantiated.ToString();
+}
+
+TEST(SubstitutionTest, ApplyRecursesIntoBoundPatterns) {
+  Substitution s;
+  ASSERT_TRUE(s.BindSet(ValVar("V"), OneMember("<A b W>")));
+  ASSERT_TRUE(s.BindTerm(ValVar("W"), Atom("c")));
+  TslQuery q = MustParse("<f(X) l V> :- <X a V>@db");
+  ObjectPattern head = s.Apply(q.head);
+  ASSERT_TRUE(head.value.is_set());
+  ASSERT_EQ(head.value.set().size(), 1u);
+  ASSERT_TRUE(head.value.set()[0].value.is_term());
+  EXPECT_EQ(head.value.set()[0].value.term(), Atom("c"));
+}
+
+TEST(SubstitutionTest, UnifyTermsSharesBindingState) {
+  Substitution s;
+  EXPECT_TRUE(s.UnifyTerms(Term::MakeFunc("g", {OidVar("P")}),
+                           Term::MakeFunc("g", {OidVar("P'")})));
+  // P and P' are now aliased; a conflicting unification must fail.
+  EXPECT_TRUE(s.UnifyTerms(OidVar("P"), Atom("p1")));
+  EXPECT_FALSE(s.UnifyTerms(OidVar("P'"), Atom("p2")));
+  EXPECT_TRUE(s.UnifyTerms(OidVar("P'"), Atom("p1")));
+}
+
+TEST(SubstitutionTest, UnifyTermsRefusesSetBoundVariables) {
+  Substitution s;
+  ASSERT_TRUE(s.BindSet(ValVar("Z"), OneMember("<A b c>")));
+  EXPECT_FALSE(s.UnifyTerms(ValVar("Z"), Atom("x")));
+}
+
+TEST(SubstitutionTest, ToStringShowsBothKindsOfBindings) {
+  Substitution s;
+  ASSERT_TRUE(s.BindTerm(OidVar("P'"), OidVar("P")));
+  ASSERT_TRUE(s.BindSet(ValVar("Z'"), OneMember("<Z last stanford>")));
+  std::string rendered = s.ToString();
+  EXPECT_NE(rendered.find("P' -> P"), std::string::npos);
+  EXPECT_NE(rendered.find("Z' -> {<Z last stanford>}"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace tslrw

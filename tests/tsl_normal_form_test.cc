@@ -1,0 +1,112 @@
+#include "tsl/normal_form.h"
+
+#include <gtest/gtest.h>
+
+#include "fixtures.h"
+#include "tsl/parser.h"
+#include "tsl/validate.h"
+
+namespace tslrw {
+namespace {
+
+using testing::MustParse;
+
+TEST(NormalFormTest, Q1ConvertsToQ2) {
+  // The paper's worked conversion (\S2): (Q1) splits into the two-path (Q2).
+  TslQuery q1 = MustParse(testing::kQ1);
+  TslQuery q2 = MustParse(testing::kQ2);
+  EXPECT_FALSE(IsNormalForm(q1));
+  EXPECT_TRUE(IsNormalForm(q2));
+  TslQuery converted = ToNormalForm(q1);
+  EXPECT_TRUE(IsNormalForm(converted));
+  EXPECT_EQ(converted, q2);
+}
+
+TEST(NormalFormTest, AlreadyNormalIsIdentity) {
+  TslQuery q3 = MustParse(testing::kQ3);
+  EXPECT_TRUE(IsNormalForm(q3));
+  EXPECT_EQ(ToNormalForm(q3), q3);
+  // Deep single paths are normal: (Q5), (Q7).
+  EXPECT_TRUE(IsNormalForm(MustParse(testing::kQ5)));
+  EXPECT_TRUE(IsNormalForm(MustParse(testing::kQ7)));
+}
+
+TEST(NormalFormTest, NestedBranchingSplitsIntoAllPaths) {
+  TslQuery q = MustParse(
+      "<f(P) r yes> :- "
+      "<P p {<X name {<A last s1> <B first s2>}> <U phone N>}>@db");
+  TslQuery nf = ToNormalForm(q);
+  EXPECT_TRUE(IsNormalForm(nf));
+  ASSERT_EQ(nf.body.size(), 3u);
+  EXPECT_EQ(nf, MustParse(
+      "<f(P) r yes> :- "
+      "<P p {<X name {<A last s1>}>}>@db AND "
+      "<P p {<X name {<B first s2>}>}>@db AND "
+      "<P p {<U phone N>}>@db"));
+}
+
+TEST(NormalFormTest, EmptySetPatternPreserved) {
+  TslQuery q = MustParse("<f(X) l yes> :- <X a {}>@db");
+  TslQuery nf = ToNormalForm(q);
+  EXPECT_EQ(nf, q);
+  EXPECT_TRUE(IsNormalForm(nf));
+}
+
+TEST(NormalFormTest, DuplicatePathsDeduplicated) {
+  TslQuery q = MustParse(
+      "<f(P) r yes> :- <P p {<X Y Z> <X Y Z>}>@db");
+  TslQuery nf = ToNormalForm(q);
+  EXPECT_EQ(nf.body.size(), 1u);
+}
+
+TEST(NormalFormTest, SourcePreservedPerPath) {
+  TslQuery q = MustParse(
+      "<f(P,R) r yes> :- <P p {<A x U> <B y W>}>@db1 AND <R q V>@db2");
+  TslQuery nf = ToNormalForm(q);
+  ASSERT_EQ(nf.body.size(), 3u);
+  EXPECT_EQ(nf.body[0].source, "db1");
+  EXPECT_EQ(nf.body[1].source, "db1");
+  EXPECT_EQ(nf.body[2].source, "db2");
+}
+
+TEST(NormalFormTest, SemanticsPreservedIsCheckedByValidation) {
+  // Normal-form output of a safe, well-formed query stays safe/well-formed.
+  for (std::string_view text : {testing::kQ1, testing::kQ10, testing::kQ11}) {
+    TslQuery nf = ToNormalForm(MustParse(text));
+    EXPECT_TRUE(ValidateQuery(nf).ok()) << nf.ToString();
+  }
+}
+
+TEST(PathTest, FlattenAndUnflattenRoundTrip) {
+  TslQuery q7 = MustParse(testing::kQ7);
+  ASSERT_EQ(q7.body.size(), 1u);
+  auto path = FlattenPath(q7.body[0]);
+  ASSERT_TRUE(path.ok()) << path.status();
+  // <P p {<X name {<Z last stanford>}>}> has 3 steps and tail `stanford`.
+  EXPECT_EQ(path->depth(), 3u);
+  EXPECT_EQ(path->steps[0].label, Term::MakeAtom("p"));
+  EXPECT_EQ(path->steps[1].label, Term::MakeAtom("name"));
+  EXPECT_EQ(path->steps[2].label, Term::MakeAtom("last"));
+  ASSERT_TRUE(path->tail.is_term());
+  EXPECT_EQ(path->tail.term(), Term::MakeAtom("stanford"));
+  EXPECT_EQ(path->source, "db");
+  EXPECT_EQ(UnflattenPath(*path), q7.body[0]);
+}
+
+TEST(PathTest, EmptySetTail) {
+  TslQuery q = MustParse("<f(X) l yes> :- <X a {}>@db");
+  auto path = FlattenPath(q.body[0]);
+  ASSERT_TRUE(path.ok());
+  EXPECT_EQ(path->depth(), 1u);
+  EXPECT_TRUE(path->tail.is_set());
+  EXPECT_TRUE(path->tail.set().empty());
+  EXPECT_EQ(UnflattenPath(*path), q.body[0]);
+}
+
+TEST(PathTest, RejectsNonNormalCondition) {
+  TslQuery q1 = MustParse(testing::kQ1);
+  EXPECT_FALSE(FlattenPath(q1.body[0]).ok());
+}
+
+}  // namespace
+}  // namespace tslrw

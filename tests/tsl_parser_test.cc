@@ -1,0 +1,151 @@
+#include "tsl/parser.h"
+
+#include <gtest/gtest.h>
+
+#include "fixtures.h"
+#include "tsl/ast.h"
+
+namespace tslrw {
+namespace {
+
+using testing::MustParse;
+
+TEST(TslParserTest, ParsesQ1) {
+  TslQuery q = MustParse(testing::kQ1, "Q1");
+  EXPECT_EQ(q.name, "Q1");
+  // Head: <f(P) female {<f(X) Y Z>}>.
+  EXPECT_TRUE(q.head.oid.is_func());
+  EXPECT_EQ(q.head.oid.functor(), "f");
+  EXPECT_EQ(q.head.label, Term::MakeAtom("female"));
+  ASSERT_TRUE(q.head.value.is_set());
+  ASSERT_EQ(q.head.value.set().size(), 1u);
+  const ObjectPattern& member = q.head.value.set().front();
+  EXPECT_EQ(member.oid, Term::MakeFunc("f", {Term::MakeVar(
+                            "X", VarKind::kObjectId)}));
+  EXPECT_EQ(member.label, Term::MakeVar("Y", VarKind::kLabelValue));
+  // Body: one condition on @db with two members.
+  ASSERT_EQ(q.body.size(), 1u);
+  EXPECT_EQ(q.body[0].source, "db");
+  ASSERT_TRUE(q.body[0].pattern.value.is_set());
+  EXPECT_EQ(q.body[0].pattern.value.set().size(), 2u);
+}
+
+TEST(TslParserTest, VariableKindsResolvedByPosition) {
+  TslQuery q = MustParse(testing::kQ1);
+  // P and X appear in oid positions; Y, Z, G... G is an oid var (id field
+  // of the gender pattern).
+  std::set<Term> vars = q.BodyVariables();
+  EXPECT_TRUE(vars.count(Term::MakeVar("P", VarKind::kObjectId)));
+  EXPECT_TRUE(vars.count(Term::MakeVar("X", VarKind::kObjectId)));
+  EXPECT_TRUE(vars.count(Term::MakeVar("G", VarKind::kObjectId)));
+  EXPECT_TRUE(vars.count(Term::MakeVar("Y", VarKind::kLabelValue)));
+  EXPECT_TRUE(vars.count(Term::MakeVar("Z", VarKind::kLabelValue)));
+  EXPECT_EQ(vars.size(), 5u);
+}
+
+TEST(TslParserTest, PrimedVariablesParse) {
+  TslQuery v1 = MustParse(testing::kV1, "V1");
+  std::set<Term> vars = v1.BodyVariables();
+  EXPECT_TRUE(vars.count(Term::MakeVar("P'", VarKind::kObjectId)));
+  EXPECT_TRUE(vars.count(Term::MakeVar("X'", VarKind::kObjectId)));
+  EXPECT_TRUE(vars.count(Term::MakeVar("Y'", VarKind::kLabelValue)));
+  EXPECT_TRUE(vars.count(Term::MakeVar("Z'", VarKind::kLabelValue)));
+}
+
+TEST(TslParserTest, PaperNamePrefixHonored) {
+  auto q = ParseTslQuery("(Q3) <f(P) stanford yes> :- <P p {<X Y leland>}>@db");
+  ASSERT_TRUE(q.ok()) << q.status();
+  EXPECT_EQ(q->name, "Q3");
+}
+
+TEST(TslParserTest, ExplicitNameWinsOverPrefix) {
+  auto q = ParseTslQuery(
+      "(Q3) <f(P) stanford yes> :- <P p {<X Y leland>}>@db", "mine");
+  ASSERT_TRUE(q.ok()) << q.status();
+  EXPECT_EQ(q->name, "mine");
+}
+
+TEST(TslParserTest, QuotedAtomsAndValueVariables) {
+  TslQuery q = MustParse(testing::kQ11, "Q11");
+  EXPECT_EQ(q.head.label, Term::MakeAtom("Stan-student"));
+  ASSERT_TRUE(q.head.value.is_term());
+  EXPECT_EQ(q.head.value.term(), Term::MakeVar("V", VarKind::kLabelValue));
+  // Second condition's value is the bare set variable V.
+  ASSERT_EQ(q.body.size(), 2u);
+  ASSERT_TRUE(q.body[1].pattern.value.is_term());
+  EXPECT_EQ(q.body[1].pattern.value.term(),
+            Term::MakeVar("V", VarKind::kLabelValue));
+}
+
+TEST(TslParserTest, EmptySetPattern) {
+  auto q = ParseTslQuery("<f(X) l {}> :- <X a {}>@db");
+  ASSERT_TRUE(q.ok()) << q.status();
+  ASSERT_TRUE(q->body[0].pattern.value.is_set());
+  EXPECT_TRUE(q->body[0].pattern.value.set().empty());
+}
+
+TEST(TslParserTest, MultiSourceBody) {
+  auto q = ParseTslQuery(
+      "<f(X,Y) pair yes> :- <X a V>@db1 AND <Y b W>@db2");
+  ASSERT_TRUE(q.ok()) << q.status();
+  EXPECT_EQ(q->Sources(), (std::set<std::string>{"db1", "db2"}));
+}
+
+TEST(TslParserTest, RoundTripsThroughToString) {
+  for (std::string_view text :
+       {testing::kQ1, testing::kQ2, testing::kV1, testing::kQ3, testing::kQ5,
+        testing::kQ7, testing::kQ9, testing::kQ10, testing::kQ11,
+        testing::kQ14}) {
+    TslQuery q = MustParse(text);
+    TslQuery round = MustParse(q.ToString());
+    EXPECT_EQ(q, round) << "round-trip failed for: " << text;
+  }
+}
+
+TEST(TslParserTest, RejectsVariableUsedAsBothOidAndLabel) {
+  // Y occurs as a label and as an object id: V_O and V_C must be disjoint
+  // (this is also what rules out the extra FD discussed after Lemma 5.3).
+  auto q = ParseTslQuery("<f(X) l V> :- <X Y {<Y Z W>}>@db");
+  EXPECT_FALSE(q.ok());
+  EXPECT_EQ(q.status().code(), StatusCode::kIllFormedQuery);
+}
+
+TEST(TslParserTest, RejectsSyntaxErrors) {
+  EXPECT_FALSE(ParseTslQuery("<f(P) l V>").ok());                  // no body
+  EXPECT_FALSE(ParseTslQuery("<f(P) l V> :- <P a V>@").ok());      // no src
+  EXPECT_FALSE(ParseTslQuery("<f(P) l V> :- <P a >@db").ok());     // no value
+  EXPECT_FALSE(ParseTslQuery("<f(P) g(x) V> :- <P a V>@db").ok()); // func label
+  EXPECT_FALSE(ParseTslQuery("<f(P) l V> :- <P a V>@db junk").ok());
+}
+
+TEST(TslParserTest, CommentsIgnored) {
+  auto q = ParseTslQuery(
+      "% the paper's (Q3)\n"
+      "<f(P) stanford yes> :- % head done\n <P p {<X Y leland>}>@db");
+  ASSERT_TRUE(q.ok()) << q.status();
+}
+
+TEST(TslParserTest, ProgramParsesMultipleNamedRules) {
+  auto rules = ParseTslProgram(R"(
+    (Q3) <f(P) stanford yes> :- <P p {<X Y leland>}>@db
+    (V1) <g(P') p {<pp(P',Y') pr Y'> <h(X') v Z'>}> :- <P' p {<X' Y' Z'>}>@db
+  )");
+  ASSERT_TRUE(rules.ok()) << rules.status();
+  ASSERT_EQ(rules->size(), 2u);
+  EXPECT_EQ((*rules)[0].name, "Q3");
+  EXPECT_EQ((*rules)[1].name, "V1");
+}
+
+TEST(TslParserTest, AllPaperRulesParse) {
+  for (std::string_view text :
+       {testing::kQ1, testing::kQ2, testing::kV1, testing::kQ3, testing::kQ4,
+        testing::kQ4n, testing::kV1oQ4n, testing::kQ5, testing::kQ6,
+        testing::kQ7, testing::kQ8, testing::kQ9, testing::kQ10,
+        testing::kQ11, testing::kQ12, testing::kQ13, testing::kQ14}) {
+    auto q = ParseTslQuery(text);
+    EXPECT_TRUE(q.ok()) << q.status() << "\n  while parsing: " << text;
+  }
+}
+
+}  // namespace
+}  // namespace tslrw

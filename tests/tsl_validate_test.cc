@@ -1,0 +1,94 @@
+#include "tsl/validate.h"
+
+#include <gtest/gtest.h>
+
+#include "fixtures.h"
+#include "tsl/parser.h"
+
+namespace tslrw {
+namespace {
+
+using testing::MustParse;
+
+TEST(ValidateTest, PaperQueriesAreWellFormed) {
+  for (std::string_view text :
+       {testing::kQ1, testing::kQ2, testing::kV1, testing::kQ3, testing::kQ4,
+        testing::kQ5, testing::kQ6, testing::kQ7, testing::kQ8, testing::kQ9,
+        testing::kQ10, testing::kQ11, testing::kQ12, testing::kQ13,
+        testing::kQ14}) {
+    TslQuery q = MustParse(text);
+    EXPECT_TRUE(ValidateQuery(q).ok())
+        << ValidateQuery(q) << "\n  for: " << text;
+  }
+}
+
+TEST(SafetyTest, DetectsUnsafeHeadVariable) {
+  TslQuery q = MustParse("<f(P) l W> :- <P a V>@db");
+  Status st = CheckSafety(q);
+  EXPECT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kIllFormedQuery);
+}
+
+TEST(SafetyTest, SafeWhenHeadVarsCovered) {
+  EXPECT_TRUE(CheckSafety(MustParse(testing::kQ1)).ok());
+  EXPECT_TRUE(CheckSafety(MustParse("<f(P) l V> :- <P a V>@db")).ok());
+}
+
+TEST(HeadOidTest, RootMustBeFunctionTerm) {
+  // A bare variable root would return source objects instead of minting an
+  // answer tree root.
+  TslQuery q = MustParse("<f(P) l V> :- <P a V>@db");
+  q.head.oid = Term::MakeVar("P", VarKind::kObjectId);
+  EXPECT_FALSE(CheckHeadOids(q).ok());
+}
+
+TEST(HeadOidTest, DuplicateHeadOidTermRejected) {
+  // f(P) used for two distinct head objects.
+  TslQuery q = MustParse("<f(P) l {<f(P) m V>}> :- <P a V>@db");
+  EXPECT_FALSE(CheckHeadOids(q).ok());
+}
+
+TEST(HeadOidTest, DistinctSkolemsAccepted) {
+  EXPECT_TRUE(CheckHeadOids(MustParse(testing::kQ1)).ok());
+  EXPECT_TRUE(CheckHeadOids(MustParse(testing::kV1)).ok());
+}
+
+TEST(HeadOidTest, CopiedSourceObjectsAllowed) {
+  // (Q10)'s head embeds <X Y Z> with a variable oid: copy semantics.
+  EXPECT_TRUE(CheckHeadOids(MustParse(testing::kQ10)).ok());
+}
+
+TEST(HeadOidTest, ConstantHeadOidRejected) {
+  TslQuery q = MustParse("<f(P) l {<f(X) m V>}> :- <P a {<X m V>}>@db");
+  q.head.value.mutable_set()[0].oid = Term::MakeAtom("fixed");
+  EXPECT_FALSE(CheckHeadOids(q).ok());
+}
+
+TEST(AcyclicTest, PathBodiesAreAcyclic) {
+  EXPECT_TRUE(CheckAcyclicBody(MustParse(testing::kQ2)).ok());
+  EXPECT_TRUE(CheckAcyclicBody(MustParse(testing::kQ9)).ok());
+}
+
+TEST(AcyclicTest, DirectCycleRejected) {
+  // <X a {<X ...>}> asks for an object that contains itself.
+  TslQuery q = MustParse("<f(X) l yes> :- <X a {<X b V>}>@db");
+  EXPECT_FALSE(CheckAcyclicBody(q).ok());
+}
+
+TEST(AcyclicTest, CrossConditionCycleRejected) {
+  // X above Y in one condition, Y above X in another.
+  TslQuery q = MustParse(
+      "<f(X) l yes> :- <X a {<Y b V>}>@db AND <Y c {<X d W>}>@db");
+  EXPECT_FALSE(CheckAcyclicBody(q).ok());
+}
+
+TEST(AcyclicTest, DiamondIsFine) {
+  // X above Y and Z, both above W: a DAG, not a cycle.
+  TslQuery q = MustParse(
+      "<f(X) l yes> :- <X a {<Y b {<W d U>}>}>@db AND "
+      "<X a {<Z c {<W d U>}>}>@db");
+  EXPECT_TRUE(CheckAcyclicBody(q).ok());
+}
+
+}  // namespace
+}  // namespace tslrw
