@@ -1,0 +1,75 @@
+// Command-line front end for the static analyzer: reads TSL programs from
+// files (or stdin when no file is given), runs every analyzer pass, and
+// prints the diagnostics with caret snippets pointing into the input.
+//
+//   ./build/examples/tslrw_analyze rules.tsl more_rules.tsl
+//   echo '<f(P) out W> :- <P p V>@db' | ./build/examples/tslrw_analyze
+//
+// The exit status is 1 when any file produced an error-level diagnostic
+// (TSL000-TSL006), so the binary slots into CI pipelines and editor hooks;
+// warnings and notes do not affect the exit status. docs/DIAGNOSTICS.md
+// catalogues every code.
+
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "analysis/analyzer.h"
+#include "analysis/diagnostic.h"
+
+namespace {
+
+struct Input {
+  std::string name;
+  std::string text;
+};
+
+int AnalyzeOne(const tslrw::Analyzer& analyzer, const Input& input) {
+  tslrw::AnalysisReport report = analyzer.AnalyzeProgramText(input.text);
+  if (report.diagnostics.empty()) {
+    std::printf("%s: no diagnostics\n", input.name.c_str());
+    return 0;
+  }
+  for (const tslrw::Diagnostic& d : report.diagnostics) {
+    std::fputs(input.name.c_str(), stdout);
+    std::fputs(":", stdout);
+    std::fputs(tslrw::RenderDiagnostic(d, input.text).c_str(), stdout);
+  }
+  std::printf("%s: %zu error(s), %zu warning(s), %zu note(s)\n",
+              input.name.c_str(),
+              report.count(tslrw::Severity::kError),
+              report.count(tslrw::Severity::kWarning),
+              report.count(tslrw::Severity::kNote));
+  return report.has_errors() ? 1 : 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<Input> inputs;
+  if (argc > 1) {
+    for (int i = 1; i < argc; ++i) {
+      std::ifstream in(argv[i]);
+      if (!in) {
+        std::fprintf(stderr, "cannot open %s\n", argv[i]);
+        return 2;
+      }
+      std::ostringstream buffer;
+      buffer << in.rdbuf();
+      inputs.push_back({argv[i], buffer.str()});
+    }
+  } else {
+    std::ostringstream buffer;
+    buffer << std::cin.rdbuf();
+    inputs.push_back({"<stdin>", buffer.str()});
+  }
+  tslrw::Analyzer analyzer;
+  int exit_code = 0;
+  for (const Input& input : inputs) {
+    exit_code |= AnalyzeOne(analyzer, input);
+  }
+  return exit_code;
+}

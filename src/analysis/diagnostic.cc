@@ -1,0 +1,110 @@
+#include "analysis/diagnostic.h"
+
+#include "common/string_util.h"
+
+namespace tslrw {
+
+std::string_view SeverityToString(Severity severity) {
+  switch (severity) {
+    case Severity::kError: return "error";
+    case Severity::kWarning: return "warning";
+    case Severity::kNote: return "note";
+  }
+  return "diagnostic";
+}
+
+std::string_view DiagCodeToString(DiagCode code) {
+  switch (code) {
+    case DiagCode::kParseError: return "TSL000";
+    case DiagCode::kUnsafeQuery: return "TSL001";
+    case DiagCode::kHeadOidViolation: return "TSL002";
+    case DiagCode::kCyclicPattern: return "TSL003";
+    case DiagCode::kMisplacedRegexStep: return "TSL004";
+    case DiagCode::kVariableSortClash: return "TSL005";
+    case DiagCode::kUnsatisfiableBody: return "TSL006";
+    case DiagCode::kRedundantCondition: return "TSL101";
+    case DiagCode::kCartesianProduct: return "TSL102";
+    case DiagCode::kUnboundedPathStep: return "TSL103";
+    case DiagCode::kDeadView: return "TSL104";
+    case DiagCode::kSingleUseVariable: return "TSL105";
+  }
+  return "TSL???";
+}
+
+Severity DiagCodeSeverity(DiagCode code) {
+  switch (code) {
+    case DiagCode::kParseError:
+    case DiagCode::kUnsafeQuery:
+    case DiagCode::kHeadOidViolation:
+    case DiagCode::kCyclicPattern:
+    case DiagCode::kMisplacedRegexStep:
+    case DiagCode::kVariableSortClash:
+    case DiagCode::kUnsatisfiableBody:
+      return Severity::kError;
+    case DiagCode::kRedundantCondition:
+    case DiagCode::kCartesianProduct:
+    case DiagCode::kUnboundedPathStep:
+    case DiagCode::kDeadView:
+      return Severity::kWarning;
+    case DiagCode::kSingleUseVariable:
+      return Severity::kNote;
+  }
+  return Severity::kError;
+}
+
+std::string Diagnostic::ToString() const {
+  std::string out;
+  if (!rule.empty()) out += StrCat(rule, ":");
+  if (span.valid()) out += StrCat(span.ToString(), ":");
+  if (!out.empty()) out += " ";
+  return StrCat(out, SeverityToString(severity), ": ", message, " [",
+                DiagCodeToString(code), "]");
+}
+
+namespace {
+
+/// The \p line-th (1-based) line of \p source, without its newline.
+std::string_view SourceLine(std::string_view source, int line) {
+  size_t start = 0;
+  for (int i = 1; i < line; ++i) {
+    size_t eol = source.find('\n', start);
+    if (eol == std::string_view::npos) return {};
+    start = eol + 1;
+  }
+  size_t eol = source.find('\n', start);
+  return source.substr(
+      start, eol == std::string_view::npos ? source.size() - start
+                                           : eol - start);
+}
+
+}  // namespace
+
+std::string RenderDiagnostic(const Diagnostic& diagnostic,
+                             std::string_view source) {
+  std::string out = StrCat(diagnostic.ToString(), "\n");
+  if (source.empty() || !diagnostic.span.valid()) return out;
+  std::string_view line = SourceLine(source, diagnostic.span.line);
+  if (line.empty() &&
+      static_cast<size_t>(diagnostic.span.column) > line.size() + 1) {
+    return out;  // span does not point into this text
+  }
+  std::string line_no = StrCat(diagnostic.span.line);
+  std::string gutter(line_no.size(), ' ');
+  std::string caret_pad(
+      diagnostic.span.column > 0
+          ? static_cast<size_t>(diagnostic.span.column - 1)
+          : 0,
+      ' ');
+  out += StrCat("  ", line_no, " | ", line, "\n");
+  out += StrCat("  ", gutter, " | ", caret_pad, "^\n");
+  return out;
+}
+
+std::string RenderDiagnostics(const std::vector<Diagnostic>& diagnostics,
+                              std::string_view source) {
+  std::string out;
+  for (const Diagnostic& d : diagnostics) out += RenderDiagnostic(d, source);
+  return out;
+}
+
+}  // namespace tslrw

@@ -1,0 +1,85 @@
+#ifndef TSLRW_ANALYSIS_DIAGNOSTIC_H_
+#define TSLRW_ANALYSIS_DIAGNOSTIC_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/source_span.h"
+
+namespace tslrw {
+
+/// \brief How serious a diagnostic is.
+///
+/// Errors are rules the rewriting pipeline would reject (the `validate.cc`
+/// well-formedness checks, plus unsatisfiable bodies); warnings are legal
+/// rules with pathologies that blow up the exponential rewriter (\S5.1) or
+/// the evaluator; notes are style lints.
+enum class Severity : uint8_t {
+  kError,
+  kWarning,
+  kNote,
+};
+
+std::string_view SeverityToString(Severity severity);
+
+/// \brief Stable diagnostic codes, catalogued with triggering examples and
+/// fixes in docs/DIAGNOSTICS.md. Codes are never renumbered; retired codes
+/// are not reused.
+enum class DiagCode : uint8_t {
+  // --- errors: the pipeline rejects the rule -------------------------------
+  kParseError = 0,          ///< TSL000: the text is not a TSL rule
+  kUnsafeQuery = 1,         ///< TSL001: head variable missing from the body
+  kHeadOidViolation = 2,    ///< TSL002: head oid discipline (\S2)
+  kCyclicPattern = 3,       ///< TSL003: cyclic body object pattern
+  kMisplacedRegexStep = 4,  ///< TSL004: `l+`/`**` in a head or at top level
+  kVariableSortClash = 5,   ///< TSL005: one name in both V_O and V_C
+  kUnsatisfiableBody = 6,   ///< TSL006: chase derives conflicting constants
+  // --- warnings / notes: legal but costly or suspicious --------------------
+  kRedundantCondition = 101,  ///< TSL101: droppable body condition
+  kCartesianProduct = 102,    ///< TSL102: disconnected body join graph
+  kUnboundedPathStep = 103,   ///< TSL103: `l+`/`**` walks unbounded paths
+  kDeadView = 104,            ///< TSL104: view adds nothing over the others
+  kSingleUseVariable = 105,   ///< TSL105: variable used exactly once
+};
+
+/// "TSL001"-style stable code string.
+std::string_view DiagCodeToString(DiagCode code);
+
+/// The severity every diagnostic with this code carries.
+Severity DiagCodeSeverity(DiagCode code);
+
+/// \brief One analyzer finding: a coded, positioned message about a rule.
+struct Diagnostic {
+  DiagCode code;
+  Severity severity;
+  /// Position in the text the rule was parsed from; invalid when the rule
+  /// was assembled programmatically.
+  SourceSpan span;
+  /// Name of the rule the finding is about; may be empty.
+  std::string rule;
+  std::string message;
+
+  /// "Q3:1:19: warning: cartesian product ... [TSL102]".
+  std::string ToString() const;
+};
+
+/// \brief Renders \p diagnostic; when \p source (the text the rule was
+/// parsed from) is supplied and the span is valid, appends a caret snippet:
+///
+/// ```
+/// Q:2:5: warning: body conditions 1 and 2 share no variables [TSL102]
+///   2 |     <Q r W>@db
+///     |     ^
+/// ```
+std::string RenderDiagnostic(const Diagnostic& diagnostic,
+                             std::string_view source = {});
+
+/// Renders every diagnostic in order, errors first within equal spans left
+/// as produced (the analyzer already orders by pass).
+std::string RenderDiagnostics(const std::vector<Diagnostic>& diagnostics,
+                              std::string_view source = {});
+
+}  // namespace tslrw
+
+#endif  // TSLRW_ANALYSIS_DIAGNOSTIC_H_

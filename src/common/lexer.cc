@@ -127,9 +127,9 @@ Result<std::vector<Token>> Tokenize(std::string_view input) {
       case '|': kind = TokenKind::kPipe; break;
       case '!': kind = TokenKind::kBang; break;
       default:
-        return Status::ParseError(
-            StrCat("unexpected character '", std::string(1, c), "' at ", tl,
-                   ":", tc));
+        return Status::ParseError(StrCat(tl, ":", tc,
+                                         ": unexpected character '",
+                                         std::string(1, c), "'"));
     }
     push(kind, std::string(1, c), tl, tc);
     advance(1);
@@ -179,9 +179,13 @@ Status TokenCursor::ExpectIdent(std::string_view ident) {
   return Status::OK();
 }
 
+Status ErrorAtToken(const Token& token, std::string_view message) {
+  return Status::ParseError(
+      StrCat(token.line, ":", token.column, ": ", message));
+}
+
 Status TokenCursor::ErrorHere(std::string_view message) const {
-  const Token& t = Peek();
-  return Status::ParseError(StrCat(t.line, ":", t.column, ": ", message));
+  return ErrorAtToken(Peek(), message);
 }
 
 }  // namespace tslrw

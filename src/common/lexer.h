@@ -48,6 +48,9 @@ struct Token {
 /// comment running to end of line (the paper's own comment convention).
 Result<std::vector<Token>> Tokenize(std::string_view input);
 
+/// \brief A ParseError positioned at \p token ("line:column: message").
+Status ErrorAtToken(const Token& token, std::string_view message);
+
 /// \brief A cursor over a token stream with the usual peek/expect helpers.
 class TokenCursor {
  public:

@@ -1,0 +1,37 @@
+#ifndef TSLRW_COMMON_SOURCE_SPAN_H_
+#define TSLRW_COMMON_SOURCE_SPAN_H_
+
+#include <string>
+
+namespace tslrw {
+
+/// \brief A 1-based line/column position in some source text, as computed
+/// by the lexer (Token::line/column).
+///
+/// A default-constructed span is "unknown" (line 0) — the position of AST
+/// nodes assembled programmatically rather than parsed. Spans are carried
+/// by the TSL AST for diagnostics only; they never participate in node
+/// equality or ordering.
+struct SourceSpan {
+  int line = 0;
+  int column = 0;
+
+  bool valid() const { return line > 0; }
+
+  /// "line:column", or "?" for unknown spans.
+  std::string ToString() const {
+    if (!valid()) return "?";
+    return std::to_string(line) + ":" + std::to_string(column);
+  }
+
+  friend bool operator==(const SourceSpan& a, const SourceSpan& b) {
+    return a.line == b.line && a.column == b.column;
+  }
+  friend bool operator!=(const SourceSpan& a, const SourceSpan& b) {
+    return !(a == b);
+  }
+};
+
+}  // namespace tslrw
+
+#endif  // TSLRW_COMMON_SOURCE_SPAN_H_

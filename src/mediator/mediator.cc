@@ -57,7 +57,25 @@ std::string MediatorPlan::ToString() const {
 Result<Mediator> Mediator::Make(std::vector<SourceDescription> sources,
                                 const StructuralConstraints* constraints) {
   TSLRW_RETURN_NOT_OK(ValidateDescriptions(sources));
-  return Mediator(std::move(sources), constraints);
+  // Run the static analyzer over all capability views: a view with
+  // error-level diagnostics would poison every rewriting that uses it, so
+  // refuse to build the mediator. Warnings (dead views, redundant
+  // conditions) are kept for the caller to log.
+  AnalyzerOptions analyzer_options;
+  analyzer_options.constraints = constraints;
+  std::vector<TslQuery> views;
+  for (const SourceDescription& sd : sources) {
+    for (const Capability& cap : sd.capabilities) {
+      views.push_back(cap.view);
+      analyzer_options.constraint_exempt_sources.insert(cap.view.name);
+    }
+  }
+  AnalysisReport report = Analyzer(analyzer_options).AnalyzeRules(views);
+  if (report.has_errors()) {
+    return Status::IllFormedQuery(
+        StrCat("capability views failed analysis:\n", report.ToString()));
+  }
+  return Mediator(std::move(sources), constraints, std::move(report));
 }
 
 std::vector<TslQuery> Mediator::AllViews() const {

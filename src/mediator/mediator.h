@@ -4,6 +4,7 @@
 #include <string>
 #include <vector>
 
+#include "analysis/analyzer.h"
 #include "common/result.h"
 #include "constraints/inference.h"
 #include "mediator/capability.h"
@@ -35,9 +36,12 @@ struct MediatorPlan {
 /// Rewriter, \S1).
 class Mediator {
  public:
-  /// \param sources wrapped source descriptions (validated).
+  /// \param sources wrapped source descriptions (validated, then run
+  ///        through the static analyzer: error-level diagnostics on any
+  ///        capability view make Make fail with the rendered report, and
+  ///        warnings are kept in analysis() for the caller to surface).
   /// \param constraints optional DTD-derived constraints on the source
-  ///        data, forwarded to the rewriter (\S3.3).
+  ///        data, forwarded to the rewriter (\S3.3) and the analyzer.
   static Result<Mediator> Make(std::vector<SourceDescription> sources,
                                const StructuralConstraints* constraints =
                                    nullptr);
@@ -64,10 +68,17 @@ class Mediator {
 
   const std::vector<SourceDescription>& sources() const { return sources_; }
 
+  /// The analyzer's report over all capability views, produced at Make
+  /// time. Error-free by construction (errors fail Make); may carry
+  /// warnings (dead views, redundant conditions, ...) worth logging.
+  const AnalysisReport& analysis() const { return analysis_; }
+
  private:
   Mediator(std::vector<SourceDescription> sources,
-           const StructuralConstraints* constraints)
-      : sources_(std::move(sources)), constraints_(constraints) {}
+           const StructuralConstraints* constraints, AnalysisReport analysis)
+      : sources_(std::move(sources)),
+        constraints_(constraints),
+        analysis_(std::move(analysis)) {}
 
   /// All capability views across sources.
   std::vector<TslQuery> AllViews() const;
@@ -76,6 +87,7 @@ class Mediator {
 
   std::vector<SourceDescription> sources_;
   const StructuralConstraints* constraints_;
+  AnalysisReport analysis_;
 };
 
 }  // namespace tslrw

@@ -35,6 +35,8 @@ constexpr std::string_view kHelp =
     "  explain <query>                  trace the rewriting pipeline\n"
     "  minimize <query>                 remove redundant conditions\n"
     "  equivalent <q1> <q2>             compile-time equivalence test\n"
+    "  analyze [rule]                   static diagnostics (all rules, or "
+    "one)\n"
     "  materialize <view>               view result becomes a source\n"
     "  show sources|views|queries|constraints\n"
     "  load <path>                      run a script file\n"
@@ -91,6 +93,7 @@ std::string ReplSession::Execute(std::string_view line) {
   if (command == "explain") return Explain(rest);
   if (command == "minimize") return Minimize(rest);
   if (command == "equivalent") return Equivalent(rest);
+  if (command == "analyze" || command == ":analyze") return Analyze(rest);
   if (command == "materialize") return Materialize(rest);
   if (command == "show") return Show(rest);
   if (command == "load") return Load(rest);
@@ -159,6 +162,7 @@ std::string ReplSession::DefineView(std::string_view rest) {
   if (Status st = ValidateQuery(*view); !st.ok()) return RenderError(st);
   std::string name = view->name;
   views_.insert_or_assign(name, std::move(view).value());
+  rule_texts_.insert_or_assign(name, std::string(rest));
   return StrCat("view ", name, " defined\n");
 }
 
@@ -171,6 +175,7 @@ std::string ReplSession::DefineQuery(std::string_view rest) {
   if (Status st = ValidateQuery(*query); !st.ok()) return RenderError(st);
   std::string name = query->name;
   queries_.insert_or_assign(name, std::move(query).value());
+  rule_texts_.insert_or_assign(name, std::string(rest));
   return StrCat("query ", name, " defined\n");
 }
 
@@ -310,6 +315,49 @@ std::string ReplSession::Equivalent(std::string_view rest) {
   auto eq = AreEquivalent(*qa, *qb, MakeChaseOptions());
   if (!eq.ok()) return RenderError(eq.status());
   return *eq ? "equivalent\n" : "not equivalent\n";
+}
+
+Analyzer ReplSession::MakeAnalyzer() const {
+  AnalyzerOptions options;
+  options.constraints = constraints_ptr();
+  for (const auto& [name, view] : views_) {
+    options.constraint_exempt_sources.insert(name);
+  }
+  return Analyzer(options);
+}
+
+std::string ReplSession::RenderReport(const AnalysisReport& report) const {
+  if (report.diagnostics.empty()) return "no diagnostics\n";
+  std::string out;
+  for (const Diagnostic& d : report.diagnostics) {
+    auto it = rule_texts_.find(d.rule);
+    out += RenderDiagnostic(
+        d, it != rule_texts_.end() ? std::string_view(it->second)
+                                   : std::string_view());
+  }
+  out += StrCat(report.count(Severity::kError), " error(s), ",
+                report.count(Severity::kWarning), " warning(s), ",
+                report.count(Severity::kNote), " note(s)\n");
+  return out;
+}
+
+std::string ReplSession::Analyze(std::string_view rest) {
+  std::string_view name = TakeWord(&rest);
+  Analyzer analyzer = MakeAnalyzer();
+  if (!name.empty()) {
+    auto query = LookupQuery(name);
+    if (!query.ok()) return RenderError(query.status());
+    return RenderReport(analyzer.AnalyzeQuery(*query));
+  }
+  // All rules at once: the views go through AnalyzeRules so the cross-rule
+  // dead-view pass sees them together; queries are analyzed one by one.
+  AnalysisReport report = analyzer.AnalyzeRules(Views());
+  for (const auto& [qname, query] : queries_) {
+    AnalysisReport qr = analyzer.AnalyzeQuery(query);
+    report.diagnostics.insert(report.diagnostics.end(),
+                              qr.diagnostics.begin(), qr.diagnostics.end());
+  }
+  return RenderReport(report);
 }
 
 std::string ReplSession::Materialize(std::string_view rest) {

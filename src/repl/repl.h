@@ -6,6 +6,7 @@
 #include <string>
 #include <string_view>
 
+#include "analysis/analyzer.h"
 #include "common/result.h"
 #include "constraints/inference.h"
 #include "oem/database.h"
@@ -33,6 +34,7 @@ namespace tslrw {
 /// explain Q3                    % mappings, candidates, verdicts
 /// minimize Q3
 /// equivalent Q3 Q4
+/// analyze [Q3]                  % static diagnostics, all rules or one
 /// materialize V1                % view result becomes a source
 /// show sources|views|queries|constraints
 /// help
@@ -68,6 +70,7 @@ class ReplSession {
   std::string Explain(std::string_view rest);
   std::string Minimize(std::string_view rest);
   std::string Equivalent(std::string_view rest);
+  std::string Analyze(std::string_view rest);
   std::string Materialize(std::string_view rest);
   std::string Show(std::string_view rest);
   std::string Load(std::string_view rest);
@@ -81,10 +84,19 @@ class ReplSession {
   /// Chase options with constraints scoped away from view-sourced
   /// conditions (constraints describe source data, not view output).
   ChaseOptions MakeChaseOptions() const;
+  /// An analyzer configured like MakeChaseOptions (same constraints, same
+  /// exempt view sources).
+  Analyzer MakeAnalyzer() const;
+  /// Renders \p report with caret snippets where the rule's original text
+  /// is on file, plus a severity tally line.
+  std::string RenderReport(const AnalysisReport& report) const;
 
   SourceCatalog catalog_;
   std::map<std::string, TslQuery, std::less<>> views_;
   std::map<std::string, TslQuery, std::less<>> queries_;
+  /// Original text of each named rule, keyed by rule name, kept so
+  /// `analyze` can render caret snippets pointing into what was typed.
+  std::map<std::string, std::string, std::less<>> rule_texts_;
   std::optional<StructuralConstraints> constraints_;
   bool done_ = false;
 };

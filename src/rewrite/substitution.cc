@@ -48,6 +48,7 @@ ObjectPattern Substitution::Apply(const ObjectPattern& pattern) const {
   out.oid = terms_.Apply(pattern.oid);
   out.label = terms_.Apply(pattern.label);
   out.step = pattern.step;
+  out.span = pattern.span;
   if (pattern.value.is_term()) {
     const Term& vt = pattern.value.term();
     if (const SetPattern* set = vt.is_var() ? LookupSet(vt) : nullptr) {
@@ -78,6 +79,7 @@ Condition Substitution::Apply(const Condition& condition) const {
 TslQuery Substitution::Apply(const TslQuery& query) const {
   TslQuery out;
   out.name = query.name;
+  out.span = query.span;
   out.head = Apply(query.head);
   out.body.reserve(query.body.size());
   for (const Condition& c : query.body) out.body.push_back(Apply(c));

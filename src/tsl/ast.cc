@@ -119,6 +119,7 @@ ObjectPattern ApplyTermSubstitution(const TermSubstitution& subst,
   out.oid = subst.Apply(pattern.oid);
   out.label = subst.Apply(pattern.label);
   out.step = pattern.step;
+  out.span = pattern.span;
   if (pattern.value.is_term()) {
     out.value = PatternValue::FromTerm(subst.Apply(pattern.value.term()));
   } else {
@@ -136,6 +137,7 @@ TslQuery ApplyTermSubstitution(const TermSubstitution& subst,
                                const TslQuery& query) {
   TslQuery out;
   out.name = query.name;
+  out.span = query.span;
   out.head = ApplyTermSubstitution(subst, query.head);
   out.body.reserve(query.body.size());
   for (const Condition& c : query.body) {

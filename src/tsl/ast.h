@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "common/result.h"
+#include "common/source_span.h"
 #include "oem/term.h"
 
 namespace tslrw {
@@ -80,6 +81,11 @@ struct ObjectPattern {
   /// members of set patterns in bodies (top-level conditions and heads are
   /// always kChild).
   StepKind step = StepKind::kChild;
+  /// Position of the pattern's opening `<` in the text it was parsed from;
+  /// unknown (invalid) for programmatically built patterns. Ignored by
+  /// equality/ordering; preserved by substitution and re-sorting so
+  /// diagnostics can point into the original rule text.
+  SourceSpan span = {};
 
   std::string ToString() const;
 
@@ -120,6 +126,10 @@ struct TslQuery {
   std::string name;
   ObjectPattern head;
   std::vector<Condition> body;
+  /// Position of the rule's first token (the `(Name)` prefix if present,
+  /// else the head's `<`); unknown for programmatic rules. Ignored by
+  /// equality.
+  SourceSpan span = {};
 
   std::string ToString() const;
 

@@ -45,8 +45,9 @@ Result<Term> ParseTerm(TokenCursor* cur) {
 }
 
 Result<ObjectPattern> ParsePattern(TokenCursor* cur, int* anon_labels) {
-  TSLRW_RETURN_NOT_OK(cur->Expect(TokenKind::kLAngle).status());
+  TSLRW_ASSIGN_OR_RETURN(Token langle, cur->Expect(TokenKind::kLAngle));
   ObjectPattern pattern;
+  pattern.span = SourceSpan{langle.line, langle.column};
   TSLRW_ASSIGN_OR_RETURN(pattern.oid, ParseTerm(cur));
   // Label position: `*` (any label), `**` (descendant), `label+` (closure),
   // or a plain term. The starred forms are the \S7 regular-path-expression
@@ -60,13 +61,14 @@ Result<ObjectPattern> ParsePattern(TokenCursor* cur, int* anon_labels) {
                                     VarKind::kLabelValue);
     }
   } else {
+    Token label_tok = cur->Peek();
     TSLRW_ASSIGN_OR_RETURN(pattern.label, ParseTerm(cur));
     if (pattern.label.is_func()) {
-      return cur->ErrorHere("a label must be an atom or a variable");
+      return ErrorAtToken(label_tok, "a label must be an atom or a variable");
     }
     if (cur->TryConsume(TokenKind::kPlus)) {
       if (!pattern.label.is_atom()) {
-        return cur->ErrorHere("a closure step needs a constant label");
+        return ErrorAtToken(label_tok, "a closure step needs a constant label");
       }
       pattern.step = StepKind::kClosure;
     }
@@ -88,6 +90,7 @@ Result<ObjectPattern> ParsePattern(TokenCursor* cur, int* anon_labels) {
 }
 
 Result<TslQuery> ParseRule(TokenCursor* cur, std::string name) {
+  SourceSpan rule_span{cur->Peek().line, cur->Peek().column};
   // Optional paper-style "(Q3)" rule name prefix.
   if (cur->Peek().kind == TokenKind::kLParen) {
     cur->Next();
@@ -97,6 +100,7 @@ Result<TslQuery> ParseRule(TokenCursor* cur, std::string name) {
   }
   TslQuery query;
   query.name = std::move(name);
+  query.span = rule_span;
   int anon_labels = 0;
   TSLRW_ASSIGN_OR_RETURN(query.head, ParsePattern(cur, &anon_labels));
   TSLRW_RETURN_NOT_OK(cur->Expect(TokenKind::kTurnstile).status());
@@ -119,25 +123,29 @@ enum class Position { kNeutral, kObjectId, kLabelValue };
 class KindResolver {
  public:
   /// Records uses. \p in_args is true while descending into function-term
-  /// arguments, where either sort may legally appear.
-  void NoteTerm(const Term& t, Position pos, bool in_args) {
+  /// arguments, where either sort may legally appear. \p span is the
+  /// position of the enclosing pattern, kept for error messages.
+  void NoteTerm(const Term& t, Position pos, bool in_args, SourceSpan span) {
     switch (t.kind()) {
       case TermKind::kAtom:
         return;
       case TermKind::kVariable:
-        Note(t.var_name(), in_args ? Position::kNeutral : pos);
+        Note(t.var_name(), in_args ? Position::kNeutral : pos, span);
         return;
       case TermKind::kFunction:
-        for (const Term& a : t.args()) NoteTerm(a, pos, /*in_args=*/true);
+        for (const Term& a : t.args()) {
+          NoteTerm(a, pos, /*in_args=*/true, span);
+        }
         return;
     }
   }
 
   void NotePattern(const ObjectPattern& p) {
-    NoteTerm(p.oid, Position::kObjectId, /*in_args=*/false);
-    NoteTerm(p.label, Position::kLabelValue, /*in_args=*/false);
+    NoteTerm(p.oid, Position::kObjectId, /*in_args=*/false, p.span);
+    NoteTerm(p.label, Position::kLabelValue, /*in_args=*/false, p.span);
     if (p.value.is_term()) {
-      NoteTerm(p.value.term(), Position::kLabelValue, /*in_args=*/false);
+      NoteTerm(p.value.term(), Position::kLabelValue, /*in_args=*/false,
+               p.span);
     } else {
       for (const ObjectPattern& m : p.value.set()) NotePattern(m);
     }
@@ -145,12 +153,18 @@ class KindResolver {
 
   /// Fails iff some name occurs in both oid and label/value positions.
   Status Check() const {
-    for (const auto& [name, positions] : uses_) {
-      if (positions.first && positions.second) {
+    for (const auto& [name, use] : uses_) {
+      if (use.as_oid && use.as_label_value) {
+        std::string where;
+        if (use.oid_span.valid() && use.label_value_span.valid()) {
+          where = StrCat(" (object id at ", use.oid_span.ToString(),
+                         ", label/value at ",
+                         use.label_value_span.ToString(), ")");
+        }
         return Status::IllFormedQuery(
             StrCat("variable ", name,
-                   " is used both as an object id and as a label/value; "
-                   "V_O and V_C must be disjoint"));
+                   " is used both as an object id and as a label/value",
+                   where, "; V_O and V_C must be disjoint"));
       }
     }
     return Status::OK();
@@ -159,8 +173,8 @@ class KindResolver {
   VarKind KindOf(const std::string& name) const {
     auto it = uses_.find(name);
     if (it == uses_.end()) return VarKind::kObjectId;
-    if (it->second.first) return VarKind::kObjectId;
-    if (it->second.second) return VarKind::kLabelValue;
+    if (it->second.as_oid) return VarKind::kObjectId;
+    if (it->second.as_label_value) return VarKind::kLabelValue;
     // Seen only inside function-term arguments (e.g. X in `h(X)` when the
     // rule's body is an instantiated view head): Skolem arguments carry
     // source oids, so object-id is the sort that round-trips.
@@ -168,14 +182,26 @@ class KindResolver {
   }
 
  private:
-  void Note(const std::string& name, Position pos) {
-    auto& entry = uses_[name];
-    if (pos == Position::kObjectId) entry.first = true;
-    if (pos == Position::kLabelValue) entry.second = true;
+  struct Uses {
+    bool as_oid = false;
+    bool as_label_value = false;
+    SourceSpan oid_span;
+    SourceSpan label_value_span;
+  };
+
+  void Note(const std::string& name, Position pos, SourceSpan span) {
+    Uses& entry = uses_[name];
+    if (pos == Position::kObjectId && !entry.as_oid) {
+      entry.as_oid = true;
+      entry.oid_span = span;
+    }
+    if (pos == Position::kLabelValue && !entry.as_label_value) {
+      entry.as_label_value = true;
+      entry.label_value_span = span;
+    }
   }
 
-  // name -> (used as oid, used as label/value)
-  std::map<std::string, std::pair<bool, bool>> uses_;
+  std::map<std::string, Uses> uses_;
 };
 
 Term Resort(const Term& t, const KindResolver& resolver) {
@@ -200,6 +226,7 @@ ObjectPattern ResortPattern(const ObjectPattern& p,
   out.oid = Resort(p.oid, resolver);
   out.label = Resort(p.label, resolver);
   out.step = p.step;
+  out.span = p.span;
   if (p.value.is_term()) {
     out.value = PatternValue::FromTerm(Resort(p.value.term(), resolver));
   } else {
@@ -222,6 +249,7 @@ Result<TslQuery> ResolveVariableKinds(const TslQuery& query) {
   TSLRW_RETURN_NOT_OK(resolver.Check());
   TslQuery out;
   out.name = query.name;
+  out.span = query.span;
   out.head = ResortPattern(query.head, resolver);
   out.body.reserve(query.body.size());
   for (const Condition& c : query.body) {

@@ -251,6 +251,34 @@ TEST(QueryCacheTest, MissWithFallbackEvaluatesBase) {
   EXPECT_EQ(answer->result.roots().size(), 2u);  // a1, a2
 }
 
+TEST(MediatorTest, AnalyzerRefusesErrorLevelCapabilityViews) {
+  // An unsafe capability view (head variable W' absent from the body)
+  // would poison every plan using it; Make refuses with the analyzer's
+  // coded diagnostics instead of failing later at rewrite time.
+  Capability broken;
+  broken.view =
+      MustParse("<bad(P') out W'> :- <P' publication V'>@s1", "Bad");
+  auto mediator = Mediator::Make({SourceDescription{"s1", {broken}}});
+  ASSERT_FALSE(mediator.ok());
+  EXPECT_EQ(mediator.status().code(), StatusCode::kIllFormedQuery);
+  EXPECT_NE(mediator.status().message().find("TSL001"), std::string::npos)
+      << mediator.status();
+}
+
+TEST(MediatorTest, AnalysisReportRetainsWarnings) {
+  // Two interchangeable capability views: each is dead given the other, a
+  // warning (TSL104) worth surfacing but no reason to refuse the sources.
+  Capability a;
+  a.view = MustParse("<da(X') pub Z'> :- <X' publication Z'>@s1", "Da");
+  Capability b;
+  b.view = MustParse("<db(X') pub Z'> :- <X' publication Z'>@s1", "Db");
+  auto mediator = Mediator::Make({SourceDescription{"s1", {a, b}}});
+  ASSERT_TRUE(mediator.ok()) << mediator.status();
+  EXPECT_FALSE(mediator->analysis().has_errors());
+  EXPECT_GE(mediator->analysis().count(Severity::kWarning), 2u)
+      << mediator->analysis().ToString();
+}
+
 TEST(QueryCacheTest, InsertValidatesNames) {
   QueryCache cache;
   TslQuery unnamed = MustParse(testing::kV1);

@@ -129,6 +129,31 @@ TEST(ParserRobustnessTest, PathologicalInputs) {
   EXPECT_TRUE(deep.ok()) << deep.status();
 }
 
+TEST(ParserRobustnessTest, ParseErrorsCarrySourcePositions) {
+  auto truncated = ParseTslQuery("<f(P out");
+  ASSERT_FALSE(truncated.ok());
+  EXPECT_NE(truncated.status().message().find("1:6"), std::string::npos)
+      << truncated.status();
+  auto second_line = ParseTslQuery("<f(P) out yes> :-\n  <P p V @db");
+  ASSERT_FALSE(second_line.ok());
+  EXPECT_NE(second_line.status().message().find("2:"), std::string::npos)
+      << second_line.status();
+}
+
+TEST(ParserRobustnessTest, SortClashErrorNamesBothPositions) {
+  // Regression: the V_O/V_C disjointness error used to come without any
+  // location; it now points at the first object-id use and the first
+  // label/value use of the clashing name.
+  auto clash = ParseTslQuery("<f(X) out yes> :- <X a {<Y X Z>}>@db");
+  ASSERT_FALSE(clash.ok());
+  EXPECT_NE(clash.status().message().find("object id at 1:19"),
+            std::string::npos)
+      << clash.status();
+  EXPECT_NE(clash.status().message().find("label/value at 1:25"),
+            std::string::npos)
+      << clash.status();
+}
+
 INSTANTIATE_TEST_SUITE_P(Seeds, ParserRobustnessTest,
                          ::testing::Range<uint64_t>(1, 9));
 

@@ -160,6 +160,30 @@ TEST_F(ReplTest, ExecuteScriptRunsStatementsWithContinuations) {
   EXPECT_NE(out.find("f(p1)"), std::string::npos);
 }
 
+TEST_F(ReplTest, AnalyzeRendersCaretDiagnostics) {
+  Prepare();
+  Run("query (QCart) <f(P) out V> :- <P p V>@db AND <Q r W>@db");
+  std::string out = Run("analyze QCart");
+  EXPECT_NE(out.find("[TSL102]"), std::string::npos) << out;
+  EXPECT_NE(out.find("QCart:1:"), std::string::npos) << out;
+  // The caret snippet quotes the text as typed at `query`.
+  EXPECT_NE(out.find("1 | (QCart) <f(P) out V>"), std::string::npos) << out;
+  EXPECT_NE(out.find("^"), std::string::npos) << out;
+  EXPECT_NE(out.find("0 error(s)"), std::string::npos) << out;
+}
+
+TEST_F(ReplTest, AnalyzeWithoutArgumentCoversAllRules) {
+  Prepare();
+  Run("view (Vdup) <g2(P') p {<pp2(P',Y') pr Y'> <h2(X') v Z'>}> :- "
+      "<P' p {<X' Y' Z'>}>@db");
+  std::string out = Run("analyze");
+  // V1 and Vdup are interchangeable, so the dead-view pass flags both.
+  EXPECT_NE(out.find("[TSL104]"), std::string::npos) << out;
+  EXPECT_NE(Run("analyze nosuch").find("error"), std::string::npos);
+  // `:analyze` is accepted as an alias for editor integrations.
+  EXPECT_EQ(Run(":analyze Q").find("unknown command"), std::string::npos);
+}
+
 TEST_F(ReplTest, LoadAndWriteRoundTripThroughFiles) {
   Prepare();
   std::string dir = ::testing::TempDir();
