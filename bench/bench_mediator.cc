@@ -7,6 +7,7 @@
 
 #include "bench_common.h"
 #include "mediator/cache.h"
+#include "mediator/fault.h"
 #include "mediator/mediator.h"
 #include "oem/generator.h"
 
@@ -112,6 +113,80 @@ void BM_CacheHitVsMiss(benchmark::State& state) {
   state.SetLabel(hit ? "cache-hit" : "base-recompute");
 }
 BENCHMARK(BM_CacheHitVsMiss)->Arg(1)->Arg(0);
+
+void BM_FailoverVsDeadEndpoints(benchmark::State& state) {
+  // Fault-tolerant Answer with 0, 1, or 2 of three replicated endpoints
+  // dead: the marginal cost of exhausting retries and walking further down
+  // the plan list before a live replica answers.
+  const int dead = static_cast<int>(state.range(0));
+  std::vector<SourceDescription> sources;
+  for (int i = 0; i < 3; ++i) {
+    Capability cap;
+    cap.view = MustParse(
+        StrCat("<r", i, "(P') rec {<X' Y' Z'>}> :- <P' rec {<X' Y' Z'>}>@s0"),
+        StrCat("R", i));
+    sources.push_back(SourceDescription{"s0", {cap}});
+  }
+  auto mediator = Mediator::Make(std::move(sources));
+  if (!mediator.ok()) {
+    state.SkipWithError("mediator construction failed");
+    return;
+  }
+  SourceCatalog catalog = MakeWideCatalog(1, 64);
+  TslQuery query = MustParse(
+      "<f(P) out yes> :- <P rec {<X l0 v0>}>@s0", "Q");
+  CatalogWrapper base;
+  for (auto _ : state) {
+    VirtualClock clock;
+    FaultInjector injector(&base, /*seed=*/7, &clock);
+    for (int i = 0; i < dead; ++i) {
+      FaultSchedule down;
+      down.steady_state = Fault::Unavailable();
+      injector.SetSchedule(StrCat("R", i), down);
+    }
+    ExecutionPolicy policy;
+    policy.wrapper = &injector;
+    policy.clock = &clock;
+    policy.retry.max_attempts = 2;
+    auto answer = mediator->Answer(query, catalog, policy);
+    if (!answer.ok()) state.SkipWithError(answer.status().ToString().c_str());
+    benchmark::DoNotOptimize(answer);
+  }
+  state.SetLabel(StrCat(dead, " dead endpoint(s)"));
+}
+BENCHMARK(BM_FailoverVsDeadEndpoints)->Arg(0)->Arg(1)->Arg(2);
+
+void BM_DegradedVsTotalPlanning(benchmark::State& state) {
+  // The cost of the \S7 fallback relative to a healthy total plan: the
+  // two-source query loses s1, so Answer re-plans and runs the
+  // maximally-contained search before producing the degraded answer.
+  const bool degraded = state.range(0) == 1;
+  Mediator mediator = MakeWideMediator(2);
+  SourceCatalog catalog = MakeWideCatalog(2, 64);
+  TslQuery query = MustParse(
+      "<f(P,R) out yes> :- "
+      "<P rec {<X l0 v0>}>@s0 AND <R rec {<Y l1 v1>}>@s1",
+      "Q");
+  CatalogWrapper base;
+  for (auto _ : state) {
+    VirtualClock clock;
+    FaultInjector injector(&base, /*seed=*/7, &clock);
+    if (degraded) {
+      FaultSchedule down;
+      down.steady_state = Fault::Unavailable();
+      injector.SetSchedule("s1", down);
+    }
+    ExecutionPolicy policy;
+    policy.wrapper = &injector;
+    policy.clock = &clock;
+    policy.retry.max_attempts = 1;
+    auto answer = mediator.Answer(query, catalog, policy);
+    if (!answer.ok()) state.SkipWithError(answer.status().ToString().c_str());
+    benchmark::DoNotOptimize(answer);
+  }
+  state.SetLabel(degraded ? "degraded-fallback" : "total-plan");
+}
+BENCHMARK(BM_DegradedVsTotalPlanning)->Arg(0)->Arg(1);
 
 }  // namespace
 }  // namespace tslrw::bench

@@ -323,6 +323,7 @@ void Analyzer::DeadViewPass(const std::vector<TslQuery>& rules,
   RewriteOptions options;
   options.constraints = options_.constraints;
   options.require_total = true;
+  options.max_candidates = options_.max_candidates;
   for (size_t i = 0; i < rules.size(); ++i) {
     if (!eligible(rules[i])) continue;
     std::vector<TslQuery> others;
@@ -333,6 +334,12 @@ void Analyzer::DeadViewPass(const std::vector<TslQuery>& rules,
     if (others.empty()) continue;
     auto covered =
         FindMaximallyContainedRewriting(rules[i], others, options);
+    if (covered.ok() && covered->truncated) {
+      Report(out, DiagCode::kSearchTruncated, rules[i].span, rules[i].name,
+             StrCat("dead-view analysis of ", rules[i].name,
+                    " examined only the first ", options.max_candidates,
+                    " candidate(s); the verdict may be incomplete"));
+    }
     if (!covered.ok() || !covered->equivalent) continue;
     std::set<std::string> covering;
     for (const TslQuery& rule : covered->rewriting.rules) {

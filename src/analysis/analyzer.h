@@ -32,6 +32,10 @@ struct AnalyzerOptions {
   bool detect_dead_views = true;
   /// Emit TSL105 notes for variables used exactly once.
   bool lint_single_use_variables = true;
+  /// Candidate budget forwarded to the rewriting searches the semantic
+  /// passes run (TSL104). When a search is cut short by this cap its
+  /// verdict may be incomplete, which the analyzer reports as TSL106.
+  size_t max_candidates = 1000000;
 };
 
 /// \brief The outcome of analyzing one rule, a rule set, or program text.

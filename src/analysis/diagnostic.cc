@@ -27,6 +27,7 @@ std::string_view DiagCodeToString(DiagCode code) {
     case DiagCode::kUnboundedPathStep: return "TSL103";
     case DiagCode::kDeadView: return "TSL104";
     case DiagCode::kSingleUseVariable: return "TSL105";
+    case DiagCode::kSearchTruncated: return "TSL106";
   }
   return "TSL???";
 }
@@ -45,6 +46,7 @@ Severity DiagCodeSeverity(DiagCode code) {
     case DiagCode::kCartesianProduct:
     case DiagCode::kUnboundedPathStep:
     case DiagCode::kDeadView:
+    case DiagCode::kSearchTruncated:
       return Severity::kWarning;
     case DiagCode::kSingleUseVariable:
       return Severity::kNote;

@@ -41,6 +41,7 @@ enum class DiagCode : uint8_t {
   kUnboundedPathStep = 103,   ///< TSL103: `l+`/`**` walks unbounded paths
   kDeadView = 104,            ///< TSL104: view adds nothing over the others
   kSingleUseVariable = 105,   ///< TSL105: variable used exactly once
+  kSearchTruncated = 106,     ///< TSL106: a semantic pass hit its search cap
 };
 
 /// "TSL001"-style stable code string.

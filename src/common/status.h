@@ -32,6 +32,14 @@ enum class StatusCode {
   kNotFound,
   /// Internal invariant violation; indicates a library bug.
   kInternal,
+  /// A wrapped source could not be reached (down, flaky, or refusing);
+  /// possibly transient — the retry layer decides whether to try again.
+  kUnavailable,
+  /// A per-call or per-query deadline elapsed before the work finished.
+  kDeadlineExceeded,
+  /// A search or execution budget (candidate cap, attempt cap) was hit in
+  /// strict mode, where silent truncation is not acceptable.
+  kResourceExhausted,
 };
 
 /// \brief Human-readable name of a StatusCode (e.g. "ParseError").
@@ -72,6 +80,15 @@ class Status {
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
   }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
 
   bool ok() const { return rep_ == nullptr; }
   StatusCode code() const { return rep_ ? rep_->code : StatusCode::kOk; }
@@ -81,6 +98,13 @@ class Status {
   bool IsParseError() const { return code() == StatusCode::kParseError; }
   bool IsUnsatisfiable() const { return code() == StatusCode::kUnsatisfiable; }
   bool IsNotFound() const { return code() == StatusCode::kNotFound; }
+  bool IsUnavailable() const { return code() == StatusCode::kUnavailable; }
+  bool IsDeadlineExceeded() const {
+    return code() == StatusCode::kDeadlineExceeded;
+  }
+  bool IsResourceExhausted() const {
+    return code() == StatusCode::kResourceExhausted;
+  }
 
   /// "OK" or "<CodeName>: <message>".
   std::string ToString() const;

@@ -68,6 +68,9 @@ Result<QueryCache::Answer> QueryCache::TryAnswer(
     answer.rewriting = *best;
     answer.result = std::move(result);
     answer.from_cache = true;
+    for (const Condition& c : answer.rewriting.body) {
+      if (entries_.count(c.source) == 0) answer.base_conditions.push_back(c);
+    }
     return answer;
   }
   if (!allow_base_fallback) {
@@ -80,6 +83,7 @@ Result<QueryCache::Answer> QueryCache::TryAnswer(
   answer.rewriting = query;
   answer.result = std::move(result);
   answer.from_cache = false;
+  answer.base_conditions = answer.rewriting.body;
   return answer;
 }
 

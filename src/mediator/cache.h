@@ -36,6 +36,11 @@ class QueryCache {
     OemDatabase result;
     /// False when the query had to be answered entirely from base data.
     bool from_cache = false;
+    /// The rewriting's conditions that range over base data rather than a
+    /// cached statement — empty for a pure cache hit, the whole body for a
+    /// full fallback. Tells the caller exactly which work bypassed the
+    /// cache (and would hit the sources again on re-execution).
+    std::vector<Condition> base_conditions;
   };
 
   /// Answers \p query from the cache when a rewriting over the cached

@@ -1,0 +1,66 @@
+#include "mediator/exec_report.h"
+
+#include "common/string_util.h"
+
+namespace tslrw {
+
+std::string_view CompletenessToString(Completeness completeness) {
+  switch (completeness) {
+    case Completeness::kComplete:
+      return "complete";
+    case Completeness::kPartial:
+      return "partial";
+    case Completeness::kDegraded:
+      return "degraded";
+  }
+  return "unknown";
+}
+
+FetchRecord* ExecutionReport::RecordFor(const std::string& source,
+                                        const std::string& view) {
+  for (FetchRecord& record : fetches) {
+    if (record.source == source && record.view == view) return &record;
+  }
+  fetches.push_back(FetchRecord{source, view, {}, false, false});
+  return &fetches.back();
+}
+
+std::string ExecutionReport::ToString() const {
+  std::string out = StrCat(
+      "execution: ", CompletenessToString(completeness), " (", plans_attempted,
+      " plan(s) attempted, ", plans_skipped, " skipped",
+      failover ? ", failover" : "", replanned ? ", replanned" : "",
+      plan_search_truncated ? ", plan search truncated" : "", ")\n");
+  for (const FetchRecord& fetch : fetches) {
+    out += StrCat("  ", fetch.source, "/", fetch.view, ":");
+    for (size_t i = 0; i < fetch.attempts.size(); ++i) {
+      const AttemptRecord& attempt = fetch.attempts[i];
+      out += StrCat(" attempt ", i + 1, " at t=", attempt.at_ticks, " ",
+                    attempt.outcome.ok()
+                        ? "OK"
+                        : std::string(
+                              StatusCodeToString(attempt.outcome.code())));
+      if (attempt.backoff_ticks > 0) {
+        out += StrCat(" (backoff ", attempt.backoff_ticks, ")");
+      }
+      if (i + 1 < fetch.attempts.size()) out += ";";
+    }
+    if (!fetch.succeeded) {
+      out += " -> dead";
+    } else if (fetch.truncated) {
+      out += " -> truncated feed";
+    }
+    out += "\n";
+  }
+  if (!unreachable_sources.empty()) {
+    out += StrCat("unreachable: ",
+                  JoinMapped(unreachable_sources, ", ",
+                             [](const std::string& s) { return s; }),
+                  "\n");
+  }
+  out += StrCat("virtual time: ", finished_at_ticks, " tick(s), ",
+                backoff_ticks_total, " waiting\n");
+  return out;
+}
+
+}  // namespace tslrw

@@ -1,0 +1,86 @@
+#ifndef TSLRW_MEDIATOR_EXEC_REPORT_H_
+#define TSLRW_MEDIATOR_EXEC_REPORT_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+
+namespace tslrw {
+
+/// \brief How much of the true answer an execution delivered.
+enum class Completeness : uint8_t {
+  /// Every source answered fully; the result equals the fault-free answer.
+  kComplete,
+  /// All plan views answered but at least one feed was truncated: the
+  /// result is a sound subset of the fault-free answer.
+  kPartial,
+  /// No total plan survived; the result is the union of maximally-contained
+  /// rewritings over the live views (\S7) — sound, maximal over what was
+  /// reachable, and possibly incomplete.
+  kDegraded,
+};
+
+std::string_view CompletenessToString(Completeness completeness);
+
+/// \brief One try against one source, on the virtual clock.
+struct AttemptRecord {
+  uint64_t at_ticks = 0;       ///< virtual time when the attempt started
+  Status outcome;              ///< OK, Unavailable, DeadlineExceeded, ...
+  uint64_t backoff_ticks = 0;  ///< wait scheduled after a failed attempt
+};
+
+/// \brief Everything that happened between the mediator and one capability
+/// view while executing plans: the per-attempt outcomes the operator reads
+/// to learn *why* an answer is partial.
+struct FetchRecord {
+  std::string source;  ///< the wrapped source
+  std::string view;    ///< the capability view sent to it
+  std::vector<AttemptRecord> attempts;
+  bool succeeded = false;
+  bool truncated = false;  ///< replied, but with a partial feed
+};
+
+/// \brief The execution trace threaded through Execute/Answer: per-source
+/// attempts and waits, which fallbacks fired, and the completeness verdict.
+struct ExecutionReport {
+  std::vector<FetchRecord> fetches;
+  /// Plans taken from the cheapest-first list and actually attempted.
+  size_t plans_attempted = 0;
+  /// Plans skipped without an attempt because they touch a source already
+  /// known dead.
+  size_t plans_skipped = 0;
+  /// The plan list was exhausted and planning ran again over live views.
+  bool replanned = false;
+  /// The answer came from a plan other than the cheapest (or after skips).
+  bool failover = false;
+  /// The plan search hit its candidate budget; cheaper plans may exist.
+  bool plan_search_truncated = false;
+  Completeness completeness = Completeness::kComplete;
+  /// Sources declared dead during this execution (retries exhausted).
+  std::vector<std::string> unreachable_sources;
+  /// Total virtual time spent waiting out backoffs.
+  uint64_t backoff_ticks_total = 0;
+  /// Virtual time when the answer (or the final failure) was produced.
+  uint64_t finished_at_ticks = 0;
+
+  /// Locates (or appends) the record for \p view against \p source.
+  FetchRecord* RecordFor(const std::string& source, const std::string& view);
+
+  /// The operator-facing rendering (multi-line, stable order), e.g.:
+  ///
+  /// ```
+  /// execution: degraded (2 plans attempted, 1 skipped, failover)
+  ///   s1/Y97: attempt 1 at t=0 Unavailable ... -> dead
+  ///   s2/Dump2: attempt 1 at t=3 OK
+  /// unreachable: s1
+  /// ```
+  std::string ToString() const;
+};
+
+}  // namespace tslrw
+
+#endif  // TSLRW_MEDIATOR_EXEC_REPORT_H_

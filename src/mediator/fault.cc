@@ -1,0 +1,118 @@
+#include "mediator/fault.h"
+
+#include <deque>
+
+#include "common/string_util.h"
+
+namespace tslrw {
+
+std::string Fault::ToString() const {
+  switch (kind) {
+    case Kind::kNone:
+      return "none";
+    case Kind::kUnavailable:
+      return "unavailable";
+    case Kind::kFlaky:
+      return StrCat("flaky(p=", probability, ")");
+    case Kind::kSlowBy:
+      return StrCat("slow(", ticks, " ticks)");
+    case Kind::kTruncated:
+      return StrCat("truncated(keep ", keep_roots, " roots)");
+  }
+  return "unknown";
+}
+
+namespace {
+
+/// The source a capability ranges over. Validation guarantees every body
+/// condition names the owning source; an (unusual) empty body falls back to
+/// the view name so the schedule lookup still has a stable key.
+const std::string& SourceOf(const Capability& capability) {
+  return capability.view.body.empty() ? capability.view.name
+                                      : capability.view.body.front().source;
+}
+
+/// The reachable portion of \p db hanging off its first \p keep roots.
+OemDatabase TruncateRoots(const OemDatabase& db, size_t keep) {
+  OemDatabase out(db.name());
+  std::deque<Oid> frontier;
+  std::set<Oid> seen;
+  size_t taken = 0;
+  for (const Oid& root : db.roots()) {
+    if (taken++ >= keep) break;
+    if (seen.insert(root).second) frontier.push_back(root);
+  }
+  std::vector<Oid> kept_roots(frontier.begin(), frontier.end());
+  while (!frontier.empty()) {
+    Oid oid = frontier.front();
+    frontier.pop_front();
+    const OemObject* object = db.Find(oid);
+    if (object == nullptr) continue;
+    if (object->is_atomic()) {
+      (void)out.PutAtomic(oid, object->label, object->value.atom());
+      continue;
+    }
+    (void)out.PutSet(oid, object->label, object->value.children());
+    for (const Oid& child : object->value.children()) {
+      if (seen.insert(child).second) frontier.push_back(child);
+    }
+  }
+  for (const Oid& root : kept_roots) (void)out.AddRoot(root);
+  return out;
+}
+
+}  // namespace
+
+size_t FaultInjector::calls(const std::string& key) const {
+  auto it = calls_.find(key);
+  return it == calls_.end() ? 0 : it->second;
+}
+
+Result<WrapperResult> FaultInjector::Fetch(const Capability& capability,
+                                           const SourceCatalog& catalog) {
+  const std::string& source = SourceOf(capability);
+  // A view-keyed schedule targets this one endpoint; a source-keyed one
+  // faults every view of the source. The call cursor follows the key so a
+  // scripted sequence advances per schedule, not per unrelated call.
+  const std::string* key = &source;
+  const FaultSchedule* schedule = nullptr;
+  if (auto it = schedules_.find(capability.view.name);
+      it != schedules_.end()) {
+    key = &capability.view.name;
+    schedule = &it->second;
+  } else if (auto it2 = schedules_.find(source); it2 != schedules_.end()) {
+    schedule = &it2->second;
+  }
+  size_t call = calls_[*key]++;
+  Fault fault = Fault::None();
+  if (schedule != nullptr) fault = schedule->ForCall(call);
+  switch (fault.kind) {
+    case Fault::Kind::kUnavailable:
+      return Status::Unavailable(
+          StrCat("source ", source, " is unavailable (scripted, call ",
+                 call + 1, ")"));
+    case Fault::Kind::kFlaky:
+      if (rng_.NextUnit() < fault.probability) {
+        return Status::Unavailable(
+            StrCat("source ", source, " dropped the connection (flaky, call ",
+                   call + 1, ")"));
+      }
+      break;
+    case Fault::Kind::kSlowBy:
+      if (clock_ != nullptr) clock_->Advance(fault.ticks);
+      break;
+    case Fault::Kind::kNone:
+    case Fault::Kind::kTruncated:
+      break;
+  }
+  TSLRW_ASSIGN_OR_RETURN(WrapperResult result,
+                         inner_->Fetch(capability, catalog));
+  if (fault.kind == Fault::Kind::kTruncated &&
+      result.data.roots().size() > fault.keep_roots) {
+    result.data = TruncateRoots(result.data, fault.keep_roots);
+    result.complete = false;
+  }
+  return result;
+}
+
+}  // namespace tslrw

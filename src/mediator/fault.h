@@ -1,0 +1,95 @@
+#ifndef TSLRW_MEDIATOR_FAULT_H_
+#define TSLRW_MEDIATOR_FAULT_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "mediator/retry.h"
+#include "mediator/wrapper.h"
+
+namespace tslrw {
+
+/// \brief One scripted failure mode for a source.
+struct Fault {
+  enum class Kind : uint8_t {
+    kNone,         ///< behave normally
+    kUnavailable,  ///< the call fails with Status::Unavailable
+    kFlaky,        ///< fails with probability `probability` (seeded coin)
+    kSlowBy,       ///< succeeds, but consumes `ticks` of virtual time
+    kTruncated,    ///< succeeds with only the first `keep_roots` roots
+  };
+
+  Kind kind = Kind::kNone;
+  double probability = 1.0;  ///< kFlaky: per-attempt failure chance
+  uint64_t ticks = 0;        ///< kSlowBy: virtual time the call takes
+  size_t keep_roots = 0;     ///< kTruncated: roots kept in the reply
+
+  static Fault None() { return Fault{}; }
+  static Fault Unavailable() { return Fault{Kind::kUnavailable}; }
+  static Fault Flaky(double p) { return Fault{Kind::kFlaky, p}; }
+  static Fault SlowBy(uint64_t t) { return Fault{Kind::kSlowBy, 1.0, t}; }
+  static Fault Truncated(size_t n) {
+    return Fault{Kind::kTruncated, 1.0, 0, n};
+  }
+
+  std::string ToString() const;
+};
+
+/// \brief The faults a source exhibits over successive wrapper calls:
+/// `scripted[i]` applies to call i (0-based); calls past the script get
+/// `steady_state`. A dead source is `{.steady_state = Fault::Unavailable()}`;
+/// a source that recovers after two failed calls scripts two Unavailable
+/// entries and leaves steady_state at None.
+struct FaultSchedule {
+  std::vector<Fault> scripted;
+  Fault steady_state;
+
+  const Fault& ForCall(size_t call) const {
+    return call < scripted.size() ? scripted[call] : steady_state;
+  }
+};
+
+/// \brief A Wrapper decorator that injects scripted, reproducible faults.
+///
+/// Every failure mode the execution layer must survive — dead source,
+/// flaky network, slow reply, truncated feed — is driven by per-source
+/// schedules plus a seeded RNG, so a test (or a bug report) replays
+/// identically from (schedule, seed). Wall time is never involved: slow
+/// replies advance the shared VirtualClock.
+class FaultInjector : public Wrapper {
+ public:
+  /// \param inner the real wrapper (not owned; must outlive this).
+  /// \param seed drives the kFlaky coins.
+  /// \param clock advanced by kSlowBy faults; may be null (slowness then
+  ///        has nothing to be measured against and is ignored).
+  FaultInjector(Wrapper* inner, uint64_t seed, VirtualClock* clock = nullptr)
+      : inner_(inner), rng_(seed), clock_(clock) {}
+
+  /// \param key a source name (faults every capability view of the
+  ///        source), or a capability view name to target one endpoint of a
+  ///        replicated source. View-keyed schedules take precedence.
+  void SetSchedule(const std::string& key, FaultSchedule schedule) {
+    schedules_[key] = std::move(schedule);
+  }
+
+  Result<WrapperResult> Fetch(const Capability& capability,
+                              const SourceCatalog& catalog) override;
+
+  /// Wrapper calls observed so far under schedule key \p key (the view
+  /// name when a view-keyed schedule exists, the source name otherwise).
+  size_t calls(const std::string& key) const;
+
+ private:
+  Wrapper* inner_;
+  DeterministicRng rng_;
+  VirtualClock* clock_;
+  std::map<std::string, FaultSchedule> schedules_;
+  std::map<std::string, size_t> calls_;
+};
+
+}  // namespace tslrw
+
+#endif  // TSLRW_MEDIATOR_FAULT_H_

@@ -2,10 +2,12 @@
 
 #include <algorithm>
 #include <map>
+#include <optional>
 #include <set>
 
 #include "common/string_util.h"
 #include "eval/evaluator.h"
+#include "rewrite/contained.h"
 
 namespace tslrw {
 
@@ -95,6 +97,35 @@ const Capability* Mediator::FindCapability(const std::string& name) const {
   return nullptr;
 }
 
+std::string Mediator::SourceOfView(const std::string& name) const {
+  for (const SourceDescription& sd : sources_) {
+    for (const Capability& cap : sd.capabilities) {
+      if (cap.view.name == name) return sd.source;
+    }
+  }
+  return "";
+}
+
+std::vector<std::string> Mediator::SourcesOfViews(
+    const std::set<std::string>& views) const {
+  // A source is unreachable only when every endpoint exporting it is dead:
+  // a replicated source with one live mirror still answers. Per-endpoint
+  // detail stays in ExecutionReport::fetches.
+  std::map<std::string, bool> every_view_dead;
+  for (const SourceDescription& sd : sources_) {
+    for (const Capability& cap : sd.capabilities) {
+      bool is_dead = views.count(cap.view.name) > 0;
+      auto [it, inserted] = every_view_dead.try_emplace(sd.source, is_dead);
+      if (!inserted) it->second = it->second && is_dead;
+    }
+  }
+  std::vector<std::string> out;
+  for (const auto& [source, all_dead] : every_view_dead) {
+    if (all_dead) out.push_back(source);
+  }
+  return out;
+}
+
 namespace {
 
 /// Whether every occurrence of a bound (`$X`) variable inside \p view_term
@@ -158,14 +189,16 @@ bool BoundVariablesInstantiated(const ObjectPattern& view_head,
 
 }  // namespace
 
-Result<std::vector<MediatorPlan>> Mediator::Plan(
-    const TslQuery& query) const {
-  RewriteOptions options;
-  options.constraints = constraints_;
-  options.require_total = true;  // every condition must fit some interface
+Result<MediatorPlanSet> Mediator::PlanOverViews(
+    const TslQuery& query, const std::vector<TslQuery>& views,
+    const RewriteOptions& options) const {
+  RewriteOptions rewrite_options = options;
+  rewrite_options.require_total = true;  // every condition must fit some
+                                         // interface
   TSLRW_ASSIGN_OR_RETURN(RewriteResult rewrites,
-                         RewriteQuery(query, AllViews(), options));
-  std::vector<MediatorPlan> plans;
+                         RewriteQuery(query, views, rewrite_options));
+  MediatorPlanSet set;
+  set.truncated = rewrites.truncated;
   for (TslQuery& rw : rewrites.rewritings) {
     MediatorPlan plan;
     std::set<std::string> used;
@@ -188,45 +221,362 @@ Result<std::vector<MediatorPlan>> Mediator::Plan(
     plan.views_used.assign(used.begin(), used.end());
     plan.cost = rw.body.size();
     plan.rewriting = std::move(rw);
-    plans.push_back(std::move(plan));
+    set.plans.push_back(std::move(plan));
   }
-  std::sort(plans.begin(), plans.end(),
+  std::sort(set.plans.begin(), set.plans.end(),
             [](const MediatorPlan& a, const MediatorPlan& b) {
               return a.cost < b.cost;
             });
-  return plans;
+  return set;
 }
 
-Result<OemDatabase> Mediator::Execute(const MediatorPlan& plan,
-                                      const SourceCatalog& catalog) const {
-  // "Send" each source-specific query to its wrapper: materialize the
-  // capability view over the source data.
+Result<MediatorPlanSet> Mediator::Plan(const TslQuery& query) const {
+  RewriteOptions options;
+  options.constraints = constraints_;
+  return PlanOverViews(query, AllViews(), options);
+}
+
+bool Mediator::QueryDeadlineExceeded(const ExecContext& ctx) {
+  return ctx.deadline_ticks > 0 && ctx.clock->now() >= ctx.deadline_ticks;
+}
+
+Result<WrapperResult> Mediator::FetchWithRetry(const Capability& capability,
+                                               const SourceCatalog& catalog,
+                                               const ExecContext& ctx) const {
+  const std::string source = SourceOfView(capability.view.name);
+  FetchRecord* record =
+      ctx.report->RecordFor(source, capability.view.name);
+  const size_t max_attempts = std::max<size_t>(ctx.retry->max_attempts, 1);
+  Status last = Status::Unavailable(
+      StrCat("source ", source, " unreachable"));
+  for (size_t attempt = 1; attempt <= max_attempts; ++attempt) {
+    if (QueryDeadlineExceeded(ctx)) {
+      return Status::DeadlineExceeded(
+          StrCat("per-query deadline of ",
+                 ctx.retry->per_query_deadline_ticks,
+                 " tick(s) exceeded before attempt ", attempt, " against ",
+                 source));
+    }
+    const uint64_t started = ctx.clock->now();
+    Result<WrapperResult> fetched = ctx.wrapper->Fetch(capability, catalog);
+    const uint64_t elapsed = ctx.clock->now() - started;
+    Status outcome = fetched.ok() ? Status::OK() : fetched.status();
+    if (outcome.ok() && ctx.retry->per_call_deadline_ticks > 0 &&
+        elapsed > ctx.retry->per_call_deadline_ticks) {
+      // The reply arrived after the caller stopped listening: a timeout,
+      // not a success, however complete the data was.
+      outcome = Status::DeadlineExceeded(
+          StrCat("view ", capability.view.name, " took ", elapsed,
+                 " tick(s); the per-call deadline is ",
+                 ctx.retry->per_call_deadline_ticks));
+    }
+    record->attempts.push_back(AttemptRecord{started, outcome, 0});
+    if (outcome.ok()) {
+      record->succeeded = true;
+      record->truncated = record->truncated || !fetched->complete;
+      return fetched;
+    }
+    last = outcome;
+    if (!IsRetryableFailure(outcome)) return outcome;
+    if (attempt < max_attempts) {
+      uint64_t backoff = ctx.retry->BackoffAfterAttempt(attempt, ctx.rng);
+      if (backoff > 0) {
+        ctx.clock->Advance(backoff);
+        record->attempts.back().backoff_ticks = backoff;
+        ctx.report->backoff_ticks_total += backoff;
+      }
+    }
+  }
+  return last;
+}
+
+Result<Mediator::PlanExecution> Mediator::RunPlan(
+    const MediatorPlan& plan, const SourceCatalog& catalog,
+    const ExecContext& ctx, std::string* failed_view) const {
+  failed_view->clear();
   SourceCatalog view_results;
+  PlanExecution exec;
   for (const std::string& view_name : plan.views_used) {
     const Capability* cap = FindCapability(view_name);
     if (cap == nullptr) {
       return Status::NotFound(StrCat("unknown capability view ", view_name));
     }
-    TSLRW_ASSIGN_OR_RETURN(OemDatabase result,
-                           MaterializeView(cap->view, catalog));
-    view_results.Put(std::move(result));
+    Result<WrapperResult> fetched = FetchWithRetry(*cap, catalog, ctx);
+    if (!fetched.ok()) {
+      if (IsRetryableFailure(fetched.status())) {
+        *failed_view = view_name;
+      }
+      return fetched.status();
+    }
+    exec.any_truncated = exec.any_truncated || !fetched->complete;
+    view_results.Put(std::move(fetched->data));
   }
   // Collect + consolidate at the mediator: evaluate the rewriting over the
   // wrapper results (fusion merges per-source fragments by oid).
   EvalOptions eval;
-  eval.answer_name = plan.rewriting.name.empty() ? "answer"
-                                                 : plan.rewriting.name;
-  return Evaluate(plan.rewriting, view_results, eval);
+  eval.answer_name = ctx.answer_name;
+  TSLRW_ASSIGN_OR_RETURN(exec.answer,
+                         Evaluate(plan.rewriting, view_results, eval));
+  return exec;
 }
 
-Result<OemDatabase> Mediator::Answer(const TslQuery& query,
-                                     const SourceCatalog& catalog) const {
-  TSLRW_ASSIGN_OR_RETURN(std::vector<MediatorPlan> plans, Plan(query));
+Result<OemDatabase> Mediator::Execute(const MediatorPlan& plan,
+                                      const SourceCatalog& catalog) const {
+  return Execute(plan, catalog, ExecutionPolicy{}, nullptr);
+}
+
+Result<OemDatabase> Mediator::Execute(const MediatorPlan& plan,
+                                      const SourceCatalog& catalog,
+                                      const ExecutionPolicy& policy,
+                                      ExecutionReport* report) const {
+  CatalogWrapper catalog_wrapper;
+  VirtualClock local_clock;
+  DeterministicRng rng(policy.seed);
+  ExecutionReport local_report;
+  ExecContext ctx;
+  ctx.wrapper = policy.wrapper != nullptr ? policy.wrapper : &catalog_wrapper;
+  ctx.clock = policy.clock != nullptr ? policy.clock : &local_clock;
+  ctx.rng = &rng;
+  ctx.retry = &policy.retry;
+  ctx.deadline_ticks =
+      policy.retry.per_query_deadline_ticks == 0
+          ? 0
+          : ctx.clock->now() + policy.retry.per_query_deadline_ticks;
+  ctx.report = report != nullptr ? report : &local_report;
+  ctx.answer_name = plan.rewriting.name.empty() ? "answer"
+                                                : plan.rewriting.name;
+  ++ctx.report->plans_attempted;
+  std::string failed_source;
+  TSLRW_ASSIGN_OR_RETURN(PlanExecution exec,
+                         RunPlan(plan, catalog, ctx, &failed_source));
+  ctx.report->completeness = exec.any_truncated ? Completeness::kPartial
+                                                : Completeness::kComplete;
+  ctx.report->finished_at_ticks = ctx.clock->now();
+  return std::move(exec.answer);
+}
+
+Result<DegradedAnswer> Mediator::Answer(const TslQuery& query,
+                                        const SourceCatalog& catalog,
+                                        const ExecutionPolicy& policy) const {
+  CatalogWrapper catalog_wrapper;
+  VirtualClock local_clock;
+  DeterministicRng rng(policy.seed);
+  ExecutionReport report;
+  ExecContext ctx;
+  ctx.wrapper = policy.wrapper != nullptr ? policy.wrapper : &catalog_wrapper;
+  ctx.clock = policy.clock != nullptr ? policy.clock : &local_clock;
+  ctx.rng = &rng;
+  ctx.retry = &policy.retry;
+  ctx.deadline_ticks =
+      policy.retry.per_query_deadline_ticks == 0
+          ? 0
+          : ctx.clock->now() + policy.retry.per_query_deadline_ticks;
+  ctx.report = &report;
+  ctx.answer_name = query.name.empty() ? "answer" : query.name;
+
+  RewriteOptions plan_options;
+  plan_options.constraints = constraints_;
+  plan_options.strict_limits = policy.strict;
+  if (ctx.deadline_ticks > 0) {
+    const VirtualClock* clock = ctx.clock;
+    const uint64_t deadline = ctx.deadline_ticks;
+    plan_options.should_stop = [clock, deadline] {
+      return clock->now() >= deadline;
+    };
+  }
+  TSLRW_ASSIGN_OR_RETURN(MediatorPlanSet plans,
+                         PlanOverViews(query, AllViews(), plan_options));
+  report.plan_search_truncated = plans.truncated;
   if (plans.empty()) {
     return Status::NotFound(
         "no capability-conformant plan answers this query");
   }
-  return Execute(plans.front(), catalog);
+
+  // Liveness is tracked per capability view — one wrapper endpoint each —
+  // so replicated sources (two descriptions exporting equivalent views
+  // over the same database) fail over independently. The report
+  // aggregates dead views back to source names.
+  std::set<std::string> dead;
+  Status last_failure;
+  std::optional<DegradedAnswer> answered;
+  // Failover loop: walk a cheapest-first plan list, skipping plans that
+  // touch a view already declared dead. Returns non-OK only on hard
+  // (non-failover) errors; "list exhausted" is OK with `answered` unset.
+  auto try_plans = [&](const std::vector<MediatorPlan>& list) -> Status {
+    for (const MediatorPlan& plan : list) {
+      bool touches_dead = false;
+      for (const std::string& view : plan.views_used) {
+        if (dead.count(view) > 0) {
+          touches_dead = true;
+          break;
+        }
+      }
+      if (touches_dead) {
+        ++report.plans_skipped;
+        continue;
+      }
+      if (QueryDeadlineExceeded(ctx)) {
+        return Status::DeadlineExceeded(
+            StrCat("per-query deadline of ",
+                   ctx.retry->per_query_deadline_ticks,
+                   " tick(s) exceeded during plan failover"));
+      }
+      ++report.plans_attempted;
+      std::string failed_view;
+      Result<PlanExecution> run = RunPlan(plan, catalog, ctx, &failed_view);
+      if (run.ok()) {
+        DegradedAnswer answer;
+        answer.result = std::move(run->answer);
+        answer.completeness = run->any_truncated ? Completeness::kPartial
+                                                 : Completeness::kComplete;
+        answered = std::move(answer);
+        return Status::OK();
+      }
+      if (!failed_view.empty() && !QueryDeadlineExceeded(ctx)) {
+        dead.insert(failed_view);
+        last_failure = run.status();
+        continue;  // failover: try the next plan
+      }
+      return run.status();  // hard error, or the query budget is gone
+    }
+    return Status::OK();
+  };
+
+  TSLRW_RETURN_NOT_OK(try_plans(plans.plans));
+
+  // The list is exhausted: re-plan over the live views only. With a
+  // truncated first search this can surface plans never enumerated; it is
+  // also the natural point to notice nothing total is left.
+  if (!answered.has_value() && !dead.empty()) {
+    std::vector<TslQuery> live_views;
+    for (const SourceDescription& sd : sources_) {
+      for (const Capability& cap : sd.capabilities) {
+        if (dead.count(cap.view.name) == 0) live_views.push_back(cap.view);
+      }
+    }
+    if (!live_views.empty()) {
+      report.replanned = true;
+      TSLRW_ASSIGN_OR_RETURN(
+          MediatorPlanSet replanned,
+          PlanOverViews(query, live_views, plan_options));
+      report.plan_search_truncated =
+          report.plan_search_truncated || replanned.truncated;
+      TSLRW_RETURN_NOT_OK(try_plans(replanned.plans));
+    }
+  }
+
+  if (answered.has_value()) {
+    report.failover = report.plans_attempted + report.plans_skipped > 1;
+    report.completeness = answered->completeness;
+    report.unreachable_sources = SourcesOfViews(dead);
+    report.finished_at_ticks = ctx.clock->now();
+    answered->unreachable_sources = report.unreachable_sources;
+    answered->report = std::move(report);
+    return std::move(*answered);
+  }
+
+  if (!policy.allow_degraded) {
+    return last_failure.ok()
+               ? Status::Unavailable("every total plan touches a dead source")
+               : last_failure;
+  }
+  return DegradedFallback(query, catalog, ctx, std::move(dead),
+                          std::move(report));
+}
+
+Result<DegradedAnswer> Mediator::DegradedFallback(
+    const TslQuery& query, const SourceCatalog& catalog,
+    const ExecContext& ctx, std::set<std::string> dead,
+    ExecutionReport report) const {
+  // \S7's escape hatch: no total plan survives, but the live views still
+  // admit sound, maximally-contained answers — return their union instead
+  // of nothing.
+  std::vector<TslQuery> live_views;
+  for (const SourceDescription& sd : sources_) {
+    for (const Capability& cap : sd.capabilities) {
+      if (dead.count(cap.view.name) == 0) live_views.push_back(cap.view);
+    }
+  }
+  ContainedRewritingResult contained;
+  if (!live_views.empty()) {
+    RewriteOptions options;
+    options.constraints = constraints_;
+    options.require_total = true;  // only view conditions are executable
+    if (ctx.deadline_ticks > 0) {
+      const VirtualClock* clock = ctx.clock;
+      const uint64_t deadline = ctx.deadline_ticks;
+      options.should_stop = [clock, deadline] {
+        return clock->now() >= deadline;
+      };
+    }
+    TSLRW_ASSIGN_OR_RETURN(
+        contained, FindMaximallyContainedRewriting(query, live_views,
+                                                   options));
+  }
+
+  // Fetch each view the contained rules need, once; sources that die here
+  // take their rules down with them (the union shrinks, soundness holds).
+  std::set<std::string> needed;
+  for (const TslQuery& rule : contained.rewriting.rules) {
+    for (const Condition& c : rule.body) needed.insert(c.source);
+  }
+  SourceCatalog view_results;
+  std::set<std::string> fetched;
+  bool any_truncated = false;
+  for (const std::string& view_name : needed) {
+    const Capability* cap = FindCapability(view_name);
+    if (cap == nullptr || dead.count(view_name) > 0) continue;
+    Result<WrapperResult> result = FetchWithRetry(*cap, catalog, ctx);
+    if (result.ok()) {
+      any_truncated = any_truncated || !result->complete;
+      view_results.Put(std::move(result->data));
+      fetched.insert(view_name);
+      continue;
+    }
+    if (IsRetryableFailure(result.status()) && !QueryDeadlineExceeded(ctx)) {
+      dead.insert(view_name);
+      continue;
+    }
+    return result.status();
+  }
+  TslRuleSet live_rules;
+  bool dropped_rules = false;
+  for (const TslQuery& rule : contained.rewriting.rules) {
+    bool live = true;
+    for (const Condition& c : rule.body) {
+      if (fetched.count(c.source) == 0) {
+        live = false;
+        break;
+      }
+    }
+    if (live) {
+      live_rules.rules.push_back(rule);
+    } else {
+      dropped_rules = true;
+    }
+  }
+
+  OemDatabase result(ctx.answer_name);
+  if (!live_rules.rules.empty()) {
+    EvalOptions eval;
+    eval.answer_name = ctx.answer_name;
+    TSLRW_ASSIGN_OR_RETURN(result,
+                           EvaluateRuleSet(live_rules, view_results, eval));
+  }
+  DegradedAnswer answer;
+  answer.result = std::move(result);
+  // The union can still be equivalent to the query (several contained
+  // rules covering it together) — then nothing was actually lost.
+  bool provably_complete = contained.equivalent && !dropped_rules &&
+                           !any_truncated && !contained.truncated;
+  answer.completeness = provably_complete ? Completeness::kComplete
+                                          : Completeness::kDegraded;
+  answer.unreachable_sources = SourcesOfViews(dead);
+  report.completeness = answer.completeness;
+  report.unreachable_sources = answer.unreachable_sources;
+  report.finished_at_ticks = ctx.clock->now();
+  answer.report = std::move(report);
+  return answer;
 }
 
 }  // namespace tslrw

@@ -1,6 +1,8 @@
 #ifndef TSLRW_MEDIATOR_MEDIATOR_H_
 #define TSLRW_MEDIATOR_MEDIATOR_H_
 
+#include <cstdint>
+#include <set>
 #include <string>
 #include <vector>
 
@@ -8,6 +10,9 @@
 #include "common/result.h"
 #include "constraints/inference.h"
 #include "mediator/capability.h"
+#include "mediator/exec_report.h"
+#include "mediator/retry.h"
+#include "mediator/wrapper.h"
 #include "oem/database.h"
 #include "rewrite/rewriter.h"
 #include "tsl/ast.h"
@@ -30,10 +35,75 @@ struct MediatorPlan {
   std::string ToString() const;
 };
 
+/// \brief Every plan the capability-based rewriter found, cheapest-first,
+/// plus whether the search was cut off before enumerating them all.
+struct MediatorPlanSet {
+  std::vector<MediatorPlan> plans;
+  /// The candidate search hit RewriteOptions::max_candidates (or a
+  /// deadline): cheaper or additional plans may exist that were never
+  /// examined. Surfaced so a "no plan" verdict is never silently wrong.
+  bool truncated = false;
+
+  // Vector-style accessors: most callers only care about the plan list.
+  size_t size() const { return plans.size(); }
+  bool empty() const { return plans.empty(); }
+  const MediatorPlan& front() const { return plans.front(); }
+  const MediatorPlan& operator[](size_t i) const { return plans[i]; }
+  std::vector<MediatorPlan>::const_iterator begin() const {
+    return plans.begin();
+  }
+  std::vector<MediatorPlan>::const_iterator end() const {
+    return plans.end();
+  }
+};
+
+/// \brief Knobs for fault-tolerant execution. The defaults reproduce the
+/// original synchronous behavior: an in-process CatalogWrapper that never
+/// fails transiently, no deadlines, degraded fallback armed but unreachable.
+struct ExecutionPolicy {
+  /// The wrapper "sends" source queries; not owned, may be null (an
+  /// internal CatalogWrapper is used). Tests install a FaultInjector here.
+  Wrapper* wrapper = nullptr;
+  RetryPolicy retry;
+  /// Virtual time; not owned, may be null (a per-call clock starting at 0
+  /// is used). Share one clock with the FaultInjector for slow-source
+  /// faults to count against deadlines.
+  VirtualClock* clock = nullptr;
+  /// Seed for backoff jitter; fixed seed => identical ExecutionReport.
+  uint64_t seed = 0;
+  /// When no total plan survives the faults, fall back to the union of
+  /// maximally-contained rewritings over the live views (\S7) instead of
+  /// failing. Disable to make Answer all-or-nothing.
+  bool allow_degraded = true;
+  /// Fail with ResourceExhausted when the plan search is truncated instead
+  /// of continuing with the plans found so far.
+  bool strict = false;
+};
+
+/// \brief A fault-tolerant answer: the consolidated result annotated with
+/// how complete it is, which sources could not be reached, and the full
+/// execution trace explaining why.
+///
+/// `completeness == kComplete` is the fault-free answer; `kPartial` means
+/// every plan view replied but some feed was truncated; `kDegraded` means
+/// no total plan survived and the result is the union of
+/// maximally-contained rewritings over the live views — still sound (every
+/// object belongs to the true answer), no longer guaranteed complete.
+struct DegradedAnswer {
+  OemDatabase result;
+  Completeness completeness = Completeness::kComplete;
+  /// Sources whose retries were exhausted (dead for this execution).
+  std::vector<std::string> unreachable_sources;
+  ExecutionReport report;
+
+  bool complete() const { return completeness == Completeness::kComplete; }
+};
+
 /// \brief The TSIMMIS-style mediator of Fig. 1/2: integrates wrapped
 /// sources whose interfaces are described by capability views and answers
 /// user queries through the rewriting algorithm (the Capability-Based
-/// Rewriter, \S1).
+/// Rewriter, \S1), surviving wrapper faults via retry, plan failover, and
+/// maximally-contained degradation.
 class Mediator {
  public:
   /// \param sources wrapped source descriptions (validated, then run
@@ -47,24 +117,49 @@ class Mediator {
                                    nullptr);
 
   /// Capability-based rewriting: every total rewriting of \p query over
-  /// the capability views, cheapest-first. An empty result means the query
-  /// cannot be answered within the sources' interfaces.
+  /// the capability views, cheapest-first. An empty plan list means the
+  /// query cannot be answered within the sources' interfaces (unless the
+  /// set is flagged truncated).
   ///
   /// Parameterized capabilities are honored: a plan is kept only when each
   /// bound variable of each used capability is instantiated to a constant
   /// by the rewriting (the mediator can then fill the `$X` slot).
-  Result<std::vector<MediatorPlan>> Plan(const TslQuery& query) const;
+  Result<MediatorPlanSet> Plan(const TslQuery& query) const;
 
-  /// Executes a plan: "sends" each used capability view to its wrapper by
-  /// materializing it over the source data in \p catalog, then evaluates
-  /// the rewriting over the collected results and consolidates them (the
-  /// fusion step of \S1's running example).
+  /// Executes a plan: sends each used capability view to its wrapper, then
+  /// evaluates the rewriting over the collected results and consolidates
+  /// them (the fusion step of \S1's running example). The two-argument form
+  /// runs the built-in CatalogWrapper with no retries — the original
+  /// synchronous behavior.
   Result<OemDatabase> Execute(const MediatorPlan& plan,
                               const SourceCatalog& catalog) const;
 
-  /// Plan + execute the cheapest plan; NotFound when no plan exists.
-  Result<OemDatabase> Answer(const TslQuery& query,
-                             const SourceCatalog& catalog) const;
+  /// Fault-tolerant Execute: fetches through `policy.wrapper` with
+  /// retry/backoff on the virtual clock and appends per-attempt outcomes
+  /// to \p report (which may be null). Fails with the last source failure
+  /// when retries are exhausted.
+  Result<OemDatabase> Execute(const MediatorPlan& plan,
+                              const SourceCatalog& catalog,
+                              const ExecutionPolicy& policy,
+                              ExecutionReport* report) const;
+
+  /// Plan + fault-tolerant execution with failover (the paper's Fig. 2
+  /// loop hardened):
+  ///
+  ///  1. walk the cheapest-first plan list, skipping plans that touch a
+  ///     capability view already known dead (liveness is per endpoint, so
+  ///     replicated sources fail over independently), retrying transient
+  ///     failures per RetryPolicy;
+  ///  2. when the list is exhausted, re-plan over the live views only;
+  ///  3. when no total plan survives, fall back to the union of
+  ///     maximally-contained rewritings over the live views (\S7) and
+  ///     return a degraded (sound, maximally-contained) answer.
+  ///
+  /// NotFound when the query admits no plan even fault-free; hard errors
+  /// (evaluation failures, fusion conflicts) propagate immediately.
+  Result<DegradedAnswer> Answer(const TslQuery& query,
+                                const SourceCatalog& catalog,
+                                const ExecutionPolicy& policy = {}) const;
 
   const std::vector<SourceDescription>& sources() const { return sources_; }
 
@@ -74,6 +169,17 @@ class Mediator {
   const AnalysisReport& analysis() const { return analysis_; }
 
  private:
+  /// Shared state of one fault-tolerant execution.
+  struct ExecContext {
+    Wrapper* wrapper;
+    VirtualClock* clock;
+    DeterministicRng* rng;
+    const RetryPolicy* retry;
+    uint64_t deadline_ticks;  ///< absolute per-query deadline; 0 = none
+    ExecutionReport* report;
+    std::string answer_name;
+  };
+
   Mediator(std::vector<SourceDescription> sources,
            const StructuralConstraints* constraints, AnalysisReport analysis)
       : sources_(std::move(sources)),
@@ -84,6 +190,48 @@ class Mediator {
   std::vector<TslQuery> AllViews() const;
   /// The capability owning view \p name; nullptr if unknown.
   const Capability* FindCapability(const std::string& name) const;
+  /// The source whose interface exports view \p name; empty if unknown.
+  std::string SourceOfView(const std::string& name) const;
+  /// The sorted source names that are unreachable given the dead view set:
+  /// a source is listed only when every capability view exporting it is
+  /// dead (a replicated source with one live mirror still answers).
+  std::vector<std::string> SourcesOfViews(
+      const std::set<std::string>& views) const;
+
+  /// The planning pipeline over an explicit view set (used both for the
+  /// initial plan list and for re-planning over live views).
+  Result<MediatorPlanSet> PlanOverViews(const TslQuery& query,
+                                        const std::vector<TslQuery>& views,
+                                        const RewriteOptions& options) const;
+
+  /// True when the per-query deadline has passed on \p ctx's clock.
+  static bool QueryDeadlineExceeded(const ExecContext& ctx);
+
+  /// One view fetch with retry/backoff/deadlines; appends attempts to the
+  /// report. Failure means retries were exhausted (or a permanent error).
+  Result<WrapperResult> FetchWithRetry(const Capability& capability,
+                                       const SourceCatalog& catalog,
+                                       const ExecContext& ctx) const;
+
+  struct PlanExecution {
+    OemDatabase answer;
+    bool any_truncated = false;
+  };
+  /// Fetches every view of \p plan and evaluates the rewriting. On failure
+  /// \p failed_view names the capability view that could not be reached
+  /// (empty for non-source errors).
+  Result<PlanExecution> RunPlan(const MediatorPlan& plan,
+                                const SourceCatalog& catalog,
+                                const ExecContext& ctx,
+                                std::string* failed_view) const;
+
+  /// The \S7 fallback: union of maximally-contained rewritings over the
+  /// capability views not in \p dead (a set of view names).
+  Result<DegradedAnswer> DegradedFallback(const TslQuery& query,
+                                          const SourceCatalog& catalog,
+                                          const ExecContext& ctx,
+                                          std::set<std::string> dead,
+                                          ExecutionReport report) const;
 
   std::vector<SourceDescription> sources_;
   const StructuralConstraints* constraints_;

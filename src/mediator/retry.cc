@@ -1,0 +1,39 @@
+#include "mediator/retry.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace tslrw {
+
+uint64_t DeterministicRng::NextUint64() {
+  // SplitMix64 (Steele, Lea, Flood): tiny, full-period, and statistically
+  // fine for jitter and fault coins.
+  state_ += 0x9e3779b97f4a7c15ULL;
+  uint64_t z = state_;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+double DeterministicRng::NextUnit() {
+  return static_cast<double>(NextUint64() >> 11) * 0x1.0p-53;
+}
+
+uint64_t RetryPolicy::BackoffAfterAttempt(size_t attempt,
+                                          DeterministicRng* rng) const {
+  if (attempt >= std::max<size_t>(max_attempts, 1)) return 0;
+  double backoff = static_cast<double>(initial_backoff_ticks);
+  for (size_t i = 1; i < attempt; ++i) backoff *= multiplier;
+  backoff = std::min(backoff, static_cast<double>(max_backoff_ticks));
+  if (jitter > 0.0 && rng != nullptr) {
+    double fraction = std::min(std::max(jitter, 0.0), 1.0);
+    backoff *= 1.0 - fraction * rng->NextUnit();
+  }
+  return static_cast<uint64_t>(std::llround(backoff));
+}
+
+bool IsRetryableFailure(const Status& status) {
+  return status.IsUnavailable() || status.IsDeadlineExceeded();
+}
+
+}  // namespace tslrw

@@ -1,0 +1,73 @@
+#ifndef TSLRW_MEDIATOR_RETRY_H_
+#define TSLRW_MEDIATOR_RETRY_H_
+
+#include <cstddef>
+#include <cstdint>
+
+#include "common/status.h"
+
+namespace tslrw {
+
+/// \brief Injectable virtual time for the fault-tolerant execution layer.
+///
+/// The mediator core never reads a wall clock: waiting out a backoff or a
+/// slow source *advances* a VirtualClock by whole ticks. Tests and the
+/// fault injector share one clock, which makes every timeout, backoff, and
+/// deadline deterministic and instantaneous — no test ever sleeps.
+class VirtualClock {
+ public:
+  uint64_t now() const { return now_; }
+  void Advance(uint64_t ticks) { now_ += ticks; }
+
+ private:
+  uint64_t now_ = 0;
+};
+
+/// \brief Deterministic 64-bit RNG (SplitMix64). Backoff jitter and fault
+/// coins must replay identically under a fixed seed, so the execution layer
+/// never touches std::random_device or global RNG state.
+class DeterministicRng {
+ public:
+  explicit DeterministicRng(uint64_t seed) : state_(seed) {}
+
+  uint64_t NextUint64();
+  /// Uniform in [0, 1).
+  double NextUnit();
+
+ private:
+  uint64_t state_;
+};
+
+/// \brief Retry discipline for one wrapper call, on virtual time.
+struct RetryPolicy {
+  /// Total tries per source per plan, including the first (0 behaves as 1).
+  size_t max_attempts = 3;
+  /// Backoff before the second attempt; doubles (times `multiplier`) after
+  /// each further failure, capped at `max_backoff_ticks`.
+  uint64_t initial_backoff_ticks = 1;
+  double multiplier = 2.0;
+  uint64_t max_backoff_ticks = 64;
+  /// Fraction of each backoff randomized: the wait is drawn uniformly from
+  /// [(1 - jitter) * b, b]. 0 disables jitter; keep it seeded either way.
+  double jitter = 0.0;
+  /// A single wrapper call taking longer than this (as observed on the
+  /// virtual clock) counts as a failed attempt. 0 = unlimited.
+  uint64_t per_call_deadline_ticks = 0;
+  /// Budget for a whole Answer: planning, fetching, backoff waits, and
+  /// failover all share it. 0 = unlimited.
+  uint64_t per_query_deadline_ticks = 0;
+
+  /// The backoff to wait after failed attempt number \p attempt (1-based),
+  /// jittered through \p rng. Attempts at or past max_attempts get 0 (no
+  /// wait precedes a try that will never happen).
+  uint64_t BackoffAfterAttempt(size_t attempt, DeterministicRng* rng) const;
+};
+
+/// Whether a failed wrapper call is worth retrying: Unavailable (the source
+/// may come back) and DeadlineExceeded (the call may be fast next time).
+/// Anything else — NotFound, eval errors — is deterministic and permanent.
+bool IsRetryableFailure(const Status& status);
+
+}  // namespace tslrw
+
+#endif  // TSLRW_MEDIATOR_RETRY_H_

@@ -1,0 +1,14 @@
+#include "mediator/wrapper.h"
+
+#include "eval/evaluator.h"
+
+namespace tslrw {
+
+Result<WrapperResult> CatalogWrapper::Fetch(const Capability& capability,
+                                            const SourceCatalog& catalog) {
+  TSLRW_ASSIGN_OR_RETURN(OemDatabase data,
+                         MaterializeView(capability.view, catalog));
+  return WrapperResult{std::move(data), /*complete=*/true};
+}
+
+}  // namespace tslrw

@@ -1,0 +1,48 @@
+#ifndef TSLRW_MEDIATOR_WRAPPER_H_
+#define TSLRW_MEDIATOR_WRAPPER_H_
+
+#include "common/result.h"
+#include "mediator/capability.h"
+#include "oem/database.h"
+
+namespace tslrw {
+
+/// \brief What one wrapper call returns: the materialized capability view
+/// plus whether the source delivered everything it had. A fault (or a
+/// source-side result cap) can truncate the feed without failing it; the
+/// mediator then degrades the answer's completeness instead of its
+/// soundness.
+struct WrapperResult {
+  OemDatabase data;
+  bool complete = true;
+};
+
+/// \brief The seam between Mediator::Execute and the sources (Fig. 1's
+/// wrapper boxes): one call ships a capability's query template to its
+/// source and returns the materialized view.
+///
+/// Implementations signal transient trouble with Status::Unavailable and
+/// slow calls are caught by the retry layer's per-call deadline; anything
+/// else (NotFound, evaluation failures) is treated as permanent. The
+/// default CatalogWrapper never fails transiently; FaultInjector decorates
+/// it with scripted, reproducible failure modes.
+class Wrapper {
+ public:
+  virtual ~Wrapper() = default;
+
+  virtual Result<WrapperResult> Fetch(const Capability& capability,
+                                      const SourceCatalog& catalog) = 0;
+};
+
+/// \brief The in-process default wrapper: "sends" the view to the source by
+/// materializing it over the catalog — the original synchronous behavior,
+/// now behind the seam.
+class CatalogWrapper : public Wrapper {
+ public:
+  Result<WrapperResult> Fetch(const Capability& capability,
+                              const SourceCatalog& catalog) override;
+};
+
+}  // namespace tslrw
+
+#endif  // TSLRW_MEDIATOR_WRAPPER_H_

@@ -1,6 +1,7 @@
 #include "repl/repl.h"
 
 #include <algorithm>
+#include <cstdlib>
 #include <fstream>
 #include <sstream>
 
@@ -38,7 +39,13 @@ constexpr std::string_view kHelp =
     "  analyze [rule]                   static diagnostics (all rules, or "
     "one)\n"
     "  materialize <view>               view result becomes a source\n"
-    "  show sources|views|queries|constraints\n"
+    "  capability <source> (Name) <head> :- <body>\n"
+    "                                   declare a source interface view\n"
+    "  fault <source> unavailable|flaky <p>|slow <ticks>|truncated <n>|none\n"
+    "                                   script a wrapper fault for mediate\n"
+    "  mediate <query> [seed <n>]       fault-tolerant plan + execute,\n"
+    "                                   with the execution report\n"
+    "  show sources|views|queries|constraints|capabilities|faults\n"
     "  load <path>                      run a script file\n"
     "  write <source> <path>            save a source's OEM text\n"
     "  help | quit\n";
@@ -95,6 +102,9 @@ std::string ReplSession::Execute(std::string_view line) {
   if (command == "equivalent") return Equivalent(rest);
   if (command == "analyze" || command == ":analyze") return Analyze(rest);
   if (command == "materialize") return Materialize(rest);
+  if (command == "capability") return DefineCapability(rest);
+  if (command == "fault") return SetFault(rest);
+  if (command == "mediate") return Mediate(rest);
   if (command == "show") return Show(rest);
   if (command == "load") return Load(rest);
   if (command == "write") return WriteSource(rest);
@@ -374,6 +384,111 @@ std::string ReplSession::Materialize(std::string_view rest) {
                 " objects)\n");
 }
 
+std::string ReplSession::DefineCapability(std::string_view rest) {
+  std::string_view source = TakeWord(&rest);
+  if (source.empty() || rest.empty()) {
+    return "usage: capability <source> (Name) <head> :- <body>\n";
+  }
+  auto view = ParseTslQuery(rest);
+  if (!view.ok()) return RenderError(view.status());
+  if (view->name.empty()) {
+    return "error: capability views need a (Name) prefix\n";
+  }
+  if (Status st = ValidateQuery(*view); !st.ok()) return RenderError(st);
+  for (const Condition& c : view->body) {
+    if (c.source != source) {
+      return StrCat("error: capability of ", source,
+                    " ranges over foreign source ", c.source, "\n");
+    }
+  }
+  std::string name = view->name;
+  SourceDescription& sd = capabilities_[std::string(source)];
+  sd.source = std::string(source);
+  // Redefinition replaces; a fresh name appends to the interface.
+  bool replaced = false;
+  for (Capability& cap : sd.capabilities) {
+    if (cap.view.name == name) {
+      cap.view = *view;
+      replaced = true;
+      break;
+    }
+  }
+  if (!replaced) sd.capabilities.push_back(Capability{*view, {}});
+  rule_texts_.insert_or_assign(name, std::string(rest));
+  return StrCat("capability ", name, " of ", source,
+                replaced ? " redefined\n" : " defined\n");
+}
+
+std::string ReplSession::SetFault(std::string_view rest) {
+  constexpr std::string_view kUsage =
+      "usage: fault <source> unavailable|flaky <p>|slow <ticks>|"
+      "truncated <n>|none\n";
+  std::string_view source = TakeWord(&rest);
+  std::string_view kind = TakeWord(&rest);
+  if (source.empty() || kind.empty()) return std::string(kUsage);
+  if (kind == "none") {
+    faults_.erase(std::string(source));
+    return StrCat("fault on ", source, " cleared\n");
+  }
+  Fault fault;
+  if (kind == "unavailable") {
+    fault = Fault::Unavailable();
+  } else if (kind == "flaky") {
+    std::string p(TakeWord(&rest));
+    if (p.empty()) return std::string(kUsage);
+    fault = Fault::Flaky(std::strtod(p.c_str(), nullptr));
+  } else if (kind == "slow") {
+    std::string ticks(TakeWord(&rest));
+    if (ticks.empty()) return std::string(kUsage);
+    fault = Fault::SlowBy(std::strtoull(ticks.c_str(), nullptr, 10));
+  } else if (kind == "truncated") {
+    std::string keep(TakeWord(&rest));
+    if (keep.empty()) return std::string(kUsage);
+    fault = Fault::Truncated(std::strtoull(keep.c_str(), nullptr, 10));
+  } else {
+    return std::string(kUsage);
+  }
+  faults_[std::string(source)] = fault;
+  return StrCat("fault on ", source, ": ", fault.ToString(), "\n");
+}
+
+std::string ReplSession::Mediate(std::string_view rest) {
+  std::string_view name = TakeWord(&rest);
+  if (name.empty()) return "usage: mediate <query> [seed <n>]\n";
+  uint64_t seed = 0;
+  if (std::string_view word = TakeWord(&rest); word == "seed") {
+    std::string value(TakeWord(&rest));
+    if (value.empty()) return "usage: mediate <query> [seed <n>]\n";
+    seed = std::strtoull(value.c_str(), nullptr, 10);
+  } else if (!word.empty()) {
+    return "usage: mediate <query> [seed <n>]\n";
+  }
+  auto query = LookupQuery(name);
+  if (!query.ok()) return RenderError(query.status());
+  if (capabilities_.empty()) {
+    return "error: no capabilities defined (see `capability`)\n";
+  }
+  std::vector<SourceDescription> sources;
+  for (const auto& [src, sd] : capabilities_) sources.push_back(sd);
+  auto mediator = Mediator::Make(std::move(sources), constraints_ptr());
+  if (!mediator.ok()) return RenderError(mediator.status());
+  CatalogWrapper base;
+  VirtualClock clock;
+  FaultInjector injector(&base, seed, &clock);
+  for (const auto& [src, fault] : faults_) {
+    FaultSchedule schedule;
+    schedule.steady_state = fault;
+    injector.SetSchedule(src, std::move(schedule));
+  }
+  ExecutionPolicy policy;
+  policy.wrapper = &injector;
+  policy.clock = &clock;
+  policy.seed = seed;
+  auto answer = mediator->Answer(*query, catalog_, policy);
+  if (!answer.ok()) return RenderError(answer.status());
+  return StrCat(answer->result.ToString(), answer->report.ToString());
+}
+
 std::string ReplSession::Show(std::string_view rest) {
   std::string_view what = TakeWord(&rest);
   if (what == "sources") {
@@ -402,7 +517,25 @@ std::string ReplSession::Show(std::string_view rest) {
     if (!constraints_.has_value()) return "no constraints\n";
     return constraints_->dtd().ToString();
   }
-  return "usage: show sources|views|queries|constraints\n";
+  if (what == "capabilities") {
+    std::string out;
+    for (const auto& [src, sd] : capabilities_) {
+      for (const Capability& cap : sd.capabilities) {
+        out += StrCat(src, ": (", cap.view.name, ") ", cap.view.ToString(),
+                      "\n");
+      }
+    }
+    return out.empty() ? "no capabilities\n" : out;
+  }
+  if (what == "faults") {
+    std::string out;
+    for (const auto& [src, fault] : faults_) {
+      out += StrCat(src, ": ", fault.ToString(), "\n");
+    }
+    return out.empty() ? "no faults\n" : out;
+  }
+  return "usage: show sources|views|queries|constraints|capabilities|"
+         "faults\n";
 }
 
 std::string ReplSession::Load(std::string_view rest) {

@@ -9,6 +9,8 @@
 #include "analysis/analyzer.h"
 #include "common/result.h"
 #include "constraints/inference.h"
+#include "mediator/fault.h"
+#include "mediator/mediator.h"
 #include "oem/database.h"
 #include "rewrite/chase.h"
 #include "tsl/ast.h"
@@ -36,7 +38,10 @@ namespace tslrw {
 /// equivalent Q3 Q4
 /// analyze [Q3]                  % static diagnostics, all rules or one
 /// materialize V1                % view result becomes a source
-/// show sources|views|queries|constraints
+/// capability db (Y97) <...> :- <...>@db   % declare a source interface
+/// fault db flaky 0.5            % script a wrapper fault for `mediate`
+/// mediate Q3 [seed 7]           % fault-tolerant plan + execute + report
+/// show sources|views|queries|constraints|capabilities|faults
 /// help
 /// ```
 ///
@@ -72,6 +77,9 @@ class ReplSession {
   std::string Equivalent(std::string_view rest);
   std::string Analyze(std::string_view rest);
   std::string Materialize(std::string_view rest);
+  std::string DefineCapability(std::string_view rest);
+  std::string SetFault(std::string_view rest);
+  std::string Mediate(std::string_view rest);
   std::string Show(std::string_view rest);
   std::string Load(std::string_view rest);
   std::string WriteSource(std::string_view rest);
@@ -97,6 +105,11 @@ class ReplSession {
   /// Original text of each named rule, keyed by rule name, kept so
   /// `analyze` can render caret snippets pointing into what was typed.
   std::map<std::string, std::string, std::less<>> rule_texts_;
+  /// Source interfaces declared with `capability`, keyed by source name;
+  /// `mediate` builds a Mediator over them.
+  std::map<std::string, SourceDescription, std::less<>> capabilities_;
+  /// Steady-state faults scripted with `fault`, injected around `mediate`.
+  std::map<std::string, Fault, std::less<>> faults_;
   std::optional<StructuralConstraints> constraints_;
   bool done_ = false;
 };

@@ -71,6 +71,7 @@ class CandidateEnumerator {
     if (chosen->size() == len) {
       if (!Admissible(*chosen)) return true;
       if (*emitted >= options_.max_candidates) return false;
+      if (options_.should_stop && options_.should_stop()) return false;
       ++*emitted;
       return fn(*chosen);
     }

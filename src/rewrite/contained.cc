@@ -78,7 +78,7 @@ Result<ContainedRewritingResult> FindMaximallyContainedRewriting(
   CandidateEnumerator enumerator(std::move(atoms), q.body.size(),
                                  enum_options);
   size_t counter = 0;
-  enumerator.Enumerate([&](const std::vector<size_t>& chosen) {
+  bool complete = enumerator.Enumerate([&](const std::vector<size_t>& chosen) {
     TslQuery candidate;
     candidate.name = StrCat(q.name.empty() ? "contained" : q.name, "_mc",
                             ++counter);
@@ -112,6 +112,13 @@ Result<ContainedRewritingResult> FindMaximallyContainedRewriting(
     return true;
   });
   TSLRW_RETURN_NOT_OK(failure);
+  result.truncated = !complete;
+  if (result.truncated && options.strict_limits) {
+    return Status::ResourceExhausted(
+        StrCat("contained-rewriting search stopped after ",
+               result.candidates_tested,
+               " tested candidate(s); the union may not be maximal"));
+  }
 
   // Prune rules whose expansion is contained in another accepted rule's
   // expansion (keep the first of mutually-equivalent pairs).

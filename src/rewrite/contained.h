@@ -19,6 +19,9 @@ struct ContainedRewritingResult {
   /// True when the union is in fact *equivalent* to the query (the
   /// maximally contained rewriting is complete).
   bool equivalent = false;
+  /// The candidate search was cut off (max_candidates or the budget hook);
+  /// the union is still sound but may not be maximal.
+  bool truncated = false;
   /// Diagnostics, as in RewriteResult.
   size_t candidates_tested = 0;
 };

@@ -148,6 +148,13 @@ Result<RewriteResult> RewriteQuery(const TslQuery& query,
   });
   TSLRW_RETURN_NOT_OK(failure);
   result.truncated = !complete && failure.ok();
+  if (result.truncated && options.strict_limits) {
+    return Status::ResourceExhausted(
+        StrCat("candidate search stopped after ", result.candidates_generated,
+               " candidate(s) (max_candidates=", options.max_candidates,
+               options.should_stop ? ", or the budget hook fired" : "",
+               "); rewritings may have been missed"));
+  }
   return result;
 }
 

@@ -2,6 +2,7 @@
 #define TSLRW_REWRITE_REWRITER_H_
 
 #include <cstddef>
+#include <functional>
 #include <vector>
 
 #include "common/result.h"
@@ -39,6 +40,18 @@ struct RewriteOptions {
   /// Hard cap on candidates examined (the space is exponential, \S5.1);
   /// when hit, RewriteResult::truncated is set.
   size_t max_candidates = 1000000;
+
+  /// Cooperative budget hook, polled between candidates: returning true
+  /// stops the enumeration early with `truncated` set. The mediator wires
+  /// this to its per-query deadline on the virtual clock, so a search never
+  /// outlives the answer it was planning.
+  std::function<bool()> should_stop = nullptr;
+
+  /// Fail with ResourceExhausted instead of returning a silently shortened
+  /// result when the search is cut off (max_candidates or should_stop).
+  /// For callers that must distinguish "no rewriting exists" from "none was
+  /// found within budget".
+  bool strict_limits = false;
 };
 
 /// \brief Output of the rewriting algorithm, including the counters the

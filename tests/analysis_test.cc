@@ -50,6 +50,7 @@ TEST(DiagnosticTest, CodeStringsAreStable) {
   EXPECT_EQ(DiagCodeToString(DiagCode::kUnboundedPathStep), "TSL103");
   EXPECT_EQ(DiagCodeToString(DiagCode::kDeadView), "TSL104");
   EXPECT_EQ(DiagCodeToString(DiagCode::kSingleUseVariable), "TSL105");
+  EXPECT_EQ(DiagCodeToString(DiagCode::kSearchTruncated), "TSL106");
 }
 
 TEST(DiagnosticTest, SeveritiesFollowTheCode) {
@@ -59,6 +60,7 @@ TEST(DiagnosticTest, SeveritiesFollowTheCode) {
             Severity::kWarning);
   EXPECT_EQ(DiagCodeSeverity(DiagCode::kDeadView), Severity::kWarning);
   EXPECT_EQ(DiagCodeSeverity(DiagCode::kSingleUseVariable), Severity::kNote);
+  EXPECT_EQ(DiagCodeSeverity(DiagCode::kSearchTruncated), Severity::kWarning);
 }
 
 TEST(DiagnosticTest, ToStringCarriesRuleSpanSeverityAndCode) {
@@ -230,6 +232,21 @@ TEST(AnalyzerTest, FullyCoveredViewsAreTSL104) {
   EXPECT_EQ(d->span.line, 1);
   EXPECT_EQ(d->span.column, 1);
   EXPECT_EQ(report.diagnostics[1].span.line, 2);
+}
+
+TEST(AnalyzerTest, TruncatedDeadViewSearchIsTSL106) {
+  // With the candidate budget cut to nothing, the dead-view pass cannot
+  // complete its coverage search: instead of silently reporting "no dead
+  // views" it emits TSL106 for the truncated analysis.
+  AnalyzerOptions options;
+  options.max_candidates = 0;
+  AnalysisReport report = Analyzer(options).AnalyzeProgramText(
+      "(Va) <va(X') out Z'> :- <X' a Z'>@db\n"
+      "(Vb) <vb(X') out Z'> :- <X' a Z'>@db");
+  EXPECT_GE(CountDiag(report, DiagCode::kSearchTruncated), 1u)
+      << report.ToString();
+  // The views cover each other, but a cut-off search must not claim so.
+  EXPECT_EQ(CountDiag(report, DiagCode::kDeadView), 0u) << report.ToString();
 }
 
 TEST(AnalyzerTest, DistinctViewsAreNotDead) {

@@ -194,7 +194,9 @@ TEST(MediatorTest, ConsolidatesAcrossSources) {
   auto answer = mediator.Answer(query, BiblioCatalog());
   ASSERT_TRUE(answer.ok()) << answer.status();
   // a1, a2 from s1 x b1 from s2 = 2 pairs.
-  EXPECT_EQ(answer->roots().size(), 2u);
+  EXPECT_EQ(answer->result.roots().size(), 2u);
+  EXPECT_TRUE(answer->complete()) << answer->report.ToString();
+  EXPECT_TRUE(answer->unreachable_sources.empty());
 }
 
 // --- Cached queries (\S1, Lore scenario) ------------------------------------
@@ -222,6 +224,7 @@ TEST(QueryCacheTest, AnswersFromCacheWithoutTouchingBase) {
   auto answer = cache.TryAnswer(query, empty, /*allow_base_fallback=*/false);
   ASSERT_TRUE(answer.ok()) << answer.status();
   EXPECT_TRUE(answer->from_cache);
+  EXPECT_TRUE(answer->base_conditions.empty());  // a pure cache hit
   EXPECT_EQ(answer->result.roots().size(), 1u);  // only a1
 
   // Matches direct evaluation over the base.
@@ -249,6 +252,36 @@ TEST(QueryCacheTest, MissWithFallbackEvaluatesBase) {
   ASSERT_TRUE(answer.ok()) << answer.status();
   EXPECT_FALSE(answer->from_cache);
   EXPECT_EQ(answer->result.roots().size(), 2u);  // a1, a2
+  // Full fallback: every condition ran against base data.
+  ASSERT_EQ(answer->base_conditions.size(), query.body.size());
+  EXPECT_EQ(answer->base_conditions[0].source, "s1");
+}
+
+TEST(QueryCacheTest, PartialRewritingReportsBaseConditions) {
+  // The cache covers the s1 half of the query; the s2 condition has no
+  // cached statement and must run against base data. The answer says so.
+  SourceCatalog catalog = BiblioCatalog();
+  QueryCache cache;
+  TslQuery sigmod_all = MustParse(
+      "<c(P') sig {<X' Y' Z'>}> :- "
+      "<P' publication {<V' venue \"SIGMOD\">}>@s1 AND "
+      "<P' publication {<X' Y' Z'>}>@s1",
+      "SigmodCache");
+  ASSERT_TRUE(cache.InsertAndMaterialize(sigmod_all, catalog).ok());
+
+  TslQuery query = MustParse(
+      "<f(P,R) pair yes> :- "
+      "<P publication {<V venue \"SIGMOD\">}>@s1 AND "
+      "<R publication {<W year \"1997\">}>@s2",
+      "Mixed");
+  auto answer = cache.TryAnswer(query, catalog, /*allow_base_fallback=*/true);
+  ASSERT_TRUE(answer.ok()) << answer.status();
+  ASSERT_FALSE(answer->base_conditions.empty());
+  for (const Condition& c : answer->base_conditions) {
+    EXPECT_EQ(c.source, "s2") << c.ToString();
+  }
+  EXPECT_LT(answer->base_conditions.size(), answer->rewriting.body.size())
+      << "the s1 side should have come from the cache";
 }
 
 TEST(MediatorTest, AnalyzerRefusesErrorLevelCapabilityViews) {

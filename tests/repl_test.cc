@@ -211,5 +211,61 @@ TEST_F(ReplTest, LoadAndWriteRoundTripThroughFiles) {
             std::string::npos);
 }
 
+TEST_F(ReplTest, CapabilityCommandDefinesAndValidates) {
+  Prepare();
+  EXPECT_NE(Run("capability db (Dump) <d(P') p {<X' Y' Z'>}> :- "
+                "<P' p {<X' Y' Z'>}>@db")
+                .find("capability Dump of db defined"),
+            std::string::npos);
+  EXPECT_NE(Run("capability db (Dump) <d(P') p {<X' Y' Z'>}> :- "
+                "<P' p {<X' Y' Z'>}>@db")
+                .find("redefined"),
+            std::string::npos);
+  EXPECT_NE(Run("show capabilities").find("Dump"), std::string::npos);
+  // Unnamed views and views over a foreign source are rejected.
+  EXPECT_NE(Run("capability db <d(P') p {<X' Y' Z'>}> :- "
+                "<P' p {<X' Y' Z'>}>@db")
+                .find("error"),
+            std::string::npos);
+  EXPECT_NE(Run("capability db (Bad) <d(P') p {<X' Y' Z'>}> :- "
+                "<P' p {<X' Y' Z'>}>@other")
+                .find("foreign source"),
+            std::string::npos);
+  EXPECT_NE(Run("capability").find("usage"), std::string::npos);
+}
+
+TEST_F(ReplTest, FaultCommandScriptsAndClears) {
+  EXPECT_NE(Run("fault db unavailable").find("fault on db"),
+            std::string::npos);
+  EXPECT_NE(Run("show faults").find("db"), std::string::npos);
+  EXPECT_NE(Run("fault db flaky 0.5").find("fault on db"), std::string::npos);
+  EXPECT_NE(Run("fault db slow 3").find("fault on db"), std::string::npos);
+  EXPECT_NE(Run("fault db truncated 1").find("fault on db"),
+            std::string::npos);
+  EXPECT_NE(Run("fault db none").find("cleared"), std::string::npos);
+  EXPECT_EQ(Run("show faults"), "no faults\n");
+  EXPECT_NE(Run("fault db sideways").find("usage"), std::string::npos);
+  EXPECT_NE(Run("fault").find("usage"), std::string::npos);
+}
+
+TEST_F(ReplTest, MediateAnswersAndReportsFaults) {
+  Prepare();
+  Run("capability db (Dump) <d(P') p {<X' Y' Z'>}> :- "
+      "<P' p {<X' Y' Z'>}>@db");
+  std::string healthy = Run("mediate Q");
+  EXPECT_NE(healthy.find("f(p1)"), std::string::npos) << healthy;
+  EXPECT_NE(healthy.find("execution: complete"), std::string::npos) << healthy;
+  // A dead source leaves no total plan: the answer degrades and says so.
+  Run("fault db unavailable");
+  std::string degraded = Run("mediate Q seed 3");
+  EXPECT_NE(degraded.find("execution: degraded"), std::string::npos)
+      << degraded;
+  EXPECT_NE(degraded.find("unreachable: db"), std::string::npos) << degraded;
+  EXPECT_NE(Run("mediate NoSuch").find("error"), std::string::npos);
+  EXPECT_NE(Run("mediate Q seed").find("usage"), std::string::npos);
+  ReplSession bare;
+  EXPECT_NE(bare.Execute("mediate Q").find("error"), std::string::npos);
+}
+
 }  // namespace
 }  // namespace tslrw
