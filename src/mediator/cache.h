@@ -17,6 +17,16 @@ namespace tslrw {
 /// query is answered by rewriting it over them — "the rewriting algorithm
 /// only needs the query and the cached query statements; it does not need
 /// to examine the source data".
+///
+/// Thread safety: externally synchronized. TryAnswer is `const` but the
+/// class is NOT safe for concurrent readers while an Insert /
+/// InsertAndMaterialize runs — a racing mutation of `entries_` invalidates
+/// iterators a reader may be walking. Callers must either (a) serialize
+/// every call, or (b) treat a fully-populated QueryCache as immutable and
+/// share it read-only. The serving layer (src/service/) does the latter:
+/// mutations build a new cache and publish it through an immutable
+/// `shared_ptr` snapshot swap (see docs/SERVING.md), so in-flight readers
+/// keep the snapshot they started with and never observe a mutation.
 class QueryCache {
  public:
   explicit QueryCache(const StructuralConstraints* constraints = nullptr)

@@ -355,9 +355,44 @@ Result<OemDatabase> Mediator::Execute(const MediatorPlan& plan,
   return std::move(exec.answer);
 }
 
+RewriteOptions Mediator::PlanningOptions(const ExecutionPolicy& policy,
+                                         const VirtualClock* clock,
+                                         uint64_t deadline_ticks) const {
+  RewriteOptions options;
+  options.constraints = constraints_;
+  options.strict_limits = policy.strict;
+  if (deadline_ticks > 0) {
+    options.should_stop = [clock, deadline_ticks] {
+      return clock->now() >= deadline_ticks;
+    };
+  }
+  return options;
+}
+
 Result<DegradedAnswer> Mediator::Answer(const TslQuery& query,
                                         const SourceCatalog& catalog,
                                         const ExecutionPolicy& policy) const {
+  // The local clock must span both planning and execution so a per-query
+  // deadline covers the whole Answer, as before the Plan/Execute split.
+  // (The clock only advances on backoff waits and slow-source faults, so
+  // recomputing the deadline in AnswerWithPlans lands on the same tick.)
+  VirtualClock local_clock;
+  ExecutionPolicy effective = policy;
+  if (effective.clock == nullptr) effective.clock = &local_clock;
+  const uint64_t deadline_ticks =
+      effective.retry.per_query_deadline_ticks == 0
+          ? 0
+          : effective.clock->now() + effective.retry.per_query_deadline_ticks;
+  RewriteOptions plan_options =
+      PlanningOptions(effective, effective.clock, deadline_ticks);
+  TSLRW_ASSIGN_OR_RETURN(MediatorPlanSet plans,
+                         PlanOverViews(query, AllViews(), plan_options));
+  return AnswerWithPlans(query, plans, catalog, effective);
+}
+
+Result<DegradedAnswer> Mediator::AnswerWithPlans(
+    const TslQuery& query, const MediatorPlanSet& plans,
+    const SourceCatalog& catalog, const ExecutionPolicy& policy) const {
   CatalogWrapper catalog_wrapper;
   VirtualClock local_clock;
   DeterministicRng rng(policy.seed);
@@ -374,19 +409,17 @@ Result<DegradedAnswer> Mediator::Answer(const TslQuery& query,
   ctx.report = &report;
   ctx.answer_name = query.name.empty() ? "answer" : query.name;
 
-  RewriteOptions plan_options;
-  plan_options.constraints = constraints_;
-  plan_options.strict_limits = policy.strict;
-  if (ctx.deadline_ticks > 0) {
-    const VirtualClock* clock = ctx.clock;
-    const uint64_t deadline = ctx.deadline_ticks;
-    plan_options.should_stop = [clock, deadline] {
-      return clock->now() >= deadline;
-    };
-  }
-  TSLRW_ASSIGN_OR_RETURN(MediatorPlanSet plans,
-                         PlanOverViews(query, AllViews(), plan_options));
+  // Options for the failover re-plan over live views; also where a strict
+  // caller learns that a cached plan list was itself truncated (Answer
+  // would have failed inside the initial search).
+  RewriteOptions plan_options =
+      PlanningOptions(policy, ctx.clock, ctx.deadline_ticks);
   report.plan_search_truncated = plans.truncated;
+  if (policy.strict && plans.truncated) {
+    return Status::ResourceExhausted(
+        "plan search was truncated and strict mode forbids serving from a "
+        "shortened plan list");
+  }
   if (plans.empty()) {
     return Status::NotFound(
         "no capability-conformant plan answers this query");

@@ -161,6 +161,24 @@ class Mediator {
                                 const SourceCatalog& catalog,
                                 const ExecutionPolicy& policy = {}) const;
 
+  /// The execution half of Answer, taking an already-computed plan list:
+  /// the serving layer caches MediatorPlanSets (the exponential part) per
+  /// canonical query and replays them here. \p plans must have been
+  /// produced for \p query or an α-equivalent rendering of it — rewriting
+  /// heads instantiate to the same ground answer objects either way, and
+  /// the answer database is named after \p query. Behavior is identical to
+  /// Answer given the same plan list: failover, re-planning over live
+  /// views, and the \S7 degraded fallback all apply.
+  ///
+  /// Thread safety: const and reentrant. Concurrent calls must not share a
+  /// mutable `policy.wrapper` or `policy.clock` — give each call its own
+  /// (the service layer builds both per request).
+  Result<DegradedAnswer> AnswerWithPlans(const TslQuery& query,
+                                         const MediatorPlanSet& plans,
+                                         const SourceCatalog& catalog,
+                                         const ExecutionPolicy& policy =
+                                             {}) const;
+
   const std::vector<SourceDescription>& sources() const { return sources_; }
 
   /// The analyzer's report over all capability views, produced at Make
@@ -203,6 +221,13 @@ class Mediator {
   Result<MediatorPlanSet> PlanOverViews(const TslQuery& query,
                                         const std::vector<TslQuery>& views,
                                         const RewriteOptions& options) const;
+
+  /// Rewrite options for Answer-path plan searches: constraints, strict
+  /// limits, and a should_stop hook wired to \p deadline_ticks on \p clock
+  /// (0 = no deadline). \p clock must outlive the returned options.
+  RewriteOptions PlanningOptions(const ExecutionPolicy& policy,
+                                 const VirtualClock* clock,
+                                 uint64_t deadline_ticks) const;
 
   /// True when the per-query deadline has passed on \p ctx's clock.
   static bool QueryDeadlineExceeded(const ExecContext& ctx);

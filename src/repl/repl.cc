@@ -45,6 +45,12 @@ constexpr std::string_view kHelp =
     "                                   script a wrapper fault for mediate\n"
     "  mediate <query> [seed <n>]       fault-tolerant plan + execute,\n"
     "                                   with the execution report\n"
+    "  serve start [threads <n>] [queue <n>] [cache <n>]\n"
+    "                                   start the concurrent serving layer\n"
+    "  serve <query> [seed <n>]         answer through the server and its\n"
+    "                                   rewriting-plan cache\n"
+    "  serve stop                       stop the server\n"
+    "  stats                            serving-layer counters\n"
     "  show sources|views|queries|constraints|capabilities|faults\n"
     "  load <path>                      run a script file\n"
     "  write <source> <path>            save a source's OEM text\n"
@@ -105,6 +111,8 @@ std::string ReplSession::Execute(std::string_view line) {
   if (command == "capability") return DefineCapability(rest);
   if (command == "fault") return SetFault(rest);
   if (command == "mediate") return Mediate(rest);
+  if (command == "serve") return Serve(rest);
+  if (command == "stats") return Stats(rest);
   if (command == "show") return Show(rest);
   if (command == "load") return Load(rest);
   if (command == "write") return WriteSource(rest);
@@ -139,9 +147,15 @@ std::string ReplSession::Source(std::string_view rest) {
   if (!db.ok()) return RenderError(db.status());
   std::string name = db->name();
   catalog_.Put(std::move(db).value());
+  // A running server never sees catalog_ directly: the mutation reaches it
+  // as a snapshot swap, so in-flight servings keep their old catalog.
+  if (server_ != nullptr) {
+    server_->UpdateCatalog(*catalog_.Find(name).value());
+  }
   return StrCat("source ", name, " defined (",
                 catalog_.Find(name).value()->ReachableOids().size(),
-                " reachable objects)\n");
+                " reachable objects)", server_ != nullptr ? ", published" : "",
+                "\n");
 }
 
 std::string ReplSession::DefineDtd(std::string_view rest) {
@@ -379,9 +393,13 @@ std::string ReplSession::Materialize(std::string_view rest) {
   auto result = MaterializeView(it->second, catalog_);
   if (!result.ok()) return RenderError(result.status());
   size_t objects = result->ReachableOids().size();
+  std::string source_name = result->name();
   catalog_.Put(std::move(result).value());
+  if (server_ != nullptr) {
+    server_->UpdateCatalog(*catalog_.Find(source_name).value());
+  }
   return StrCat("view ", name, " materialized as a source (", objects,
-                " objects)\n");
+                " objects)", server_ != nullptr ? ", published" : "", "\n");
 }
 
 std::string ReplSession::DefineCapability(std::string_view rest) {
@@ -415,6 +433,23 @@ std::string ReplSession::DefineCapability(std::string_view rest) {
   }
   if (!replaced) sd.capabilities.push_back(Capability{*view, {}});
   rule_texts_.insert_or_assign(name, std::string(rest));
+  // A capability change alters the running server's planning interface:
+  // swap in a rebuilt mediator (fresh plan-cache generation comes with it).
+  if (server_ != nullptr) {
+    std::vector<SourceDescription> sources;
+    for (const auto& [src, desc] : capabilities_) sources.push_back(desc);
+    auto mediator = Mediator::Make(std::move(sources), constraints_ptr());
+    if (!mediator.ok()) {
+      return StrCat("capability ", name, " of ", source,
+                    replaced ? " redefined" : " defined",
+                    ", but the server kept its old interface: ",
+                    mediator.status().ToString(), "\n");
+    }
+    server_->ReplaceMediator(std::move(mediator).value());
+    return StrCat("capability ", name, " of ", source,
+                  replaced ? " redefined" : " defined",
+                  ", server mediator replaced\n");
+  }
   return StrCat("capability ", name, " of ", source,
                 replaced ? " redefined\n" : " defined\n");
 }
@@ -487,6 +522,97 @@ std::string ReplSession::Mediate(std::string_view rest) {
   auto answer = mediator->Answer(*query, catalog_, policy);
   if (!answer.ok()) return RenderError(answer.status());
   return StrCat(answer->result.ToString(), answer->report.ToString());
+}
+
+std::string ReplSession::Serve(std::string_view rest) {
+  constexpr std::string_view kUsage =
+      "usage: serve start [threads <n>] [queue <n>] [cache <n>]\n"
+      "       serve <query> [seed <n>]\n"
+      "       serve stop\n";
+  std::string_view word = TakeWord(&rest);
+  if (word.empty()) return std::string(kUsage);
+  if (word == "start") return ServeStart(rest);
+  if (word == "stop") {
+    if (server_ == nullptr) return "no server running\n";
+    server_.reset();  // drains admitted requests, joins the workers
+    return "server stopped\n";
+  }
+  if (server_ == nullptr) {
+    return "error: no server running (see `serve start`)\n";
+  }
+  uint64_t seed = 0;
+  if (std::string_view option = TakeWord(&rest); option == "seed") {
+    std::string value(TakeWord(&rest));
+    if (value.empty()) return std::string(kUsage);
+    seed = std::strtoull(value.c_str(), nullptr, 10);
+  } else if (!option.empty()) {
+    return std::string(kUsage);
+  }
+  auto query = LookupQuery(word);
+  if (!query.ok()) return RenderError(query.status());
+  ServeOptions serve;
+  serve.seed = seed;
+  auto submitted = server_->Submit(*query, serve);
+  if (!submitted.ok()) return RenderError(submitted.status());
+  auto response = std::move(submitted).value().get();
+  if (!response.ok()) return RenderError(response.status());
+  return StrCat(response->answer.result.ToString(), "plan cache: ",
+                response->plan_cache_hit ? "hit" : "miss", "\n");
+}
+
+std::string ReplSession::ServeStart(std::string_view rest) {
+  constexpr std::string_view kUsage =
+      "usage: serve start [threads <n>] [queue <n>] [cache <n>]\n";
+  if (server_ != nullptr) {
+    return "error: server already running (see `serve stop`)\n";
+  }
+  if (capabilities_.empty()) {
+    return "error: no capabilities defined (see `capability`)\n";
+  }
+  ServerOptions options;
+  while (!rest.empty()) {
+    std::string_view option = TakeWord(&rest);
+    std::string value(TakeWord(&rest));
+    if (value.empty()) return std::string(kUsage);
+    uint64_t parsed = std::strtoull(value.c_str(), nullptr, 10);
+    if (option == "threads") {
+      options.threads = static_cast<size_t>(parsed);
+    } else if (option == "queue") {
+      options.queue_capacity = static_cast<size_t>(parsed);
+    } else if (option == "cache") {
+      options.plan_cache_capacity = static_cast<size_t>(parsed);
+    } else {
+      return std::string(kUsage);
+    }
+  }
+  std::vector<SourceDescription> sources;
+  for (const auto& [src, sd] : capabilities_) sources.push_back(sd);
+  auto mediator = Mediator::Make(std::move(sources), constraints_ptr());
+  if (!mediator.ok()) return RenderError(mediator.status());
+  // Snapshot the `fault` schedules now: each request replays them through
+  // its own injector, seeded by `serve <query> seed <n>`.
+  WrapperFactory factory = nullptr;
+  if (!faults_.empty()) {
+    std::map<std::string, FaultSchedule> schedules;
+    for (const auto& [src, fault] : faults_) {
+      FaultSchedule schedule;
+      schedule.steady_state = fault;
+      schedules[src] = std::move(schedule);
+    }
+    factory = MakeFaultInjectingWrapperFactory(std::move(schedules));
+  }
+  server_ = std::make_unique<QueryServer>(std::move(mediator).value(),
+                                          catalog_, options,
+                                          std::move(factory));
+  return StrCat("serving ", capabilities_.size(), " source interface(s) on ",
+                options.threads, " thread(s) (queue ", options.queue_capacity,
+                ", plan cache ", options.plan_cache_capacity, ")\n");
+}
+
+std::string ReplSession::Stats(std::string_view rest) {
+  if (!Trim(rest).empty()) return "usage: stats\n";
+  if (server_ == nullptr) return "no server running\n";
+  return server_->stats().ToString();
 }
 
 std::string ReplSession::Show(std::string_view rest) {

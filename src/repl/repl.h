@@ -2,6 +2,7 @@
 #define TSLRW_REPL_REPL_H_
 
 #include <map>
+#include <memory>
 #include <optional>
 #include <string>
 #include <string_view>
@@ -13,6 +14,7 @@
 #include "mediator/mediator.h"
 #include "oem/database.h"
 #include "rewrite/chase.h"
+#include "service/server.h"
 #include "tsl/ast.h"
 
 namespace tslrw {
@@ -41,6 +43,11 @@ namespace tslrw {
 /// capability db (Y97) <...> :- <...>@db   % declare a source interface
 /// fault db flaky 0.5            % script a wrapper fault for `mediate`
 /// mediate Q3 [seed 7]           % fault-tolerant plan + execute + report
+/// serve start [threads 4] [queue 128] [cache 256]
+///                               % start the concurrent serving layer
+/// serve Q3 [seed 7]             % answer through the server + plan cache
+/// serve stop
+/// stats                         % serving-layer counters (hits, rejects)
 /// show sources|views|queries|constraints|capabilities|faults
 /// help
 /// ```
@@ -80,6 +87,9 @@ class ReplSession {
   std::string DefineCapability(std::string_view rest);
   std::string SetFault(std::string_view rest);
   std::string Mediate(std::string_view rest);
+  std::string Serve(std::string_view rest);
+  std::string ServeStart(std::string_view rest);
+  std::string Stats(std::string_view rest);
   std::string Show(std::string_view rest);
   std::string Load(std::string_view rest);
   std::string WriteSource(std::string_view rest);
@@ -111,6 +121,11 @@ class ReplSession {
   /// Steady-state faults scripted with `fault`, injected around `mediate`.
   std::map<std::string, Fault, std::less<>> faults_;
   std::optional<StructuralConstraints> constraints_;
+  /// The concurrent serving layer behind `serve`/`stats`. While running,
+  /// catalog mutations (`source`, `materialize`) are routed through its
+  /// snapshot swap and `capability` changes replace its mediator; `fault`
+  /// schedules are snapshotted at `serve start`.
+  std::unique_ptr<QueryServer> server_;
   bool done_ = false;
 };
 

@@ -1,0 +1,14 @@
+#include "service/canonical.h"
+
+namespace tslrw {
+
+PlanCacheKey MakePlanCacheKey(const TslQuery& query) {
+  CanonicalForm form = CanonicalizeQuery(query);
+  PlanCacheKey key;
+  key.key = std::move(form.key);
+  key.fingerprint = form.fingerprint;
+  key.canonical = std::move(form.query);
+  return key;
+}
+
+}  // namespace tslrw

@@ -1,0 +1,36 @@
+#ifndef TSLRW_SERVICE_CANONICAL_H_
+#define TSLRW_SERVICE_CANONICAL_H_
+
+#include <cstdint>
+#include <string>
+
+#include "tsl/ast.h"
+#include "tsl/canonical.h"
+
+namespace tslrw {
+
+/// \brief The key a query is cached under in the PlanCache: the canonical
+/// (α-renamed, condition-sorted) rendering plus a stable fingerprint used
+/// to pick the shard.
+///
+/// The canonical query itself rides along because it is what the plan
+/// search runs on: plans computed for the canonical query are executed on
+/// behalf of every α-equivalent request (rewriting heads instantiate to
+/// ground Skolem oids, so variable naming never reaches the answer).
+struct PlanCacheKey {
+  /// Byte-identical for α-equivalent queries (modulo the documented
+  /// best-effort cases in tsl/canonical.h); never equal for queries that
+  /// are not α-equivalent.
+  std::string key;
+  /// StableFingerprint(key): process-independent shard selector.
+  uint64_t fingerprint = 0;
+  /// The query the cached plan list is computed from.
+  TslQuery canonical;
+};
+
+/// \brief Canonicalizes \p query into its plan-cache key.
+PlanCacheKey MakePlanCacheKey(const TslQuery& query);
+
+}  // namespace tslrw
+
+#endif  // TSLRW_SERVICE_CANONICAL_H_

@@ -1,0 +1,116 @@
+#include "service/plan_cache.h"
+
+#include <algorithm>
+
+namespace tslrw {
+
+PlanCache::PlanCache(const Options& options)
+    : per_shard_capacity_(std::max<size_t>(
+          options.capacity / std::max<size_t>(options.shards, 1), 1)),
+      shards_(std::max<size_t>(options.shards, 1)) {}
+
+Result<PlanCache::PlanSetPtr> PlanCache::LookupOrCompute(
+    const PlanCacheKey& key, const ComputeFn& compute) {
+  Shard& shard = ShardFor(key.fingerprint);
+  std::shared_ptr<InFlight> flight;
+  bool owner = false;
+  {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    auto hit = shard.index.find(key.key);
+    if (hit != shard.index.end()) {
+      shard.lru.splice(shard.lru.begin(), shard.lru, hit->second);
+      ++shard.hits;
+      return hit->second->second;
+    }
+    auto racing = shard.inflight.find(key.key);
+    if (racing != shard.inflight.end()) {
+      ++shard.coalesced;
+      flight = racing->second;
+    } else {
+      ++shard.misses;
+      flight = std::make_shared<InFlight>();
+      shard.inflight.emplace(key.key, flight);
+      owner = true;
+      // Single-flight gauge: one in-flight search per distinct canonical
+      // query, by construction — the peak proves it in tests.
+      const uint64_t now = inflight_now_.fetch_add(1) + 1;
+      uint64_t peak = inflight_peak_.load();
+      while (now > peak && !inflight_peak_.compare_exchange_weak(peak, now)) {
+      }
+    }
+  }
+
+  if (!owner) {
+    std::unique_lock<std::mutex> lock(flight->mu);
+    flight->done_cv.wait(lock, [&flight] { return flight->done; });
+    if (!flight->status.ok()) return flight->status;
+    return flight->plans;
+  }
+
+  // Owner path: search outside every lock, then publish to waiters and,
+  // on success, to the LRU.
+  Result<MediatorPlanSet> computed = compute();
+  Status status = computed.ok() ? Status::OK() : computed.status();
+  PlanSetPtr plans;
+  if (computed.ok()) {
+    plans =
+        std::make_shared<const MediatorPlanSet>(std::move(computed).value());
+  }
+  {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    shard.inflight.erase(key.key);
+    if (status.ok() && shard.index.find(key.key) == shard.index.end()) {
+      shard.lru.emplace_front(key.key, plans);
+      shard.index.emplace(key.key, shard.lru.begin());
+      while (shard.lru.size() > per_shard_capacity_) {
+        shard.index.erase(shard.lru.back().first);
+        shard.lru.pop_back();
+        ++shard.evictions;
+      }
+    }
+  }
+  inflight_now_.fetch_sub(1);
+  {
+    std::lock_guard<std::mutex> lock(flight->mu);
+    flight->status = status;
+    flight->plans = plans;
+    flight->done = true;
+  }
+  flight->done_cv.notify_all();
+  if (!status.ok()) return status;
+  return plans;
+}
+
+void PlanCache::Clear() {
+  for (Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    shard.lru.clear();
+    shard.index.clear();
+  }
+}
+
+PlanCacheStats PlanCache::stats() const {
+  PlanCacheStats stats;
+  for (const Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    stats.hits += shard.hits;
+    stats.misses += shard.misses;
+    stats.evictions += shard.evictions;
+    stats.coalesced += shard.coalesced;
+    stats.entries += shard.lru.size();
+  }
+  stats.inflight_now = inflight_now_.load();
+  stats.inflight_peak = inflight_peak_.load();
+  return stats;
+}
+
+size_t PlanCache::size() const {
+  size_t entries = 0;
+  for (const Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    entries += shard.lru.size();
+  }
+  return entries;
+}
+
+}  // namespace tslrw

@@ -1,0 +1,104 @@
+#ifndef TSLRW_SERVICE_PLAN_CACHE_H_
+#define TSLRW_SERVICE_PLAN_CACHE_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "common/result.h"
+#include "mediator/mediator.h"
+#include "service/canonical.h"
+#include "service/stats.h"
+
+namespace tslrw {
+
+/// \brief A sharded, LRU cache of rewriting-plan lists keyed by canonical
+/// query, with request coalescing (single flight).
+///
+/// The cached artifact is the MediatorPlanSet — the output of the
+/// exponential \S5.1 plan search — not the materialized answer: answers
+/// depend on source data and per-request fault luck, plans only on the
+/// query and the capability views ("the rewriting algorithm only needs the
+/// query and the cached query statements"). Entries are immutable
+/// shared_ptrs, so a hit hands the caller a reference the cache can evict
+/// under without invalidating.
+///
+/// Coalescing: concurrent lookups of the same key block on one in-flight
+/// computation instead of N duplicate searches; at most one plan search per
+/// distinct canonical query is ever running. A failed computation
+/// propagates its Status to every coalesced waiter and caches nothing.
+///
+/// Thread safety: all public members may be called from any thread.
+class PlanCache {
+ public:
+  struct Options {
+    /// Total cached plan lists across all shards.
+    size_t capacity = 256;
+    /// Lock shards; 0 behaves as 1. Capacity is split evenly.
+    size_t shards = 8;
+  };
+
+  using PlanSetPtr = std::shared_ptr<const MediatorPlanSet>;
+  using ComputeFn = std::function<Result<MediatorPlanSet>()>;
+
+  explicit PlanCache(const Options& options);
+
+  /// Returns the cached plan list for \p key, or runs \p compute (once,
+  /// however many callers race) and caches its result. \p compute runs
+  /// without any cache lock held.
+  Result<PlanSetPtr> LookupOrCompute(const PlanCacheKey& key,
+                                     const ComputeFn& compute);
+
+  /// Drops every cached entry (in-flight computations finish and insert
+  /// normally). Counters and the generation are preserved.
+  void Clear();
+
+  PlanCacheStats stats() const;
+  size_t size() const;
+
+ private:
+  /// One single-flight rendezvous: the owner computes, waiters block on
+  /// done_cv and read status/plans.
+  struct InFlight {
+    std::mutex mu;
+    std::condition_variable done_cv;
+    bool done = false;
+    Status status;
+    PlanSetPtr plans;
+  };
+
+  struct Shard {
+    mutable std::mutex mu;
+    /// Front = most recently used; `index` points into this list.
+    std::list<std::pair<std::string, PlanSetPtr>> lru;
+    std::unordered_map<std::string,
+                       std::list<std::pair<std::string, PlanSetPtr>>::iterator>
+        index;
+    std::unordered_map<std::string, std::shared_ptr<InFlight>> inflight;
+    uint64_t hits = 0;
+    uint64_t misses = 0;
+    uint64_t evictions = 0;
+    uint64_t coalesced = 0;
+  };
+
+  Shard& ShardFor(uint64_t fingerprint) {
+    return shards_[fingerprint % shards_.size()];
+  }
+
+  const size_t per_shard_capacity_;
+  std::vector<Shard> shards_;
+  std::atomic<uint64_t> inflight_now_{0};
+  std::atomic<uint64_t> inflight_peak_{0};
+};
+
+}  // namespace tslrw
+
+#endif  // TSLRW_SERVICE_PLAN_CACHE_H_

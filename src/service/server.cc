@@ -1,0 +1,194 @@
+#include "service/server.h"
+
+#include <utility>
+
+namespace tslrw {
+
+namespace {
+
+/// Owns the CatalogWrapper + FaultInjector pair for one request.
+class FaultInjectingWrapper : public Wrapper {
+ public:
+  FaultInjectingWrapper(uint64_t seed, VirtualClock* clock,
+                        const std::map<std::string, FaultSchedule>& schedules)
+      : injector_(&base_, seed, clock) {
+    for (const auto& [key, schedule] : schedules) {
+      injector_.SetSchedule(key, schedule);
+    }
+  }
+
+  Result<WrapperResult> Fetch(const Capability& capability,
+                              const SourceCatalog& catalog) override {
+    return injector_.Fetch(capability, catalog);
+  }
+
+ private:
+  CatalogWrapper base_;
+  FaultInjector injector_;
+};
+
+}  // namespace
+
+WrapperFactory MakeFaultInjectingWrapperFactory(
+    std::map<std::string, FaultSchedule> schedules) {
+  auto shared = std::make_shared<const std::map<std::string, FaultSchedule>>(
+      std::move(schedules));
+  return [shared](VirtualClock* clock,
+                  uint64_t seed) -> std::unique_ptr<Wrapper> {
+    return std::make_unique<FaultInjectingWrapper>(seed, clock, *shared);
+  };
+}
+
+QueryServer::QueryServer(Mediator mediator, SourceCatalog catalog,
+                         ServerOptions options,
+                         WrapperFactory wrapper_factory)
+    : options_(std::move(options)),
+      wrapper_factory_(std::move(wrapper_factory)),
+      pool_(ThreadPool::Options{options_.threads, options_.queue_capacity}) {
+  auto first = std::make_shared<Snapshot>();
+  first->mediator = std::make_shared<const Mediator>(std::move(mediator));
+  first->catalog = std::make_shared<const SourceCatalog>(std::move(catalog));
+  first->plan_cache = std::make_shared<PlanCache>(CacheOptions());
+  snapshot_ = std::move(first);
+}
+
+QueryServer::~QueryServer() { Shutdown(); }
+
+PlanCache::Options QueryServer::CacheOptions() const {
+  PlanCache::Options cache;
+  cache.capacity = options_.plan_cache_capacity;
+  cache.shards = options_.plan_cache_shards;
+  return cache;
+}
+
+std::shared_ptr<const QueryServer::Snapshot> QueryServer::snapshot() const {
+  std::lock_guard<std::mutex> lock(snapshot_mu_);
+  return snapshot_;
+}
+
+void QueryServer::Publish(std::shared_ptr<const Snapshot> next) {
+  std::lock_guard<std::mutex> lock(snapshot_mu_);
+  snapshot_ = std::move(next);
+}
+
+Result<std::future<Result<ServeResponse>>> QueryServer::Submit(
+    TslQuery query, ServeOptions serve) {
+  auto task = std::make_shared<std::packaged_task<Result<ServeResponse>()>>(
+      [this, query = std::move(query), serve] {
+        return Answer(query, serve);
+      });
+  std::future<Result<ServeResponse>> future = task->get_future();
+  Status admitted = pool_.TrySubmit([task] { (*task)(); });
+  if (!admitted.ok()) {
+    rejected_.fetch_add(1);
+    return admitted;
+  }
+  accepted_.fetch_add(1);
+  return future;
+}
+
+Result<ServeResponse> QueryServer::Answer(const TslQuery& query,
+                                          const ServeOptions& serve) const {
+  // Snapshot isolation: everything this request reads is resolved here,
+  // once; concurrent mutations publish new snapshots without touching it.
+  const std::shared_ptr<const Snapshot> snap = snapshot();
+
+  PlanCacheKey key = MakePlanCacheKey(query);
+  bool computed_here = false;
+  Result<PlanCache::PlanSetPtr> plans = snap->plan_cache->LookupOrCompute(
+      key, [&snap, &key, &computed_here]() -> Result<MediatorPlanSet> {
+        computed_here = true;
+        return snap->mediator->Plan(key.canonical);
+      });
+  if (!plans.ok()) {
+    failed_.fetch_add(1);
+    return plans.status();
+  }
+
+  // Per-request execution state: its own clock and wrapper, so requests
+  // never share mutable fault/retry machinery and every answer is a pure
+  // function of (query, seed, snapshot).
+  VirtualClock clock;
+  std::unique_ptr<Wrapper> wrapper;
+  ExecutionPolicy policy;
+  policy.retry = options_.retry;
+  policy.allow_degraded = options_.allow_degraded;
+  policy.strict = options_.strict;
+  policy.seed = serve.seed;
+  policy.clock = &clock;
+  if (wrapper_factory_ != nullptr) {
+    wrapper = wrapper_factory_(&clock, serve.seed);
+    policy.wrapper = wrapper.get();
+  }
+  Result<DegradedAnswer> answer =
+      snap->mediator->AnswerWithPlans(query, **plans, *snap->catalog, policy);
+  if (!answer.ok()) {
+    failed_.fetch_add(1);
+    return answer.status();
+  }
+  completed_.fetch_add(1);
+  ServeResponse response;
+  response.answer = std::move(answer).value();
+  response.plan_cache_hit = !computed_here;
+  return response;
+}
+
+void QueryServer::UpdateCatalog(OemDatabase db) {
+  std::lock_guard<std::mutex> writer(mutate_mu_);
+  const std::shared_ptr<const Snapshot> current = snapshot();
+  auto catalog = std::make_shared<SourceCatalog>(*current->catalog);
+  catalog->Put(std::move(db));
+  auto next = std::make_shared<Snapshot>(*current);
+  next->catalog = std::move(catalog);
+  Publish(std::move(next));
+  catalog_swaps_.fetch_add(1);
+}
+
+void QueryServer::ReplaceCatalog(SourceCatalog catalog) {
+  std::lock_guard<std::mutex> writer(mutate_mu_);
+  const std::shared_ptr<const Snapshot> current = snapshot();
+  auto next = std::make_shared<Snapshot>(*current);
+  next->catalog = std::make_shared<const SourceCatalog>(std::move(catalog));
+  Publish(std::move(next));
+  catalog_swaps_.fetch_add(1);
+}
+
+void QueryServer::ReplaceMediator(Mediator mediator) {
+  std::lock_guard<std::mutex> writer(mutate_mu_);
+  const std::shared_ptr<const Snapshot> current = snapshot();
+  auto next = std::make_shared<Snapshot>();
+  next->mediator = std::make_shared<const Mediator>(std::move(mediator));
+  next->catalog = current->catalog;
+  // Cached plans name the old mediator's capability views — start a fresh
+  // generation rather than serving plans over retired interfaces.
+  next->plan_cache = std::make_shared<PlanCache>(CacheOptions());
+  Publish(std::move(next));
+  mediator_swaps_.fetch_add(1);
+}
+
+void QueryServer::InvalidatePlans() {
+  std::lock_guard<std::mutex> writer(mutate_mu_);
+  const std::shared_ptr<const Snapshot> current = snapshot();
+  auto next = std::make_shared<Snapshot>(*current);
+  next->plan_cache = std::make_shared<PlanCache>(CacheOptions());
+  Publish(std::move(next));
+}
+
+ServerStats QueryServer::stats() const {
+  ServerStats stats;
+  stats.accepted = accepted_.load();
+  stats.rejected = rejected_.load();
+  stats.completed = completed_.load();
+  stats.failed = failed_.load();
+  stats.catalog_swaps = catalog_swaps_.load();
+  stats.mediator_swaps = mediator_swaps_.load();
+  stats.threads = pool_.threads();
+  stats.queue_depth = pool_.queue_depth();
+  stats.queue_capacity = pool_.queue_capacity();
+  stats.plan_cache = snapshot()->plan_cache->stats();
+  return stats;
+}
+
+void QueryServer::Shutdown() { pool_.Shutdown(); }
+
+}  // namespace tslrw

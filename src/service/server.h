@@ -1,0 +1,174 @@
+#ifndef TSLRW_SERVICE_SERVER_H_
+#define TSLRW_SERVICE_SERVER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <future>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "common/result.h"
+#include "mediator/fault.h"
+#include "mediator/mediator.h"
+#include "mediator/retry.h"
+#include "mediator/wrapper.h"
+#include "oem/database.h"
+#include "service/canonical.h"
+#include "service/plan_cache.h"
+#include "service/stats.h"
+#include "service/thread_pool.h"
+#include "tsl/ast.h"
+
+namespace tslrw {
+
+/// \brief Serving-layer knobs. The defaults suit a small interactive
+/// deployment; the load driver and benchmarks sweep them.
+struct ServerOptions {
+  /// Worker threads executing requests.
+  size_t threads = 4;
+  /// Bounded request queue; a full queue rejects with kResourceExhausted
+  /// (admission control), so overload degrades instead of OOMing.
+  size_t queue_capacity = 128;
+  size_t plan_cache_capacity = 256;
+  size_t plan_cache_shards = 8;
+  /// Execution knobs applied to every request. Per-request wrapper and
+  /// clock are built by the server (see WrapperFactory); seed comes from
+  /// ServeOptions.
+  RetryPolicy retry;
+  bool allow_degraded = true;
+  bool strict = false;
+};
+
+/// \brief Per-request knobs.
+struct ServeOptions {
+  /// Seed for the request's DeterministicRng and wrapper factory: the same
+  /// (query, seed, snapshot) always reproduces the same answer, however
+  /// many requests run concurrently.
+  uint64_t seed = 0;
+};
+
+/// \brief One served answer plus serving-layer metadata.
+struct ServeResponse {
+  DegradedAnswer answer;
+  /// The rewriting-plan list came from the cache (hit or coalesced wait)
+  /// rather than a fresh plan search.
+  bool plan_cache_hit = false;
+};
+
+/// \brief Builds the per-request Wrapper (and may capture the per-request
+/// VirtualClock, e.g. for slow-source faults). Called once per request from
+/// a worker thread; each returned wrapper is used by exactly one request,
+/// so implementations need no internal synchronization. Null factory =>
+/// the built-in CatalogWrapper.
+using WrapperFactory =
+    std::function<std::unique_ptr<Wrapper>(VirtualClock* clock,
+                                           uint64_t seed)>;
+
+/// \brief The standard faulty-catalog factory: each request gets a fresh
+/// CatalogWrapper decorated by a FaultInjector running \p schedules (keys
+/// are source or capability-view names, as in FaultInjector::SetSchedule).
+/// Fresh injector + seeded RNG per request means every serving replays
+/// deterministically from (query, seed, snapshot). The shell, the load
+/// driver, and the benchmarks all build their fault setups through this.
+WrapperFactory MakeFaultInjectingWrapperFactory(
+    std::map<std::string, FaultSchedule> schedules);
+
+/// \brief A thread-safe serving layer in front of the mediator (the
+/// "stream of client queries" deployment of \S1 Fig. 2): a fixed thread
+/// pool with admission control, a sharded single-flight plan cache keyed by
+/// canonical query, and snapshot isolation for catalog/mediator mutations.
+///
+/// Concurrency model (details in docs/SERVING.md):
+///  - Requests run on the pool; each takes an immutable Snapshot
+///    (mediator + catalog + plan-cache generation) at start and never sees
+///    a mutation mid-flight.
+///  - Mutations (UpdateCatalog, ReplaceMediator) build a new Snapshot and
+///    publish it with a shared_ptr swap; writers are serialized, readers
+///    never block writers beyond the pointer swap.
+///  - The plan cache is generation-scoped: catalog data changes keep it
+///    (plans depend only on views), capability changes start a fresh one.
+class QueryServer {
+ public:
+  /// \param mediator the planning/execution core (Mediator::Make result).
+  /// \param catalog initial source data; snapshot-swapped by UpdateCatalog.
+  QueryServer(Mediator mediator, SourceCatalog catalog,
+              ServerOptions options = {},
+              WrapperFactory wrapper_factory = nullptr);
+  /// Drains admitted requests, then joins the workers.
+  ~QueryServer();
+
+  QueryServer(const QueryServer&) = delete;
+  QueryServer& operator=(const QueryServer&) = delete;
+
+  /// Admits \p query to the pool. Fails fast with kResourceExhausted (plus
+  /// a retry-after hint) when the queue is full; on success the future
+  /// resolves to the request's outcome.
+  Result<std::future<Result<ServeResponse>>> Submit(TslQuery query,
+                                                    ServeOptions serve = {});
+
+  /// The synchronous request path (what workers run): canonicalize, fetch
+  /// or compute the plan list through the single-flight cache, execute via
+  /// Mediator::AnswerWithPlans on this request's snapshot. Safe to call
+  /// from any thread, including alongside Submit traffic.
+  Result<ServeResponse> Answer(const TslQuery& query,
+                               const ServeOptions& serve = {}) const;
+
+  /// Adds or replaces one source database: copy-on-write on the catalog,
+  /// then a snapshot swap. In-flight requests keep the old snapshot; the
+  /// plan cache survives (plans do not depend on source data).
+  void UpdateCatalog(OemDatabase db);
+
+  /// Replaces the whole catalog (same swap discipline as UpdateCatalog).
+  void ReplaceCatalog(SourceCatalog catalog);
+
+  /// Replaces the mediator (new capability views): snapshot swap plus a
+  /// fresh plan-cache generation — cached plans reference retired views.
+  void ReplaceMediator(Mediator mediator);
+
+  /// Starts a fresh plan-cache generation for the current mediator.
+  /// Benchmarks use this for cold-cache runs.
+  void InvalidatePlans();
+
+  ServerStats stats() const;
+
+  /// Stops admitting, drains the queue, joins the workers. Idempotent.
+  void Shutdown();
+
+ private:
+  /// What one request executes against, immutable once published.
+  struct Snapshot {
+    std::shared_ptr<const Mediator> mediator;
+    std::shared_ptr<const SourceCatalog> catalog;
+    /// Shared (not const): the cache synchronizes internally and is the
+    /// one deliberately concurrent-mutable piece of a snapshot.
+    std::shared_ptr<PlanCache> plan_cache;
+  };
+
+  std::shared_ptr<const Snapshot> snapshot() const;
+  void Publish(std::shared_ptr<const Snapshot> next);
+  PlanCache::Options CacheOptions() const;
+
+  ServerOptions options_;
+  WrapperFactory wrapper_factory_;
+
+  mutable std::mutex snapshot_mu_;  ///< guards the snapshot_ pointer only
+  std::shared_ptr<const Snapshot> snapshot_;
+  std::mutex mutate_mu_;  ///< serializes snapshot builders (writers)
+
+  mutable std::atomic<uint64_t> accepted_{0};
+  mutable std::atomic<uint64_t> rejected_{0};
+  mutable std::atomic<uint64_t> completed_{0};
+  mutable std::atomic<uint64_t> failed_{0};
+  std::atomic<uint64_t> catalog_swaps_{0};
+  std::atomic<uint64_t> mediator_swaps_{0};
+
+  /// Last member: destroyed (and therefore drained+joined) first, while
+  /// the snapshot and counters its tasks use are still alive.
+  ThreadPool pool_;
+};
+
+}  // namespace tslrw
+
+#endif  // TSLRW_SERVICE_SERVER_H_

@@ -1,0 +1,23 @@
+#include "service/stats.h"
+
+#include "common/string_util.h"
+
+namespace tslrw {
+
+std::string PlanCacheStats::ToString() const {
+  return StrCat("plan cache: ", entries, " entr", entries == 1 ? "y" : "ies",
+                ", ", hits, " hit(s), ", misses, " miss(es), ", coalesced,
+                " coalesced, ", evictions, " eviction(s), in-flight ",
+                inflight_now, " (peak ", inflight_peak, ")");
+}
+
+std::string ServerStats::ToString() const {
+  return StrCat("server: ", threads, " thread(s), queue ", queue_depth, "/",
+                queue_capacity, "\n  requests: ", accepted, " accepted, ",
+                rejected, " rejected, ", completed, " completed, ", failed,
+                " failed\n  snapshots: ", catalog_swaps, " catalog swap(s), ",
+                mediator_swaps, " mediator swap(s)\n  ",
+                plan_cache.ToString(), "\n");
+}
+
+}  // namespace tslrw

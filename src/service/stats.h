@@ -1,0 +1,62 @@
+#ifndef TSLRW_SERVICE_STATS_H_
+#define TSLRW_SERVICE_STATS_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace tslrw {
+
+/// \brief A point-in-time snapshot of plan-cache effectiveness. All
+/// counters are cumulative since the cache (generation) was created.
+struct PlanCacheStats {
+  /// Lookups answered from a cached rewriting-plan list.
+  uint64_t hits = 0;
+  /// Lookups that had to run the plan search (the exponential part).
+  uint64_t misses = 0;
+  /// Entries dropped by per-shard LRU to stay within capacity.
+  uint64_t evictions = 0;
+  /// Lookups that blocked on another request's in-flight computation of
+  /// the same canonical query instead of searching redundantly.
+  uint64_t coalesced = 0;
+  /// Plan searches running right now / the most ever concurrent. The peak
+  /// can never exceed the number of distinct canonical queries in flight —
+  /// that is the single-flight guarantee.
+  uint64_t inflight_now = 0;
+  uint64_t inflight_peak = 0;
+  /// Cached plan lists currently resident.
+  size_t entries = 0;
+
+  double hit_rate() const {
+    const uint64_t lookups = hits + misses + coalesced;
+    return lookups == 0 ? 0.0
+                        : static_cast<double>(hits + coalesced) /
+                              static_cast<double>(lookups);
+  }
+
+  std::string ToString() const;
+};
+
+/// \brief A point-in-time snapshot of the serving layer as a whole.
+struct ServerStats {
+  /// Requests admitted to the queue / turned away at admission control.
+  uint64_t accepted = 0;
+  uint64_t rejected = 0;
+  /// Requests that produced an answer / a failure status.
+  uint64_t completed = 0;
+  uint64_t failed = 0;
+  /// Snapshot swaps: catalog-only (plans survive) and mediator (plans
+  /// invalidated — a new cache generation starts).
+  uint64_t catalog_swaps = 0;
+  uint64_t mediator_swaps = 0;
+  size_t threads = 0;
+  size_t queue_depth = 0;
+  size_t queue_capacity = 0;
+  PlanCacheStats plan_cache;
+
+  std::string ToString() const;
+};
+
+}  // namespace tslrw
+
+#endif  // TSLRW_SERVICE_STATS_H_

@@ -1,0 +1,75 @@
+#include "service/thread_pool.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/string_util.h"
+
+namespace tslrw {
+
+ThreadPool::ThreadPool(const Options& options)
+    : queue_capacity_(std::max<size_t>(options.queue_capacity, 1)) {
+  const size_t threads = std::max<size_t>(options.threads, 1);
+  workers_.reserve(threads);
+  for (size_t i = 0; i < threads; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() { Shutdown(); }
+
+Status ThreadPool::TrySubmit(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (shutting_down_) {
+      return Status::Unavailable("thread pool is shutting down");
+    }
+    if (queue_.size() >= queue_capacity_) {
+      // Admission control: reject rather than queue unboundedly. The hint
+      // tells the client how deep the backlog is so it can back off
+      // proportionally instead of hammering a full queue.
+      return Status::ResourceExhausted(
+          StrCat("request queue is full (", queue_.size(), "/",
+                 queue_capacity_,
+                 "); retry-after: ~1 queued-request-time per waiting task"));
+    }
+    queue_.push_back(std::move(task));
+  }
+  work_ready_.notify_one();
+  return Status::OK();
+}
+
+void ThreadPool::Shutdown() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (shutting_down_ && workers_.empty()) return;
+    shutting_down_ = true;
+  }
+  work_ready_.notify_all();
+  for (std::thread& worker : workers_) {
+    if (worker.joinable()) worker.join();
+  }
+  workers_.clear();
+}
+
+size_t ThreadPool::queue_depth() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return queue_.size();
+}
+
+void ThreadPool::WorkerLoop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_ready_.wait(lock,
+                       [this] { return shutting_down_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // shutting down and drained
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();
+  }
+}
+
+}  // namespace tslrw

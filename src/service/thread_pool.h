@@ -1,0 +1,65 @@
+#ifndef TSLRW_SERVICE_THREAD_POOL_H_
+#define TSLRW_SERVICE_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/status.h"
+
+namespace tslrw {
+
+/// \brief A fixed-size worker pool with a bounded request queue and
+/// admission control: when the queue is full, TrySubmit rejects with
+/// kResourceExhausted instead of queueing unboundedly, so overload degrades
+/// into fast, explicit push-back rather than memory growth.
+///
+/// Thread safety: all public members may be called from any thread.
+class ThreadPool {
+ public:
+  struct Options {
+    /// Worker threads; 0 behaves as 1.
+    size_t threads = 4;
+    /// Tasks admitted but not yet running; 0 behaves as 1. Tasks already
+    /// executing do not count against the queue.
+    size_t queue_capacity = 128;
+  };
+
+  explicit ThreadPool(const Options& options);
+  /// Drains every admitted task, then joins the workers (tasks admitted
+  /// before destruction always run — their futures must complete).
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Admits \p task, or rejects with kResourceExhausted (queue full — the
+  /// message carries a retry-after hint) / kUnavailable (shutting down).
+  Status TrySubmit(std::function<void()> task);
+
+  /// Stops admitting work, drains the queue, and joins. Idempotent; also
+  /// run by the destructor.
+  void Shutdown();
+
+  size_t threads() const { return workers_.size(); }
+  size_t queue_capacity() const { return queue_capacity_; }
+  size_t queue_depth() const;
+
+ private:
+  void WorkerLoop();
+
+  const size_t queue_capacity_;
+  mutable std::mutex mu_;
+  std::condition_variable work_ready_;
+  std::deque<std::function<void()>> queue_;
+  bool shutting_down_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace tslrw
+
+#endif  // TSLRW_SERVICE_THREAD_POOL_H_

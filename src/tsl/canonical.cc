@@ -1,0 +1,124 @@
+#include "tsl/canonical.h"
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+#include "common/string_util.h"
+
+namespace tslrw {
+
+namespace {
+
+/// Appends every variable in \p t to \p out in a fixed structural order,
+/// skipping variables already seen. This — not std::set iteration — defines
+/// the canonical numbering, so it must be deterministic and independent of
+/// the variables' current names.
+void CollectOrdered(const Term& t, std::vector<Term>* out,
+                    std::set<Term>* seen) {
+  switch (t.kind()) {
+    case TermKind::kAtom:
+      return;
+    case TermKind::kVariable:
+      if (seen->insert(t).second) out->push_back(t);
+      return;
+    case TermKind::kFunction:
+      for (const Term& arg : t.args()) CollectOrdered(arg, out, seen);
+      return;
+  }
+}
+
+void CollectOrdered(const ObjectPattern& p, std::vector<Term>* out,
+                    std::set<Term>* seen) {
+  CollectOrdered(p.oid, out, seen);
+  CollectOrdered(p.label, out, seen);
+  if (p.value.is_term()) {
+    CollectOrdered(p.value.term(), out, seen);
+  } else {
+    for (const ObjectPattern& m : p.value.set()) CollectOrdered(m, out, seen);
+  }
+}
+
+/// Renames every variable to `O<i>` / `C<i>` (by sort) in first-occurrence
+/// order over head then body. Simultaneous application keeps this correct
+/// even when the input already uses names from the target alphabet.
+TslQuery RenameFirstOccurrence(const TslQuery& query) {
+  std::vector<Term> order;
+  std::set<Term> seen;
+  CollectOrdered(query.head, &order, &seen);
+  for (const Condition& c : query.body) {
+    CollectOrdered(c.pattern, &order, &seen);
+  }
+  TermSubstitution renaming;
+  size_t next_oid = 0;
+  size_t next_cval = 0;
+  for (const Term& v : order) {
+    const bool is_oid = v.var_kind() == VarKind::kObjectId;
+    std::string name = is_oid ? StrCat("O", next_oid++)
+                              : StrCat("C", next_cval++);
+    renaming.Bind(v, Term::MakeVar(std::move(name), v.var_kind()));
+  }
+  return ApplyTermSubstitution(renaming, query);
+}
+
+/// A substitution that blinds variable identities but keeps their sorts:
+/// used to order conditions by *shape* before any names exist.
+TermSubstitution BlindSubstitution(const TslQuery& query) {
+  std::set<Term> vars = query.HeadVariables();
+  for (const Term& v : query.BodyVariables()) vars.insert(v);
+  TermSubstitution blind;
+  for (const Term& v : vars) {
+    const bool is_oid = v.var_kind() == VarKind::kObjectId;
+    blind.Bind(v, Term::MakeVar(is_oid ? "?o" : "?c", v.var_kind()));
+  }
+  return blind;
+}
+
+}  // namespace
+
+CanonicalForm CanonicalizeQuery(const TslQuery& query) {
+  TslQuery canon = query;
+  canon.name.clear();
+  canon.span = {};
+
+  // Pass 1: order conditions by their name-blind shape, so the initial
+  // numbering pass sees α-equivalent inputs in the same condition order.
+  const TermSubstitution blind = BlindSubstitution(canon);
+  std::stable_sort(
+      canon.body.begin(), canon.body.end(),
+      [&blind](const Condition& a, const Condition& b) {
+        if (a.source != b.source) return a.source < b.source;
+        return ApplyTermSubstitution(blind, a.pattern) <
+               ApplyTermSubstitution(blind, b.pattern);
+      });
+  canon = RenameFirstOccurrence(canon);
+
+  // Refinement: with concrete canonical names, re-sorting can change the
+  // condition order, which changes first-occurrence numbering — iterate to
+  // a fixpoint (a handful of rounds in practice; the cap only guards
+  // adversarially symmetric bodies, where any fixed ordering is sound).
+  for (int round = 0; round < 8; ++round) {
+    TslQuery next = canon;
+    std::sort(next.body.begin(), next.body.end());
+    next = RenameFirstOccurrence(next);
+    if (next == canon) break;
+    canon = std::move(next);
+  }
+
+  CanonicalForm form;
+  form.key = canon.ToString();
+  form.fingerprint = StableFingerprint(form.key);
+  form.query = std::move(canon);
+  return form;
+}
+
+uint64_t StableFingerprint(std::string_view bytes) {
+  uint64_t hash = 14695981039346656037ULL;  // FNV offset basis
+  for (unsigned char byte : bytes) {
+    hash ^= byte;
+    hash *= 1099511628211ULL;  // FNV prime
+  }
+  return hash;
+}
+
+}  // namespace tslrw

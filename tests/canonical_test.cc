@@ -1,0 +1,109 @@
+#include "tsl/canonical.h"
+
+#include <gtest/gtest.h>
+
+#include "fixtures.h"
+#include "tsl/parser.h"
+
+namespace tslrw {
+namespace {
+
+using testing::MustParse;
+
+// The plan-cache regression the serving layer depends on: two α-equivalent
+// parses of (Q1) — head and body variables renamed, conditions reordered —
+// must canonicalize to byte-identical keys.
+TEST(CanonicalTest, AlphaEquivalentParsesOfQ1ShareOneKey) {
+  TslQuery q1 = MustParse(testing::kQ1, "Q1");
+  TslQuery q1_renamed = MustParse(
+      "<f(Person) female {<f(Sub) Lbl Val>}> :- "
+      "<Person person {<Gen gender female> <Sub Lbl Val>}>@db",
+      "Q1Renamed");
+  CanonicalForm a = CanonicalizeQuery(q1);
+  CanonicalForm b = CanonicalizeQuery(q1_renamed);
+  EXPECT_EQ(a.key, b.key);
+  EXPECT_EQ(a.fingerprint, b.fingerprint);
+  EXPECT_EQ(a.query, b.query);
+}
+
+TEST(CanonicalTest, HeadVariableNamingIsIrrelevant) {
+  // Same rule, only the head's variable spelling differs — the old
+  // TslQuery equality would keep these apart.
+  TslQuery a = MustParse("<f(P) out Z> :- <P p {<X name Z>}>@db");
+  TslQuery b = MustParse("<f(Q) out W> :- <Q p {<Y name W>}>@db");
+  EXPECT_FALSE(a == b);  // plain equality is name-sensitive
+  EXPECT_EQ(CanonicalizeQuery(a).key, CanonicalizeQuery(b).key);
+}
+
+TEST(CanonicalTest, ConditionOrderIsIrrelevant) {
+  TslQuery a = MustParse(
+      "<f(P) out yes> :- "
+      "<P p {<V venue sigmod>}>@db AND <P p {<U year y97>}>@db");
+  TslQuery b = MustParse(
+      "<f(P) out yes> :- "
+      "<P p {<U year y97>}>@db AND <P p {<V venue sigmod>}>@db");
+  EXPECT_EQ(CanonicalizeQuery(a).key, CanonicalizeQuery(b).key);
+}
+
+TEST(CanonicalTest, RenamingAndReorderingTogether) {
+  TslQuery a = MustParse(
+      "<f(P) out {<X Y Z>}> :- "
+      "<P pub {<V venue sigmod>}>@db AND <P pub {<X Y Z>}>@db");
+  TslQuery b = MustParse(
+      "<f(Pp) out {<A B C>}> :- "
+      "<Pp pub {<A B C>}>@db AND <Pp pub {<Vv venue sigmod>}>@db");
+  EXPECT_EQ(CanonicalizeQuery(a).key, CanonicalizeQuery(b).key);
+}
+
+TEST(CanonicalTest, DistinctQueriesKeepDistinctKeys) {
+  TslQuery sigmod = MustParse("<f(P) out yes> :- <P p {<V venue sigmod>}>@db");
+  TslQuery vldb = MustParse("<f(P) out yes> :- <P p {<V venue vldb>}>@db");
+  TslQuery other_source =
+      MustParse("<f(P) out yes> :- <P p {<V venue sigmod>}>@cache");
+  EXPECT_NE(CanonicalizeQuery(sigmod).key, CanonicalizeQuery(vldb).key);
+  EXPECT_NE(CanonicalizeQuery(sigmod).key,
+            CanonicalizeQuery(other_source).key);
+}
+
+TEST(CanonicalTest, RuleNameAndSpanDoNotLeakIntoTheKey) {
+  TslQuery named = MustParse(testing::kQ3, "Q3");
+  TslQuery anonymous = MustParse(testing::kQ3);
+  EXPECT_EQ(CanonicalizeQuery(named).key, CanonicalizeQuery(anonymous).key);
+}
+
+TEST(CanonicalTest, CanonicalQueryIsAlphaEquivalentToTheInput) {
+  // Soundness of the cache key: the canonical query must be the input up
+  // to renaming — same number of conditions, same sources, same shape.
+  TslQuery q = MustParse(testing::kQ1, "Q1");
+  CanonicalForm form = CanonicalizeQuery(q);
+  EXPECT_EQ(form.query.body.size(), q.body.size());
+  EXPECT_EQ(form.query.Sources(), q.Sources());
+  EXPECT_EQ(form.query.HeadVariables().size(), q.HeadVariables().size());
+  EXPECT_EQ(form.query.BodyVariables().size(), q.BodyVariables().size());
+}
+
+TEST(CanonicalTest, CanonicalizationIsIdempotent) {
+  TslQuery q = MustParse(testing::kQ2, "Q2");
+  CanonicalForm once = CanonicalizeQuery(q);
+  CanonicalForm twice = CanonicalizeQuery(once.query);
+  EXPECT_EQ(once.key, twice.key);
+}
+
+TEST(CanonicalTest, InputAlreadyUsingCanonicalAlphabetIsHandled) {
+  // Variables named O0/C0 in the "wrong" positions must not collide with
+  // the names the renamer assigns (simultaneous substitution).
+  TslQuery tricky = MustParse("<f(O1) out C1> :- <O1 p {<O0 C0 C1>}>@db");
+  TslQuery plain = MustParse("<f(A) out V> :- <A p {<B L V>}>@db");
+  EXPECT_EQ(CanonicalizeQuery(tricky).key, CanonicalizeQuery(plain).key);
+}
+
+TEST(CanonicalTest, StableFingerprintIsProcessIndependent) {
+  // FNV-1a 64 with the standard offset/prime: pin known values so a
+  // platform or refactor can never silently change recorded fingerprints.
+  EXPECT_EQ(StableFingerprint(""), 14695981039346656037ULL);
+  EXPECT_EQ(StableFingerprint("a"), 0xaf63dc4c8601ec8cULL);
+  EXPECT_EQ(StableFingerprint("hello"), 0xa430d84680aabd0bULL);
+}
+
+}  // namespace
+}  // namespace tslrw

@@ -267,5 +267,63 @@ TEST_F(ReplTest, MediateAnswersAndReportsFaults) {
   EXPECT_NE(bare.Execute("mediate Q").find("error"), std::string::npos);
 }
 
+TEST_F(ReplTest, ServeAnswersThroughThePlanCache) {
+  Prepare();
+  // The server needs capabilities; before `serve start`, serving errors.
+  EXPECT_NE(Run("serve Q").find("no server running"), std::string::npos);
+  EXPECT_NE(Run("serve start").find("no capabilities"), std::string::npos);
+  Run("capability db (Dump) <d(P') p {<X' Y' Z'>}> :- "
+      "<P' p {<X' Y' Z'>}>@db");
+  EXPECT_NE(Run("serve start threads 2 queue 16 cache 8")
+                .find("serving 1 source interface(s) on 2 thread(s)"),
+            std::string::npos);
+  EXPECT_NE(Run("serve start").find("already running"), std::string::npos);
+
+  std::string cold = Run("serve Q");
+  EXPECT_NE(cold.find("f(p1)"), std::string::npos) << cold;
+  EXPECT_NE(cold.find("plan cache: miss"), std::string::npos) << cold;
+  std::string warm = Run("serve Q seed 7");
+  EXPECT_NE(warm.find("plan cache: hit"), std::string::npos) << warm;
+
+  std::string stats = Run("stats");
+  EXPECT_NE(stats.find("1 hit(s)"), std::string::npos) << stats;
+  EXPECT_NE(stats.find("1 miss(es)"), std::string::npos) << stats;
+
+  EXPECT_NE(Run("serve stop").find("server stopped"), std::string::npos);
+  EXPECT_EQ(Run("stats"), "no server running\n");
+  EXPECT_NE(Run("serve").find("usage"), std::string::npos);
+}
+
+TEST_F(ReplTest, ServeRoutesMutationsThroughSnapshotSwaps) {
+  Prepare();
+  Run("capability db (Dump) <d(P') p {<X' Y' Z'>}> :- "
+      "<P' p {<X' Y' Z'>}>@db");
+  Run("serve start");
+  ASSERT_NE(Run("serve Q").find("f(p1)"), std::string::npos);
+
+  // Redefining the source publishes a new catalog snapshot; the cached
+  // plans survive, so the fresh data is served off a plan-cache hit.
+  std::string redefine =
+      Run("source database db { <p3 p { <n3 name ann> }> }");
+  EXPECT_NE(redefine.find("published"), std::string::npos) << redefine;
+  std::string after = Run("serve Q");
+  EXPECT_NE(after.find("f(p3)"), std::string::npos) << after;
+  EXPECT_EQ(after.find("f(p1)"), std::string::npos) << after;
+  EXPECT_NE(after.find("plan cache: hit"), std::string::npos) << after;
+
+  // A capability change replaces the server's mediator (and with it the
+  // plan-cache generation): the next serving plans afresh.
+  EXPECT_NE(Run("capability db (Dump) <d(P') p {<X' Y' Z'>}> :- "
+                "<P' p {<X' Y' Z'>}>@db")
+                .find("server mediator replaced"),
+            std::string::npos);
+  std::string replanned = Run("serve Q");
+  EXPECT_NE(replanned.find("plan cache: miss"), std::string::npos)
+      << replanned;
+  std::string stats = Run("stats");
+  EXPECT_NE(stats.find("1 catalog swap(s)"), std::string::npos) << stats;
+  EXPECT_NE(stats.find("1 mediator swap(s)"), std::string::npos) << stats;
+}
+
 }  // namespace
 }  // namespace tslrw
