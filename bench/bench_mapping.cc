@@ -85,6 +85,35 @@ void BM_MappingDiscoverySelective(benchmark::State& state) {
 }
 BENCHMARK(BM_MappingDiscoverySelective)->RangeMultiplier(2)->Range(2, 32);
 
+void BM_MatchIntoFunctionTerms(benchmark::State& state) {
+  // The MatchInto undo trail: matching a function term used to copy the
+  // whole substitution once per nested function subterm (O(bindings)
+  // each, quadratic over a match that binds as it goes); the bind trail
+  // makes a successful match copy-free and charges a failed branch only
+  // for the bindings it made. n nested g(..) subterms, 2n fresh bindings.
+  const int n = static_cast<int>(state.range(0));
+  std::vector<Term> args;
+  std::vector<Term> ground;
+  for (int i = 0; i < n; ++i) {
+    args.push_back(
+        Term::MakeFunc("g", {Term::MakeVar(StrCat("X", i), VarKind::kObjectId),
+                             Term::MakeVar(StrCat("Y", i),
+                                           VarKind::kLabelValue)}));
+    ground.push_back(Term::MakeFunc("g", {Term::MakeAtom(StrCat("ox", i)),
+                                          Term::MakeAtom(StrCat("vy", i))}));
+  }
+  Term from = Term::MakeFunc("f", std::move(args));
+  Term to = Term::MakeFunc("f", std::move(ground));
+  for (auto _ : state) {
+    Substitution subst;
+    bool matched = MatchInto(from, to, &subst);
+    if (!matched) state.SkipWithError("match unexpectedly failed");
+    benchmark::DoNotOptimize(subst);
+  }
+  state.counters["bindings"] = 2.0 * n;
+}
+BENCHMARK(BM_MatchIntoFunctionTerms)->RangeMultiplier(4)->Range(4, 256);
+
 }  // namespace
 }  // namespace tslrw::bench
 

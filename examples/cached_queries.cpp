@@ -102,6 +102,8 @@ int main() {
   std::printf("\n== serving layer, cold plan cache (%s) ==\n%s",
               cold.plan_cache_hit ? "hit" : "miss",
               cold.answer.result.ToString().c_str());
+  std::printf("plan search paid here: %s\n",
+              cold.plan_search.ToString().c_str());
   // The same query under another variable alphabet: still a hit.
   TslQuery q97_renamed = Must(ParseTslQuery(
       R"(<f(Pub) sigmod97 {<Sub Lbl Val>}> :-
@@ -113,6 +115,8 @@ int main() {
   std::printf("== serving layer, α-renamed spelling (%s) ==\n%s",
               warm.plan_cache_hit ? "hit" : "miss",
               warm.answer.result.ToString().c_str());
+  std::printf("plan search skipped (cached numbers): %s\n",
+              warm.plan_search.ToString().c_str());
   std::printf("\n%s", server.stats().ToString().c_str());
   return 0;
 }

@@ -1,0 +1,105 @@
+#!/usr/bin/env python3
+"""Gate sequential-path benchmark regressions against a committed baseline.
+
+Usage:
+    check_bench_regression.py CURRENT.json BASELINE.json [options]
+
+Both files are Google Benchmark ``--benchmark_format=json`` outputs. The
+comparison is *ratio-normalized*: CI machines differ in speed run to run,
+so each benchmark's current/baseline time ratio is divided by the median
+ratio across all compared benchmarks (the machine factor) before applying
+the tolerance. A benchmark fails the gate when its normalized ratio
+exceeds ``1 + tolerance``.
+
+Excluded from the gate:
+  - benchmarks whose baseline time is below ``--min-us`` (timer noise),
+  - multi-worker parallel sweeps (``--skip`` regex, default
+    ``Parallel.*/(2|4|8)$``): their wall clock depends on worker
+    scheduling and host core count, which CI does not control. The
+    ``parallelism=1`` rows of the same sweeps stay gated — they are the
+    sequential path this script protects.
+
+Standard library only; no third-party packages.
+"""
+
+import argparse
+import json
+import re
+import statistics
+import sys
+
+_UNIT_TO_US = {"ns": 1e-3, "us": 1.0, "ms": 1e3, "s": 1e6}
+
+
+def load_times(path):
+    """Returns {benchmark name: real time in microseconds}."""
+    with open(path, "r", encoding="utf-8") as f:
+        doc = json.load(f)
+    times = {}
+    for bench in doc.get("benchmarks", []):
+        # Skip aggregates (mean/median/stddev rows under --benchmark_repetitions).
+        if bench.get("run_type") == "aggregate":
+            continue
+        unit = _UNIT_TO_US.get(bench.get("time_unit", "ns"))
+        if unit is None or "real_time" not in bench:
+            continue
+        times[bench["name"]] = bench["real_time"] * unit
+    return times
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("current", help="fresh benchmark JSON")
+    parser.add_argument("baseline", help="committed baseline JSON")
+    parser.add_argument("--tolerance", type=float, default=0.10,
+                        help="allowed normalized slowdown (default 0.10)")
+    parser.add_argument("--min-us", type=float, default=100.0,
+                        help="ignore benchmarks with baseline below this")
+    parser.add_argument("--skip", default=r"Parallel.*/(2|4|8)$",
+                        help="regex of benchmark names to exclude")
+    args = parser.parse_args()
+
+    current = load_times(args.current)
+    baseline = load_times(args.baseline)
+    skip = re.compile(args.skip)
+
+    compared = {}
+    for name, base_us in sorted(baseline.items()):
+        if name not in current:
+            continue
+        if skip.search(name):
+            continue
+        if base_us < args.min_us:
+            continue
+        compared[name] = current[name] / base_us
+
+    if not compared:
+        print("no comparable benchmarks; treating as pass")
+        return 0
+
+    machine_factor = statistics.median(compared.values())
+    print(f"{len(compared)} benchmarks compared; "
+          f"machine factor (median ratio) = {machine_factor:.3f}")
+
+    failures = []
+    for name, ratio in sorted(compared.items()):
+        normalized = ratio / machine_factor
+        marker = ""
+        if normalized > 1.0 + args.tolerance:
+            failures.append(name)
+            marker = "  << REGRESSION"
+        print(f"  {name}: {baseline[name]:.0f}us -> {current[name]:.0f}us "
+              f"(x{ratio:.2f}, normalized x{normalized:.2f}){marker}")
+
+    if failures:
+        print(f"\n{len(failures)} benchmark(s) regressed more than "
+              f"{args.tolerance:.0%} after machine normalization:")
+        for name in failures:
+            print(f"  {name}")
+        return 1
+    print("no regressions beyond tolerance")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

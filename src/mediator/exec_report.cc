@@ -16,6 +16,22 @@ std::string_view CompletenessToString(Completeness completeness) {
   return "unknown";
 }
 
+void PlanSearchStats::Add(const PlanSearchStats& other) {
+  candidates_generated += other.candidates_generated;
+  candidates_tested += other.candidates_tested;
+  chase_cache_hits += other.chase_cache_hits;
+  equiv_cache_hits += other.equiv_cache_hits;
+  batches_dispatched += other.batches_dispatched;
+  verify_wall_ticks += other.verify_wall_ticks;
+}
+
+std::string PlanSearchStats::ToString() const {
+  return StrCat(candidates_generated, " candidate(s), ", candidates_tested,
+                " tested, ", chase_cache_hits, " chase / ", equiv_cache_hits,
+                " equiv cache hit(s), ", batches_dispatched, " batch(es), ",
+                verify_wall_ticks, "us verifying");
+}
+
 FetchRecord* ExecutionReport::RecordFor(const std::string& source,
                                         const std::string& view) {
   for (FetchRecord& record : fetches) {
@@ -31,6 +47,13 @@ std::string ExecutionReport::ToString() const {
       " plan(s) attempted, ", plans_skipped, " skipped",
       failover ? ", failover" : "", replanned ? ", replanned" : "",
       plan_search_truncated ? ", plan search truncated" : "", ")\n");
+  if (plan_search.candidates_generated > 0) {
+    // Only the deterministic counters: cache hits and wall ticks vary with
+    // worker scheduling and would break byte-compare uses of this render.
+    out += StrCat("plan search: ", plan_search.candidates_generated,
+                  " candidate(s), ", plan_search.candidates_tested,
+                  " tested\n");
+  }
   for (const FetchRecord& fetch : fetches) {
     out += StrCat("  ", fetch.source, "/", fetch.view, ":");
     for (size_t i = 0; i < fetch.attempts.size(); ++i) {

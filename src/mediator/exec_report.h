@@ -44,6 +44,28 @@ struct FetchRecord {
   bool truncated = false;  ///< replied, but with a partial feed
 };
 
+/// \brief Counters from the rewrite search(es) behind an answer's plan
+/// list: how large the candidate space was and how much per-candidate work
+/// the parallel verification pipeline shared (RewriteResult's diagnostics,
+/// summed over the initial search and any failover re-plan). The cache-hit
+/// and wall-tick fields depend on worker scheduling — report them, but do
+/// not assert exact values in tests.
+struct PlanSearchStats {
+  size_t candidates_generated = 0;
+  size_t candidates_tested = 0;
+  size_t chase_cache_hits = 0;
+  size_t equiv_cache_hits = 0;
+  size_t batches_dispatched = 0;
+  uint64_t verify_wall_ticks = 0;
+
+  void Add(const PlanSearchStats& other);
+
+  /// One-line operator rendering, e.g.
+  /// `31 candidate(s), 31 tested, 0 chase / 30 equiv cache hit(s), 8
+  /// batch(es), 1234us verifying`.
+  std::string ToString() const;
+};
+
 /// \brief The execution trace threaded through Execute/Answer: per-source
 /// attempts and waits, which fallbacks fired, and the completeness verdict.
 struct ExecutionReport {
@@ -59,6 +81,9 @@ struct ExecutionReport {
   bool failover = false;
   /// The plan search hit its candidate budget; cheaper plans may exist.
   bool plan_search_truncated = false;
+  /// Rewrite-search counters behind this answer's plan list (initial
+  /// search plus any failover re-plan).
+  PlanSearchStats plan_search;
   Completeness completeness = Completeness::kComplete;
   /// Sources declared dead during this execution (retries exhausted).
   std::vector<std::string> unreachable_sources;

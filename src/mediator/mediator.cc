@@ -199,6 +199,12 @@ Result<MediatorPlanSet> Mediator::PlanOverViews(
                          RewriteQuery(query, views, rewrite_options));
   MediatorPlanSet set;
   set.truncated = rewrites.truncated;
+  set.search.candidates_generated = rewrites.candidates_generated;
+  set.search.candidates_tested = rewrites.candidates_tested;
+  set.search.chase_cache_hits = rewrites.chase_cache_hits;
+  set.search.equiv_cache_hits = rewrites.equiv_cache_hits;
+  set.search.batches_dispatched = rewrites.batches_dispatched;
+  set.search.verify_wall_ticks = rewrites.verify_wall_ticks;
   for (TslQuery& rw : rewrites.rewritings) {
     MediatorPlan plan;
     std::set<std::string> used;
@@ -230,9 +236,11 @@ Result<MediatorPlanSet> Mediator::PlanOverViews(
   return set;
 }
 
-Result<MediatorPlanSet> Mediator::Plan(const TslQuery& query) const {
+Result<MediatorPlanSet> Mediator::Plan(const TslQuery& query,
+                                       size_t rewrite_parallelism) const {
   RewriteOptions options;
   options.constraints = constraints_;
+  options.parallelism = rewrite_parallelism;
   return PlanOverViews(query, AllViews(), options);
 }
 
@@ -361,6 +369,7 @@ RewriteOptions Mediator::PlanningOptions(const ExecutionPolicy& policy,
   RewriteOptions options;
   options.constraints = constraints_;
   options.strict_limits = policy.strict;
+  options.parallelism = policy.rewrite_parallelism;
   if (deadline_ticks > 0) {
     options.should_stop = [clock, deadline_ticks] {
       return clock->now() >= deadline_ticks;
@@ -415,6 +424,7 @@ Result<DegradedAnswer> Mediator::AnswerWithPlans(
   RewriteOptions plan_options =
       PlanningOptions(policy, ctx.clock, ctx.deadline_ticks);
   report.plan_search_truncated = plans.truncated;
+  report.plan_search = plans.search;
   if (policy.strict && plans.truncated) {
     return Status::ResourceExhausted(
         "plan search was truncated and strict mode forbids serving from a "
@@ -494,6 +504,7 @@ Result<DegradedAnswer> Mediator::AnswerWithPlans(
           PlanOverViews(query, live_views, plan_options));
       report.plan_search_truncated =
           report.plan_search_truncated || replanned.truncated;
+      report.plan_search.Add(replanned.search);
       TSLRW_RETURN_NOT_OK(try_plans(replanned.plans));
     }
   }

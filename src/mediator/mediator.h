@@ -43,6 +43,9 @@ struct MediatorPlanSet {
   /// deadline): cheaper or additional plans may exist that were never
   /// examined. Surfaced so a "no plan" verdict is never silently wrong.
   bool truncated = false;
+  /// Counters from the rewrite search that produced this list (candidate
+  /// space size, shared-work cache hits, verification wall time).
+  PlanSearchStats search;
 
   // Vector-style accessors: most callers only care about the plan list.
   size_t size() const { return plans.size(); }
@@ -78,6 +81,10 @@ struct ExecutionPolicy {
   /// Fail with ResourceExhausted when the plan search is truncated instead
   /// of continuing with the plans found so far.
   bool strict = false;
+  /// Worker threads for candidate verification inside every plan search
+  /// (RewriteOptions::parallelism): 0 = hardware concurrency, 1 = the exact
+  /// sequential path. Plans are byte-identical either way.
+  size_t rewrite_parallelism = 0;
 };
 
 /// \brief A fault-tolerant answer: the consolidated result annotated with
@@ -124,7 +131,12 @@ class Mediator {
   /// Parameterized capabilities are honored: a plan is kept only when each
   /// bound variable of each used capability is instantiated to a constant
   /// by the rewriting (the mediator can then fill the `$X` slot).
-  Result<MediatorPlanSet> Plan(const TslQuery& query) const;
+  ///
+  /// \param rewrite_parallelism verification workers for the candidate
+  ///        search (RewriteOptions::parallelism semantics); the plan list
+  ///        is byte-identical for every value.
+  Result<MediatorPlanSet> Plan(const TslQuery& query,
+                               size_t rewrite_parallelism = 0) const;
 
   /// Executes a plan: sends each used capability view to its wrapper, then
   /// evaluates the rewriting over the collected results and consolidates

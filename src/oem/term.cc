@@ -192,6 +192,8 @@ bool TermSubstitution::Bind(const Term& var, const Term& value) {
   return true;
 }
 
+void TermSubstitution::Unbind(const Term& var) { bindings_.erase(var); }
+
 const Term* TermSubstitution::Lookup(const Term& var) const {
   auto it = bindings_.find(var);
   return it == bindings_.end() ? nullptr : &it->second;

@@ -115,6 +115,12 @@ class TermSubstitution {
   /// Looks up the binding for \p var; returns nullptr if unbound.
   const Term* Lookup(const Term& var) const;
 
+  /// Removes the binding for \p var (no-op if unbound). Supports the
+  /// bind-trail undo used by backtracking matchers: record each variable
+  /// freshly bound, and on failure unbind exactly those instead of copying
+  /// the whole substitution up front.
+  void Unbind(const Term& var);
+
   bool empty() const { return bindings_.empty(); }
   size_t size() const { return bindings_.size(); }
 

@@ -43,6 +43,17 @@ Result<std::vector<CandidateAtom>> BuildCandidateAtoms(
 
 bool CandidateEnumerator::Admissible(
     const std::vector<size_t>& chosen) const {
+  if (!cover_masks_.empty()) {
+    uint64_t covered = 0;
+    bool has_view = false;
+    for (size_t i : chosen) {
+      has_view = has_view || atoms_[i].is_view;
+      if (options_.require_total && !atoms_[i].is_view) return false;
+      covered |= cover_masks_[i];
+    }
+    if (!has_view) return false;  // a rewriting must use some view
+    return !options_.use_cover_heuristic || covered == full_cover_mask_;
+  }
   bool has_view = false;
   std::set<size_t> covered;
   for (size_t i : chosen) {

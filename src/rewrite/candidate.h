@@ -1,6 +1,7 @@
 #ifndef TSLRW_REWRITE_CANDIDATE_H_
 #define TSLRW_REWRITE_CANDIDATE_H_
 
+#include <cstdint>
 #include <set>
 #include <vector>
 
@@ -46,7 +47,24 @@ class CandidateEnumerator {
                       const RewriteOptions& options)
       : atoms_(std::move(atoms)),
         num_query_conditions_(num_query_conditions),
-        options_(options) {}
+        options_(options) {
+    // Admissible runs at every leaf of the subset lattice — orders of
+    // magnitude more often than a candidate is emitted — so the cover
+    // bookkeeping is precompiled to one bitmask per atom when the query
+    // body fits in one word (it essentially always does; Lemma 5.2 bounds
+    // useful candidates by the body size).
+    if (num_query_conditions_ <= 64) {
+      cover_masks_.reserve(atoms_.size());
+      for (const CandidateAtom& atom : atoms_) {
+        uint64_t mask = 0;
+        for (size_t c : atom.covers) mask |= uint64_t{1} << c;
+        cover_masks_.push_back(mask);
+      }
+      full_cover_mask_ = num_query_conditions_ == 64
+                             ? ~uint64_t{0}
+                             : (uint64_t{1} << num_query_conditions_) - 1;
+    }
+  }
 
   const std::vector<CandidateAtom>& atoms() const { return atoms_; }
 
@@ -89,6 +107,10 @@ class CandidateEnumerator {
   std::vector<CandidateAtom> atoms_;
   size_t num_query_conditions_;
   const RewriteOptions& options_;
+  /// One cover bitmask per atom; empty when the body exceeds 64 conditions
+  /// (Admissible then falls back to set union).
+  std::vector<uint64_t> cover_masks_;
+  uint64_t full_cover_mask_ = 0;
 };
 
 }  // namespace tslrw

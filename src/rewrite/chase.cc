@@ -42,12 +42,17 @@ ValueFact ValueAt(const Path& path, size_t depth) {
 /// Generates a variable name not used in the query.
 class FreshNames {
  public:
-  explicit FreshNames(const TslQuery& q) {
-    for (const Term& v : q.HeadVariables()) used_.insert(v.var_name());
-    for (const Term& v : q.BodyVariables()) used_.insert(v.var_name());
-  }
+  explicit FreshNames(const TslQuery& q) : q_(&q) {}
 
   std::string Next(const char* stem) {
+    if (q_ != nullptr) {
+      // Deferred: most chase rounds never mint a name, and the variable
+      // scan is the most expensive part of a round's setup. `q` is stable
+      // for the lifetime of this object (one chase round).
+      for (const Term& v : q_->HeadVariables()) used_.insert(v.var_name());
+      for (const Term& v : q_->BodyVariables()) used_.insert(v.var_name());
+      q_ = nullptr;
+    }
     while (true) {
       std::string candidate = StrCat(stem, counter_++);
       if (used_.insert(candidate).second) return candidate;
@@ -55,6 +60,7 @@ class FreshNames {
   }
 
  private:
+  const TslQuery* q_;
   std::set<std::string> used_;
   int counter_ = 1;
 };
@@ -331,7 +337,9 @@ Result<TslQuery> ChaseQuery(const TslQuery& query,
     }
 
     if (!acted) {
-      return ToNormalForm(q);  // re-split + dedup (\S3.2 rule 6)
+      // `q` is the output of a ToNormalForm (at entry and after every
+      // round), so the \S3.2 rule-6 re-split + dedup already holds.
+      return q;
     }
     if (!out.error.ok()) return out.error;
     q = ToNormalForm(out.subst.Apply(q));

@@ -2,6 +2,7 @@
 
 #include <deque>
 #include <map>
+#include <utility>
 
 #include "common/string_util.h"
 #include "rewrite/substitution.h"
@@ -77,8 +78,22 @@ std::vector<Substitution> UnifyPathWithHead(const Path& path,
 
 }  // namespace
 
+const TslQuery& ComposeCache::RenamedView(const TslQuery& view,
+                                          int instance) {
+  auto key = std::make_pair(view.name, instance);
+  auto it = renamed_.find(key);
+  if (it == renamed_.end()) {
+    it = renamed_
+             .emplace(std::move(key),
+                      RenameVariablesApart(view, StrCat("_i", instance)))
+             .first;
+  }
+  return it->second;
+}
+
 Result<TslRuleSet> ComposeWithViews(const TslQuery& rewriting,
-                                    const std::vector<TslQuery>& views) {
+                                    const std::vector<TslQuery>& views,
+                                    ComposeCache* cache) {
   std::map<std::string, const TslQuery*> by_name;
   for (const TslQuery& v : views) by_name[v.name] = &v;
 
@@ -122,12 +137,18 @@ Result<TslRuleSet> ComposeWithViews(const TslQuery& rewriting,
       }
     }
     const TslQuery& view_def = *by_name.at(rule.body[view_cond].source);
-    TslQuery view =
-        RenameVariablesApart(view_def, StrCat("_i", ++instance));
+    ++instance;
+    TslQuery renamed_here;  // only populated on the uncached path
+    if (cache == nullptr) {
+      renamed_here = RenameVariablesApart(view_def, StrCat("_i", instance));
+    }
+    const TslQuery& view =
+        cache ? cache->RenamedView(view_def, instance) : renamed_here;
     for (const Substitution& subst : UnifyPathWithHead(path, view.head)) {
       TslQuery resolvent;
       resolvent.name = rule.name;
       resolvent.head = subst.Apply(rule.head);
+      resolvent.body.reserve(rule.body.size() - 1 + view.body.size());
       for (size_t i = 0; i < rule.body.size(); ++i) {
         if (i == view_cond) continue;
         resolvent.body.push_back(subst.Apply(rule.body[i]));
@@ -135,7 +156,7 @@ Result<TslRuleSet> ComposeWithViews(const TslQuery& rewriting,
       for (const Condition& vc : view.body) {
         resolvent.body.push_back(subst.Apply(vc));
       }
-      work.push_back(ToNormalForm(resolvent));
+      work.push_back(ToNormalForm(std::move(resolvent)));
     }
     // No unifier: this resolvent can never produce answers; drop it.
   }

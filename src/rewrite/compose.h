@@ -3,12 +3,35 @@
 
 #include <map>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/result.h"
 #include "tsl/ast.h"
 
 namespace tslrw {
+
+/// \brief Memo for repeated compositions against one fixed view set: caches
+/// the fresh-variable instantiation `RenameVariablesApart(view, "_iN")` per
+/// (view, instance number), so verifying many candidates over the same
+/// views renames each view head once per instantiation depth instead of
+/// once per candidate. Instance numbers restart at 1 for every
+/// ComposeWithViews call and are assigned in the same deterministic BFS
+/// order, which is what makes the cached copy byte-identical to the one the
+/// uncached call would build.
+///
+/// Not thread-safe: the parallel rewriting pipeline keeps one per worker.
+class ComposeCache {
+ public:
+  /// The view named \p view.name renamed apart with suffix `_i<instance>`,
+  /// computed on first use.
+  const TslQuery& RenamedView(const TslQuery& view, int instance);
+
+  size_t size() const { return renamed_.size(); }
+
+ private:
+  std::map<std::pair<std::string, int>, TslQuery> renamed_;
+};
 
 /// \brief Query–view composition (\S3.1 Step 2A): given a rewriting query
 /// Q' whose body refers to views by name, substitutes each `@View`
@@ -38,7 +61,8 @@ namespace tslrw {
 /// Resolvents with no unifier are dropped; if nothing survives, the result
 /// is the empty rule set (a query that returns nothing).
 Result<TslRuleSet> ComposeWithViews(const TslQuery& rewriting,
-                                    const std::vector<TslQuery>& views);
+                                    const std::vector<TslQuery>& views,
+                                    ComposeCache* cache = nullptr);
 
 /// \brief Rule-set overload: composes each rule and unions the results.
 Result<TslRuleSet> ComposeWithViews(const TslRuleSet& rewriting,

@@ -7,7 +7,15 @@
 
 namespace tslrw {
 
-bool MatchInto(const Term& from, const Term& to, Substitution* subst) {
+namespace {
+
+/// MatchInto with an undo trail: every variable freshly bound below this
+/// call is recorded in \p trail, and a failed branch unbinds its own suffix
+/// of the trail instead of restoring a full copy of the substitution (the
+/// copy is O(bindings) per function term; the trail is O(bindings *made*).
+/// bench_mapping's BM_MatchIntoFunctionTerms measures the difference).
+bool MatchIntoImpl(const Term& from, const Term& to, Substitution* subst,
+                   std::vector<Term>* trail) {
   switch (from.kind()) {
     case TermKind::kAtom:
       return from == to;
@@ -15,21 +23,38 @@ bool MatchInto(const Term& from, const Term& to, Substitution* subst) {
       if (!SortsCompatible(from, to)) return false;
       if (const Term* bound = subst->LookupTerm(from)) return *bound == to;
       if (subst->LookupSet(from) != nullptr) return false;
-      return subst->BindTerm(from, to);
+      if (!subst->BindTerm(from, to)) return false;
+      trail->push_back(from);  // fresh binding: undone on backtrack
+      return true;
     }
     case TermKind::kFunction: {
       if (!to.is_func() || to.functor() != from.functor() ||
           to.args().size() != from.args().size()) {
         return false;
       }
-      Substitution scratch = *subst;
+      const size_t mark = trail->size();
       for (size_t i = 0; i < from.args().size(); ++i) {
-        if (!MatchInto(from.args()[i], to.args()[i], &scratch)) return false;
+        if (!MatchIntoImpl(from.args()[i], to.args()[i], subst, trail)) {
+          for (size_t j = trail->size(); j > mark; --j) {
+            subst->UnbindTerm((*trail)[j - 1]);
+          }
+          trail->resize(mark);
+          return false;
+        }
       }
-      *subst = std::move(scratch);
       return true;
     }
   }
+  return false;
+}
+
+}  // namespace
+
+bool MatchInto(const Term& from, const Term& to, Substitution* subst) {
+  std::vector<Term> trail;
+  if (MatchIntoImpl(from, to, subst, &trail)) return true;
+  // Leave *subst exactly as given on failure (the documented contract).
+  for (size_t j = trail.size(); j > 0; --j) subst->UnbindTerm(trail[j - 1]);
   return false;
 }
 

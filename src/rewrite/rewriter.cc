@@ -1,18 +1,27 @@
 #include "rewrite/rewriter.h"
 
 #include <algorithm>
-#include <set>
+#include <chrono>
+#include <thread>
 
 #include "common/string_util.h"
 #include "equiv/equivalence.h"
 #include "rewrite/candidate.h"
 #include "rewrite/compose.h"
+#include "rewrite/parallel.h"
 #include "tsl/normal_form.h"
 #include "tsl/validate.h"
 
 namespace tslrw {
 
 namespace {
+
+/// Resolves RewriteOptions::parallelism: 0 means hardware concurrency.
+size_t ResolveParallelism(size_t requested) {
+  if (requested != 0) return requested;
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : hw;
+}
 
 /// Chases the query and every view; NotOk on hard errors. An unsatisfiable
 /// query is surfaced as an empty optional; unsatisfiable views (always
@@ -96,56 +105,73 @@ Result<RewriteResult> RewriteQuery(const TslQuery& query,
   TSLRW_ASSIGN_OR_RETURN(
       EquivalenceTester tester,
       EquivalenceTester::Make(TslRuleSet::Single(q), chase_options));
-  std::vector<std::set<size_t>> accepted_atom_sets;
   Status failure;  // first hard error inside the enumeration callback
   CandidateEnumerator enumerator(std::move(atoms), q.body.size(), options);
-  bool complete = enumerator.Enumerate([&](const std::vector<size_t>& chosen) {
-    ++result.candidates_generated;
-    std::set<size_t> chosen_set(chosen.begin(), chosen.end());
-    if (options.prune_dominated) {
-      for (const std::set<size_t>& prior : accepted_atom_sets) {
-        if (std::includes(chosen_set.begin(), chosen_set.end(),
-                          prior.begin(), prior.end())) {
-          return true;  // dominated by an accepted, smaller rewriting
+  const size_t workers = ResolveParallelism(options.parallelism);
+  const auto verify_start = std::chrono::steady_clock::now();
+  bool complete = true;
+  if (workers > 1) {
+    failure = VerifyCandidatesInParallel(q, inputs.views, chase_options,
+                                         tester, enumerator, options, workers,
+                                         &result, &complete);
+  } else {
+    // The exact legacy sequential path: no worker pool, no memo caches. The
+    // parallel pipeline (rewrite/parallel.cc) replays these decisions in
+    // enumeration order — keep the two in lockstep.
+    std::vector<std::vector<size_t>> accepted_atom_sets;
+    complete = enumerator.Enumerate([&](const std::vector<size_t>& chosen) {
+      ++result.candidates_generated;
+      if (options.prune_dominated) {
+        // `chosen` is sorted ascending by enumeration construction, and each
+        // accepted entry is a former `chosen`.
+        for (const std::vector<size_t>& prior : accepted_atom_sets) {
+          if (std::includes(chosen.begin(), chosen.end(), prior.begin(),
+                            prior.end())) {
+            return true;  // dominated by an accepted, smaller rewriting
+          }
         }
       }
-    }
 
-    TslQuery candidate;
-    candidate.name = StrCat(q.name.empty() ? "rewriting" : q.name, "_rw",
-                            result.candidates_generated);
-    candidate.head = q.head;  // Lemma 5.4
-    for (size_t i : chosen) {
-      candidate.body.push_back(enumerator.atoms()[i].condition);
-    }
-    if (!CheckSafety(candidate).ok()) return true;  // unsafe: skip
+      TslQuery candidate;
+      candidate.name = StrCat(q.name.empty() ? "rewriting" : q.name, "_rw",
+                              result.candidates_generated);
+      candidate.head = q.head;  // Lemma 5.4
+      for (size_t i : chosen) {
+        candidate.body.push_back(enumerator.atoms()[i].condition);
+      }
+      if (!CheckSafety(candidate).ok()) return true;  // unsafe: skip
 
-    // Step 1C: label inference + chase of the candidate.
-    Result<TslQuery> chased = ChaseQuery(candidate, chase_options);
-    if (!chased.ok()) {
-      if (chased.status().IsUnsatisfiable()) return true;
-      failure = chased.status();
-      return false;
-    }
+      // Step 1C: label inference + chase of the candidate.
+      Result<TslQuery> chased = ChaseQuery(candidate, chase_options);
+      if (!chased.ok()) {
+        if (chased.status().IsUnsatisfiable()) return true;
+        failure = chased.status();
+        return false;
+      }
 
-    // Step 2: compose with the views and test equivalence with the query.
-    ++result.candidates_tested;
-    Result<TslRuleSet> composed = ComposeWithViews(*chased, inputs.views);
-    if (!composed.ok()) {
-      failure = composed.status();
-      return false;
-    }
-    Result<bool> equivalent = tester.EquivalentTo(*composed);
-    if (!equivalent.ok()) {
-      failure = equivalent.status();
-      return false;
-    }
-    if (*equivalent) {
-      accepted_atom_sets.push_back(std::move(chosen_set));
-      result.rewritings.push_back(std::move(candidate));
-    }
-    return true;
-  });
+      // Step 2: compose with the views and test equivalence with the query.
+      ++result.candidates_tested;
+      Result<TslRuleSet> composed = ComposeWithViews(*chased, inputs.views);
+      if (!composed.ok()) {
+        failure = composed.status();
+        return false;
+      }
+      Result<bool> equivalent = tester.EquivalentTo(*composed);
+      if (!equivalent.ok()) {
+        failure = equivalent.status();
+        return false;
+      }
+      if (*equivalent) {
+        accepted_atom_sets.push_back(chosen);
+        result.rewritings.push_back(std::move(candidate));
+      }
+      return true;
+    });
+  }
+  result.verify_wall_ticks = static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - verify_start)
+          .count());
   TSLRW_RETURN_NOT_OK(failure);
   result.truncated = !complete && failure.ok();
   if (result.truncated && options.strict_limits) {

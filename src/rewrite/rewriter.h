@@ -2,6 +2,7 @@
 #define TSLRW_REWRITE_REWRITER_H_
 
 #include <cstddef>
+#include <cstdint>
 #include <functional>
 #include <vector>
 
@@ -52,6 +53,16 @@ struct RewriteOptions {
   /// For callers that must distinguish "no rewriting exists" from "none was
   /// found within budget".
   bool strict_limits = false;
+
+  /// Worker threads for candidate verification (chase + compose + \S4
+  /// equivalence test). `0` means hardware concurrency; `1` is the exact
+  /// legacy sequential path (no worker pool, no memo caches). Any resolved
+  /// value > 1 runs the parallel pipeline of docs/PARALLELISM.md:
+  /// enumeration stays on the calling thread, verification fans out over a
+  /// worker pool with per-candidate memoization, and results commit in
+  /// enumeration order — rewritings, legacy counters, truncation flag, and
+  /// error statuses are byte-identical to `parallelism = 1`.
+  size_t parallelism = 0;
 };
 
 /// \brief Output of the rewriting algorithm, including the counters the
@@ -67,6 +78,30 @@ struct RewriteResult {
   size_t candidates_generated = 0;
   size_t candidates_tested = 0;
   bool truncated = false;
+
+  /// Shared-work diagnostics from the parallel verification pipeline; all
+  /// zero on the `parallelism = 1` path. Unlike the counters above these
+  /// depend on worker scheduling (two racing workers may both miss a memo),
+  /// so they are reported, not replayed, by the determinism guarantee.
+  ///
+  /// Candidates whose chase outcome was answered by a memo: either the
+  /// candidate-level α-memo replayed a chase-unsatisfiable outcome, or —
+  /// under structural constraints — the chase memo keyed on the candidate
+  /// body's canonical form (src/tsl/canonical) supplied the chased query.
+  /// The canonical chase memo engages only when constraints are present:
+  /// without them the chase is a cheap normalization pass that costs less
+  /// than its canonical fingerprint.
+  size_t chase_cache_hits = 0;
+  /// Candidates whose \S4 verdict was answered by a memo — the
+  /// candidate-level memo keyed on a cheap α-sound fingerprint of the
+  /// candidate body (a hit skips chase, composition, and the test), or the
+  /// memo keyed on the fingerprint of the composed rule set. Equal keys
+  /// imply equal verdicts; see docs/PARALLELISM.md.
+  size_t equiv_cache_hits = 0;
+  /// Work batches handed to the worker pool.
+  size_t batches_dispatched = 0;
+  /// Wall-clock microseconds spent verifying candidates (both paths).
+  uint64_t verify_wall_ticks = 0;
 };
 
 /// \brief The complete rewriting algorithm of \S3.4.

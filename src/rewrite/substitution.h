@@ -28,6 +28,12 @@ class Substitution {
   /// Rejects a binding whose pattern contains \p var itself (occurs check).
   bool BindSet(const Term& var, SetPattern members);
 
+  /// Removes the term binding for \p var (no-op if unbound). Set bindings
+  /// are untouched. Backtracking matchers undo a failed branch by
+  /// unbinding the variables recorded on their trail instead of restoring
+  /// a full copy of the substitution.
+  void UnbindTerm(const Term& var) { terms_.Unbind(var); }
+
   /// Two-way unification of \p a and \p b within this substitution's term
   /// bindings (used by query–view composition, \S3.1 Step 2A). Variables
   /// carrying set bindings refuse term unification. Returns false and

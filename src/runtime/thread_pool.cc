@@ -1,4 +1,4 @@
-#include "service/thread_pool.h"
+#include "runtime/thread_pool.h"
 
 #include <algorithm>
 #include <utility>
@@ -8,10 +8,11 @@
 namespace tslrw {
 
 ThreadPool::ThreadPool(const Options& options)
-    : queue_capacity_(std::max<size_t>(options.queue_capacity, 1)) {
-  const size_t threads = std::max<size_t>(options.threads, 1);
-  workers_.reserve(threads);
-  for (size_t i = 0; i < threads; ++i) {
+    : queue_capacity_(std::max<size_t>(options.queue_capacity, 1)),
+      max_threads_(std::max<size_t>(options.threads, 1)) {
+  workers_.reserve(max_threads_);
+  if (options.lazy_spawn) return;
+  for (size_t i = 0; i < max_threads_; ++i) {
     workers_.emplace_back([this] { WorkerLoop(); });
   }
 }
@@ -34,6 +35,12 @@ Status ThreadPool::TrySubmit(std::function<void()> task) {
                  "); retry-after: ~1 queued-request-time per waiting task"));
     }
     queue_.push_back(std::move(task));
+    // Lazy spawning: start another worker only when every started worker
+    // is busy and the cap allows it. Eager pools start saturated
+    // (workers_.size() == max_threads_), so this never fires for them.
+    if (workers_.size() < max_threads_ && queue_.size() > idle_workers_) {
+      workers_.emplace_back([this] { WorkerLoop(); });
+    }
   }
   work_ready_.notify_one();
   return Status::OK();
@@ -62,8 +69,10 @@ void ThreadPool::WorkerLoop() {
     std::function<void()> task;
     {
       std::unique_lock<std::mutex> lock(mu_);
+      ++idle_workers_;
       work_ready_.wait(lock,
                        [this] { return shutting_down_ || !queue_.empty(); });
+      --idle_workers_;
       if (queue_.empty()) return;  // shutting down and drained
       task = std::move(queue_.front());
       queue_.pop_front();

@@ -1,5 +1,5 @@
-#ifndef TSLRW_SERVICE_THREAD_POOL_H_
-#define TSLRW_SERVICE_THREAD_POOL_H_
+#ifndef TSLRW_RUNTIME_THREAD_POOL_H_
+#define TSLRW_RUNTIME_THREAD_POOL_H_
 
 #include <condition_variable>
 #include <cstddef>
@@ -27,6 +27,12 @@ class ThreadPool {
     /// Tasks admitted but not yet running; 0 behaves as 1. Tasks already
     /// executing do not count against the queue.
     size_t queue_capacity = 128;
+    /// When true, worker threads are spawned on demand (at TrySubmit, when
+    /// no idle worker can take the task) instead of all at construction.
+    /// A pool sized for the worst case then only pays thread start-up for
+    /// the concurrency a workload actually reaches — short-lived pools
+    /// over a handful of tasks skip most of it. `threads` stays the cap.
+    bool lazy_spawn = false;
   };
 
   explicit ThreadPool(const Options& options);
@@ -45,7 +51,7 @@ class ThreadPool {
   /// run by the destructor.
   void Shutdown();
 
-  size_t threads() const { return workers_.size(); }
+  size_t threads() const { return max_threads_; }
   size_t queue_capacity() const { return queue_capacity_; }
   size_t queue_depth() const;
 
@@ -53,13 +59,15 @@ class ThreadPool {
   void WorkerLoop();
 
   const size_t queue_capacity_;
+  const size_t max_threads_;
   mutable std::mutex mu_;
   std::condition_variable work_ready_;
   std::deque<std::function<void()>> queue_;
   bool shutting_down_ = false;
+  size_t idle_workers_ = 0;  // workers blocked in work_ready_.wait
   std::vector<std::thread> workers_;
 };
 
 }  // namespace tslrw
 
-#endif  // TSLRW_SERVICE_THREAD_POOL_H_
+#endif  // TSLRW_RUNTIME_THREAD_POOL_H_

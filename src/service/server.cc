@@ -96,9 +96,11 @@ Result<ServeResponse> QueryServer::Answer(const TslQuery& query,
   PlanCacheKey key = MakePlanCacheKey(query);
   bool computed_here = false;
   Result<PlanCache::PlanSetPtr> plans = snap->plan_cache->LookupOrCompute(
-      key, [&snap, &key, &computed_here]() -> Result<MediatorPlanSet> {
+      key,
+      [this, &snap, &key, &computed_here]() -> Result<MediatorPlanSet> {
         computed_here = true;
-        return snap->mediator->Plan(key.canonical);
+        return snap->mediator->Plan(key.canonical,
+                                    options_.rewrite_parallelism);
       });
   if (!plans.ok()) {
     failed_.fetch_add(1);
@@ -114,6 +116,7 @@ Result<ServeResponse> QueryServer::Answer(const TslQuery& query,
   policy.retry = options_.retry;
   policy.allow_degraded = options_.allow_degraded;
   policy.strict = options_.strict;
+  policy.rewrite_parallelism = options_.rewrite_parallelism;
   policy.seed = serve.seed;
   policy.clock = &clock;
   if (wrapper_factory_ != nullptr) {
@@ -130,6 +133,7 @@ Result<ServeResponse> QueryServer::Answer(const TslQuery& query,
   ServeResponse response;
   response.answer = std::move(answer).value();
   response.plan_cache_hit = !computed_here;
+  response.plan_search = (*plans)->search;
   return response;
 }
 

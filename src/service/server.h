@@ -18,7 +18,7 @@
 #include "service/canonical.h"
 #include "service/plan_cache.h"
 #include "service/stats.h"
-#include "service/thread_pool.h"
+#include "runtime/thread_pool.h"
 #include "tsl/ast.h"
 
 namespace tslrw {
@@ -39,6 +39,11 @@ struct ServerOptions {
   RetryPolicy retry;
   bool allow_degraded = true;
   bool strict = false;
+  /// Verification workers inside each cold plan search and each failover
+  /// re-plan (RewriteOptions::parallelism semantics: 0 = hardware
+  /// concurrency, 1 = sequential). Cached plans are byte-identical for
+  /// every value, so this only changes cold-miss latency.
+  size_t rewrite_parallelism = 0;
 };
 
 /// \brief Per-request knobs.
@@ -55,6 +60,11 @@ struct ServeResponse {
   /// The rewriting-plan list came from the cache (hit or coalesced wait)
   /// rather than a fresh plan search.
   bool plan_cache_hit = false;
+  /// Rewrite-search counters for the plan list this answer used. On a cold
+  /// miss these describe the search this request just paid for; on a hit
+  /// they replay the original search's numbers (the cache stores them with
+  /// the plans), attributing the saved work.
+  PlanSearchStats plan_search;
 };
 
 /// \brief Builds the per-request Wrapper (and may capture the per-request

@@ -48,7 +48,16 @@ TslQuery ToNormalForm(const TslQuery& query) {
   TslQuery out;
   out.name = query.name;
   out.head = query.head;
+  out.body.reserve(query.body.size());
   for (const Condition& cond : query.body) {
+    if (PatternIsNormal(cond.pattern)) {
+      // A normal pattern splits into exactly itself; skip the rebuild.
+      if (std::find(out.body.begin(), out.body.end(), cond) ==
+          out.body.end()) {
+        out.body.push_back(cond);
+      }
+      continue;
+    }
     std::vector<ObjectPattern> paths;
     SplitPattern(cond.pattern, &paths);
     for (ObjectPattern& p : paths) {
@@ -59,6 +68,26 @@ TslQuery ToNormalForm(const TslQuery& query) {
     }
   }
   return out;
+}
+
+TslQuery ToNormalForm(TslQuery&& query) {
+  if (IsNormalForm(query)) {
+    // Dedupe in place: every condition is already a single path, and the
+    // order of first occurrences is exactly what the copying conversion
+    // produces.
+    TslQuery out;
+    out.name = std::move(query.name);
+    out.head = std::move(query.head);
+    out.body.reserve(query.body.size());
+    for (Condition& cond : query.body) {
+      if (std::find(out.body.begin(), out.body.end(), cond) ==
+          out.body.end()) {
+        out.body.push_back(std::move(cond));
+      }
+    }
+    return out;
+  }
+  return ToNormalForm(static_cast<const TslQuery&>(query));
 }
 
 std::string Path::ToString() const {

@@ -25,6 +25,12 @@ bool IsNormalForm(const TslQuery& query);
 /// independent witness per member (\S2). Duplicate conditions are dropped.
 TslQuery ToNormalForm(const TslQuery& query);
 
+/// \brief Move overload: when the input is already in normal form (the
+/// common case inside the chase and composition loops), reuses its parts
+/// instead of rebuilding every path. Output is byte-identical to the
+/// copying overload.
+TslQuery ToNormalForm(TslQuery&& query);
+
 /// \brief A normal-form body condition viewed as a path: a chain of
 /// (oid, label) steps ending in a term or in the empty set pattern `{}`.
 struct Path {

@@ -1,0 +1,220 @@
+// The parallel verification pipeline's contract (docs/PARALLELISM.md):
+// RewriteQuery with parallelism=N must be byte-identical to parallelism=1 —
+// same rewritings in the same order with the same names, same legacy
+// counters, same truncation flag, same error statuses — for every input.
+// The k=5 per-arm stress cases double as the TSan workload (the CI
+// thread-sanitize job runs the whole suite under TSan).
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/string_util.h"
+#include "constraints/dtd.h"
+#include "constraints/inference.h"
+#include "fixtures.h"
+#include "random_rules.h"
+#include "rewrite/rewriter.h"
+
+namespace tslrw {
+namespace {
+
+using testing::MustParse;
+
+std::string RenderRewritings(const RewriteResult& r) {
+  std::string out;
+  for (const TslQuery& q : r.rewritings) out += q.ToString() + "\n";
+  return out;
+}
+
+/// One single-arm view per star-query condition (the CL-EXP-CAND shape).
+std::vector<TslQuery> PerArmViews(int k) {
+  std::vector<TslQuery> views;
+  for (int i = 0; i < k; ++i) {
+    views.push_back(MustParse(
+        StrCat("<v", i, "(P') o", i, " {<w", i, "(X') m U'>}> :- ",
+               "<P' rec {<X' l", i, " U'>}>@db"),
+        StrCat("V", i)));
+  }
+  return views;
+}
+
+TslQuery StarQuery(int k) {
+  std::vector<std::string> body;
+  for (int i = 0; i < k; ++i) {
+    body.push_back(StrCat("<P rec {<X", i, " l", i, " u", i, ">}>@db"));
+  }
+  return MustParse(StrCat("<f(P) out yes> :- ", Join(body, " AND ")), "Q");
+}
+
+/// Runs the query at parallelism=1 and at each of {2, 4, 8}; every output
+/// the determinism guarantee covers must match the sequential run
+/// byte-for-byte. (chase/equiv cache hits, batches, and wall ticks are
+/// scheduling-dependent diagnostics and deliberately not compared.)
+void ExpectParallelMatchesSequential(const TslQuery& query,
+                                     const std::vector<TslQuery>& views,
+                                     RewriteOptions options = {}) {
+  options.parallelism = 1;
+  Result<RewriteResult> sequential = RewriteQuery(query, views, options);
+  for (size_t workers : {2u, 4u, 8u}) {
+    options.parallelism = workers;
+    Result<RewriteResult> parallel = RewriteQuery(query, views, options);
+    SCOPED_TRACE(StrCat("parallelism=", workers, " query=", query.ToString()));
+    ASSERT_EQ(sequential.ok(), parallel.ok())
+        << (sequential.ok() ? parallel.status() : sequential.status())
+               .ToString();
+    if (!sequential.ok()) {
+      EXPECT_EQ(sequential.status().ToString(), parallel.status().ToString());
+      continue;
+    }
+    EXPECT_EQ(RenderRewritings(*sequential), RenderRewritings(*parallel));
+    EXPECT_EQ(sequential->mappings_found, parallel->mappings_found);
+    EXPECT_EQ(sequential->candidates_generated,
+              parallel->candidates_generated);
+    EXPECT_EQ(sequential->candidates_tested, parallel->candidates_tested);
+    EXPECT_EQ(sequential->truncated, parallel->truncated);
+  }
+}
+
+TEST(ParallelRewriteTest, PaperFixturesAreByteIdentical) {
+  // Every numbered paper query against (V1): the suite the rest of the
+  // repo validates the rewriting algorithm itself on.
+  const std::vector<std::string_view> fixtures = {
+      testing::kQ1,  testing::kQ2,  testing::kQ3,  testing::kQ5,
+      testing::kQ7,  testing::kQ9,  testing::kQ10, testing::kQ11,
+      testing::kQ12, testing::kQ13, testing::kQ14,
+  };
+  std::vector<TslQuery> views = {MustParse(testing::kV1, "V1")};
+  for (std::string_view text : fixtures) {
+    ExpectParallelMatchesSequential(MustParse(text), views);
+  }
+}
+
+TEST(ParallelRewriteTest, FixturesOverViewBodiesAreByteIdentical) {
+  // (Q4)/(Q6)/(Q8) have @V1 conditions — candidates over the view itself.
+  std::vector<TslQuery> views = {MustParse(testing::kV1, "V1")};
+  for (std::string_view text :
+       {testing::kQ4, testing::kQ4n, testing::kQ6, testing::kQ8}) {
+    ExpectParallelMatchesSequential(MustParse(text), views);
+  }
+}
+
+TEST(ParallelRewriteTest, DtdEnabledRewritingIsByteIdentical) {
+  // Example 3.5: the rewriting of (Q7) exists only under the DTD — the
+  // constraint-exempt chase path through the memo must agree too.
+  auto dtd = Dtd::Parse(testing::kPersonDtd);
+  ASSERT_TRUE(dtd.ok()) << dtd.status();
+  StructuralConstraints constraints(std::move(dtd).value());
+  RewriteOptions options;
+  options.constraints = &constraints;
+  ExpectParallelMatchesSequential(MustParse(testing::kQ7),
+                                  {MustParse(testing::kV1, "V1")}, options);
+}
+
+TEST(ParallelRewriteTest, RandomRuleSetsAreByteIdentical) {
+  for (uint64_t seed : {3u, 17u, 99u}) {
+    testing::RandomRules rules(seed, 4, 4, "l0");
+    std::vector<TslQuery> views = {rules.View("V1", "db"),
+                                   rules.CopyView("V2", "db"),
+                                   rules.DeepView("V3", "db")};
+    for (int i = 0; i < 4; ++i) {
+      ExpectParallelMatchesSequential(rules.Query("Q", "db"), views);
+    }
+  }
+}
+
+TEST(ParallelRewriteTest, PerArmStarIsByteIdenticalWithAndWithoutPruning) {
+  TslQuery query = StarQuery(5);
+  std::vector<TslQuery> views = PerArmViews(5);
+  RewriteOptions options;
+  ExpectParallelMatchesSequential(query, views, options);
+  options.prune_dominated = false;
+  ExpectParallelMatchesSequential(query, views, options);
+  options.use_cover_heuristic = false;
+  ExpectParallelMatchesSequential(StarQuery(3), PerArmViews(3), options);
+}
+
+TEST(ParallelRewriteTest, TruncationIsByteIdentical) {
+  TslQuery query = StarQuery(5);
+  std::vector<TslQuery> views = PerArmViews(5);
+  RewriteOptions options;
+  options.prune_dominated = false;
+  options.max_candidates = 10;
+  ExpectParallelMatchesSequential(query, views, options);
+
+  // strict_limits: the ResourceExhausted message embeds
+  // candidates_generated, so byte-identical errors require byte-identical
+  // counters at the cut.
+  options.strict_limits = true;
+  ExpectParallelMatchesSequential(query, views, options);
+}
+
+TEST(ParallelRewriteTest, StatefulShouldStopIsByteIdentical) {
+  // should_stop is polled on the enumerating thread only, once per emitted
+  // candidate in enumeration order — a counting hook therefore fires at
+  // the same candidate on both paths.
+  TslQuery query = StarQuery(5);
+  std::vector<TslQuery> views = PerArmViews(5);
+  for (size_t workers : {1u, 2u, 8u}) {
+    RewriteOptions options;
+    options.prune_dominated = false;
+    options.parallelism = workers;
+    size_t polls = 0;
+    options.should_stop = [&polls] { return ++polls > 12; };
+    Result<RewriteResult> result = RewriteQuery(query, views, options);
+    ASSERT_TRUE(result.ok()) << result.status();
+    EXPECT_TRUE(result->truncated);
+    EXPECT_EQ(result->candidates_generated, 12u);
+  }
+}
+
+TEST(ParallelRewriteTest, SharedWorkCountersReportTheSharing) {
+  // CL-EXP-CAND shape: all 2^k - 1 candidates compose to α-equivalent rule
+  // sets, so at most one verdict per worker is computed from scratch; the
+  // rest must come from the memo. Sequential runs never touch the caches.
+  TslQuery query = StarQuery(5);
+  std::vector<TslQuery> views = PerArmViews(5);
+  RewriteOptions options;
+  options.prune_dominated = false;
+
+  options.parallelism = 1;
+  Result<RewriteResult> sequential = RewriteQuery(query, views, options);
+  ASSERT_TRUE(sequential.ok()) << sequential.status();
+  EXPECT_EQ(sequential->chase_cache_hits, 0u);
+  EXPECT_EQ(sequential->equiv_cache_hits, 0u);
+  EXPECT_EQ(sequential->batches_dispatched, 0u);
+
+  options.parallelism = 4;
+  Result<RewriteResult> parallel = RewriteQuery(query, views, options);
+  ASSERT_TRUE(parallel.ok()) << parallel.status();
+  EXPECT_EQ(parallel->candidates_generated, 31u);
+  EXPECT_GE(parallel->batches_dispatched, 1u);
+  EXPECT_GE(parallel->equiv_cache_hits, 1u);
+}
+
+TEST(ParallelRewriteTest, StressPerArmStarAtHighParallelism) {
+  // The TSan workload: many batches, memo contention, dominance pruning,
+  // and the bounded in-flight window all active at once.
+  TslQuery query = StarQuery(5);
+  std::vector<TslQuery> views = PerArmViews(5);
+  RewriteOptions sequential_options;
+  sequential_options.prune_dominated = false;
+  sequential_options.parallelism = 1;
+  Result<RewriteResult> sequential =
+      RewriteQuery(query, views, sequential_options);
+  ASSERT_TRUE(sequential.ok()) << sequential.status();
+  for (int round = 0; round < 4; ++round) {
+    RewriteOptions options = sequential_options;
+    options.parallelism = 8;
+    Result<RewriteResult> parallel = RewriteQuery(query, views, options);
+    ASSERT_TRUE(parallel.ok()) << parallel.status();
+    EXPECT_EQ(RenderRewritings(*sequential), RenderRewritings(*parallel));
+    EXPECT_EQ(sequential->candidates_tested, parallel->candidates_tested);
+  }
+}
+
+}  // namespace
+}  // namespace tslrw

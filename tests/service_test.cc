@@ -15,7 +15,7 @@
 #include "service/canonical.h"
 #include "service/plan_cache.h"
 #include "service/server.h"
-#include "service/thread_pool.h"
+#include "runtime/thread_pool.h"
 #include "tsl/canonical.h"
 
 namespace tslrw {
