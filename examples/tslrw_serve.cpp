@@ -22,6 +22,7 @@
 #include "common/string_util.h"
 #include "mediator/fault.h"
 #include "mediator/mediator.h"
+#include "obs/metrics.h"
 #include "oem/generator.h"
 #include "service/server.h"
 #include "tsl/parser.h"
@@ -108,6 +109,8 @@ int main(int argc, char** argv) {
   options.retry.max_attempts = 3;
   options.retry.initial_backoff_ticks = 1;
   options.rewrite_parallelism = par;
+  MetricRegistry metrics;  // outlives the server (workers write into it)
+  options.metrics = &metrics;
   WrapperFactory factory = nullptr;
   if (faults) {
     // s0 drops its first call of every request, then recovers: retries
@@ -178,8 +181,11 @@ int main(int argc, char** argv) {
   }
   for (std::thread& worker : workers) worker.join();
 
-  ServerStats stats = server.stats();
-  std::printf("%s", stats.ToString().c_str());
+  // The /statsz-style dump: serving-layer counters followed by every
+  // metric the requests recorded (pool admission, plan cache, mediator
+  // retries, rewrite-phase histograms).
+  std::printf("--- /statsz ---\n%s--- end /statsz ---\n",
+              server.Statsz().c_str());
   std::printf(
       "clients: %zu x %zu requests; %llu ok (%llu plan-cache hits), "
       "%llu rejected, %llu failed\n",

@@ -19,6 +19,21 @@ Excluded from the gate:
     ``parallelism=1`` rows of the same sweeps stay gated — they are the
     sequential path this script protects.
 
+Overhead mode::
+
+    check_bench_regression.py CURRENT.json --overhead BM_RewriteObserved \\
+        [--overhead-tolerance 0.05]
+
+gates *paired* instrumented-vs-plain benchmarks: each named benchmark
+runs both variants interleaved within one iteration and exports an
+``overhead`` counter (instrumented/plain wall-time ratio) plus
+``plain_us``/``observed_us``. Every row matching a given name prefix
+fails the gate when its ratio exceeds ``1 + --overhead-tolerance``.
+Pairing inside the benchmark is what makes a few-percent tolerance
+meaningful — comparing two separately-timed rows on a shared CI host
+drifts by far more than the tax being measured. This gates the
+observability tax of tracing + metrics on the sequential rewrite path.
+
 Standard library only; no third-party packages.
 """
 
@@ -47,17 +62,79 @@ def load_times(path):
     return times
 
 
+def check_overhead(path, prefixes, tolerance, min_us):
+    """Gates paired benchmarks that export an ``overhead`` ratio counter.
+
+    ``prefixes`` is a list of benchmark name prefixes (``NAME`` matches
+    ``NAME`` and every ``NAME/<arg>`` row). Rows whose ``plain_us``
+    counter is below ``min_us`` are skipped as timer noise. Returns the
+    exit code.
+    """
+    with open(path, "r", encoding="utf-8") as f:
+        doc = json.load(f)
+    failures = []
+    compared = 0
+    for bench in doc.get("benchmarks", []):
+        if bench.get("run_type") == "aggregate":
+            continue
+        name = bench.get("name", "")
+        if not any(name == p or name.startswith(p + "/") for p in prefixes):
+            continue
+        ratio = bench.get("overhead")
+        if ratio is None:
+            print(f"  {name}: no `overhead` counter; skipped")
+            continue
+        plain_us = bench.get("plain_us", 0.0)
+        observed_us = bench.get("observed_us", 0.0)
+        if plain_us < min_us:
+            continue
+        compared += 1
+        marker = ""
+        if ratio > 1.0 + tolerance:
+            failures.append(name)
+            marker = "  << OVERHEAD"
+        print(f"  {name}: {plain_us:.0f}us plain -> "
+              f"{observed_us:.0f}us observed (x{ratio:.3f}){marker}")
+
+    if not compared:
+        print("no comparable overhead rows; treating as pass")
+        return 0
+    if failures:
+        print(f"\n{len(failures)} benchmark(s) exceed the "
+              f"{tolerance:.0%} instrumentation overhead budget:")
+        for name in failures:
+            print(f"  {name}")
+        return 1
+    print(f"instrumentation overhead within {tolerance:.0%} "
+          f"on all {compared} rows")
+    return 0
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("current", help="fresh benchmark JSON")
-    parser.add_argument("baseline", help="committed baseline JSON")
+    parser.add_argument("baseline", nargs="?",
+                        help="committed baseline JSON (omit with --overhead)")
     parser.add_argument("--tolerance", type=float, default=0.10,
                         help="allowed normalized slowdown (default 0.10)")
     parser.add_argument("--min-us", type=float, default=100.0,
                         help="ignore benchmarks with baseline below this")
     parser.add_argument("--skip", default=r"Parallel.*/(2|4|8)$",
                         help="regex of benchmark names to exclude")
+    parser.add_argument("--overhead", nargs="+", metavar="BENCH",
+                        help="paired benchmarks (with an `overhead` ratio "
+                             "counter) to gate instead of a baseline "
+                             "comparison")
+    parser.add_argument("--overhead-tolerance", type=float, default=0.05,
+                        help="allowed instrumented/plain slowdown in "
+                             "--overhead mode (default 0.05)")
     args = parser.parse_args()
+
+    if args.overhead:
+        return check_overhead(args.current, args.overhead,
+                              args.overhead_tolerance, args.min_us)
+    if not args.baseline:
+        parser.error("baseline JSON is required unless --overhead is given")
 
     current = load_times(args.current)
     baseline = load_times(args.baseline)

@@ -1,0 +1,241 @@
+#!/usr/bin/env python3
+"""Collect per-module test coverage and gate regressions against a baseline.
+
+Two subcommands, in the style of check_bench_regression.py:
+
+    check_coverage.py report --build-dir BUILD [--source-root .] [-o OUT]
+        Runs ``gcov --json-format --stdout`` over every .gcda file in the
+        build tree (the build must be configured with -DTSLRW_COVERAGE=ON
+        and the tests run), merges execution counts per source line and
+        branch, and writes per-``src/`` module line/branch coverage JSON::
+
+            {"modules": {"src/rewrite": {"line_total": 812,
+                                         "line_covered": 790,
+                                         "line_pct": 97.3,
+                                         "branch_total": ...,
+                                         "branch_covered": ...,
+                                         "branch_pct": ...}, ...},
+             "totals": {...}}
+
+    check_coverage.py check CURRENT.json BASELINE.json [--tolerance 2.0]
+        Fails (exit 1) when any module's line coverage percentage dropped
+        by more than ``--tolerance`` points against the committed
+        baseline, or when a baseline module disappeared. New modules and
+        improvements pass (regenerate the baseline to lock them in).
+
+Standard library only; requires the ``gcov`` binary (JSON output needs
+gcc/gcov >= 9).
+"""
+
+import argparse
+import collections
+import json
+import os
+import subprocess
+import sys
+
+
+def find_gcda(build_dir):
+    for root, _dirs, files in os.walk(build_dir):
+        for name in files:
+            if name.endswith(".gcda"):
+                yield os.path.join(root, name)
+
+
+def run_gcov(gcda, source_root):
+    """Yields gcov JSON documents (one per instrumented source) for one
+    .gcda file."""
+    try:
+        out = subprocess.run(
+            ["gcov", "--json-format", "--stdout", "--branch-probabilities",
+             gcda],
+            capture_output=True, check=True, cwd=source_root)
+    except (subprocess.CalledProcessError, FileNotFoundError) as e:
+        print(f"warning: gcov failed on {gcda}: {e}", file=sys.stderr)
+        return
+    # --stdout prints one JSON document per line, one per source file
+    # group; tolerate (skip) any non-JSON diagnostics interleaved.
+    for line in out.stdout.splitlines():
+        line = line.strip()
+        if not line.startswith(b"{"):
+            continue
+        try:
+            yield json.loads(line)
+        except json.JSONDecodeError:
+            continue
+
+
+def normalize(path, source_root):
+    """Repo-relative path for an instrumented file, or None to skip it
+    (system headers, third-party, generated)."""
+    path = os.path.normpath(os.path.join(source_root, path))
+    root = os.path.normpath(os.path.abspath(source_root))
+    try:
+        rel = os.path.relpath(path, root)
+    except ValueError:
+        return None
+    if rel.startswith(".."):
+        return None
+    if not rel.startswith("src" + os.sep):
+        return None
+    return rel.replace(os.sep, "/")
+
+
+def module_of(rel_path):
+    """src/rewrite/rewriter.cc -> src/rewrite; src/top.h -> src."""
+    parts = rel_path.split("/")
+    return "/".join(parts[:2]) if len(parts) > 2 else parts[0]
+
+
+def collect(build_dir, source_root):
+    # Execution counts merged across every translation unit that compiled
+    # the file (headers are seen many times): counts sum per line and per
+    # (line, branch index).
+    line_counts = collections.defaultdict(int)     # (file, line) -> count
+    branch_counts = collections.defaultdict(int)   # (file, line, i) -> count
+    gcda_files = list(find_gcda(build_dir))
+    if not gcda_files:
+        print(f"error: no .gcda files under {build_dir} "
+              "(build with -DTSLRW_COVERAGE=ON and run the tests first)",
+              file=sys.stderr)
+        sys.exit(2)
+    for gcda in gcda_files:
+        for doc in run_gcov(gcda, source_root):
+            for f in doc.get("files", []):
+                rel = normalize(f.get("file", ""), source_root)
+                if rel is None:
+                    continue
+                for line in f.get("lines", []):
+                    number = line.get("line_number")
+                    if number is None:
+                        continue
+                    line_counts[(rel, number)] += int(line.get("count", 0))
+                    for i, br in enumerate(line.get("branches", [])):
+                        branch_counts[(rel, number, i)] += int(
+                            br.get("count", 0))
+    return line_counts, branch_counts
+
+
+def summarize(line_counts, branch_counts):
+    per_module = collections.defaultdict(
+        lambda: {"line_total": 0, "line_covered": 0,
+                 "branch_total": 0, "branch_covered": 0})
+    for (rel, _number), count in line_counts.items():
+        m = per_module[module_of(rel)]
+        m["line_total"] += 1
+        if count > 0:
+            m["line_covered"] += 1
+    for (rel, _number, _i), count in branch_counts.items():
+        m = per_module[module_of(rel)]
+        m["branch_total"] += 1
+        if count > 0:
+            m["branch_covered"] += 1
+
+    def with_pcts(stats):
+        out = dict(stats)
+        out["line_pct"] = round(
+            100.0 * stats["line_covered"] / stats["line_total"], 2) \
+            if stats["line_total"] else 0.0
+        out["branch_pct"] = round(
+            100.0 * stats["branch_covered"] / stats["branch_total"], 2) \
+            if stats["branch_total"] else 0.0
+        return out
+
+    modules = {name: with_pcts(stats)
+               for name, stats in sorted(per_module.items())}
+    totals = {"line_total": 0, "line_covered": 0,
+              "branch_total": 0, "branch_covered": 0}
+    for stats in per_module.values():
+        for key in totals:
+            totals[key] += stats[key]
+    return {"modules": modules, "totals": with_pcts(totals)}
+
+
+def cmd_report(args):
+    line_counts, branch_counts = collect(args.build_dir, args.source_root)
+    summary = summarize(line_counts, branch_counts)
+    text = json.dumps(summary, indent=2, sort_keys=True) + "\n"
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as f:
+            f.write(text)
+    print(f"{'module':<20} {'lines':>16} {'line%':>7} "
+          f"{'branches':>16} {'branch%':>8}")
+    for name, m in summary["modules"].items():
+        print(f"{name:<20} "
+              f"{m['line_covered']:>7}/{m['line_total']:<8} "
+              f"{m['line_pct']:>6.2f} "
+              f"{m['branch_covered']:>7}/{m['branch_total']:<8} "
+              f"{m['branch_pct']:>7.2f}")
+    t = summary["totals"]
+    print(f"{'TOTAL':<20} "
+          f"{t['line_covered']:>7}/{t['line_total']:<8} "
+          f"{t['line_pct']:>6.2f} "
+          f"{t['branch_covered']:>7}/{t['branch_total']:<8} "
+          f"{t['branch_pct']:>7.2f}")
+    return 0
+
+
+def cmd_check(args):
+    with open(args.current, "r", encoding="utf-8") as f:
+        current = json.load(f)["modules"]
+    with open(args.baseline, "r", encoding="utf-8") as f:
+        baseline = json.load(f)["modules"]
+
+    failures = []
+    for name, base in sorted(baseline.items()):
+        cur = current.get(name)
+        if cur is None:
+            failures.append(f"{name}: module missing from current report "
+                            f"(baseline line {base['line_pct']:.2f}%)")
+            continue
+        drop = base["line_pct"] - cur["line_pct"]
+        marker = "FAIL" if drop > args.tolerance else "ok"
+        print(f"{marker:<5} {name:<20} line {base['line_pct']:6.2f}% -> "
+              f"{cur['line_pct']:6.2f}% ({-drop:+.2f})")
+        if drop > args.tolerance:
+            failures.append(
+                f"{name}: line coverage fell {drop:.2f} points "
+                f"({base['line_pct']:.2f}% -> {cur['line_pct']:.2f}%), "
+                f"tolerance {args.tolerance:.2f}")
+    for name in sorted(set(current) - set(baseline)):
+        print(f"new  {name:<20} line {current[name]['line_pct']:6.2f}% "
+              "(not in baseline)")
+
+    if failures:
+        print("\ncoverage regression gate FAILED:", file=sys.stderr)
+        for failure in failures:
+            print(f"  {failure}", file=sys.stderr)
+        print("  (if intentional, regenerate COVERAGE.json via "
+              "`check_coverage.py report` and commit it)", file=sys.stderr)
+        return 1
+    print("\ncoverage gate passed")
+    return 0
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    report = sub.add_parser("report", help="aggregate gcov data to JSON")
+    report.add_argument("--build-dir", required=True,
+                        help="build tree with .gcda files")
+    report.add_argument("--source-root", default=".",
+                        help="repository root (default .)")
+    report.add_argument("-o", "--output",
+                        help="write the JSON summary here")
+    report.set_defaults(func=cmd_report)
+
+    check = sub.add_parser("check", help="gate against a baseline")
+    check.add_argument("current", help="fresh report JSON")
+    check.add_argument("baseline", help="committed baseline JSON")
+    check.add_argument("--tolerance", type=float, default=2.0,
+                       help="allowed line-coverage drop in percentage "
+                            "points per module (default 2.0)")
+    check.set_defaults(func=cmd_check)
+
+    args = parser.parse_args()
+    sys.exit(args.func(args))
+
+
+if __name__ == "__main__":
+    main()

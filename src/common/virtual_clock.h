@@ -1,0 +1,28 @@
+#ifndef TSLRW_COMMON_VIRTUAL_CLOCK_H_
+#define TSLRW_COMMON_VIRTUAL_CLOCK_H_
+
+#include <cstdint>
+
+namespace tslrw {
+
+/// \brief Injectable virtual time for the fault-tolerant execution layer
+/// and the observability layer.
+///
+/// The mediator core never reads a wall clock: waiting out a backoff or a
+/// slow source *advances* a VirtualClock by whole ticks. Tests, the fault
+/// injector, and the tracer share one clock, which makes every timeout,
+/// backoff, deadline — and every trace span — deterministic and
+/// instantaneous: no test ever sleeps, and a fixed seed replays the same
+/// span tree byte for byte.
+class VirtualClock {
+ public:
+  uint64_t now() const { return now_; }
+  void Advance(uint64_t ticks) { now_ += ticks; }
+
+ private:
+  uint64_t now_ = 0;
+};
+
+}  // namespace tslrw
+
+#endif  // TSLRW_COMMON_VIRTUAL_CLOCK_H_

@@ -3,6 +3,7 @@
 #include <deque>
 
 #include "common/string_util.h"
+#include "obs/trace.h"
 
 namespace tslrw {
 
@@ -86,23 +87,34 @@ Result<WrapperResult> FaultInjector::Fetch(const Capability& capability,
   size_t call = calls_[*key]++;
   Fault fault = Fault::None();
   if (schedule != nullptr) fault = schedule->ForCall(call);
+  auto trace_fault = [&] {
+    if (tracer_ != nullptr) {
+      tracer_->EventHere(StrCat("fault: ", source, " call ", call + 1, " ",
+                                fault.ToString()));
+    }
+  };
   switch (fault.kind) {
     case Fault::Kind::kUnavailable:
+      trace_fault();
       return Status::Unavailable(
           StrCat("source ", source, " is unavailable (scripted, call ",
                  call + 1, ")"));
     case Fault::Kind::kFlaky:
       if (rng_.NextUnit() < fault.probability) {
+        trace_fault();
         return Status::Unavailable(
             StrCat("source ", source, " dropped the connection (flaky, call ",
                    call + 1, ")"));
       }
       break;
     case Fault::Kind::kSlowBy:
+      trace_fault();
       if (clock_ != nullptr) clock_->Advance(fault.ticks);
       break;
     case Fault::Kind::kNone:
+      break;
     case Fault::Kind::kTruncated:
+      trace_fault();
       break;
   }
   TSLRW_ASSIGN_OR_RETURN(WrapperResult result,

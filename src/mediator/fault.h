@@ -12,6 +12,8 @@
 
 namespace tslrw {
 
+class Tracer;
+
 /// \brief One scripted failure mode for a source.
 struct Fault {
   enum class Kind : uint8_t {
@@ -82,10 +84,18 @@ class FaultInjector : public Wrapper {
   /// name when a view-keyed schedule exists, the source name otherwise).
   size_t calls(const std::string& key) const;
 
+  /// Makes injected faults visible in the caller's span tree: each fired
+  /// fault becomes an instant event on the innermost open span — in the
+  /// mediator, the `mediator.fetch` span of the affected call. Faults are
+  /// scripted and the coin RNG is seeded, so the events are as
+  /// deterministic as the schedule itself. Null detaches.
+  void set_tracer(Tracer* tracer) { tracer_ = tracer; }
+
  private:
   Wrapper* inner_;
   DeterministicRng rng_;
   VirtualClock* clock_;
+  Tracer* tracer_ = nullptr;
   std::map<std::string, FaultSchedule> schedules_;
   std::map<std::string, size_t> calls_;
 };

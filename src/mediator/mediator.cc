@@ -7,6 +7,8 @@
 
 #include "common/string_util.h"
 #include "eval/evaluator.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "rewrite/contained.h"
 
 namespace tslrw {
@@ -237,11 +239,22 @@ Result<MediatorPlanSet> Mediator::PlanOverViews(
 }
 
 Result<MediatorPlanSet> Mediator::Plan(const TslQuery& query,
-                                       size_t rewrite_parallelism) const {
+                                       size_t rewrite_parallelism,
+                                       Tracer* tracer,
+                                       MetricRegistry* metrics) const {
   RewriteOptions options;
   options.constraints = constraints_;
   options.parallelism = rewrite_parallelism;
-  return PlanOverViews(query, AllViews(), options);
+  options.tracer = tracer;
+  options.metrics = metrics;
+  ScopedSpan span(tracer, "mediator.plan_search");
+  CountIf(metrics, "mediator.plan_searches");
+  Result<MediatorPlanSet> set = PlanOverViews(query, AllViews(), options);
+  if (set.ok()) {
+    span.Annotate("plans", static_cast<uint64_t>(set->size()));
+    span.Annotate("truncated", set->truncated ? "true" : "false");
+  }
+  return set;
 }
 
 bool Mediator::QueryDeadlineExceeded(const ExecContext& ctx) {
@@ -254,11 +267,16 @@ Result<WrapperResult> Mediator::FetchWithRetry(const Capability& capability,
   const std::string source = SourceOfView(capability.view.name);
   FetchRecord* record =
       ctx.report->RecordFor(source, capability.view.name);
+  ScopedSpan fetch_span(ctx.tracer, "mediator.fetch");
+  fetch_span.Annotate("view", capability.view.name);
+  fetch_span.Annotate("source", source);
   const size_t max_attempts = std::max<size_t>(ctx.retry->max_attempts, 1);
   Status last = Status::Unavailable(
       StrCat("source ", source, " unreachable"));
   for (size_t attempt = 1; attempt <= max_attempts; ++attempt) {
     if (QueryDeadlineExceeded(ctx)) {
+      fetch_span.Event("query deadline exceeded before attempt");
+      CountIf(ctx.metrics, "mediator.fetch_deadline_aborts");
       return Status::DeadlineExceeded(
           StrCat("per-query deadline of ",
                  ctx.retry->per_query_deadline_ticks,
@@ -266,6 +284,8 @@ Result<WrapperResult> Mediator::FetchWithRetry(const Capability& capability,
                  source));
     }
     const uint64_t started = ctx.clock->now();
+    CountIf(ctx.metrics, "mediator.fetch_attempts");
+    if (attempt > 1) CountIf(ctx.metrics, "mediator.retries");
     Result<WrapperResult> fetched = ctx.wrapper->Fetch(capability, catalog);
     const uint64_t elapsed = ctx.clock->now() - started;
     Status outcome = fetched.ok() ? Status::OK() : fetched.status();
@@ -279,22 +299,39 @@ Result<WrapperResult> Mediator::FetchWithRetry(const Capability& capability,
                  ctx.retry->per_call_deadline_ticks));
     }
     record->attempts.push_back(AttemptRecord{started, outcome, 0});
+    fetch_span.Event(StrCat("attempt ", attempt, ": ",
+                            outcome.ok()
+                                ? "ok"
+                                : StatusCodeToString(outcome.code())));
     if (outcome.ok()) {
       record->succeeded = true;
       record->truncated = record->truncated || !fetched->complete;
+      if (!fetched->complete) {
+        fetch_span.Annotate("truncated", "true");
+        CountIf(ctx.metrics, "mediator.fetches_truncated");
+      }
+      CountIf(ctx.metrics, "mediator.fetches_ok");
+      ObserveIf(ctx.metrics, "mediator.fetch_attempts_per_call", attempt);
       return fetched;
     }
     last = outcome;
-    if (!IsRetryableFailure(outcome)) return outcome;
+    if (!IsRetryableFailure(outcome)) {
+      CountIf(ctx.metrics, "mediator.fetch_permanent_failures");
+      return outcome;
+    }
     if (attempt < max_attempts) {
       uint64_t backoff = ctx.retry->BackoffAfterAttempt(attempt, ctx.rng);
       if (backoff > 0) {
         ctx.clock->Advance(backoff);
         record->attempts.back().backoff_ticks = backoff;
         ctx.report->backoff_ticks_total += backoff;
+        fetch_span.Event(StrCat("backoff ", backoff, " tick(s)"));
+        CountIf(ctx.metrics, "mediator.backoff_ticks", backoff);
       }
     }
   }
+  fetch_span.Annotate("exhausted", "true");
+  CountIf(ctx.metrics, "mediator.fetches_exhausted");
   return last;
 }
 
@@ -353,7 +390,10 @@ Result<OemDatabase> Mediator::Execute(const MediatorPlan& plan,
   ctx.report = report != nullptr ? report : &local_report;
   ctx.answer_name = plan.rewriting.name.empty() ? "answer"
                                                 : plan.rewriting.name;
+  ctx.tracer = policy.tracer;
+  ctx.metrics = policy.metrics;
   ++ctx.report->plans_attempted;
+  CountIf(ctx.metrics, "mediator.plans_attempted");
   std::string failed_source;
   TSLRW_ASSIGN_OR_RETURN(PlanExecution exec,
                          RunPlan(plan, catalog, ctx, &failed_source));
@@ -370,6 +410,8 @@ RewriteOptions Mediator::PlanningOptions(const ExecutionPolicy& policy,
   options.constraints = constraints_;
   options.strict_limits = policy.strict;
   options.parallelism = policy.rewrite_parallelism;
+  options.tracer = policy.tracer;
+  options.metrics = policy.metrics;
   if (deadline_ticks > 0) {
     options.should_stop = [clock, deadline_ticks] {
       return clock->now() >= deadline_ticks;
@@ -394,8 +436,13 @@ Result<DegradedAnswer> Mediator::Answer(const TslQuery& query,
           : effective.clock->now() + effective.retry.per_query_deadline_ticks;
   RewriteOptions plan_options =
       PlanningOptions(effective, effective.clock, deadline_ticks);
+  ScopedSpan plan_span(effective.tracer, "mediator.plan_search");
+  CountIf(effective.metrics, "mediator.plan_searches");
   TSLRW_ASSIGN_OR_RETURN(MediatorPlanSet plans,
                          PlanOverViews(query, AllViews(), plan_options));
+  plan_span.Annotate("plans", static_cast<uint64_t>(plans.size()));
+  plan_span.Annotate("truncated", plans.truncated ? "true" : "false");
+  plan_span.EndNow();
   return AnswerWithPlans(query, plans, catalog, effective);
 }
 
@@ -417,6 +464,11 @@ Result<DegradedAnswer> Mediator::AnswerWithPlans(
           : ctx.clock->now() + policy.retry.per_query_deadline_ticks;
   ctx.report = &report;
   ctx.answer_name = query.name.empty() ? "answer" : query.name;
+  ctx.tracer = policy.tracer;
+  ctx.metrics = policy.metrics;
+  ScopedSpan answer_span(ctx.tracer, "mediator.answer");
+  answer_span.Annotate("plans", static_cast<uint64_t>(plans.size()));
+  CountIf(ctx.metrics, "mediator.answers");
 
   // Options for the failover re-plan over live views; also where a strict
   // caller learns that a cached plan list was itself truncated (Answer
@@ -456,6 +508,9 @@ Result<DegradedAnswer> Mediator::AnswerWithPlans(
       }
       if (touches_dead) {
         ++report.plans_skipped;
+        CountIf(ctx.metrics, "mediator.plans_skipped");
+        answer_span.Event(
+            StrCat("plan ", plan.rewriting.name, " skipped: dead view"));
         continue;
       }
       if (QueryDeadlineExceeded(ctx)) {
@@ -465,9 +520,14 @@ Result<DegradedAnswer> Mediator::AnswerWithPlans(
                    " tick(s) exceeded during plan failover"));
       }
       ++report.plans_attempted;
+      CountIf(ctx.metrics, "mediator.plans_attempted");
+      ScopedSpan attempt_span(ctx.tracer, "mediator.plan_attempt");
+      attempt_span.Annotate("plan", plan.rewriting.name);
+      attempt_span.Annotate("cost", static_cast<uint64_t>(plan.cost));
       std::string failed_view;
       Result<PlanExecution> run = RunPlan(plan, catalog, ctx, &failed_view);
       if (run.ok()) {
+        attempt_span.Annotate("outcome", "ok");
         DegradedAnswer answer;
         answer.result = std::move(run->answer);
         answer.completeness = run->any_truncated ? Completeness::kPartial
@@ -478,8 +538,13 @@ Result<DegradedAnswer> Mediator::AnswerWithPlans(
       if (!failed_view.empty() && !QueryDeadlineExceeded(ctx)) {
         dead.insert(failed_view);
         last_failure = run.status();
+        attempt_span.Annotate("outcome",
+                              StrCat("failover: view ", failed_view, " dead"));
+        CountIf(ctx.metrics, "mediator.failovers");
         continue;  // failover: try the next plan
       }
+      attempt_span.Annotate("outcome",
+                            StatusCodeToString(run.status().code()));
       return run.status();  // hard error, or the query budget is gone
     }
     return Status::OK();
@@ -499,9 +564,15 @@ Result<DegradedAnswer> Mediator::AnswerWithPlans(
     }
     if (!live_views.empty()) {
       report.replanned = true;
+      CountIf(ctx.metrics, "mediator.replans");
+      ScopedSpan replan_span(ctx.tracer, "mediator.replan");
+      replan_span.Annotate("live_views",
+                           static_cast<uint64_t>(live_views.size()));
       TSLRW_ASSIGN_OR_RETURN(
           MediatorPlanSet replanned,
           PlanOverViews(query, live_views, plan_options));
+      replan_span.Annotate("plans", static_cast<uint64_t>(replanned.size()));
+      replan_span.EndNow();
       report.plan_search_truncated =
           report.plan_search_truncated || replanned.truncated;
       report.plan_search.Add(replanned.search);
@@ -515,15 +586,28 @@ Result<DegradedAnswer> Mediator::AnswerWithPlans(
     report.unreachable_sources = SourcesOfViews(dead);
     report.finished_at_ticks = ctx.clock->now();
     answered->unreachable_sources = report.unreachable_sources;
+    answer_span.Annotate("completeness",
+                         CompletenessToString(answered->completeness));
+    if (report.failover) {
+      answer_span.Annotate("failover", "true");
+      CountIf(ctx.metrics, "mediator.answers_with_failover");
+    }
+    CountIf(ctx.metrics,
+            answered->completeness == Completeness::kComplete
+                ? "mediator.answers_complete"
+                : "mediator.answers_partial");
     answered->report = std::move(report);
     return std::move(*answered);
   }
 
   if (!policy.allow_degraded) {
+    answer_span.Annotate("completeness", "refused");
+    CountIf(ctx.metrics, "mediator.answers_refused");
     return last_failure.ok()
                ? Status::Unavailable("every total plan touches a dead source")
                : last_failure;
   }
+  answer_span.Annotate("completeness", "degraded-fallback");
   return DegradedFallback(query, catalog, ctx, std::move(dead),
                           std::move(report));
 }
@@ -535,6 +619,8 @@ Result<DegradedAnswer> Mediator::DegradedFallback(
   // \S7's escape hatch: no total plan survives, but the live views still
   // admit sound, maximally-contained answers — return their union instead
   // of nothing.
+  ScopedSpan degraded_span(ctx.tracer, "mediator.degraded_fallback");
+  CountIf(ctx.metrics, "mediator.degraded_fallbacks");
   std::vector<TslQuery> live_views;
   for (const SourceDescription& sd : sources_) {
     for (const Capability& cap : sd.capabilities) {
@@ -619,6 +705,16 @@ Result<DegradedAnswer> Mediator::DegradedFallback(
   report.completeness = answer.completeness;
   report.unreachable_sources = answer.unreachable_sources;
   report.finished_at_ticks = ctx.clock->now();
+  degraded_span.Annotate("contained_rules",
+                         static_cast<uint64_t>(
+                             contained.rewriting.rules.size()));
+  degraded_span.Annotate("live_rules",
+                         static_cast<uint64_t>(live_rules.rules.size()));
+  degraded_span.Annotate("completeness",
+                         CompletenessToString(answer.completeness));
+  CountIf(ctx.metrics, answer.completeness == Completeness::kComplete
+                           ? "mediator.answers_complete"
+                           : "mediator.answers_degraded");
   answer.report = std::move(report);
   return answer;
 }

@@ -85,6 +85,16 @@ struct ExecutionPolicy {
   /// (RewriteOptions::parallelism): 0 = hardware concurrency, 1 = the exact
   /// sequential path. Plans are byte-identical either way.
   size_t rewrite_parallelism = 0;
+  /// Optional span tree for this execution (docs/OBSERVABILITY.md): plan
+  /// search, per-plan attempts, fetch retries/backoffs, failover and
+  /// degraded-fallback decisions. Everything recorded is driven by the
+  /// virtual clock and the seeded RNG, so a fixed seed + schedule replays
+  /// the trace byte for byte. Also handed to a FaultInjector sharing the
+  /// tracer so injected faults appear as events inside fetch spans.
+  Tracer* tracer = nullptr;
+  /// Optional metric sink (attempt/retry/failover/degraded counters plus
+  /// the rewriter's metrics for in-line plan searches).
+  MetricRegistry* metrics = nullptr;
 };
 
 /// \brief A fault-tolerant answer: the consolidated result annotated with
@@ -135,8 +145,12 @@ class Mediator {
   /// \param rewrite_parallelism verification workers for the candidate
   ///        search (RewriteOptions::parallelism semantics); the plan list
   ///        is byte-identical for every value.
+  /// \param tracer / \param metrics optional observability sinks for the
+  ///        underlying rewrite search (may be null).
   Result<MediatorPlanSet> Plan(const TslQuery& query,
-                               size_t rewrite_parallelism = 0) const;
+                               size_t rewrite_parallelism = 0,
+                               Tracer* tracer = nullptr,
+                               MetricRegistry* metrics = nullptr) const;
 
   /// Executes a plan: sends each used capability view to its wrapper, then
   /// evaluates the rewriting over the collected results and consolidates
@@ -208,6 +222,8 @@ class Mediator {
     uint64_t deadline_ticks;  ///< absolute per-query deadline; 0 = none
     ExecutionReport* report;
     std::string answer_name;
+    Tracer* tracer = nullptr;          ///< may be null
+    MetricRegistry* metrics = nullptr; ///< may be null
   };
 
   Mediator(std::vector<SourceDescription> sources,

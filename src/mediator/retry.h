@@ -5,23 +5,9 @@
 #include <cstdint>
 
 #include "common/status.h"
+#include "common/virtual_clock.h"
 
 namespace tslrw {
-
-/// \brief Injectable virtual time for the fault-tolerant execution layer.
-///
-/// The mediator core never reads a wall clock: waiting out a backoff or a
-/// slow source *advances* a VirtualClock by whole ticks. Tests and the
-/// fault injector share one clock, which makes every timeout, backoff, and
-/// deadline deterministic and instantaneous — no test ever sleeps.
-class VirtualClock {
- public:
-  uint64_t now() const { return now_; }
-  void Advance(uint64_t ticks) { now_ += ticks; }
-
- private:
-  uint64_t now_ = 0;
-};
 
 /// \brief Deterministic 64-bit RNG (SplitMix64). Backoff jitter and fault
 /// coins must replay identically under a fixed seed, so the execution layer

@@ -1,0 +1,106 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <bit>
+#include <limits>
+#include <sstream>
+
+namespace tslrw {
+
+size_t Histogram::BucketIndex(uint64_t sample) {
+  return static_cast<size_t>(std::bit_width(sample));
+}
+
+std::pair<uint64_t, uint64_t> Histogram::BucketRange(size_t i) {
+  if (i == 0) return {0, 0};
+  uint64_t lo = uint64_t{1} << (i - 1);
+  uint64_t hi = (i >= 64) ? std::numeric_limits<uint64_t>::max()
+                          : (uint64_t{1} << i) - 1;
+  return {lo, hi};
+}
+
+void Histogram::Observe(uint64_t sample) {
+  buckets_[BucketIndex(sample)].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(sample, std::memory_order_relaxed);
+}
+
+Counter* MetricRegistry::GetCounter(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    it = counters_.emplace(std::string(name), std::make_unique<Counter>())
+             .first;
+  }
+  return it->second.get();
+}
+
+Gauge* MetricRegistry::GetGauge(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = gauges_.find(name);
+  if (it == gauges_.end()) {
+    it = gauges_.emplace(std::string(name), std::make_unique<Gauge>()).first;
+  }
+  return it->second.get();
+}
+
+Histogram* MetricRegistry::GetHistogram(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    it = histograms_.emplace(std::string(name), std::make_unique<Histogram>())
+             .first;
+  }
+  return it->second.get();
+}
+
+MetricsSnapshot MetricRegistry::Snapshot() const {
+  MetricsSnapshot snap;
+  std::lock_guard<std::mutex> lock(mu_);
+  snap.counters.reserve(counters_.size());
+  for (const auto& [name, counter] : counters_) {
+    snap.counters.emplace_back(name, counter->value());
+  }
+  snap.gauges.reserve(gauges_.size());
+  for (const auto& [name, gauge] : gauges_) {
+    snap.gauges.emplace_back(name, gauge->value());
+  }
+  snap.histograms.reserve(histograms_.size());
+  for (const auto& [name, histogram] : histograms_) {
+    HistogramSnapshot h;
+    h.name = name;
+    h.count = histogram->count();
+    h.sum = histogram->sum();
+    for (size_t i = 0; i < Histogram::kBuckets; ++i) {
+      uint64_t c = histogram->bucket(i);
+      if (c != 0) h.buckets.emplace_back(i, c);
+    }
+    snap.histograms.push_back(std::move(h));
+  }
+  return snap;
+}
+
+std::string MetricsSnapshot::ToText() const {
+  std::ostringstream out;
+  for (const auto& [name, value] : counters) {
+    out << name << " " << value << "\n";
+  }
+  for (const auto& [name, value] : gauges) {
+    out << name << " " << value << "\n";
+  }
+  for (const auto& h : histograms) {
+    out << h.name << " count=" << h.count << " sum=" << h.sum;
+    for (const auto& [index, count] : h.buckets) {
+      auto [lo, hi] = Histogram::BucketRange(index);
+      out << " [" << lo;
+      if (hi != lo) out << ".." << hi;
+      out << "]=" << count;
+    }
+    out << "\n";
+  }
+  return out.str();
+}
+
+std::string MetricRegistry::ToText() const { return Snapshot().ToText(); }
+
+}  // namespace tslrw

@@ -50,7 +50,12 @@ constexpr std::string_view kHelp =
     "  serve <query> [seed <n>]         answer through the server and its\n"
     "                                   rewriting-plan cache\n"
     "  serve stop                       stop the server\n"
-    "  stats                            serving-layer counters\n"
+    "  stats                            serving-layer counters and session\n"
+    "                                   metrics\n"
+    "  trace on|off                     record span trees for rewrite,\n"
+    "                                   mediate, and serve commands\n"
+    "  trace dump [json]                last trace as text, or as Chrome\n"
+    "                                   trace_event JSON (chrome://tracing)\n"
     "  show sources|views|queries|constraints|capabilities|faults\n"
     "  load <path>                      run a script file\n"
     "  write <source> <path>            save a source's OEM text\n"
@@ -113,6 +118,7 @@ std::string ReplSession::Execute(std::string_view line) {
   if (command == "mediate") return Mediate(rest);
   if (command == "serve") return Serve(rest);
   if (command == "stats") return Stats(rest);
+  if (command == "trace") return TraceCmd(rest);
   if (command == "show") return Show(rest);
   if (command == "load") return Load(rest);
   if (command == "write") return WriteSource(rest);
@@ -243,6 +249,8 @@ std::string ReplSession::Rewrite(std::string_view rest, bool contained) {
   RewriteOptions options;
   options.constraints = constraints_ptr();
   options.require_total = total;
+  options.tracer = StartTrace();
+  options.metrics = &metrics_;
   if (contained) {
     auto result = FindMaximallyContainedRewriting(*query, Views(), options);
     if (!result.ok()) return RenderError(result.status());
@@ -508,8 +516,14 @@ std::string ReplSession::Mediate(std::string_view rest) {
   auto mediator = Mediator::Make(std::move(sources), constraints_ptr());
   if (!mediator.ok()) return RenderError(mediator.status());
   CatalogWrapper base;
-  VirtualClock clock;
-  FaultInjector injector(&base, seed, &clock);
+  // With tracing on, execution runs on the trace clock so span timestamps
+  // are the same virtual ticks deadlines and backoffs count in.
+  Tracer* tracer = StartTrace();
+  VirtualClock local_clock;
+  VirtualClock* clock =
+      tracer != nullptr ? trace_clock_.get() : &local_clock;
+  FaultInjector injector(&base, seed, clock);
+  injector.set_tracer(tracer);
   for (const auto& [src, fault] : faults_) {
     FaultSchedule schedule;
     schedule.steady_state = fault;
@@ -517,11 +531,19 @@ std::string ReplSession::Mediate(std::string_view rest) {
   }
   ExecutionPolicy policy;
   policy.wrapper = &injector;
-  policy.clock = &clock;
+  policy.clock = clock;
   policy.seed = seed;
+  policy.tracer = tracer;
+  policy.metrics = &metrics_;
   auto answer = mediator->Answer(*query, catalog_, policy);
   if (!answer.ok()) return RenderError(answer.status());
-  return StrCat(answer->result.ToString(), answer->report.ToString());
+  std::string out =
+      StrCat(answer->result.ToString(), answer->report.ToString());
+  if (tracer != nullptr) {
+    out += StrCat("trace: ", tracer->span_count(),
+                  " span(s) recorded (`trace dump`)\n");
+  }
+  return out;
 }
 
 std::string ReplSession::Serve(std::string_view rest) {
@@ -552,12 +574,22 @@ std::string ReplSession::Serve(std::string_view rest) {
   if (!query.ok()) return RenderError(query.status());
   ServeOptions serve;
   serve.seed = seed;
+  // The server rebinds the tracer to its per-request clock (set_clock)
+  // before the request span opens; trace_clock_ is just the placeholder
+  // the tracer is born with.
+  serve.tracer = StartTrace();
   auto submitted = server_->Submit(*query, serve);
   if (!submitted.ok()) return RenderError(submitted.status());
   auto response = std::move(submitted).value().get();
   if (!response.ok()) return RenderError(response.status());
-  return StrCat(response->answer.result.ToString(), "plan cache: ",
-                response->plan_cache_hit ? "hit" : "miss", "\n");
+  std::string out =
+      StrCat(response->answer.result.ToString(), "plan cache: ",
+             response->plan_cache_hit ? "hit" : "miss", "\n");
+  if (serve.tracer != nullptr) {
+    out += StrCat("trace: ", serve.tracer->span_count(),
+                  " span(s) recorded (`trace dump`)\n");
+  }
+  return out;
 }
 
 std::string ReplSession::ServeStart(std::string_view rest) {
@@ -570,6 +602,7 @@ std::string ReplSession::ServeStart(std::string_view rest) {
     return "error: no capabilities defined (see `capability`)\n";
   }
   ServerOptions options;
+  options.metrics = &metrics_;
   while (!rest.empty()) {
     std::string_view option = TakeWord(&rest);
     std::string value(TakeWord(&rest));
@@ -611,8 +644,54 @@ std::string ReplSession::ServeStart(std::string_view rest) {
 
 std::string ReplSession::Stats(std::string_view rest) {
   if (!Trim(rest).empty()) return "usage: stats\n";
-  if (server_ == nullptr) return "no server running\n";
-  return server_->stats().ToString();
+  std::string out;
+  if (server_ != nullptr) out += server_->stats().ToString();
+  std::string metrics = metrics_.ToText();
+  if (!metrics.empty()) {
+    out += "metrics:\n";
+    out += metrics;
+  }
+  if (out.empty()) {
+    return "no server running and no metrics recorded yet\n";
+  }
+  return out;
+}
+
+Tracer* ReplSession::StartTrace() {
+  if (!trace_enabled_) return nullptr;
+  // Drop the old tracer before its clock: last_trace_ holds a pointer into
+  // trace_clock_, so the replacement order matters.
+  last_trace_.reset();
+  trace_clock_ = std::make_unique<VirtualClock>();
+  last_trace_ = std::make_unique<Tracer>(trace_clock_.get());
+  return last_trace_.get();
+}
+
+std::string ReplSession::TraceCmd(std::string_view rest) {
+  constexpr std::string_view kUsage = "usage: trace on|off|dump [json]\n";
+  std::string_view word = TakeWord(&rest);
+  if (word == "on") {
+    if (!Trim(rest).empty()) return std::string(kUsage);
+    trace_enabled_ = true;
+    return "tracing on: rewrite/mediate/serve record spans "
+           "(`trace dump` shows the last command)\n";
+  }
+  if (word == "off") {
+    if (!Trim(rest).empty()) return std::string(kUsage);
+    trace_enabled_ = false;
+    return "tracing off\n";
+  }
+  if (word == "dump") {
+    std::string_view format = TakeWord(&rest);
+    if (!format.empty() && format != "json") return std::string(kUsage);
+    if (!Trim(rest).empty()) return std::string(kUsage);
+    if (last_trace_ == nullptr) {
+      return "no trace recorded (see `trace on`, then run a command)\n";
+    }
+    return format == "json" ? last_trace_->ToChromeJson()
+                            : last_trace_->ToText();
+  }
+  return std::string(kUsage);
 }
 
 std::string ReplSession::Show(std::string_view rest) {

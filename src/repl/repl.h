@@ -12,6 +12,8 @@
 #include "constraints/inference.h"
 #include "mediator/fault.h"
 #include "mediator/mediator.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "oem/database.h"
 #include "rewrite/chase.h"
 #include "service/server.h"
@@ -47,7 +49,9 @@ namespace tslrw {
 ///                               % start the concurrent serving layer
 /// serve Q3 [seed 7]             % answer through the server + plan cache
 /// serve stop
-/// stats                         % serving-layer counters (hits, rejects)
+/// stats                         % serving-layer counters + session metrics
+/// trace on                      % record spans for rewrite/mediate/serve
+/// trace dump [json]             % last trace as text or Chrome JSON
 /// show sources|views|queries|constraints|capabilities|faults
 /// help
 /// ```
@@ -90,6 +94,7 @@ class ReplSession {
   std::string Serve(std::string_view rest);
   std::string ServeStart(std::string_view rest);
   std::string Stats(std::string_view rest);
+  std::string TraceCmd(std::string_view rest);
   std::string Show(std::string_view rest);
   std::string Load(std::string_view rest);
   std::string WriteSource(std::string_view rest);
@@ -121,6 +126,18 @@ class ReplSession {
   /// Steady-state faults scripted with `fault`, injected around `mediate`.
   std::map<std::string, Fault, std::less<>> faults_;
   std::optional<StructuralConstraints> constraints_;
+  /// When tracing is on, returns a fresh Tracer (kept for `trace dump`,
+  /// clocked by `trace_clock_`); null while tracing is off.
+  Tracer* StartTrace();
+  /// Session-wide metric sink: `rewrite`, `mediate`, and the serving layer
+  /// all record here; `stats` prints it. Declared before `server_` so the
+  /// server (whose workers write metrics) is destroyed first.
+  MetricRegistry metrics_;
+  /// `trace on|off|dump` state. Each traced command replaces the clock and
+  /// tracer pair, so `trace dump` always shows the latest command.
+  bool trace_enabled_ = false;
+  std::unique_ptr<VirtualClock> trace_clock_;
+  std::unique_ptr<Tracer> last_trace_;
   /// The concurrent serving layer behind `serve`/`stats`. While running,
   /// catalog mutations (`source`, `materialize`) are routed through its
   /// snapshot swap and `capability` changes replace its mediator; `fault`

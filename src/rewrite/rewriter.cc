@@ -6,6 +6,8 @@
 
 #include "common/string_util.h"
 #include "equiv/equivalence.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "rewrite/candidate.h"
 #include "rewrite/compose.h"
 #include "rewrite/parallel.h"
@@ -21,6 +23,15 @@ size_t ResolveParallelism(size_t requested) {
   if (requested != 0) return requested;
   const unsigned hw = std::thread::hardware_concurrency();
   return hw == 0 ? 1 : hw;
+}
+
+using SteadyClock = std::chrono::steady_clock;
+
+uint64_t ElapsedUs(SteadyClock::time_point start) {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          SteadyClock::now() - start)
+          .count());
 }
 
 /// Chases the query and every view; NotOk on hard errors. An unsatisfiable
@@ -80,6 +91,9 @@ Result<RewriteResult> RewriteQuery(const TslQuery& query,
                                    const std::vector<TslQuery>& views,
                                    const RewriteOptions& options) {
   TSLRW_RETURN_NOT_OK(ValidateQuery(query));
+  ScopedSpan rewrite_span(options.tracer, "rewrite");
+  rewrite_span.Annotate("views", static_cast<uint64_t>(views.size()));
+  CountIf(options.metrics, "rewrite.queries");
   ChaseOptions chase_options;
   chase_options.constraints = options.constraints;
   // The constraints describe the source data; candidate bodies contain
@@ -88,17 +102,28 @@ Result<RewriteResult> RewriteQuery(const TslQuery& query,
   for (const TslQuery& view : views) {
     chase_options.constraint_exempt_sources.insert(view.name);
   }
+  ScopedSpan chase_span(options.tracer, "rewrite.chase_inputs");
   TSLRW_ASSIGN_OR_RETURN(ChasedInputs inputs,
                          ChaseInputs(query, views, chase_options));
-  if (inputs.query_unsatisfiable) return RewriteResult{};
+  chase_span.Annotate("live_views", static_cast<uint64_t>(inputs.views.size()));
+  chase_span.EndNow();
+  if (inputs.query_unsatisfiable) {
+    rewrite_span.Annotate("unsatisfiable", "true");
+    CountIf(options.metrics, "rewrite.unsatisfiable_queries");
+    return RewriteResult{};
+  }
   const TslQuery& q = inputs.query;
 
   RewriteResult result;
   // Step 1A: mappings from each view body into the query body, turned into
   // candidate atoms.
+  ScopedSpan mappings_span(options.tracer, "rewrite.mappings");
   TSLRW_ASSIGN_OR_RETURN(
       std::vector<CandidateAtom> atoms,
       BuildCandidateAtoms(q, inputs.views, &result.mappings_found));
+  mappings_span.Annotate("mappings", static_cast<uint64_t>(result.mappings_found));
+  mappings_span.Annotate("candidate_atoms", static_cast<uint64_t>(atoms.size()));
+  mappings_span.EndNow();
 
   // Steps 1B-1C-2: assemble, chase, compose, and verify candidates. The
   // query side of every equivalence test is fixed: decompose it once.
@@ -108,6 +133,19 @@ Result<RewriteResult> RewriteQuery(const TslQuery& query,
   Status failure;  // first hard error inside the enumeration callback
   CandidateEnumerator enumerator(std::move(atoms), q.body.size(), options);
   const size_t workers = ResolveParallelism(options.parallelism);
+  ScopedSpan search_span(options.tracer, "rewrite.search");
+  search_span.Annotate("workers", static_cast<uint64_t>(workers));
+  // Per-phase wall-time histograms on the sequential path, where the three
+  // phases run inline on this thread. (The parallel path times nothing per
+  // candidate: phases interleave across workers and memos skip them.)
+  Histogram* chase_us_hist = nullptr;
+  Histogram* compose_us_hist = nullptr;
+  Histogram* equiv_us_hist = nullptr;
+  if (options.metrics != nullptr && workers <= 1) {
+    chase_us_hist = options.metrics->GetHistogram("rewrite.phase.chase_us");
+    compose_us_hist = options.metrics->GetHistogram("rewrite.phase.compose_us");
+    equiv_us_hist = options.metrics->GetHistogram("rewrite.phase.equiv_us");
+  }
   const auto verify_start = std::chrono::steady_clock::now();
   bool complete = true;
   if (workers > 1) {
@@ -142,7 +180,10 @@ Result<RewriteResult> RewriteQuery(const TslQuery& query,
       if (!CheckSafety(candidate).ok()) return true;  // unsafe: skip
 
       // Step 1C: label inference + chase of the candidate.
+      const bool timed = chase_us_hist != nullptr;
+      auto phase_start = timed ? SteadyClock::now() : SteadyClock::time_point{};
       Result<TslQuery> chased = ChaseQuery(candidate, chase_options);
+      if (timed) chase_us_hist->Observe(ElapsedUs(phase_start));
       if (!chased.ok()) {
         if (chased.status().IsUnsatisfiable()) return true;
         failure = chased.status();
@@ -151,12 +192,16 @@ Result<RewriteResult> RewriteQuery(const TslQuery& query,
 
       // Step 2: compose with the views and test equivalence with the query.
       ++result.candidates_tested;
+      if (timed) phase_start = SteadyClock::now();
       Result<TslRuleSet> composed = ComposeWithViews(*chased, inputs.views);
+      if (timed) compose_us_hist->Observe(ElapsedUs(phase_start));
       if (!composed.ok()) {
         failure = composed.status();
         return false;
       }
+      if (timed) phase_start = SteadyClock::now();
       Result<bool> equivalent = tester.EquivalentTo(*composed);
+      if (timed) equiv_us_hist->Observe(ElapsedUs(phase_start));
       if (!equivalent.ok()) {
         failure = equivalent.status();
         return false;
@@ -168,12 +213,40 @@ Result<RewriteResult> RewriteQuery(const TslQuery& query,
       return true;
     });
   }
-  result.verify_wall_ticks = static_cast<uint64_t>(
-      std::chrono::duration_cast<std::chrono::microseconds>(
-          std::chrono::steady_clock::now() - verify_start)
-          .count());
-  TSLRW_RETURN_NOT_OK(failure);
-  result.truncated = !complete && failure.ok();
+  result.verify_wall_ticks = ElapsedUs(verify_start);
+  if (!failure.ok()) {
+    CountIf(options.metrics, "rewrite.errors");
+    return failure;
+  }
+  result.truncated = !complete;
+  // Deterministic facts go on the span; scheduling-dependent diagnostics
+  // (memo hits, batches, wall time) go to metrics only, which keeps the
+  // trace byte-identical at any parallelism (docs/OBSERVABILITY.md).
+  search_span.Annotate("candidates_generated",
+                       static_cast<uint64_t>(result.candidates_generated));
+  search_span.Annotate("candidates_tested",
+                       static_cast<uint64_t>(result.candidates_tested));
+  search_span.Annotate("rewritings", static_cast<uint64_t>(result.rewritings.size()));
+  search_span.Annotate("truncated", result.truncated ? "true" : "false");
+  search_span.EndNow();
+  if (options.metrics != nullptr) {
+    MetricRegistry& m = *options.metrics;
+    m.GetCounter("rewrite.mappings_found")->Increment(result.mappings_found);
+    m.GetCounter("rewrite.candidates_generated")
+        ->Increment(result.candidates_generated);
+    m.GetCounter("rewrite.candidates_tested")
+        ->Increment(result.candidates_tested);
+    m.GetCounter("rewrite.rewritings_found")
+        ->Increment(result.rewritings.size());
+    m.GetCounter("rewrite.chase_cache_hits")
+        ->Increment(result.chase_cache_hits);
+    m.GetCounter("rewrite.equiv_cache_hits")
+        ->Increment(result.equiv_cache_hits);
+    m.GetCounter("rewrite.batches_dispatched")
+        ->Increment(result.batches_dispatched);
+    if (result.truncated) m.GetCounter("rewrite.truncated")->Increment();
+    m.GetHistogram("rewrite.verify_us")->Observe(result.verify_wall_ticks);
+  }
   if (result.truncated && options.strict_limits) {
     return Status::ResourceExhausted(
         StrCat("candidate search stopped after ", result.candidates_generated,

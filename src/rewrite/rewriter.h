@@ -13,6 +13,9 @@
 
 namespace tslrw {
 
+class MetricRegistry;
+class Tracer;
+
 /// \brief Knobs for the \S3.4 rewriting algorithm.
 struct RewriteOptions {
   /// Structural constraints (DTD-derived) used for label inference and the
@@ -63,6 +66,18 @@ struct RewriteOptions {
   /// enumeration order — rewritings, legacy counters, truncation flag, and
   /// error statuses are byte-identical to `parallelism = 1`.
   size_t parallelism = 0;
+
+  /// Optional span tree for this call (docs/OBSERVABILITY.md). Spans are
+  /// opened only on the calling thread — the deterministic control path —
+  /// and annotated with replayed counters, so for a fixed input the trace
+  /// is byte-identical at any `parallelism`. Null disables tracing.
+  Tracer* tracer = nullptr;
+
+  /// Optional metric sink. Unlike the trace, metrics also absorb the
+  /// scheduling-dependent diagnostics (memo hit rates, wall-clock phase
+  /// timings), so they are *not* covered by the byte-identity guarantee.
+  /// Null disables metrics.
+  MetricRegistry* metrics = nullptr;
 };
 
 /// \brief Output of the rewriting algorithm, including the counters the

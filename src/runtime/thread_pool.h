@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "common/status.h"
+#include "obs/metrics.h"
 
 namespace tslrw {
 
@@ -33,6 +34,11 @@ class ThreadPool {
     /// the concurrency a workload actually reaches — short-lived pools
     /// over a handful of tasks skip most of it. `threads` stays the cap.
     bool lazy_spawn = false;
+    /// Optional metric sink (not owned; must outlive the pool). Publishes
+    /// `pool.submitted` / `pool.rejected_full` / `pool.rejected_shutdown` /
+    /// `pool.tasks_run` counters, a `pool.queue_depth` gauge, and a
+    /// `pool.queue_depth_at_admit` histogram.
+    MetricRegistry* metrics = nullptr;
   };
 
   explicit ThreadPool(const Options& options);
@@ -60,6 +66,14 @@ class ThreadPool {
 
   const size_t queue_capacity_;
   const size_t max_threads_;
+  /// Metric handles resolved once at construction (null when Options had
+  /// no registry), so the hot path pays one branch + one relaxed add.
+  Counter* submitted_metric_ = nullptr;
+  Counter* rejected_full_metric_ = nullptr;
+  Counter* rejected_shutdown_metric_ = nullptr;
+  Counter* tasks_run_metric_ = nullptr;
+  Gauge* queue_depth_metric_ = nullptr;
+  Histogram* depth_at_admit_metric_ = nullptr;
   mutable std::mutex mu_;
   std::condition_variable work_ready_;
   std::deque<std::function<void()>> queue_;

@@ -2,6 +2,9 @@
 
 #include <utility>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
 namespace tslrw {
 
 namespace {
@@ -44,7 +47,8 @@ QueryServer::QueryServer(Mediator mediator, SourceCatalog catalog,
                          WrapperFactory wrapper_factory)
     : options_(std::move(options)),
       wrapper_factory_(std::move(wrapper_factory)),
-      pool_(ThreadPool::Options{options_.threads, options_.queue_capacity}) {
+      pool_(ThreadPool::Options{options_.threads, options_.queue_capacity,
+                                /*lazy_spawn=*/false, options_.metrics}) {
   auto first = std::make_shared<Snapshot>();
   first->mediator = std::make_shared<const Mediator>(std::move(mediator));
   first->catalog = std::make_shared<const SourceCatalog>(std::move(catalog));
@@ -81,9 +85,11 @@ Result<std::future<Result<ServeResponse>>> QueryServer::Submit(
   Status admitted = pool_.TrySubmit([task] { (*task)(); });
   if (!admitted.ok()) {
     rejected_.fetch_add(1);
+    CountIf(options_.metrics, "serve.rejected");
     return admitted;
   }
   accepted_.fetch_add(1);
+  CountIf(options_.metrics, "serve.accepted");
   return future;
 }
 
@@ -93,24 +99,36 @@ Result<ServeResponse> QueryServer::Answer(const TslQuery& query,
   // once; concurrent mutations publish new snapshots without touching it.
   const std::shared_ptr<const Snapshot> snap = snapshot();
 
+  // Per-request execution state: its own clock and wrapper, so requests
+  // never share mutable fault/retry machinery and every answer is a pure
+  // function of (query, seed, snapshot). The clock is declared before the
+  // request span so every span closes while it is still alive.
+  VirtualClock clock;
+  if (serve.tracer != nullptr) serve.tracer->set_clock(&clock);
+  ScopedSpan request_span(serve.tracer, "serve.request");
+  CountIf(options_.metrics, "serve.requests");
   PlanCacheKey key = MakePlanCacheKey(query);
   bool computed_here = false;
   Result<PlanCache::PlanSetPtr> plans = snap->plan_cache->LookupOrCompute(
       key,
-      [this, &snap, &key, &computed_here]() -> Result<MediatorPlanSet> {
+      [this, &snap, &key, &computed_here,
+       &serve]() -> Result<MediatorPlanSet> {
         computed_here = true;
         return snap->mediator->Plan(key.canonical,
-                                    options_.rewrite_parallelism);
+                                    options_.rewrite_parallelism,
+                                    serve.tracer, options_.metrics);
       });
   if (!plans.ok()) {
     failed_.fetch_add(1);
+    CountIf(options_.metrics, "serve.failed");
+    request_span.Annotate("outcome", "plan-search-error");
     return plans.status();
   }
+  request_span.Annotate("plan_cache",
+                        computed_here ? "miss" : "hit");
+  CountIf(options_.metrics,
+          computed_here ? "serve.plan_cache_misses" : "serve.plan_cache_hits");
 
-  // Per-request execution state: its own clock and wrapper, so requests
-  // never share mutable fault/retry machinery and every answer is a pure
-  // function of (query, seed, snapshot).
-  VirtualClock clock;
   std::unique_ptr<Wrapper> wrapper;
   ExecutionPolicy policy;
   policy.retry = options_.retry;
@@ -119,6 +137,8 @@ Result<ServeResponse> QueryServer::Answer(const TslQuery& query,
   policy.rewrite_parallelism = options_.rewrite_parallelism;
   policy.seed = serve.seed;
   policy.clock = &clock;
+  policy.tracer = serve.tracer;
+  policy.metrics = options_.metrics;
   if (wrapper_factory_ != nullptr) {
     wrapper = wrapper_factory_(&clock, serve.seed);
     policy.wrapper = wrapper.get();
@@ -127,9 +147,15 @@ Result<ServeResponse> QueryServer::Answer(const TslQuery& query,
       snap->mediator->AnswerWithPlans(query, **plans, *snap->catalog, policy);
   if (!answer.ok()) {
     failed_.fetch_add(1);
+    CountIf(options_.metrics, "serve.failed");
+    request_span.Annotate("outcome",
+                          StatusCodeToString(answer.status().code()));
     return answer.status();
   }
   completed_.fetch_add(1);
+  CountIf(options_.metrics, "serve.completed");
+  request_span.Annotate("outcome",
+                        CompletenessToString(answer->completeness));
   ServeResponse response;
   response.answer = std::move(answer).value();
   response.plan_cache_hit = !computed_here;
@@ -191,6 +217,15 @@ ServerStats QueryServer::stats() const {
   stats.queue_capacity = pool_.queue_capacity();
   stats.plan_cache = snapshot()->plan_cache->stats();
   return stats;
+}
+
+std::string QueryServer::Statsz() const {
+  std::string out = stats().ToString();
+  if (options_.metrics != nullptr) {
+    out += "metrics:\n";
+    out += options_.metrics->ToText();
+  }
+  return out;
 }
 
 void QueryServer::Shutdown() { pool_.Shutdown(); }

@@ -44,6 +44,12 @@ struct ServerOptions {
   /// concurrency, 1 = sequential). Cached plans are byte-identical for
   /// every value, so this only changes cold-miss latency.
   size_t rewrite_parallelism = 0;
+  /// Optional server-wide metric sink (not owned; must outlive the
+  /// server): thread-pool admission, per-request outcomes, plan-cache
+  /// hits/misses, and every mediator/rewriter counter of the requests.
+  /// Counters are lock-free and shared across request threads — reads are
+  /// monotonic per counter. Null disables metrics.
+  MetricRegistry* metrics = nullptr;
 };
 
 /// \brief Per-request knobs.
@@ -52,6 +58,12 @@ struct ServeOptions {
   /// (query, seed, snapshot) always reproduces the same answer, however
   /// many requests run concurrently.
   uint64_t seed = 0;
+  /// Optional per-request span tree (not owned). Each request drives its
+  /// own tracer on its own virtual clock, so the span *content* for a
+  /// (query, seed, snapshot) triple is deterministic regardless of which
+  /// worker thread serves it; only cache-hit attribution can differ when
+  /// requests race a cold plan search. Null disables tracing.
+  Tracer* tracer = nullptr;
 };
 
 /// \brief One served answer plus serving-layer metadata.
@@ -142,6 +154,11 @@ class QueryServer {
   void InvalidatePlans();
 
   ServerStats stats() const;
+
+  /// A `/statsz`-style plain-text dump: the ServerStats snapshot followed
+  /// by every metric in ServerOptions::metrics (sorted by name). The load
+  /// driver and the shell's `stats` command print this verbatim.
+  std::string Statsz() const;
 
   /// Stops admitting, drains the queue, joins the workers. Idempotent.
   void Shutdown();

@@ -1,5 +1,5 @@
-#ifndef TSLRW_TESTS_RANDOM_RULES_H_
-#define TSLRW_TESTS_RANDOM_RULES_H_
+#ifndef TSLRW_TESTING_RANDOM_RULES_H_
+#define TSLRW_TESTING_RANDOM_RULES_H_
 
 #include <random>
 #include <string>
@@ -128,4 +128,4 @@ class RandomRules {
 
 }  // namespace tslrw::testing
 
-#endif  // TSLRW_TESTS_RANDOM_RULES_H_
+#endif  // TSLRW_TESTING_RANDOM_RULES_H_

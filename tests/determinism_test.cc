@@ -11,7 +11,7 @@
 #include "fixtures.h"
 #include "mediator/mediator.h"
 #include "oem/generator.h"
-#include "random_rules.h"
+#include "testing/random_rules.h"
 #include "rewrite/contained.h"
 #include "rewrite/rewriter.h"
 

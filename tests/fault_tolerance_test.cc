@@ -507,6 +507,118 @@ TEST(FaultToleranceTest, RandomizedFaultsNeverInventObjects) {
   }
 }
 
+// --- scripted schedules pin the report exactly ------------------------------
+
+TEST(FaultToleranceTest, ScriptedBlipsYieldExactReportNumbers) {
+  // Two scripted drops then recovery, backoff 1 then 2 ticks, no jitter:
+  // every counter in the report is determined by the schedule, so assert
+  // them all exactly.
+  Mediator mediator = MakeBiblioMediator();
+  SourceCatalog catalog = BiblioCatalog();
+
+  CatalogWrapper base;
+  VirtualClock clock;
+  FaultInjector injector(&base, /*seed=*/1, &clock);
+  FaultSchedule blips;
+  blips.scripted = {Fault::Unavailable(), Fault::Unavailable()};
+  injector.SetSchedule("s1", blips);
+
+  ExecutionPolicy policy;
+  policy.wrapper = &injector;
+  policy.clock = &clock;
+  policy.retry.max_attempts = 3;
+  policy.retry.initial_backoff_ticks = 1;
+  policy.retry.jitter = 0.0;
+  policy.rewrite_parallelism = 1;  // sequential: cache hits stay zero
+  auto answer = mediator.Answer(Sigmod97Query(), catalog, policy);
+  ASSERT_TRUE(answer.ok()) << answer.status();
+
+  const ExecutionReport& report = answer->report;
+  EXPECT_EQ(answer->completeness, Completeness::kComplete);
+  EXPECT_TRUE(answer->unreachable_sources.empty());
+  EXPECT_EQ(report.plans_attempted, 1u);
+  EXPECT_EQ(report.plans_skipped, 0u);
+  EXPECT_FALSE(report.replanned);
+  EXPECT_FALSE(report.failover);
+  // Backoffs 1 and 2 ticks; the third attempt succeeds at t=3 and no
+  // further virtual time passes.
+  EXPECT_EQ(report.backoff_ticks_total, 3u) << report.ToString();
+  EXPECT_EQ(report.finished_at_ticks, 3u) << report.ToString();
+  ASSERT_EQ(report.fetches.size(), 1u);
+  const FetchRecord& fetch = report.fetches[0];
+  EXPECT_EQ(fetch.source, "s1");
+  EXPECT_EQ(fetch.view, "Y97");
+  EXPECT_TRUE(fetch.succeeded);
+  EXPECT_FALSE(fetch.truncated);
+  ASSERT_EQ(fetch.attempts.size(), 3u);
+  EXPECT_EQ(fetch.attempts[0].at_ticks, 0u);
+  EXPECT_TRUE(fetch.attempts[0].outcome.IsUnavailable());
+  EXPECT_EQ(fetch.attempts[0].backoff_ticks, 1u);
+  EXPECT_EQ(fetch.attempts[1].at_ticks, 1u);
+  EXPECT_EQ(fetch.attempts[1].backoff_ticks, 2u);
+  EXPECT_EQ(fetch.attempts[2].at_ticks, 3u);
+  EXPECT_TRUE(fetch.attempts[2].outcome.ok());
+
+  // The plan search behind the answer, replayed on the sequential path:
+  // the Sigmod97 query has exactly one total rewriting over Y97.
+  const PlanSearchStats& search = report.plan_search;
+  EXPECT_EQ(search.candidates_generated, 2u);
+  EXPECT_EQ(search.candidates_tested, 1u);
+  EXPECT_EQ(search.chase_cache_hits, 0u);
+  EXPECT_EQ(search.equiv_cache_hits, 0u);
+  EXPECT_EQ(search.batches_dispatched, 0u);
+  EXPECT_FALSE(report.plan_search_truncated);
+}
+
+TEST(FaultToleranceTest, AllReplicasDeadReportsDegradedGrade) {
+  // Both mirrors of `lib` are dead. Deadness is tracked per capability
+  // view, so MirrorB's plan is still *attempted* (not skipped) after
+  // MirrorA dies; once both views are dead no live view remains, the
+  // replan step is moot, and the \S7 fallback produces a degraded answer
+  // naming the dead source.
+  Mediator mediator = MakeMirroredMediator();
+  SourceCatalog catalog = LibCatalog();
+  TslQuery query = MustParse(
+      "<f(P) out yes> :- <P publication {<V venue \"SIGMOD\">}>@lib", "Q");
+
+  CatalogWrapper base;
+  VirtualClock clock;
+  FaultInjector injector(&base, /*seed=*/4, &clock);
+  FaultSchedule dead;
+  dead.steady_state = Fault::Unavailable();
+  injector.SetSchedule("lib", dead);  // source-keyed: every endpoint
+
+  ExecutionPolicy policy;
+  policy.wrapper = &injector;
+  policy.clock = &clock;
+  policy.retry.max_attempts = 2;
+  policy.retry.initial_backoff_ticks = 1;
+  policy.retry.jitter = 0.0;
+  auto answer = mediator.Answer(query, catalog, policy);
+  ASSERT_TRUE(answer.ok()) << answer.status();
+
+  EXPECT_EQ(answer->completeness, Completeness::kDegraded)
+      << answer->report.ToString();
+  EXPECT_EQ(answer->unreachable_sources, std::vector<std::string>{"lib"});
+  EXPECT_EQ(answer->result.roots().size(), 0u);
+  const ExecutionReport& report = answer->report;
+  EXPECT_EQ(report.plans_attempted, 2u) << report.ToString();
+  EXPECT_EQ(report.plans_skipped, 0u) << report.ToString();
+  // With every view dead there is nothing to replan over: the flag stays
+  // false and the fallback fires directly.
+  EXPECT_FALSE(report.replanned) << report.ToString();
+  // One 1-tick backoff inside each of the two exhausted fetches.
+  EXPECT_EQ(report.backoff_ticks_total, 2u) << report.ToString();
+  EXPECT_EQ(report.finished_at_ticks, 2u) << report.ToString();
+  ASSERT_EQ(report.fetches.size(), 2u);
+  EXPECT_EQ(report.fetches[0].view, "MirrorA");
+  EXPECT_EQ(report.fetches[1].view, "MirrorB");
+  for (const FetchRecord& fetch : report.fetches) {
+    EXPECT_FALSE(fetch.succeeded);
+    EXPECT_EQ(fetch.attempts.size(), 2u);
+  }
+}
+
 // --- strict limits (no silent truncation) -----------------------------------
 
 TEST(FaultToleranceTest, TruncatedPlanSearchIsFlagged) {

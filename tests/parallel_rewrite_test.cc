@@ -16,7 +16,7 @@
 #include "constraints/dtd.h"
 #include "constraints/inference.h"
 #include "fixtures.h"
-#include "random_rules.h"
+#include "testing/random_rules.h"
 #include "rewrite/rewriter.h"
 
 namespace tslrw {

@@ -11,7 +11,7 @@
 #include "eval/evaluator.h"
 #include "fixtures.h"
 #include "oem/generator.h"
-#include "random_rules.h"
+#include "testing/random_rules.h"
 #include "rewrite/chase.h"
 #include "rewrite/compose.h"
 #include "rewrite/contained.h"
