@@ -369,6 +369,7 @@ AnalysisReport Analyzer::AnalyzeQuery(const TslQuery& query) const {
   if (options_.lint_single_use_variables) {
     SingleUseVariablePass(query, &diags);
   }
+  SortDiagnostics(&diags);
   return AnalysisReport{std::move(diags)};
 }
 
@@ -383,6 +384,9 @@ AnalysisReport Analyzer::AnalyzeRules(
   if (options_.semantic_passes && options_.detect_dead_views) {
     DeadViewPass(rules, &report.diagnostics);
   }
+  // Presentation order must not depend on the order the rules arrived in
+  // (callers iterate maps, vectors, capability sets, ...).
+  SortDiagnostics(&report.diagnostics);
   return report;
 }
 

@@ -1,5 +1,7 @@
 #include "analysis/diagnostic.h"
 
+#include <algorithm>
+
 #include "common/string_util.h"
 
 namespace tslrw {
@@ -28,6 +30,11 @@ std::string_view DiagCodeToString(DiagCode code) {
     case DiagCode::kDeadView: return "TSL104";
     case DiagCode::kSingleUseVariable: return "TSL105";
     case DiagCode::kSearchTruncated: return "TSL106";
+    case DiagCode::kViewSubsumed: return "TSL200";
+    case DiagCode::kDuplicateView: return "TSL201";
+    case DiagCode::kViewUnsatisfiable: return "TSL202";
+    case DiagCode::kUnreachableCapability: return "TSL203";
+    case DiagCode::kChaseBudgetExceeded: return "TSL204";
   }
   return "TSL???";
 }
@@ -41,12 +48,17 @@ Severity DiagCodeSeverity(DiagCode code) {
     case DiagCode::kMisplacedRegexStep:
     case DiagCode::kVariableSortClash:
     case DiagCode::kUnsatisfiableBody:
+    case DiagCode::kViewUnsatisfiable:
+    case DiagCode::kUnreachableCapability:
       return Severity::kError;
     case DiagCode::kRedundantCondition:
     case DiagCode::kCartesianProduct:
     case DiagCode::kUnboundedPathStep:
     case DiagCode::kDeadView:
     case DiagCode::kSearchTruncated:
+    case DiagCode::kViewSubsumed:
+    case DiagCode::kDuplicateView:
+    case DiagCode::kChaseBudgetExceeded:
       return Severity::kWarning;
     case DiagCode::kSingleUseVariable:
       return Severity::kNote;
@@ -107,6 +119,22 @@ std::string RenderDiagnostics(const std::vector<Diagnostic>& diagnostics,
   std::string out;
   for (const Diagnostic& d : diagnostics) out += RenderDiagnostic(d, source);
   return out;
+}
+
+void SortDiagnostics(std::vector<Diagnostic>* diagnostics) {
+  std::stable_sort(
+      diagnostics->begin(), diagnostics->end(),
+      [](const Diagnostic& a, const Diagnostic& b) {
+        if (a.span.line != b.span.line) return a.span.line < b.span.line;
+        if (a.span.column != b.span.column) {
+          return a.span.column < b.span.column;
+        }
+        if (a.code != b.code) {
+          return static_cast<int>(a.code) < static_cast<int>(b.code);
+        }
+        if (a.rule != b.rule) return a.rule < b.rule;
+        return a.message < b.message;
+      });
 }
 
 }  // namespace tslrw

@@ -42,6 +42,12 @@ enum class DiagCode : uint8_t {
   kDeadView = 104,            ///< TSL104: view adds nothing over the others
   kSingleUseVariable = 105,   ///< TSL105: variable used exactly once
   kSearchTruncated = 106,     ///< TSL106: a semantic pass hit its search cap
+  // --- cross-view findings of the whole-catalog compiler (src/catalog) -----
+  kViewSubsumed = 200,          ///< TSL200: view contained in another view
+  kDuplicateView = 201,         ///< TSL201: α-equivalent duplicate views
+  kViewUnsatisfiable = 202,     ///< TSL202: view empty under the constraints
+  kUnreachableCapability = 203, ///< TSL203: binding pattern never satisfiable
+  kChaseBudgetExceeded = 204,   ///< TSL204: view too large to chase offline
 };
 
 /// "TSL001"-style stable code string.
@@ -76,10 +82,19 @@ struct Diagnostic {
 std::string RenderDiagnostic(const Diagnostic& diagnostic,
                              std::string_view source = {});
 
-/// Renders every diagnostic in order, errors first within equal spans left
-/// as produced (the analyzer already orders by pass).
+/// Renders every diagnostic in order (the analyzer and the catalog
+/// compiler sort their reports with SortDiagnostics before returning).
 std::string RenderDiagnostics(const std::vector<Diagnostic>& diagnostics,
                               std::string_view source = {});
+
+/// \brief Sorts \p diagnostics into the stable presentation order every
+/// producer emits: by source position (line, then column), then numeric
+/// code, then rule name, then message. Programmatic rules (invalid spans
+/// render as line 0) sort before positioned ones; the sort is stable, so
+/// equal keys keep their production order. This makes diagnostic output a
+/// pure function of the rule set, independent of pass scheduling or the
+/// iteration order of whatever container delivered the rules.
+void SortDiagnostics(std::vector<Diagnostic>* diagnostics);
 
 }  // namespace tslrw
 

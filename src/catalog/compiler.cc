@@ -1,0 +1,564 @@
+#include "catalog/compiler.h"
+
+#include <algorithm>
+#include <map>
+#include <optional>
+#include <set>
+#include <utility>
+
+#include "analysis/analyzer.h"
+#include "catalog/signature.h"
+#include "common/string_util.h"
+#include "equiv/equivalence.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "rewrite/chase.h"
+#include "tsl/canonical.h"
+#include "tsl/normal_form.h"
+#include "tsl/parser.h"
+#include "tsl/validate.h"
+
+namespace tslrw {
+
+namespace {
+
+Diagnostic MakeDiag(DiagCode code, SourceSpan span, std::string rule,
+                    std::string message) {
+  Diagnostic d;
+  d.code = code;
+  d.severity = DiagCodeSeverity(code);
+  d.span = span;
+  d.rule = std::move(rule);
+  d.message = std::move(message);
+  return d;
+}
+
+/// \p required is sorted; \p provided is a set. True iff every required
+/// feature is provided.
+bool FeaturesSubset(const std::vector<std::string>& required,
+                    const std::set<std::string>& provided) {
+  for (const std::string& r : required) {
+    if (provided.count(r) == 0) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+uint64_t ConstraintsFingerprint(const StructuralConstraints* constraints) {
+  // The DTD dump is deterministic (sorted element maps), so it doubles as
+  // the constraint set's identity.
+  if (constraints == nullptr) return StableFingerprint("no-constraints");
+  return StableFingerprint(constraints->dtd().ToString());
+}
+
+std::vector<SourceDescription> DescribeViews(
+    const std::vector<TslQuery>& views) {
+  std::vector<SourceDescription> out;
+  std::map<std::string, size_t> by_source;
+  for (const TslQuery& view : views) {
+    // ValidateDescriptions requires a view to range over its description's
+    // source only, so the first body condition names the right group; a
+    // bodyless view gets a group of its own.
+    const std::string source =
+        view.body.empty() ? view.name : view.body.front().source;
+    auto [it, inserted] = by_source.emplace(source, out.size());
+    if (inserted) out.push_back(SourceDescription{source, {}});
+    out[it->second].capabilities.push_back(Capability{view, {}});
+  }
+  return out;
+}
+
+Result<std::shared_ptr<const CompiledCatalog>> CompiledCatalog::Assemble(
+    std::vector<CompiledViewEntry> entries,
+    std::vector<CatalogLatticeEdge> lattice, bool lattice_truncated,
+    std::vector<Diagnostic> diagnostics, uint64_t constraints_fingerprint) {
+  std::shared_ptr<CompiledCatalog> catalog(new CompiledCatalog());
+  catalog->entries_ = std::move(entries);
+  catalog->lattice_ = std::move(lattice);
+  catalog->lattice_truncated_ = lattice_truncated;
+  catalog->constraints_fingerprint_ = constraints_fingerprint;
+  SortDiagnostics(&diagnostics);
+  catalog->diagnostics_ = std::move(diagnostics);
+
+  const size_t n = catalog->entries_.size();
+  catalog->chased_views_.resize(n);
+  // The fingerprint covers what ValidateAgainst checks: the view identities
+  // (name + α-invariant definition + binding pattern, in order) and the
+  // constraints. Two catalogs agreeing here are interchangeable indexes.
+  std::string identity = StrCat("tslrw-catalog:", constraints_fingerprint);
+  for (size_t i = 0; i < n; ++i) {
+    CompiledViewEntry& e = catalog->entries_[i];
+    identity +=
+        StrCat("|", e.name, ";", e.raw_fingerprint, ";",
+               Join(e.bound_variables, ","));
+    if (e.state == CompiledViewState::kInvalid) catalog->servable_ = false;
+    if (!e.name.empty() &&
+        !catalog->by_name_.emplace(e.name, static_cast<uint32_t>(i)).second) {
+      return Status::DataLoss(
+          StrCat("compiled catalog holds view ", e.name, " twice"));
+    }
+    switch (e.state) {
+      case CompiledViewState::kIndexed: {
+        Result<TslQuery> parsed = ParseTslQuery(e.chased_text, e.name);
+        if (!parsed.ok()) {
+          return Status::DataLoss(
+              StrCat("stored chase outcome of view ", e.name,
+                     " does not parse: ", parsed.status().message()));
+        }
+        catalog->chased_views_[i] = std::move(parsed).value();
+        if (e.anchor.empty()) {
+          // No required features: the view maps into anything (e.g. an
+          // empty body), so every probe must admit it.
+          catalog->always_admit_.push_back(static_cast<uint32_t>(i));
+        } else if (!std::binary_search(e.required.begin(), e.required.end(),
+                                       e.anchor)) {
+          return Status::DataLoss(
+              StrCat("anchor of view ", e.name,
+                     " is not one of its required features"));
+        } else {
+          catalog->anchor_buckets_[e.anchor].push_back(
+              static_cast<uint32_t>(i));
+        }
+        break;
+      }
+      case CompiledViewState::kAlwaysScan:
+        catalog->always_admit_.push_back(static_cast<uint32_t>(i));
+        break;
+      case CompiledViewState::kUnsatisfiable:
+      case CompiledViewState::kInvalid:
+        break;
+    }
+  }
+  for (const CatalogLatticeEdge& edge : catalog->lattice_) {
+    if (edge.subsumed >= n || edge.subsuming >= n) {
+      return Status::DataLoss("lattice edge names a view ordinal outside the "
+                              "catalog");
+    }
+  }
+  catalog->catalog_fingerprint_ = StableFingerprint(identity);
+  return std::shared_ptr<const CompiledCatalog>(std::move(catalog));
+}
+
+bool CompiledCatalog::CoversViews(const std::vector<TslQuery>& views) const {
+  if (!servable_ || views.size() != entries_.size()) return false;
+  for (size_t i = 0; i < views.size(); ++i) {
+    if (views[i].name != entries_[i].name) return false;
+  }
+  return true;
+}
+
+Result<std::optional<std::vector<TslQuery>>> CompiledCatalog::ChasedViewsFor(
+    const TslQuery& chased_query, const std::vector<TslQuery>& views,
+    const ChaseOptions& chase_options, ViewProbeOutcome* outcome) const {
+  if (!CoversViews(views)) return std::optional<std::vector<TslQuery>>();
+  TSLRW_ASSIGN_OR_RETURN(QueryFeatureSet features,
+                         ProvidedFeatures(chased_query));
+
+  std::vector<char> admit(entries_.size(), 0);
+  for (uint32_t o : always_admit_) admit[o] = 1;
+  // Bucket probe: a view can have a mapping into the query only if all of
+  // its required features are provided, so checking the buckets of the
+  // provided features alone loses nothing — a view in an unprobed bucket is
+  // missing its anchor feature.
+  for (const std::string& f : features.provided) {
+    auto it = anchor_buckets_.find(f);
+    if (it == anchor_buckets_.end()) continue;
+    for (uint32_t o : it->second) {
+      if (!admit[o] && FeaturesSubset(entries_[o].required, features.provided)) {
+        admit[o] = 1;
+      }
+    }
+  }
+  // Force-include pass: composition resolves view names appearing as body
+  // sources from the view list we return, so any view the query names — or
+  // that an admitted view's own source names, transitively — must stay in
+  // the list even with no mapping (it contributes no candidate atoms either
+  // way, so admitting it is byte-neutral; dropping it would change what
+  // composition unfolds). Unsatisfiable views stay out: the full scan
+  // drops them before composition too.
+  std::vector<uint32_t> work;
+  std::vector<char> visited(entries_.size(), 0);
+  for (const std::string& s : features.sources) {
+    auto it = by_name_.find(s);
+    if (it != by_name_.end()) work.push_back(it->second);
+  }
+  for (uint32_t o = 0; o < entries_.size(); ++o) {
+    if (admit[o]) work.push_back(o);
+  }
+  while (!work.empty()) {
+    const uint32_t o = work.back();
+    work.pop_back();
+    if (visited[o]) continue;
+    visited[o] = 1;
+    if (entries_[o].state == CompiledViewState::kIndexed) admit[o] = 1;
+    auto it = by_name_.find(entries_[o].source);
+    if (it != by_name_.end()) work.push_back(it->second);
+  }
+
+  std::vector<TslQuery> result;
+  size_t skipped = 0;
+  for (uint32_t o = 0; o < entries_.size(); ++o) {
+    if (admit[o] == 0) {
+      // Signature-pruned (kIndexed) or proven empty offline
+      // (kUnsatisfiable): the full scan would have found no mapping /
+      // dropped the view, so skipping is exact.
+      ++skipped;
+      continue;
+    }
+    if (entries_[o].state == CompiledViewState::kIndexed) {
+      result.push_back(chased_views_[o]);
+    } else {
+      // kAlwaysScan: chase per query, exactly as the full scan does. The
+      // options are the compile-time options by the ValidateAgainst
+      // contract, so errors and unsatisfiability surface identically.
+      Result<TslQuery> cv = ChaseQuery(views[o], chase_options);
+      if (!cv.ok()) {
+        if (cv.status().IsUnsatisfiable()) {
+          ++skipped;
+          continue;
+        }
+        return cv.status();
+      }
+      result.push_back(std::move(cv).value());
+    }
+  }
+  if (outcome != nullptr) {
+    outcome->admitted = result.size();
+    outcome->skipped = skipped;
+  }
+  return std::optional<std::vector<TslQuery>>(std::move(result));
+}
+
+Status CompiledCatalog::ValidateAgainst(
+    const std::vector<TslQuery>& views,
+    const StructuralConstraints* constraints) const {
+  if (!servable_) {
+    return Status::InvalidArgument(
+        "compiled catalog is unservable: a view failed validation at "
+        "compile time");
+  }
+  if (views.size() != entries_.size()) {
+    return Status::InvalidArgument(
+        StrCat("catalog index was compiled for ", entries_.size(),
+               " view(s) but the mediator serves ", views.size()));
+  }
+  for (size_t i = 0; i < views.size(); ++i) {
+    if (views[i].name != entries_[i].name) {
+      return Status::InvalidArgument(
+          StrCat("catalog index view ", i, " is ", entries_[i].name,
+                 " but the mediator serves ", views[i].name));
+    }
+    if (CanonicalizeQuery(views[i]).fingerprint !=
+        entries_[i].raw_fingerprint) {
+      return Status::InvalidArgument(
+          StrCat("definition of view ", views[i].name,
+                 " changed since the index was compiled"));
+    }
+  }
+  if (ConstraintsFingerprint(constraints) != constraints_fingerprint_) {
+    return Status::InvalidArgument(
+        "catalog index was compiled under different structural constraints");
+  }
+  return Status::OK();
+}
+
+size_t CompiledCatalog::error_count() const {
+  size_t n = 0;
+  for (const Diagnostic& d : diagnostics_) {
+    if (d.severity == Severity::kError) ++n;
+  }
+  return n;
+}
+
+std::string CompiledCatalog::Summary() const {
+  size_t indexed = 0, always = 0, unsat = 0, invalid = 0;
+  for (const CompiledViewEntry& e : entries_) {
+    switch (e.state) {
+      case CompiledViewState::kIndexed: ++indexed; break;
+      case CompiledViewState::kAlwaysScan: ++always; break;
+      case CompiledViewState::kUnsatisfiable: ++unsat; break;
+      case CompiledViewState::kInvalid: ++invalid; break;
+    }
+  }
+  size_t errors = 0, warnings = 0, notes = 0;
+  for (const Diagnostic& d : diagnostics_) {
+    switch (d.severity) {
+      case Severity::kError: ++errors; break;
+      case Severity::kWarning: ++warnings; break;
+      case Severity::kNote: ++notes; break;
+    }
+  }
+  return StrCat("compiled ", entries_.size(), " view(s): ", indexed,
+                " indexed, ", always, " always-scan, ", unsat,
+                " unsatisfiable, ", invalid, " invalid; lattice: ",
+                lattice_.size(), lattice_truncated_ ? " edge(s), truncated"
+                                                    : " edge(s)",
+                "; ", errors, " error(s), ", warnings, " warning(s), ", notes,
+                " note(s)");
+}
+
+Result<std::shared_ptr<const CompiledCatalog>> CompileCatalog(
+    const std::vector<SourceDescription>& sources,
+    const StructuralConstraints* constraints,
+    const CatalogCompileOptions& options) {
+  ScopedSpan compile_span(options.tracer, "catalog.compile");
+  CountIf(options.metrics, "catalog.compiles");
+  TSLRW_RETURN_NOT_OK(ValidateDescriptions(sources));
+
+  std::vector<const Capability*> caps;
+  std::vector<std::string> cap_sources;
+  for (const SourceDescription& sd : sources) {
+    for (const Capability& cap : sd.capabilities) {
+      caps.push_back(&cap);
+      cap_sources.push_back(sd.source);
+    }
+  }
+  const size_t n = caps.size();
+  compile_span.Annotate("views", static_cast<uint64_t>(n));
+
+  // Mirror RewriteQuery's chase options exactly: the constraints describe
+  // source data, never view answer objects, so every view name is exempt.
+  // The stored chase outcomes are only valid under these options, which is
+  // why ValidateAgainst pins the (views, constraints) pair.
+  ChaseOptions chase_options;
+  chase_options.constraints = constraints;
+  for (const Capability* cap : caps) {
+    chase_options.constraint_exempt_sources.insert(cap->view.name);
+  }
+
+  std::vector<CompiledViewEntry> entries(n);
+  std::vector<TslQuery> chased(n);
+  std::vector<Diagnostic> diags;
+  {
+    ScopedSpan chase_span(options.tracer, "catalog.chase_views");
+    for (size_t i = 0; i < n; ++i) {
+      const TslQuery& view = caps[i]->view;
+      CompiledViewEntry& e = entries[i];
+      e.name = view.name;
+      e.source = cap_sources[i];
+      e.raw_fingerprint = CanonicalizeQuery(view).fingerprint;
+      e.bound_variables.assign(caps[i]->bound_variables.begin(),
+                               caps[i]->bound_variables.end());
+
+      // TSL203: the mediator delivers a parameter by splicing the constant
+      // into the capability head's instantiation, so a bound variable the
+      // head never mentions can never be supplied — no binding pattern
+      // reaches the capability.
+      for (const std::string& var : caps[i]->bound_variables) {
+        bool in_head = false;
+        for (const Term& v : view.HeadVariables()) {
+          in_head = in_head || v.var_name() == var;
+        }
+        if (!in_head) {
+          diags.push_back(MakeDiag(
+              DiagCode::kUnreachableCapability, view.span, view.name,
+              StrCat("bound variable ", var, " does not occur in the head of ",
+                     view.name,
+                     "; the mediator can never instantiate it, so no "
+                     "admissible binding pattern reaches this capability")));
+        }
+      }
+
+      if (!ValidateQuery(view).ok() || view.name.empty() ||
+          UsesRegexSteps(view)) {
+        // The per-rule analyzer pass below reports the specifics
+        // (TSL001-TSL004); the catalog just records that its signatures
+        // prove nothing and must not be served.
+        e.state = CompiledViewState::kInvalid;
+        continue;
+      }
+      const TslQuery normal = ToNormalForm(view);
+      if (normal.body.size() > options.max_chase_conditions) {
+        e.state = CompiledViewState::kAlwaysScan;
+        diags.push_back(MakeDiag(
+            DiagCode::kChaseBudgetExceeded, view.span, view.name,
+            StrCat("normal-form body of ", view.name, " has ",
+                   normal.body.size(), " conditions, over the offline chase "
+                   "budget of ", options.max_chase_conditions,
+                   "; the view will be chased per query instead")));
+        continue;
+      }
+      Result<TslQuery> cv = ChaseQuery(view, chase_options);
+      if (!cv.ok()) {
+        if (!cv.status().IsUnsatisfiable()) return cv.status();
+        e.state = CompiledViewState::kUnsatisfiable;
+        diags.push_back(MakeDiag(
+            DiagCode::kViewUnsatisfiable, view.span, view.name,
+            StrCat("chase proves ", view.name, " empty under the catalog's "
+                   "constraints (", cv.status().message(),
+                   "); the view can contribute no rewriting and is dropped "
+                   "from the compiled index")));
+        continue;
+      }
+      e.state = CompiledViewState::kIndexed;
+      chased[i] = std::move(cv).value();
+      e.chased_text = chased[i].ToString();
+      e.chased_fingerprint = CanonicalizeQuery(chased[i]).fingerprint;
+      TSLRW_ASSIGN_OR_RETURN(e.required, RequiredFeatures(chased[i]));
+    }
+  }
+
+  // Anchor choice: file each indexed view under its catalog-wide rarest
+  // required feature, so bucket sizes — and therefore probe cost — track
+  // how discriminating the catalog's structure actually is.
+  {
+    std::map<std::string, size_t> frequency;
+    for (const CompiledViewEntry& e : entries) {
+      if (e.state != CompiledViewState::kIndexed) continue;
+      for (const std::string& f : e.required) ++frequency[f];
+    }
+    for (CompiledViewEntry& e : entries) {
+      if (e.state != CompiledViewState::kIndexed || e.required.empty()) {
+        continue;
+      }
+      e.anchor = e.required.front();
+      for (const std::string& f : e.required) {
+        if (frequency[f] < frequency[e.anchor]) e.anchor = f;
+      }
+    }
+  }
+
+  // TSL201: α-equivalent duplicates, by canonical fingerprint of the raw
+  // definitions. Every copy after the first (in catalog order) is flagged.
+  std::map<uint64_t, std::vector<size_t>> by_fingerprint;
+  for (size_t i = 0; i < n; ++i) {
+    if (entries[i].state != CompiledViewState::kInvalid) {
+      by_fingerprint[entries[i].raw_fingerprint].push_back(i);
+    }
+  }
+  for (const auto& [fp, group] : by_fingerprint) {
+    for (size_t k = 1; k < group.size(); ++k) {
+      const TslQuery& view = caps[group[k]]->view;
+      diags.push_back(MakeDiag(
+          DiagCode::kDuplicateView, view.span, view.name,
+          StrCat(view.name, " is α-equivalent to ", caps[group[0]]->view.name,
+                 "; duplicate capabilities widen the rewriting search "
+                 "without adding coverage")));
+    }
+  }
+
+  // Subsumption lattice over the indexed views: i ⊑ j when every answer i
+  // contributes is also produced by j (\S4 one-sided containment of the
+  // chased definitions). The signature prefilter skips pairs where the
+  // subsuming side requires a feature the subsumed side's body cannot
+  // provide — such a containment mapping cannot exist.
+  std::vector<CatalogLatticeEdge> lattice;
+  bool truncated = false;
+  size_t tested = 0;
+  if (options.compute_lattice) {
+    ScopedSpan lattice_span(options.tracer, "catalog.lattice");
+    std::vector<uint32_t> indexed;
+    for (size_t i = 0; i < n; ++i) {
+      if (entries[i].state == CompiledViewState::kIndexed) {
+        indexed.push_back(static_cast<uint32_t>(i));
+      }
+    }
+    std::vector<std::set<std::string>> provided(n);
+    for (uint32_t i : indexed) {
+      TSLRW_ASSIGN_OR_RETURN(QueryFeatureSet qf, ProvidedFeatures(chased[i]));
+      provided[i] = std::move(qf.provided);
+    }
+    std::vector<std::vector<bool>> contained(n, std::vector<bool>(n, false));
+    for (uint32_t j : indexed) {
+      std::optional<EquivalenceTester> tester;
+      for (uint32_t i : indexed) {
+        if (i == j) continue;
+        if (entries[i].raw_fingerprint == entries[j].raw_fingerprint) {
+          contained[i][j] = true;  // α-equivalent, no test needed
+          continue;
+        }
+        if (truncated) continue;
+        if (!FeaturesSubset(entries[j].required, provided[i])) continue;
+        if (tested >= options.max_containment_pairs) {
+          truncated = true;
+          continue;
+        }
+        ++tested;
+        if (!tester.has_value()) {
+          Result<EquivalenceTester> made = EquivalenceTester::Make(
+              TslRuleSet::Single(chased[j]), chase_options);
+          if (!made.ok()) return made.status();
+          tester.emplace(std::move(made).value());
+        }
+        TSLRW_ASSIGN_OR_RETURN(
+            bool c, tester->ContainedInReference(TslRuleSet::Single(chased[i])));
+        if (c) contained[i][j] = true;
+      }
+    }
+    for (uint32_t i : indexed) {
+      for (uint32_t j : indexed) {
+        if (i != j && contained[i][j]) {
+          lattice.push_back(CatalogLatticeEdge{i, j, contained[j][i]});
+        }
+      }
+    }
+    // TSL200: one finding per subsumed view, naming its (first) subsumer.
+    // α-duplicate pairs are TSL201's; for mutually-contained distinct
+    // definitions only the later catalog entry is flagged, so one of an
+    // equivalent pair always survives unflagged.
+    for (uint32_t i : indexed) {
+      for (uint32_t j : indexed) {
+        if (i == j || !contained[i][j]) continue;
+        if (entries[i].raw_fingerprint == entries[j].raw_fingerprint) continue;
+        if (contained[j][i] && i < j) continue;
+        const TslQuery& view = caps[i]->view;
+        diags.push_back(MakeDiag(
+            DiagCode::kViewSubsumed, view.span, view.name,
+            contained[j][i]
+                ? StrCat(view.name, " is equivalent to ", entries[j].name,
+                         " under the catalog's constraints; it only widens "
+                         "the rewriting search")
+                : StrCat(view.name, " is subsumed by ", entries[j].name,
+                         ": every answer it contributes is already produced "
+                         "there, so it only widens the rewriting search")));
+        break;
+      }
+    }
+    lattice_span.Annotate("edges", static_cast<uint64_t>(lattice.size()));
+    lattice_span.Annotate("containment_tests", static_cast<uint64_t>(tested));
+  }
+  CountIf(options.metrics, "catalog.containment_tests", tested);
+
+  // Fold in the per-rule analyzer findings so a compile report is a
+  // superset of `tslrw_analyze` over the same rules. Dead-view detection
+  // stays off: TSL200/201 report the same pathology with exact evidence.
+  if (options.analyze_rules) {
+    ScopedSpan analyze_span(options.tracer, "catalog.analyze_rules");
+    AnalyzerOptions analyzer_options;
+    analyzer_options.constraints = constraints;
+    analyzer_options.constraint_exempt_sources =
+        chase_options.constraint_exempt_sources;
+    analyzer_options.detect_dead_views = false;
+    std::vector<TslQuery> views;
+    views.reserve(n);
+    for (const Capability* cap : caps) views.push_back(cap->view);
+    AnalysisReport report = Analyzer(analyzer_options).AnalyzeRules(views);
+    diags.insert(diags.end(), report.diagnostics.begin(),
+                 report.diagnostics.end());
+  }
+
+  Result<std::shared_ptr<const CompiledCatalog>> catalog =
+      CompiledCatalog::Assemble(std::move(entries), std::move(lattice),
+                                truncated, std::move(diags),
+                                ConstraintsFingerprint(constraints));
+  if (catalog.ok()) {
+    const CompiledCatalog& c = **catalog;
+    size_t indexed_views = 0;
+    for (const CompiledViewEntry& e : c.entries()) {
+      if (e.state == CompiledViewState::kIndexed) ++indexed_views;
+    }
+    compile_span.Annotate("indexed", static_cast<uint64_t>(indexed_views));
+    compile_span.Annotate("lattice_edges",
+                          static_cast<uint64_t>(c.lattice().size()));
+    compile_span.Annotate("diagnostics",
+                          static_cast<uint64_t>(c.diagnostics().size()));
+    if (c.lattice_truncated()) compile_span.Annotate("truncated", "true");
+    CountIf(options.metrics, "catalog.views_compiled", c.entries().size());
+    CountIf(options.metrics, "catalog.views_indexed", indexed_views);
+    CountIf(options.metrics, "catalog.diagnostics", c.diagnostics().size());
+  }
+  return catalog;
+}
+
+}  // namespace tslrw

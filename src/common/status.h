@@ -40,6 +40,10 @@ enum class StatusCode {
   /// A search or execution budget (candidate cap, attempt cap) was hit in
   /// strict mode, where silent truncation is not acceptable.
   kResourceExhausted,
+  /// Persisted bytes failed integrity verification (bad magic, version
+  /// mismatch, checksum mismatch, truncation). The data cannot be trusted;
+  /// callers fall back to recomputing from source inputs.
+  kDataLoss,
 };
 
 /// \brief Human-readable name of a StatusCode (e.g. "ParseError").
@@ -89,6 +93,9 @@ class Status {
   static Status ResourceExhausted(std::string msg) {
     return Status(StatusCode::kResourceExhausted, std::move(msg));
   }
+  static Status DataLoss(std::string msg) {
+    return Status(StatusCode::kDataLoss, std::move(msg));
+  }
 
   bool ok() const { return rep_ == nullptr; }
   StatusCode code() const { return rep_ ? rep_->code : StatusCode::kOk; }
@@ -105,6 +112,7 @@ class Status {
   bool IsResourceExhausted() const {
     return code() == StatusCode::kResourceExhausted;
   }
+  bool IsDataLoss() const { return code() == StatusCode::kDataLoss; }
 
   /// "OK" or "<CodeName>: <message>".
   std::string ToString() const;

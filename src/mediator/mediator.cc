@@ -10,6 +10,7 @@
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "rewrite/contained.h"
+#include "rewrite/view_index.h"
 
 namespace tslrw {
 
@@ -80,6 +81,29 @@ Result<Mediator> Mediator::Make(std::vector<SourceDescription> sources,
         StrCat("capability views failed analysis:\n", report.ToString()));
   }
   return Mediator(std::move(sources), constraints, std::move(report));
+}
+
+Result<Mediator> Mediator::Make(std::vector<SourceDescription> sources,
+                                const StructuralConstraints* constraints,
+                                std::shared_ptr<const ViewSetIndex> index) {
+  TSLRW_ASSIGN_OR_RETURN(Mediator mediator,
+                         Make(std::move(sources), constraints));
+  TSLRW_RETURN_NOT_OK(mediator.AttachCatalogIndex(std::move(index)));
+  return mediator;
+}
+
+Status Mediator::AttachCatalogIndex(
+    std::shared_ptr<const ViewSetIndex> index) {
+  if (index == nullptr) {
+    catalog_index_ = nullptr;
+    return Status::OK();
+  }
+  // The index's stored chase outcomes are only exact for the (views,
+  // constraints) pair it was compiled under; refuse anything else rather
+  // than serve plans from stale structure.
+  TSLRW_RETURN_NOT_OK(index->ValidateAgainst(AllViews(), constraints_));
+  catalog_index_ = std::move(index);
+  return Status::OK();
 }
 
 std::vector<TslQuery> Mediator::AllViews() const {
@@ -247,6 +271,7 @@ Result<MediatorPlanSet> Mediator::Plan(const TslQuery& query,
   options.parallelism = rewrite_parallelism;
   options.tracer = tracer;
   options.metrics = metrics;
+  options.view_index = catalog_index_.get();
   ScopedSpan span(tracer, "mediator.plan_search");
   CountIf(metrics, "mediator.plan_searches");
   Result<MediatorPlanSet> set = PlanOverViews(query, AllViews(), options);
@@ -412,6 +437,10 @@ RewriteOptions Mediator::PlanningOptions(const ExecutionPolicy& policy,
   options.parallelism = policy.rewrite_parallelism;
   options.tracer = policy.tracer;
   options.metrics = policy.metrics;
+  // The index declines any view set it was not compiled for (CoversViews),
+  // so replans over live-view subsets and the degraded fallback take the
+  // full scan automatically and stay byte-identical.
+  options.view_index = catalog_index_.get();
   if (deadline_ticks > 0) {
     options.should_stop = [clock, deadline_ticks] {
       return clock->now() >= deadline_ticks;

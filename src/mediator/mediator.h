@@ -2,6 +2,7 @@
 #define TSLRW_MEDIATOR_MEDIATOR_H_
 
 #include <cstdint>
+#include <memory>
 #include <set>
 #include <string>
 #include <vector>
@@ -132,6 +133,28 @@ class Mediator {
   static Result<Mediator> Make(std::vector<SourceDescription> sources,
                                const StructuralConstraints* constraints =
                                    nullptr);
+
+  /// Make + AttachCatalogIndex in one step: ingests a compiled catalog
+  /// index (src/catalog — typically loaded from a `tslrw_compile -o` index
+  /// file) so plan searches probe view signatures instead of chasing every
+  /// view. Fails when the index was not compiled for exactly these
+  /// (sources, constraints).
+  static Result<Mediator> Make(std::vector<SourceDescription> sources,
+                               const StructuralConstraints* constraints,
+                               std::shared_ptr<const ViewSetIndex> index);
+
+  /// Validates \p index against this mediator's views and constraints and,
+  /// on success, consults it in every subsequent plan search (Plan, Answer,
+  /// and the serving layer's cached searches). Plans are byte-identical
+  /// with or without an index — the index only skips views that provably
+  /// admit no containment mapping. Passing null detaches. On failure the
+  /// previously attached index (if any) is left in place.
+  Status AttachCatalogIndex(std::shared_ptr<const ViewSetIndex> index);
+
+  /// The attached catalog index, or null.
+  const std::shared_ptr<const ViewSetIndex>& catalog_index() const {
+    return catalog_index_;
+  }
 
   /// Capability-based rewriting: every total rewriting of \p query over
   /// the capability views, cheapest-first. An empty plan list means the
@@ -289,6 +312,9 @@ class Mediator {
   std::vector<SourceDescription> sources_;
   const StructuralConstraints* constraints_;
   AnalysisReport analysis_;
+  /// Optional compiled catalog index (shared with the serving layer's
+  /// snapshots; immutable, so copies of the mediator alias it safely).
+  std::shared_ptr<const ViewSetIndex> catalog_index_;
 };
 
 }  // namespace tslrw

@@ -5,6 +5,8 @@
 #include <fstream>
 #include <sstream>
 
+#include "catalog/compiler.h"
+#include "catalog/index_file.h"
 #include "common/string_util.h"
 #include "constraints/dataguide.h"
 #include "constraints/dtd.h"
@@ -38,6 +40,9 @@ constexpr std::string_view kHelp =
     "  equivalent <q1> <q2>             compile-time equivalence test\n"
     "  analyze [rule]                   static diagnostics (all rules, or "
     "one)\n"
+    "  compile [save <p> | load <p>]    whole-catalog analysis (TSL2xx) +\n"
+    "                                   structural view index; attaches to\n"
+    "                                   a running server\n"
     "  materialize <view>               view result becomes a source\n"
     "  capability <source> (Name) <head> :- <body>\n"
     "                                   declare a source interface view\n"
@@ -112,6 +117,7 @@ std::string ReplSession::Execute(std::string_view line) {
   if (command == "minimize") return Minimize(rest);
   if (command == "equivalent") return Equivalent(rest);
   if (command == "analyze" || command == ":analyze") return Analyze(rest);
+  if (command == "compile" || command == ":compile") return Compile(rest);
   if (command == "materialize") return Materialize(rest);
   if (command == "capability") return DefineCapability(rest);
   if (command == "fault") return SetFault(rest);
@@ -390,6 +396,74 @@ std::string ReplSession::Analyze(std::string_view rest) {
                               qr.diagnostics.begin(), qr.diagnostics.end());
   }
   return RenderReport(report);
+}
+
+std::string ReplSession::Compile(std::string_view rest) {
+  constexpr std::string_view kUsage =
+      "usage: compile [save <path> | load <path>]\n";
+  std::string_view word = TakeWord(&rest);
+  std::string path;
+  bool save = false;
+  bool load = false;
+  if (word == "save" || word == "load") {
+    path = std::string(TakeWord(&rest));
+    if (path.empty() || !Trim(rest).empty()) return std::string(kUsage);
+    save = word == "save";
+    load = word == "load";
+  } else if (!word.empty()) {
+    return std::string(kUsage);
+  }
+
+  std::shared_ptr<const CompiledCatalog> compiled;
+  if (load) {
+    auto loaded = LoadCatalogIndex(path);
+    if (!loaded.ok()) return RenderError(loaded.status());
+    compiled = std::move(loaded).value();
+  } else {
+    // Capabilities are the real catalog when declared; otherwise every
+    // plain view becomes a single-capability source (DescribeViews), so
+    // `compile` is useful before any `capability` line exists.
+    std::vector<SourceDescription> sources;
+    if (!capabilities_.empty()) {
+      for (const auto& [src, sd] : capabilities_) sources.push_back(sd);
+    } else {
+      sources = DescribeViews(Views());
+    }
+    if (sources.empty()) {
+      return "error: no capabilities or views to compile\n";
+    }
+    CatalogCompileOptions options;
+    options.tracer = StartTrace();
+    options.metrics = &metrics_;
+    auto result = CompileCatalog(sources, constraints_ptr(), options);
+    if (!result.ok()) return RenderError(result.status());
+    compiled = std::move(result).value();
+    if (save) {
+      if (Status st = SaveCatalogIndex(*compiled, path); !st.ok()) {
+        return RenderError(st);
+      }
+    }
+  }
+
+  std::string out;
+  for (const Diagnostic& d : compiled->diagnostics()) {
+    auto it = rule_texts_.find(d.rule);
+    out += RenderDiagnostic(
+        d, it != rule_texts_.end() ? std::string_view(it->second)
+                                   : std::string_view());
+  }
+  out += StrCat(compiled->Summary(), "\n");
+  if (save) out += StrCat("wrote index ", path, "\n");
+  // A running server ingests the index if it validates against the current
+  // mediator (same views, same constraints); otherwise it is reported and
+  // the server keeps scanning.
+  if (server_ != nullptr) {
+    Status attached = server_->AttachCatalogIndex(compiled);
+    out += attached.ok()
+               ? "index attached to the running server\n"
+               : StrCat("index not attached: ", attached.ToString(), "\n");
+  }
+  return out;
 }
 
 std::string ReplSession::Materialize(std::string_view rest) {

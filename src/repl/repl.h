@@ -41,6 +41,7 @@ namespace tslrw {
 /// minimize Q3
 /// equivalent Q3 Q4
 /// analyze [Q3]                  % static diagnostics, all rules or one
+/// compile [save p | load p]     % whole-catalog analysis + view index
 /// materialize V1                % view result becomes a source
 /// capability db (Y97) <...> :- <...>@db   % declare a source interface
 /// fault db flaky 0.5            % script a wrapper fault for `mediate`
@@ -87,6 +88,7 @@ class ReplSession {
   std::string Minimize(std::string_view rest);
   std::string Equivalent(std::string_view rest);
   std::string Analyze(std::string_view rest);
+  std::string Compile(std::string_view rest);
   std::string Materialize(std::string_view rest);
   std::string DefineCapability(std::string_view rest);
   std::string SetFault(std::string_view rest);

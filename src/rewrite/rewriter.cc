@@ -11,6 +11,7 @@
 #include "rewrite/candidate.h"
 #include "rewrite/compose.h"
 #include "rewrite/parallel.h"
+#include "rewrite/view_index.h"
 #include "tsl/normal_form.h"
 #include "tsl/validate.h"
 
@@ -85,6 +86,46 @@ Result<ChasedInputs> ChaseInputs(const TslQuery& query,
   return out;
 }
 
+/// The indexed replacement for ChaseInputs, taken when options.view_index
+/// covers \p views: the query is chased as usual, but the per-view work is
+/// answered from the compiled catalog — stored offline chase outcomes for
+/// views whose structural signature admits a containment mapping into the
+/// chased query, nothing for views the signature rules out. A covered
+/// catalog has no regex, unnamed, or invalid views (the compiler refuses
+/// to serve one), so the full scan's per-view checks cannot fire and
+/// skipping them is unobservable; the result is byte-identical by the
+/// signature soundness argument in docs/CATALOG.md.
+Result<ChasedInputs> ChaseInputsIndexed(const TslQuery& query,
+                                        const std::vector<TslQuery>& views,
+                                        const ChaseOptions& chase_options,
+                                        const ViewSetIndex& index,
+                                        ViewProbeOutcome* outcome) {
+  if (UsesRegexSteps(query)) {
+    return Status::IllFormedQuery(
+        "rewriting queries with regular path expressions (l+, **) is the "
+        "paper's future work (\\S7); only plain TSL bodies are supported");
+  }
+  ChasedInputs out;
+  Result<TslQuery> chased_query = ChaseQuery(query, chase_options);
+  if (!chased_query.ok()) {
+    if (!chased_query.status().IsUnsatisfiable()) {
+      return chased_query.status();
+    }
+    out.query_unsatisfiable = true;
+    return out;
+  }
+  out.query = std::move(chased_query).value();
+  TSLRW_ASSIGN_OR_RETURN(
+      std::optional<std::vector<TslQuery>> probed,
+      index.ChasedViewsFor(out.query, views, chase_options, outcome));
+  if (!probed.has_value()) {
+    return Status::Internal(
+        "view index declined a view set it claimed to cover");
+  }
+  out.views = std::move(*probed);
+  return out;
+}
+
 }  // namespace
 
 Result<RewriteResult> RewriteQuery(const TslQuery& query,
@@ -103,8 +144,30 @@ Result<RewriteResult> RewriteQuery(const TslQuery& query,
     chase_options.constraint_exempt_sources.insert(view.name);
   }
   ScopedSpan chase_span(options.tracer, "rewrite.chase_inputs");
-  TSLRW_ASSIGN_OR_RETURN(ChasedInputs inputs,
-                         ChaseInputs(query, views, chase_options));
+  const bool indexed =
+      options.view_index != nullptr && options.view_index->CoversViews(views);
+  ViewProbeOutcome probe;
+  ChasedInputs inputs;
+  if (indexed) {
+    TSLRW_ASSIGN_OR_RETURN(
+        inputs, ChaseInputsIndexed(query, views, chase_options,
+                                   *options.view_index, &probe));
+    CountIf(options.metrics, "catalog.index_probes");
+    if (options.metrics != nullptr) {
+      options.metrics->GetCounter("catalog.index_views_admitted")
+          ->Increment(probe.admitted);
+      options.metrics->GetCounter("catalog.index_views_skipped")
+          ->Increment(probe.skipped);
+    }
+    chase_span.Annotate("index_probe", "hit");
+    chase_span.Annotate("index_skipped", static_cast<uint64_t>(probe.skipped));
+  } else {
+    if (options.view_index != nullptr) {
+      CountIf(options.metrics, "catalog.index_misses");
+      chase_span.Annotate("index_probe", "miss");
+    }
+    TSLRW_ASSIGN_OR_RETURN(inputs, ChaseInputs(query, views, chase_options));
+  }
   chase_span.Annotate("live_views", static_cast<uint64_t>(inputs.views.size()));
   chase_span.EndNow();
   if (inputs.query_unsatisfiable) {

@@ -15,12 +15,23 @@ namespace tslrw {
 
 class MetricRegistry;
 class Tracer;
+class ViewSetIndex;
 
 /// \brief Knobs for the \S3.4 rewriting algorithm.
 struct RewriteOptions {
   /// Structural constraints (DTD-derived) used for label inference and the
   /// labeled-FD chase on the query, the views, and the candidates (\S3.3).
   const StructuralConstraints* constraints = nullptr;
+
+  /// Optional precompiled index over the view set (src/catalog, attached
+  /// through Mediator::AttachCatalogIndex after validation; not owned).
+  /// When the index recognizes `views` as its compiled catalog,
+  /// RewriteQuery reuses the offline chase outcomes and enumerates
+  /// candidates only over views whose structural signature admits a
+  /// containment mapping into the query — the result stays byte-identical
+  /// to the full scan (see docs/CATALOG.md). When it does not (live-view
+  /// subsets during failover replans, a stale index), the full scan runs.
+  const ViewSetIndex* view_index = nullptr;
 
   /// The \S3.4 heuristic: only construct candidates whose view
   /// instantiations and query conditions together "cover" all conditions

@@ -1,0 +1,71 @@
+#ifndef TSLRW_REWRITE_VIEW_INDEX_H_
+#define TSLRW_REWRITE_VIEW_INDEX_H_
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "common/result.h"
+#include "constraints/inference.h"
+#include "rewrite/chase.h"
+#include "tsl/ast.h"
+
+namespace tslrw {
+
+/// Counters one index probe reports back to the rewriter's metrics.
+struct ViewProbeOutcome {
+  /// Views handed to candidate enumeration (admissible for this query).
+  size_t admitted = 0;
+  /// Views the index proved can contribute no containment mapping.
+  size_t skipped = 0;
+};
+
+/// \brief A precompiled structural index over a fixed view set, consulted
+/// by RewriteQuery in place of its per-query chase-every-view scan.
+///
+/// The contract is exactness: the returned view list must yield a
+/// byte-identical RewriteResult to chasing and scanning every view. The
+/// only implementation is catalog::CompiledCatalog (src/catalog); this
+/// interface exists so the rewriter, the mediator, and the serving layer
+/// can hold an index without depending on the catalog-compiler layer
+/// above them.
+class ViewSetIndex {
+ public:
+  virtual ~ViewSetIndex() = default;
+
+  /// Cheap per-query gate: true iff \p views is the view set this index
+  /// was compiled for (size and per-ordinal names; definition equality for
+  /// those names is the attach point's ValidateAgainst contract) and the
+  /// compile produced a servable index (no error-level view diagnostics).
+  /// Replans over live-view subsets return false here and take the full
+  /// scan, which keeps failover behavior byte-identical with or without
+  /// an index.
+  virtual bool CoversViews(const std::vector<TslQuery>& views) const = 0;
+
+  /// The chased views RewriteQuery should enumerate candidates over for
+  /// \p chased_query, in the same relative order as \p views. Requires a
+  /// preceding CoversViews(views) == true; returns nullopt otherwise.
+  /// \p chase_options must be the options the caller would chase views
+  /// with; entries the compiler could not chase offline (TSL204) are
+  /// chased here, so a chase error propagates exactly as it would from
+  /// the full scan.
+  virtual Result<std::optional<std::vector<TslQuery>>> ChasedViewsFor(
+      const TslQuery& chased_query, const std::vector<TslQuery>& views,
+      const ChaseOptions& chase_options, ViewProbeOutcome* outcome) const = 0;
+
+  /// Verifies this index was compiled for exactly \p views (same names,
+  /// same definitions, same order) under \p constraints. Attach points
+  /// (Mediator, QueryServer) call this once so every later probe can
+  /// trust its stored chase outcomes.
+  virtual Status ValidateAgainst(
+      const std::vector<TslQuery>& views,
+      const StructuralConstraints* constraints) const = 0;
+
+  /// Stable fingerprint of the compiled (views, constraints) pair; the
+  /// serving layer keys its stale-index guard on this.
+  virtual uint64_t catalog_fingerprint() const = 0;
+};
+
+}  // namespace tslrw
+
+#endif  // TSLRW_REWRITE_VIEW_INDEX_H_

@@ -4,6 +4,7 @@
 
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "rewrite/view_index.h"
 
 namespace tslrw {
 
@@ -186,6 +187,19 @@ void QueryServer::ReplaceCatalog(SourceCatalog catalog) {
 void QueryServer::ReplaceMediator(Mediator mediator) {
   std::lock_guard<std::mutex> writer(mutate_mu_);
   const std::shared_ptr<const Snapshot> current = snapshot();
+  // Stale-index guard: a catalog index compiled for the retiring view set
+  // must not serve the new one. Re-validate it against the incoming
+  // mediator (ValidateAgainst pins names, definitions, and constraints —
+  // the catalog fingerprint); carry it over only on success.
+  if (mediator.catalog_index() == nullptr &&
+      current->mediator->catalog_index() != nullptr) {
+    if (mediator.AttachCatalogIndex(current->mediator->catalog_index())
+            .ok()) {
+      CountIf(options_.metrics, "catalog.index_carried");
+    } else {
+      CountIf(options_.metrics, "catalog.index_dropped_stale");
+    }
+  }
   auto next = std::make_shared<Snapshot>();
   next->mediator = std::make_shared<const Mediator>(std::move(mediator));
   next->catalog = current->catalog;
@@ -194,6 +208,31 @@ void QueryServer::ReplaceMediator(Mediator mediator) {
   next->plan_cache = std::make_shared<PlanCache>(CacheOptions());
   Publish(std::move(next));
   mediator_swaps_.fetch_add(1);
+}
+
+Status QueryServer::AttachCatalogIndex(
+    std::shared_ptr<const ViewSetIndex> index) {
+  std::lock_guard<std::mutex> writer(mutate_mu_);
+  const std::shared_ptr<const Snapshot> current = snapshot();
+  Mediator mediator = *current->mediator;
+  TSLRW_RETURN_NOT_OK(mediator.AttachCatalogIndex(std::move(index)));
+  auto next = std::make_shared<Snapshot>(*current);
+  next->mediator = std::make_shared<const Mediator>(std::move(mediator));
+  // The plan cache survives: an indexed plan search returns byte-identical
+  // plan lists, so cached entries stay valid across the attach.
+  Publish(std::move(next));
+  CountIf(options_.metrics, "catalog.index_attached");
+  return Status::OK();
+}
+
+bool QueryServer::has_catalog_index() const {
+  return snapshot()->mediator->catalog_index() != nullptr;
+}
+
+uint64_t QueryServer::catalog_index_fingerprint() const {
+  const std::shared_ptr<const ViewSetIndex>& index =
+      snapshot()->mediator->catalog_index();
+  return index == nullptr ? 0 : index->catalog_fingerprint();
 }
 
 void QueryServer::InvalidatePlans() {

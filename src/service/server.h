@@ -147,7 +147,24 @@ class QueryServer {
 
   /// Replaces the mediator (new capability views): snapshot swap plus a
   /// fresh plan-cache generation — cached plans reference retired views.
+  /// A catalog index attached to the retiring snapshot is carried over iff
+  /// it still validates against the new mediator (same views, same
+  /// constraints — the catalog-fingerprint guard); otherwise it is dropped
+  /// and `catalog.index_dropped_stale` counts the event. An index attached
+  /// to \p mediator itself always wins.
   void ReplaceMediator(Mediator mediator);
+
+  /// Attaches a compiled catalog index (src/catalog) to the serving
+  /// snapshot: validates it against the current mediator, then publishes a
+  /// snapshot whose plan searches probe the index. The plan-cache
+  /// generation survives — indexed plan lists are byte-identical to
+  /// scanned ones. Pass null to detach.
+  Status AttachCatalogIndex(std::shared_ptr<const ViewSetIndex> index);
+
+  /// True when the current snapshot's mediator holds a catalog index.
+  bool has_catalog_index() const;
+  /// The attached index's catalog fingerprint, or 0 when none is attached.
+  uint64_t catalog_index_fingerprint() const;
 
   /// Starts a fresh plan-cache generation for the current mediator.
   /// Benchmarks use this for cold-cache runs.

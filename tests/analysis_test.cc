@@ -4,6 +4,7 @@
 
 #include <string>
 #include <string_view>
+#include <tuple>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -334,6 +335,25 @@ TEST(AnalyzerTest, AnalyzeRulesKeepsPerRuleFindingsApart) {
     if (diag.rule == "Q3") {
       EXPECT_NE(diag.severity, Severity::kError) << diag.ToString();
     }
+  }
+}
+
+TEST(AnalyzerTest, DiagnosticsAreSortedBySpanThenCode) {
+  // A program whose findings come from different passes, appended in pass
+  // order (not source order): the report must still come out sorted by
+  // (line, column, code), so renderings are deterministic and diffable.
+  AnalysisReport report = Analyzer().AnalyzeProgramText(
+      "<f(P) out yes> :- <P p V>@db AND <P p V>@db AND <R q W>@db\n"
+      "<g(X) out W> :- <X p {<Y a+ Z>}>@db");
+  ASSERT_GE(report.diagnostics.size(), 2u);
+  for (size_t i = 1; i < report.diagnostics.size(); ++i) {
+    const Diagnostic& a = report.diagnostics[i - 1];
+    const Diagnostic& b = report.diagnostics[i];
+    auto key = [](const Diagnostic& d) {
+      return std::make_tuple(d.span.line, d.span.column,
+                             static_cast<int>(d.code), d.rule, d.message);
+    };
+    EXPECT_LE(key(a), key(b)) << a.ToString() << " before " << b.ToString();
   }
 }
 

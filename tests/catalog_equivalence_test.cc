@@ -1,0 +1,259 @@
+// Byte-identity of indexed rewriting: for every query, RewriteQuery with a
+// compiled catalog index attached must return exactly the RewriteResult of
+// the full scan — same rewritings in the same order, same counters, same
+// truncation flag — and a mediator planning through the index must degrade
+// identically under injected faults. docs/CATALOG.md states the argument;
+// this suite pins it across fixture, DTD-constrained, and seeded-random
+// catalogs.
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "catalog/compiler.h"
+#include "constraints/dtd.h"
+#include "fixtures.h"
+#include "mediator/fault.h"
+#include "mediator/mediator.h"
+#include "mediator/wrapper.h"
+#include "obs/metrics.h"
+#include "testing/random_rules.h"
+#include "rewrite/rewriter.h"
+#include "tsl/parser.h"
+
+namespace tslrw {
+namespace {
+
+using testing::MustParse;
+using testing::MustParseDb;
+
+/// Every observable field of a RewriteResult, rendered. Two results with
+/// equal renderings are byte-identical for the caller. The shared-work
+/// diagnostics (cache hits, batches) are scheduling-dependent and outside
+/// the determinism guarantee, so they stay out.
+std::string Render(const RewriteResult& result) {
+  std::string out;
+  for (const TslQuery& q : result.rewritings) {
+    out += q.ToString();
+    out += "\n";
+  }
+  out += "mappings=" + std::to_string(result.mappings_found);
+  out += " generated=" + std::to_string(result.candidates_generated);
+  out += " tested=" + std::to_string(result.candidates_tested);
+  out += result.truncated ? " truncated" : "";
+  return out;
+}
+
+/// Compiles an index over \p views and checks RewriteQuery(query) with and
+/// without it renders identically. Returns the probe's skip count so
+/// callers can assert pruning actually happened.
+uint64_t ExpectIndexedMatchesFullScan(
+    const TslQuery& query, const std::vector<TslQuery>& views,
+    const StructuralConstraints* constraints) {
+  auto catalog = CompileCatalog(DescribeViews(views), constraints);
+  EXPECT_TRUE(catalog.ok()) << catalog.status();
+  if (!catalog.ok()) return 0;
+
+  RewriteOptions plain;
+  plain.constraints = constraints;
+  auto full = RewriteQuery(query, views, plain);
+
+  MetricRegistry metrics;
+  RewriteOptions indexed = plain;
+  indexed.view_index = catalog->get();
+  indexed.metrics = &metrics;
+  auto fast = RewriteQuery(query, views, indexed);
+
+  EXPECT_EQ(full.ok(), fast.ok())
+      << full.status() << " vs " << fast.status();
+  if (full.ok() && fast.ok()) {
+    EXPECT_EQ(Render(*full), Render(*fast)) << query.ToString();
+  }
+  EXPECT_EQ(metrics.GetCounter("catalog.index_misses")->value(), 0u);
+  return metrics.GetCounter("catalog.index_views_skipped")->value();
+}
+
+TEST(CatalogEquivalenceTest, PaperFixtureSuite) {
+  std::vector<TslQuery> views = {
+      MustParse(testing::kV1, "V1"),
+      MustParse("<v(P') vout {<w(X') m Z'>}> :- <P' other {<X' l0 Z'>}>@db",
+                "Unrelated"),
+  };
+  uint64_t skipped = 0;
+  skipped += ExpectIndexedMatchesFullScan(MustParse(testing::kQ3, "Q3"),
+                                          views, nullptr);
+  skipped += ExpectIndexedMatchesFullScan(MustParse(testing::kQ5, "Q5"),
+                                          views, nullptr);
+  // The `other`-rooted view cannot map into a `p`-rooted query: the index
+  // must actually prune it, not just match by accident.
+  EXPECT_GT(skipped, 0u);
+}
+
+TEST(CatalogEquivalenceTest, DtdConstrainedSuite) {
+  auto dtd = Dtd::Parse(
+      "<!ELEMENT root (leaf)> <!ELEMENT leaf CDATA>");
+  ASSERT_TRUE(dtd.ok()) << dtd.status();
+  StructuralConstraints constraints(std::move(dtd).ValueOrDie());
+  std::vector<TslQuery> views = {
+      MustParse("<v(P') vout {<w(X') m Z'>}> :- <P' root {<X' leaf Z'>}>@db",
+                "Leaf"),
+      // Proven empty by the chase (one leaf per root, conflicting tails):
+      // the compiled index drops it exactly as the full scan does.
+      MustParse("<v(P') vout yes> :- "
+                "<P' root {<X1' leaf va>}>@db AND "
+                "<P' root {<X2' leaf vb>}>@db",
+                "Empty"),
+  };
+  TslQuery fused = MustParse(
+      "<f(P) out Z> :- "
+      "<P root {<X1 leaf Z>}>@db AND <P root {<X2 leaf va>}>@db",
+      "QF");
+  TslQuery simple =
+      MustParse("<f(P) out Z> :- <P root {<X leaf Z>}>@db", "QS");
+  ExpectIndexedMatchesFullScan(fused, views, &constraints);
+  ExpectIndexedMatchesFullScan(simple, views, &constraints);
+}
+
+TEST(CatalogEquivalenceTest, SeededRandomSuite) {
+  uint64_t skipped = 0;
+  for (uint64_t seed = 1; seed <= 25; ++seed) {
+    testing::RandomRules rules(seed, /*num_labels=*/3, /*num_values=*/3,
+                               "root");
+    std::vector<TslQuery> views = {
+        rules.View("V0", "db"),
+        rules.CopyView("V1", "db"),
+        rules.DeepView("V2", "db"),
+        rules.View("V3", "db"),
+        rules.DeepView("V4", "db"),
+    };
+    TslQuery query = rules.Query("Q", "db");
+    skipped +=
+        ExpectIndexedMatchesFullScan(query, views, nullptr);
+  }
+  // Across 25 seeds the signature probe must have pruned something:
+  // a probe that admits everything would trivially pass the identity
+  // checks above without testing the pruning path at all.
+  EXPECT_GT(skipped, 0u);
+}
+
+// --- mediator integration: identical plans, identical degradation -----------
+
+SourceCatalog BiblioCatalog() {
+  SourceCatalog catalog;
+  catalog.Put(MustParseDb(R"(
+    database s1 {
+      <a1 publication {
+        <t1 title "Views"> <v1 venue "SIGMOD"> <y1 year "1997">
+      }>
+      <a2 publication {
+        <t2 title "Constraints"> <v2 venue "VLDB"> <y2 year "1997">
+      }>
+    })"));
+  catalog.Put(MustParseDb(R"(
+    database s2 {
+      <b1 publication {
+        <u1 title "Wrappers"> <w1 venue "SIGMOD"> <x1 year "1997">
+      }>
+    })"));
+  return catalog;
+}
+
+std::vector<SourceDescription> BiblioSources() {
+  Capability y97;
+  y97.view = MustParse(
+      "<y97(P') pub {<X' Y' Z'>}> :- "
+      "<P' publication {<U' year \"1997\">}>@s1 AND "
+      "<P' publication {<X' Y' Z'>}>@s1",
+      "Y97");
+  Capability dump;
+  dump.view = MustParse(
+      "<dump(P') pub {<X' Y' Z'>}> :- <P' publication {<X' Y' Z'>}>@s2",
+      "Dump2");
+  return {SourceDescription{"s1", {y97}}, SourceDescription{"s2", {dump}}};
+}
+
+TslQuery Sigmod97Query() {
+  return MustParse(
+      "<f(P) sigmod97 yes> :- "
+      "<P publication {<U year \"1997\">}>@s1 AND "
+      "<P publication {<V venue \"SIGMOD\">}>@s1",
+      "Sigmod97");
+}
+
+std::string RenderAnswer(const DegradedAnswer& answer) {
+  std::string out = answer.result.ToString();
+  out += "completeness=";
+  out += CompletenessToString(answer.completeness);
+  for (const std::string& s : answer.unreachable_sources) {
+    out += " unreachable:" + s;
+  }
+  out += "\n";
+  out += answer.report.ToString();
+  return out;
+}
+
+TEST(CatalogEquivalenceTest, MediatorAnswersIdenticallyThroughTheIndex) {
+  auto sources = BiblioSources();
+  auto index = CompileCatalog(sources, nullptr);
+  ASSERT_TRUE(index.ok()) << index.status();
+
+  auto plain = Mediator::Make(sources, nullptr);
+  ASSERT_TRUE(plain.ok()) << plain.status();
+  auto indexed = Mediator::Make(sources, nullptr, *index);
+  ASSERT_TRUE(indexed.ok()) << indexed.status();
+  ASSERT_NE(indexed->catalog_index(), nullptr);
+
+  SourceCatalog catalog = BiblioCatalog();
+  TslQuery query = Sigmod97Query();
+  auto a = plain->Answer(query, catalog);
+  auto b = indexed->Answer(query, catalog);
+  ASSERT_TRUE(a.ok()) << a.status();
+  ASSERT_TRUE(b.ok()) << b.status();
+  EXPECT_EQ(RenderAnswer(*a), RenderAnswer(*b));
+}
+
+TEST(CatalogEquivalenceTest, DegradedAnswersAreIdenticalUnderFaults) {
+  auto sources = BiblioSources();
+  auto index = CompileCatalog(sources, nullptr);
+  ASSERT_TRUE(index.ok()) << index.status();
+  auto plain = Mediator::Make(sources, nullptr);
+  ASSERT_TRUE(plain.ok()) << plain.status();
+  auto indexed = Mediator::Make(sources, nullptr, *index);
+  ASSERT_TRUE(indexed.ok()) << indexed.status();
+
+  SourceCatalog catalog = BiblioCatalog();
+  // Two-source query so killing s1 degrades instead of failing: both
+  // mediators must walk the same plans, declare the same source dead, and
+  // produce the same maximally-contained answer.
+  TslQuery query = MustParse(
+      "<f(P) out yes> :- <P publication {<U year \"1997\">}>@s1",
+      "Q97");
+  for (uint64_t seed = 0; seed < 4; ++seed) {
+    auto run = [&](const Mediator& mediator) -> std::string {
+      CatalogWrapper base;
+      VirtualClock clock;
+      FaultInjector injector(&base, seed, &clock);
+      FaultSchedule dead;
+      dead.steady_state = Fault::Unavailable();
+      injector.SetSchedule("s1", dead);
+      ExecutionPolicy policy;
+      policy.wrapper = &injector;
+      policy.clock = &clock;
+      policy.seed = seed;
+      policy.retry.max_attempts = 2;
+      policy.retry.initial_backoff_ticks = 1;
+      auto answer = mediator.Answer(query, catalog, policy);
+      EXPECT_TRUE(answer.ok()) << answer.status();
+      return answer.ok() ? RenderAnswer(*answer) : std::string();
+    };
+    std::string a = run(*plain);
+    std::string b = run(*indexed);
+    EXPECT_EQ(a, b) << "seed " << seed;
+    EXPECT_NE(a.find("unreachable:s1"), std::string::npos) << a;
+  }
+}
+
+}  // namespace
+}  // namespace tslrw

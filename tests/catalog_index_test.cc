@@ -1,0 +1,200 @@
+#include "catalog/index_file.h"
+
+#include <cstdio>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "catalog/compiler.h"
+#include "constraints/dtd.h"
+#include "fixtures.h"
+#include "testing/random_rules.h"
+#include "tsl/parser.h"
+
+namespace tslrw {
+namespace {
+
+using testing::MustParse;
+
+std::shared_ptr<const CompiledCatalog> MustCompile(
+    const std::vector<TslQuery>& views,
+    const StructuralConstraints* constraints = nullptr) {
+  auto catalog = CompileCatalog(DescribeViews(views), constraints);
+  EXPECT_TRUE(catalog.ok()) << catalog.status();
+  return std::move(catalog).ValueOrDie();
+}
+
+/// A catalog exercising every serialized corner: indexed views, a
+/// duplicate (TSL201), a subsumption edge (TSL200), an always-scan entry
+/// would need a budget override, so this sticks to what DescribeViews
+/// produces; the random sweep below covers breadth.
+std::shared_ptr<const CompiledCatalog> FixtureCatalog() {
+  std::vector<TslQuery> views = {
+      MustParse("<v(P') vout {<w(X') m Z'>}> :- <P' root {<X' l0 Z'>}>@db",
+                "Wide"),
+      MustParse("<v(P') vout {<w(X') m c0>}> :- <P' root {<X' l0 c0>}>@db",
+                "Narrow"),
+      MustParse("<v(Q') vout {<w(Y') m W'>}> :- <Q' root {<Y' l0 W'>}>@db",
+                "WideCopy"),
+  };
+  return MustCompile(views);
+}
+
+std::string TempPath(const std::string& name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+TEST(CatalogIndexFileTest, RoundTripIsByteIdentical) {
+  auto catalog = FixtureCatalog();
+  const std::string bytes = SerializeCatalog(*catalog);
+
+  auto loaded = DeserializeCatalog(bytes);
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  // compile -> serialize -> load -> serialize is the identity on bytes,
+  // and the loaded catalog is indistinguishable from the compiled one.
+  EXPECT_EQ(SerializeCatalog(**loaded), bytes);
+  EXPECT_EQ((*loaded)->catalog_fingerprint(), catalog->catalog_fingerprint());
+  EXPECT_EQ((*loaded)->Summary(), catalog->Summary());
+  ASSERT_EQ((*loaded)->diagnostics().size(), catalog->diagnostics().size());
+  for (size_t i = 0; i < catalog->diagnostics().size(); ++i) {
+    EXPECT_EQ((*loaded)->diagnostics()[i].ToString(),
+              catalog->diagnostics()[i].ToString());
+  }
+  ASSERT_EQ((*loaded)->lattice().size(), catalog->lattice().size());
+}
+
+TEST(CatalogIndexFileTest, RandomCatalogsRoundTrip) {
+  for (uint64_t seed = 1; seed <= 12; ++seed) {
+    testing::RandomRules rules(seed, /*num_labels=*/3, /*num_values=*/3,
+                               "root");
+    std::vector<TslQuery> views = {
+        rules.View("V0", "db"),
+        rules.CopyView("V1", "db"),
+        rules.DeepView("V2", "db"),
+        rules.View("V3", "db"),
+    };
+    auto catalog = MustCompile(views);
+    const std::string bytes = SerializeCatalog(*catalog);
+    auto loaded = DeserializeCatalog(bytes);
+    ASSERT_TRUE(loaded.ok()) << "seed " << seed << ": " << loaded.status();
+    EXPECT_EQ(SerializeCatalog(**loaded), bytes) << "seed " << seed;
+    EXPECT_EQ((*loaded)->catalog_fingerprint(),
+              catalog->catalog_fingerprint())
+        << "seed " << seed;
+  }
+}
+
+TEST(CatalogIndexFileTest, EveryTruncationIsDataLoss) {
+  const std::string bytes = SerializeCatalog(*FixtureCatalog());
+  ASSERT_GT(bytes.size(), 30u);
+  for (size_t keep = 0; keep < bytes.size(); keep += 7) {
+    auto loaded = DeserializeCatalog(bytes.substr(0, keep));
+    EXPECT_FALSE(loaded.ok()) << "prefix of " << keep << " bytes parsed";
+    EXPECT_TRUE(loaded.status().IsDataLoss())
+        << "prefix of " << keep << ": " << loaded.status();
+  }
+}
+
+TEST(CatalogIndexFileTest, EveryBitFlipIsDataLoss) {
+  const std::string bytes = SerializeCatalog(*FixtureCatalog());
+  for (size_t at = 0; at < bytes.size(); at += 11) {
+    std::string corrupt = bytes;
+    corrupt[at] = static_cast<char>(corrupt[at] ^ 0x40);
+    auto loaded = DeserializeCatalog(corrupt);
+    EXPECT_FALSE(loaded.ok()) << "flip at byte " << at << " parsed";
+    if (!loaded.ok()) {
+      EXPECT_TRUE(loaded.status().IsDataLoss())
+          << "flip at " << at << ": " << loaded.status();
+    }
+  }
+}
+
+TEST(CatalogIndexFileTest, SaveThenLoadReproducesTheCatalog) {
+  auto catalog = FixtureCatalog();
+  const std::string path = TempPath("catalog_index_test.tslrwix");
+  ASSERT_TRUE(SaveCatalogIndex(*catalog, path).ok());
+  auto loaded = LoadCatalogIndex(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  EXPECT_EQ(SerializeCatalog(**loaded), SerializeCatalog(*catalog));
+  std::remove(path.c_str());
+}
+
+TEST(CatalogIndexFileTest, MissingFileIsNotFound) {
+  auto loaded = LoadCatalogIndex(TempPath("does_not_exist.tslrwix"));
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_TRUE(loaded.status().IsNotFound()) << loaded.status();
+}
+
+TEST(CatalogIndexFileTest, LoadOrCompileUsesAValidFile) {
+  std::vector<TslQuery> views = {
+      MustParse("<v(P') vout {<w(X') m Z'>}> :- <P' root {<X' l0 Z'>}>@db",
+                "A"),
+  };
+  auto catalog = MustCompile(views);
+  const std::string path = TempPath("catalog_index_valid.tslrwix");
+  ASSERT_TRUE(SaveCatalogIndex(*catalog, path).ok());
+
+  auto outcome = LoadOrCompileCatalog(path, DescribeViews(views), nullptr);
+  ASSERT_TRUE(outcome.ok()) << outcome.status();
+  EXPECT_TRUE(outcome->loaded_from_file);
+  EXPECT_TRUE(outcome->load_status.ok()) << outcome->load_status;
+  EXPECT_EQ(outcome->catalog->catalog_fingerprint(),
+            catalog->catalog_fingerprint());
+  std::remove(path.c_str());
+}
+
+TEST(CatalogIndexFileTest, LoadOrCompileFallsBackOnCorruption) {
+  std::vector<TslQuery> views = {
+      MustParse("<v(P') vout {<w(X') m Z'>}> :- <P' root {<X' l0 Z'>}>@db",
+                "A"),
+  };
+  auto catalog = MustCompile(views);
+  std::string bytes = SerializeCatalog(*catalog);
+  bytes[bytes.size() / 2] = static_cast<char>(bytes[bytes.size() / 2] ^ 1);
+  const std::string path = TempPath("catalog_index_corrupt.tslrwix");
+  {
+    std::ofstream out(path, std::ios::binary);
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  }
+
+  auto outcome = LoadOrCompileCatalog(path, DescribeViews(views), nullptr);
+  ASSERT_TRUE(outcome.ok()) << outcome.status();
+  EXPECT_FALSE(outcome->loaded_from_file);
+  EXPECT_TRUE(outcome->load_status.IsDataLoss()) << outcome->load_status;
+  // The fallback compile still yields a working catalog.
+  ASSERT_NE(outcome->catalog, nullptr);
+  EXPECT_EQ(outcome->catalog->catalog_fingerprint(),
+            catalog->catalog_fingerprint());
+  std::remove(path.c_str());
+}
+
+TEST(CatalogIndexFileTest, LoadOrCompileFallsBackOnStaleDefinitions) {
+  std::vector<TslQuery> old_views = {
+      MustParse("<v(P') vout {<w(X') m Z'>}> :- <P' root {<X' l0 Z'>}>@db",
+                "A"),
+  };
+  const std::string path = TempPath("catalog_index_stale.tslrwix");
+  ASSERT_TRUE(SaveCatalogIndex(*MustCompile(old_views), path).ok());
+
+  // The view definition changed since the index was written: the loaded
+  // index fails validation and a fresh compile takes over.
+  std::vector<TslQuery> new_views = {
+      MustParse("<v(P') vout {<w(X') m Z'>}> :- <P' root {<X' l1 Z'>}>@db",
+                "A"),
+  };
+  auto outcome = LoadOrCompileCatalog(path, DescribeViews(new_views), nullptr);
+  ASSERT_TRUE(outcome.ok()) << outcome.status();
+  EXPECT_FALSE(outcome->loaded_from_file);
+  EXPECT_FALSE(outcome->load_status.ok());
+  ASSERT_NE(outcome->catalog, nullptr);
+  EXPECT_TRUE(outcome->catalog
+                  ->ValidateAgainst(new_views, nullptr)
+                  .ok());
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace tslrw

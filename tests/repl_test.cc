@@ -330,5 +330,38 @@ TEST_F(ReplTest, ServeRoutesMutationsThroughSnapshotSwaps) {
   EXPECT_NE(stats.find("1 mediator swap(s)"), std::string::npos) << stats;
 }
 
+TEST_F(ReplTest, CompileAnalyzesTheCatalogAndAttachesToTheServer) {
+  // Nothing declared yet: compile has no catalog to work on.
+  EXPECT_NE(Run("compile").find("no capabilities or views"),
+            std::string::npos);
+  EXPECT_NE(Run("compile everything").find("usage"), std::string::npos);
+
+  Prepare();
+  Run("capability db (Dump) <d(P') p {<X' Y' Z'>}> :- "
+      "<P' p {<X' Y' Z'>}>@db");
+  Run("capability db (DumpCopy) <d(Q') p {<U' V' W'>}> :- "
+      "<Q' p {<U' V' W'>}>@db");
+  std::string report = Run("compile");
+  EXPECT_NE(report.find("TSL201"), std::string::npos) << report;
+  EXPECT_NE(report.find("compiled 2 view(s)"), std::string::npos) << report;
+
+  // save/load round-trips the same report through the index file.
+  const std::string path = ::testing::TempDir() + "/repl_catalog.idx";
+  std::string saved = Run("compile save " + path);
+  EXPECT_NE(saved.find("wrote index " + path), std::string::npos) << saved;
+  std::string loaded = Run("compile load " + path);
+  EXPECT_NE(loaded.find("TSL201"), std::string::npos) << loaded;
+  EXPECT_NE(loaded.find("compiled 2 view(s)"), std::string::npos) << loaded;
+
+  // A running server ingests the freshly compiled index.
+  Run("serve start");
+  std::string attached = Run("compile");
+  EXPECT_NE(attached.find("index attached to the running server"),
+            std::string::npos)
+      << attached;
+  EXPECT_NE(Run("serve Q").find("f(p1)"), std::string::npos);
+  Run("serve stop");
+}
+
 }  // namespace
 }  // namespace tslrw
