@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "bench_common.h"
+#include "mediator/fault.h"
 #include "mediator/mediator.h"
 #include "oem/generator.h"
 #include "service/server.h"
@@ -233,6 +234,188 @@ void BM_ServeAlphaRenamedWorkload(benchmark::State& state) {
       static_cast<double>(server.stats().plan_cache.misses);
 }
 BENCHMARK(BM_ServeAlphaRenamedWorkload)->Unit(benchmark::kMicrosecond);
+
+/// Two α-equivalent mirror endpoints over one source: the fixture that
+/// exercises the whole resilience surface — breakers record outcomes for
+/// both, hedge partner sets are non-empty, failover has somewhere to go.
+Mediator MakeMirroredMediator() {
+  Capability a;
+  a.view = MakeDumpView("MirrorA");
+  Capability b;
+  b.view = MakeDumpView("MirrorB");
+  auto mediator = Mediator::Make(
+      {SourceDescription{"db", {a}}, SourceDescription{"db", {b}}});
+  if (!mediator.ok()) std::abort();
+  return std::move(mediator).ValueOrDie();
+}
+
+ServerOptions ResilientOptions(size_t threads) {
+  ServerOptions options = MakeOptions(threads);
+  options.resilience.breaker.enabled = true;
+  options.resilience.hedge.enabled = true;
+  options.request_deadline_ticks = 4096;
+  return options;
+}
+
+/// The resilience tax on the fault-free serving path, as a *paired*
+/// comparison (the BM_RewriteObserved trick): each iteration pushes the
+/// same warm-cache batch through a plain server and a server with
+/// breakers + hedging + an admission deadline, alternating which goes
+/// first, and accumulates the wall times separately.
+/// check_bench_regression --overhead gates the exported ratio at <5% —
+/// the acceptance bar for shipping the resilience layer enabled.
+void BM_ServeResilientOverhead(benchmark::State& state) {
+  constexpr int kBatch = 16;
+  SourceCatalog catalog = MakeCatalog(96);
+  QueryServer plain(MakeMirroredMediator(), catalog, MakeOptions(1));
+  QueryServer resilient(MakeMirroredMediator(), catalog,
+                        ResilientOptions(1));
+  std::vector<TslQuery> workload;
+  workload.push_back(MakeStarQuery(1));
+  workload.push_back(MakeStarQuery(2));
+  for (const TslQuery& query : workload) {
+    auto warm_plain = plain.Answer(query);
+    auto warm_resilient = resilient.Answer(query);
+    if (!warm_plain.ok() || !warm_resilient.ok()) {
+      state.SkipWithError("warmup failed");
+      return;
+    }
+  }
+  using Clock = std::chrono::steady_clock;
+  std::chrono::nanoseconds plain_ns{0};
+  std::chrono::nanoseconds resilient_ns{0};
+  auto run = [&](QueryServer& server, std::chrono::nanoseconds* total) {
+    const auto start = Clock::now();
+    for (int i = 0; i < kBatch; ++i) {
+      auto response =
+          server.Answer(workload[static_cast<size_t>(i) % workload.size()]);
+      if (!response.ok()) {
+        state.SkipWithError(response.status().ToString().c_str());
+        return;
+      }
+      benchmark::DoNotOptimize(response);
+    }
+    *total += Clock::now() - start;
+  };
+  bool plain_first = true;
+  for (auto _ : state) {
+    if (plain_first) {
+      run(plain, &plain_ns);
+      run(resilient, &resilient_ns);
+    } else {
+      run(resilient, &resilient_ns);
+      run(plain, &plain_ns);
+    }
+    plain_first = !plain_first;
+  }
+  state.SetItemsProcessed(state.iterations() * kBatch);
+  const double iters = static_cast<double>(std::max<int64_t>(
+      static_cast<int64_t>(state.iterations()), 1));
+  state.counters["plain_us"] =
+      static_cast<double>(plain_ns.count()) / 1e3 / iters;
+  state.counters["observed_us"] =
+      static_cast<double>(resilient_ns.count()) / 1e3 / iters;
+  state.counters["overhead"] =
+      plain_ns.count() > 0
+          ? static_cast<double>(resilient_ns.count()) /
+                static_cast<double>(plain_ns.count())
+          : 0.0;
+}
+BENCHMARK(BM_ServeResilientOverhead)->Unit(benchmark::kMicrosecond);
+
+/// A wrapper that injects the chaos drill's flaky-plus-slow regime into
+/// every fetch, on the request's own virtual clock (slowness costs ticks,
+/// not wall time; the wall-time cost measured here is the *handling* —
+/// retries, backoff bookkeeping, failover replans, breaker updates).
+class ChaosBenchWrapper : public Wrapper {
+ public:
+  ChaosBenchWrapper(uint64_t seed, VirtualClock* clock)
+      : injector_(&base_, seed, clock) {
+    FaultSchedule flaky;
+    flaky.steady_state = Fault::Flaky(0.3);
+    injector_.SetSchedule("db", flaky);
+  }
+
+  Result<WrapperResult> Fetch(const Capability& capability,
+                              const SourceCatalog& catalog) override {
+    return injector_.Fetch(capability, catalog);
+  }
+
+ private:
+  CatalogWrapper base_;
+  FaultInjector injector_;
+};
+
+/// CL-CHAOS: healthy-vs-chaos paired throughput on the resilient server.
+/// Each iteration pushes one warm-cache batch through a fault-free server
+/// and one whose wrappers flake at p=0.3, interleaved. The exported
+/// `slowdown` ratio prices fault handling (retries, failover, breaker
+/// churn) relative to the healthy path; the row's real time is gated by
+/// the baseline comparison like every other serving benchmark.
+void BM_ServeChaos(benchmark::State& state) {
+  constexpr int kBatch = 16;
+  SourceCatalog catalog = MakeCatalog(96);
+  QueryServer healthy(MakeMirroredMediator(), catalog, ResilientOptions(1));
+  QueryServer chaotic(MakeMirroredMediator(), catalog, ResilientOptions(1),
+                      [](VirtualClock* clock, uint64_t seed) {
+                        return std::make_unique<ChaosBenchWrapper>(seed,
+                                                                   clock);
+                      });
+  std::vector<TslQuery> workload;
+  workload.push_back(MakeStarQuery(1));
+  workload.push_back(MakeStarQuery(2));
+  for (const TslQuery& query : workload) {
+    auto warm_healthy = healthy.Answer(query);
+    auto warm_chaotic = chaotic.Answer(query);
+    if (!warm_healthy.ok() || !warm_chaotic.ok()) {
+      state.SkipWithError("warmup failed");
+      return;
+    }
+  }
+  using Clock = std::chrono::steady_clock;
+  std::chrono::nanoseconds healthy_ns{0};
+  std::chrono::nanoseconds chaos_ns{0};
+  size_t degraded = 0;
+  auto run = [&](QueryServer& server, std::chrono::nanoseconds* total) {
+    const auto start = Clock::now();
+    for (int i = 0; i < kBatch; ++i) {
+      auto response =
+          server.Answer(workload[static_cast<size_t>(i) % workload.size()]);
+      if (!response.ok()) {
+        state.SkipWithError(response.status().ToString().c_str());
+        return;
+      }
+      if (!response->answer.complete()) ++degraded;
+      benchmark::DoNotOptimize(response);
+    }
+    *total += Clock::now() - start;
+  };
+  bool healthy_first = true;
+  for (auto _ : state) {
+    if (healthy_first) {
+      run(healthy, &healthy_ns);
+      run(chaotic, &chaos_ns);
+    } else {
+      run(chaotic, &chaos_ns);
+      run(healthy, &healthy_ns);
+    }
+    healthy_first = !healthy_first;
+  }
+  state.SetItemsProcessed(state.iterations() * kBatch);
+  const double iters = static_cast<double>(std::max<int64_t>(
+      static_cast<int64_t>(state.iterations()), 1));
+  state.counters["healthy_us"] =
+      static_cast<double>(healthy_ns.count()) / 1e3 / iters;
+  state.counters["chaos_us"] =
+      static_cast<double>(chaos_ns.count()) / 1e3 / iters;
+  state.counters["slowdown"] =
+      healthy_ns.count() > 0
+          ? static_cast<double>(chaos_ns.count()) /
+                static_cast<double>(healthy_ns.count())
+          : 0.0;
+  state.counters["degraded"] = static_cast<double>(degraded) / iters;
+}
+BENCHMARK(BM_ServeChaos)->Unit(benchmark::kMicrosecond);
 
 }  // namespace
 }  // namespace tslrw::bench

@@ -37,7 +37,10 @@ FetchRecord* ExecutionReport::RecordFor(const std::string& source,
   for (FetchRecord& record : fetches) {
     if (record.source == source && record.view == view) return &record;
   }
-  fetches.push_back(FetchRecord{source, view, {}, false, false});
+  FetchRecord record;
+  record.source = source;
+  record.view = view;
+  fetches.push_back(std::move(record));
   return &fetches.back();
 }
 
@@ -68,12 +71,28 @@ std::string ExecutionReport::ToString() const {
       }
       if (i + 1 < fetch.attempts.size()) out += ";";
     }
+    if (fetch.short_circuited && fetch.attempts.empty()) {
+      out += " short-circuited (breaker open)";
+    }
     if (!fetch.succeeded) {
       out += " -> dead";
     } else if (fetch.truncated) {
       out += " -> truncated feed";
     }
+    if (!fetch.hedged_to.empty()) {
+      out += StrCat(" [hedged -> ", fetch.hedged_to, "]");
+    }
     out += "\n";
+  }
+  if (hedges_issued > 0) {
+    out += StrCat("hedges: ", hedges_issued, " issued, ", hedge_wins,
+                  " won, ", hedge_overlap_ticks, " overlap tick(s)\n");
+  }
+  if (breaker_short_circuits > 0) {
+    out += StrCat("breaker: ", breaker_short_circuits, " short-circuit(s)\n");
+  }
+  if (deadline_degraded) {
+    out += "deadline: budget exhausted, degraded per §7\n";
   }
   if (!unreachable_sources.empty()) {
     out += StrCat("unreachable: ",

@@ -42,6 +42,10 @@ struct FetchRecord {
   std::vector<AttemptRecord> attempts;
   bool succeeded = false;
   bool truncated = false;  ///< replied, but with a partial feed
+  /// An open circuit breaker denied the fetch without touching the source.
+  bool short_circuited = false;
+  /// The winning data came from a hedged backup endpoint, named here.
+  std::string hedged_to;
 };
 
 /// \brief Counters from the rewrite search(es) behind an answer's plan
@@ -91,6 +95,19 @@ struct ExecutionReport {
   uint64_t backoff_ticks_total = 0;
   /// Virtual time when the answer (or the final failure) was produced.
   uint64_t finished_at_ticks = 0;
+  /// Hedged backup fetches issued / won (a win = the backup's data was the
+  /// answer's copy of that view).
+  size_t hedges_issued = 0;
+  size_t hedge_wins = 0;
+  /// Virtual ticks where a hedge backup overlapped its primary: both run on
+  /// the one monotonic clock, so the modeled-parallel completion time is
+  /// `clock->now() - hedge_overlap_ticks` (the mediator's EffectiveNow).
+  uint64_t hedge_overlap_ticks = 0;
+  /// Fetches denied outright by an open circuit breaker.
+  size_t breaker_short_circuits = 0;
+  /// The per-request deadline expired and the answer was degraded per §7
+  /// instead of failing with DeadlineExceeded.
+  bool deadline_degraded = false;
 
   /// Locates (or appends) the record for \p view against \p source.
   FetchRecord* RecordFor(const std::string& source, const std::string& view);

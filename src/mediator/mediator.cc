@@ -4,6 +4,7 @@
 #include <map>
 #include <optional>
 #include <set>
+#include <tuple>
 
 #include "common/string_util.h"
 #include "eval/evaluator.h"
@@ -11,8 +12,53 @@
 #include "obs/trace.h"
 #include "rewrite/contained.h"
 #include "rewrite/view_index.h"
+#include "tsl/canonical.h"
 
 namespace tslrw {
+
+namespace {
+
+/// Groups capability views into hedge-partner sets: two views are mutual
+/// backups when they are α-equivalent (equal canonical keys — same head
+/// shape, so materialized replies carry identical object structure), range
+/// over the same source, and expose the same bound-variable set. Hedging to
+/// a partner can therefore never change the answer bytes, only which
+/// endpoint produced them.
+std::map<std::string, std::vector<std::string>> ComputeHedgePartners(
+    const std::vector<SourceDescription>& sources) {
+  struct GroupKey {
+    std::string source;
+    std::string canonical;
+    std::set<std::string> bound;
+    bool operator<(const GroupKey& other) const {
+      return std::tie(source, canonical, bound) <
+             std::tie(other.source, other.canonical, other.bound);
+    }
+  };
+  std::map<GroupKey, std::vector<std::string>> groups;
+  for (const SourceDescription& sd : sources) {
+    for (const Capability& cap : sd.capabilities) {
+      GroupKey key{sd.source, CanonicalizeQuery(cap.view).key,
+                   cap.bound_variables};
+      groups[key].push_back(cap.view.name);
+    }
+  }
+  std::map<std::string, std::vector<std::string>> partners;
+  for (auto& [key, members] : groups) {
+    if (members.size() < 2) continue;
+    std::sort(members.begin(), members.end());
+    for (const std::string& name : members) {
+      std::vector<std::string> others;
+      for (const std::string& other : members) {
+        if (other != name) others.push_back(other);
+      }
+      partners[name] = std::move(others);
+    }
+  }
+  return partners;
+}
+
+}  // namespace
 
 Status ValidateDescriptions(const std::vector<SourceDescription>& sources) {
   std::set<std::string> names;
@@ -80,7 +126,9 @@ Result<Mediator> Mediator::Make(std::vector<SourceDescription> sources,
     return Status::IllFormedQuery(
         StrCat("capability views failed analysis:\n", report.ToString()));
   }
-  return Mediator(std::move(sources), constraints, std::move(report));
+  Mediator mediator(std::move(sources), constraints, std::move(report));
+  mediator.hedge_partners_ = ComputeHedgePartners(mediator.sources_);
+  return mediator;
 }
 
 Result<Mediator> Mediator::Make(std::vector<SourceDescription> sources,
@@ -265,13 +313,20 @@ Result<MediatorPlanSet> Mediator::PlanOverViews(
 Result<MediatorPlanSet> Mediator::Plan(const TslQuery& query,
                                        size_t rewrite_parallelism,
                                        Tracer* tracer,
-                                       MetricRegistry* metrics) const {
+                                       MetricRegistry* metrics,
+                                       const VirtualClock* deadline_clock,
+                                       uint64_t deadline_ticks) const {
   RewriteOptions options;
   options.constraints = constraints_;
   options.parallelism = rewrite_parallelism;
   options.tracer = tracer;
   options.metrics = metrics;
   options.view_index = catalog_index_.get();
+  if (deadline_clock != nullptr && deadline_ticks > 0) {
+    options.should_stop = [deadline_clock, deadline_ticks] {
+      return deadline_clock->now() >= deadline_ticks;
+    };
+  }
   ScopedSpan span(tracer, "mediator.plan_search");
   CountIf(metrics, "mediator.plan_searches");
   Result<MediatorPlanSet> set = PlanOverViews(query, AllViews(), options);
@@ -282,19 +337,117 @@ Result<MediatorPlanSet> Mediator::Plan(const TslQuery& query,
   return set;
 }
 
+uint64_t Mediator::EffectiveNow(const ExecContext& ctx) {
+  const uint64_t now = ctx.clock->now();
+  const uint64_t overlap = ctx.report->hedge_overlap_ticks;
+  return now >= overlap ? now - overlap : 0;
+}
+
 bool Mediator::QueryDeadlineExceeded(const ExecContext& ctx) {
-  return ctx.deadline_ticks > 0 && ctx.clock->now() >= ctx.deadline_ticks;
+  return ctx.deadline_ticks > 0 && EffectiveNow(ctx) >= ctx.deadline_ticks;
+}
+
+namespace {
+
+/// The effective end-to-end deadline: the earlier of the per-query retry
+/// budget (relative to now, converted here) and the admission deadline
+/// stamped by the serving layer (already absolute on the shared clock).
+uint64_t EffectiveDeadline(const ExecutionPolicy& policy,
+                           const VirtualClock* clock) {
+  uint64_t deadline = AbsoluteDeadlineTicks(
+      clock->now(), policy.retry.per_query_deadline_ticks);
+  if (policy.admission_deadline_ticks > 0 &&
+      (deadline == 0 || policy.admission_deadline_ticks < deadline)) {
+    deadline = policy.admission_deadline_ticks;
+  }
+  return deadline;
+}
+
+}  // namespace
+
+void Mediator::InitContext(const ExecutionPolicy& policy, ExecContext* ctx) {
+  ctx->retry = &policy.retry;
+  ctx->deadline_ticks = EffectiveDeadline(policy, ctx->clock);
+  ctx->tracer = policy.tracer;
+  ctx->metrics = policy.metrics;
+  ctx->resilience = policy.resilience;
+  ctx->degrade_on_deadline = policy.degrade_on_deadline &&
+                             policy.allow_degraded;
+}
+
+Result<WrapperResult> Mediator::HedgeFetch(const Capability& partner,
+                                           const std::string& primary_view,
+                                           const SourceCatalog& catalog,
+                                           const ExecContext& ctx) const {
+  Result<WrapperResult> fetched = ctx.wrapper->Fetch(partner, catalog);
+  if (fetched.ok()) {
+    // Partner views are α-equivalent over the same source, so the
+    // materialized bytes are the answer's either way; evaluation looks the
+    // data up under the primary view's name.
+    fetched->data.set_name(primary_view);
+  }
+  return fetched;
 }
 
 Result<WrapperResult> Mediator::FetchWithRetry(const Capability& capability,
                                                const SourceCatalog& catalog,
                                                const ExecContext& ctx) const {
-  const std::string source = SourceOfView(capability.view.name);
-  FetchRecord* record =
-      ctx.report->RecordFor(source, capability.view.name);
+  const std::string& view_name = capability.view.name;
+  const std::string source = SourceOfView(view_name);
+  FetchRecord* record = ctx.report->RecordFor(source, view_name);
   ScopedSpan fetch_span(ctx.tracer, "mediator.fetch");
-  fetch_span.Annotate("view", capability.view.name);
+  fetch_span.Annotate("view", view_name);
   fetch_span.Annotate("source", source);
+  ResilienceRegistry* res = ctx.resilience;
+
+  // Feeds a fetch outcome back into the shared registry (breaker windows
+  // and hedge-latency history) and surfaces any state transition.
+  auto record_outcome = [&](const std::string& endpoint, bool ok,
+                            uint64_t latency_ticks) {
+    if (res == nullptr) return;
+    BreakerEvent event = ok ? res->RecordSuccess(endpoint, latency_ticks)
+                            : res->RecordFailure(endpoint);
+    if (event.opened) {
+      fetch_span.Event(StrCat("breaker opened: ", endpoint));
+      CountIf(ctx.metrics, "breaker.opened");
+    }
+    if (event.closed) {
+      fetch_span.Event(StrCat("breaker closed: ", endpoint));
+      CountIf(ctx.metrics, "breaker.closed");
+    }
+  };
+
+  // Circuit-breaker admission: one decision per fetch, so a half-open
+  // probe admits the whole retried call and its outcome decides whether
+  // the breaker closes or re-opens.
+  if (res != nullptr && res->breakers_enabled()) {
+    BreakerDecision decision = res->Admit(view_name);
+    if (decision.half_opened) {
+      fetch_span.Event(StrCat("breaker half-open: ", view_name));
+      CountIf(ctx.metrics, "breaker.half_opened");
+    }
+    if (!decision.allowed) {
+      // Short-circuit: the endpoint is known dead; spend no attempts, no
+      // backoff, and no deadline budget on it. Unavailable routes the view
+      // into the regular dead-view failover/degraded path.
+      record->short_circuited = true;
+      ++ctx.report->breaker_short_circuits;
+      fetch_span.Annotate("short_circuited", "true");
+      CountIf(ctx.metrics, "breaker.short_circuits");
+      return Status::Unavailable(StrCat("circuit breaker open for view ",
+                                        view_name, " of source ", source));
+    }
+  }
+
+  // Hedge eligibility: enabled, and this view has α-equivalent replica
+  // endpoints to fail over to. At most one backup per fetch.
+  const std::vector<std::string>* partners = nullptr;
+  if (res != nullptr && res->hedging_enabled()) {
+    auto it = hedge_partners_.find(view_name);
+    if (it != hedge_partners_.end()) partners = &it->second;
+  }
+  bool hedged = false;
+
   const size_t max_attempts = std::max<size_t>(ctx.retry->max_attempts, 1);
   Status last = Status::Unavailable(
       StrCat("source ", source, " unreachable"));
@@ -303,12 +456,16 @@ Result<WrapperResult> Mediator::FetchWithRetry(const Capability& capability,
       fetch_span.Event("query deadline exceeded before attempt");
       CountIf(ctx.metrics, "mediator.fetch_deadline_aborts");
       return Status::DeadlineExceeded(
-          StrCat("per-query deadline of ",
-                 ctx.retry->per_query_deadline_ticks,
-                 " tick(s) exceeded before attempt ", attempt, " against ",
+          StrCat("request deadline (t=", ctx.deadline_ticks,
+                 ") exceeded before attempt ", attempt, " against ",
                  source));
     }
     const uint64_t started = ctx.clock->now();
+    // The hedge trigger is fixed *before* the primary is issued (as a live
+    // system would arm a timer): the primary's own latency must not move
+    // the percentile that decides whether to hedge it.
+    const uint64_t hedge_delay =
+        partners != nullptr ? res->HedgeDelayTicks(view_name) : 0;
     CountIf(ctx.metrics, "mediator.fetch_attempts");
     if (attempt > 1) CountIf(ctx.metrics, "mediator.retries");
     Result<WrapperResult> fetched = ctx.wrapper->Fetch(capability, catalog);
@@ -319,7 +476,7 @@ Result<WrapperResult> Mediator::FetchWithRetry(const Capability& capability,
       // The reply arrived after the caller stopped listening: a timeout,
       // not a success, however complete the data was.
       outcome = Status::DeadlineExceeded(
-          StrCat("view ", capability.view.name, " took ", elapsed,
+          StrCat("view ", view_name, " took ", elapsed,
                  " tick(s); the per-call deadline is ",
                  ctx.retry->per_call_deadline_ticks));
     }
@@ -328,6 +485,100 @@ Result<WrapperResult> Mediator::FetchWithRetry(const Capability& capability,
                             outcome.ok()
                                 ? "ok"
                                 : StatusCodeToString(outcome.code())));
+    record_outcome(view_name, outcome.ok(), elapsed);
+
+    // Hedge: in a live system the backup fires while the primary is still
+    // pending, once the wait passes the endpoint's recent latency
+    // percentile. The virtual clock is monotonic and shared, so the backup
+    // runs after the primary here and the concurrency is reconstructed
+    // arithmetically: backup issue time = started + delay, both completion
+    // times are compared, and the overlap is subtracted from all later
+    // deadline math via EffectiveNow.
+    if (partners != nullptr && !hedged && elapsed > hedge_delay &&
+        (outcome.ok() || IsRetryableFailure(outcome))) {
+      const Capability* partner_cap = nullptr;
+      for (const std::string& partner_name : *partners) {
+        const Capability* candidate = FindCapability(partner_name);
+        if (candidate == nullptr) continue;
+        if (res->breakers_enabled() && !res->Admit(partner_name).allowed) {
+          CountIf(ctx.metrics, "breaker.short_circuits");
+          continue;  // the backup endpoint is known dead too
+        }
+        partner_cap = candidate;
+        break;
+      }
+      if (partner_cap != nullptr) {
+        hedged = true;
+        const std::string& partner_name = partner_cap->view.name;
+        ++ctx.report->hedges_issued;
+        fetch_span.Event(StrCat("hedge issued -> ", partner_name, " (delay ",
+                                hedge_delay, ")"));
+        CountIf(ctx.metrics, "mediator.hedges_issued");
+        const uint64_t backup_started = ctx.clock->now();
+        Result<WrapperResult> backup =
+            HedgeFetch(*partner_cap, view_name, catalog, ctx);
+        const uint64_t backup_elapsed = ctx.clock->now() - backup_started;
+        Status backup_outcome = backup.ok() ? Status::OK() : backup.status();
+        if (backup_outcome.ok() && ctx.retry->per_call_deadline_ticks > 0 &&
+            backup_elapsed > ctx.retry->per_call_deadline_ticks) {
+          backup_outcome = Status::DeadlineExceeded(
+              StrCat("hedge to view ", partner_name, " took ",
+                     backup_elapsed, " tick(s); the per-call deadline is ",
+                     ctx.retry->per_call_deadline_ticks));
+        }
+        FetchRecord* partner_record =
+            ctx.report->RecordFor(source, partner_name);
+        // RecordFor may grow the fetches vector; the primary's record
+        // pointer from the loop head is invalid past this point.
+        record = ctx.report->RecordFor(source, view_name);
+        partner_record->attempts.push_back(
+            AttemptRecord{backup_started, backup_outcome, 0});
+        partner_record->succeeded =
+            partner_record->succeeded || backup_outcome.ok();
+        record_outcome(partner_name, backup_outcome.ok(), backup_elapsed);
+        // Modeled times relative to the primary's start: the backup was
+        // issued at `hedge_delay` and completed at hedge_delay + its own
+        // latency; the race resolves on those, ties to the primary.
+        const uint64_t backup_done = hedge_delay + backup_elapsed;
+        uint64_t completion;  // modeled end of the whole hedged fetch
+        bool backup_wins;
+        if (outcome.ok() && backup_outcome.ok()) {
+          backup_wins = backup_done < elapsed;
+          completion = std::min(elapsed, backup_done);
+        } else if (outcome.ok()) {
+          backup_wins = false;
+          completion = elapsed;
+        } else if (backup_outcome.ok()) {
+          backup_wins = true;
+          completion = backup_done;
+        } else {
+          backup_wins = false;
+          completion = std::max(elapsed, backup_done);
+        }
+        // The clock ran primary + backup back to back; credit back the
+        // ticks where they would have overlapped.
+        ctx.report->hedge_overlap_ticks +=
+            (elapsed + backup_elapsed) - completion;
+        if (backup_wins) {
+          ++ctx.report->hedge_wins;
+          record->succeeded = true;
+          record->truncated = record->truncated || !backup->complete;
+          record->hedged_to = partner_name;
+          fetch_span.Event(StrCat("hedge won: ", partner_name));
+          CountIf(ctx.metrics, "mediator.hedge_wins");
+          if (!backup->complete) {
+            fetch_span.Annotate("truncated", "true");
+            CountIf(ctx.metrics, "mediator.fetches_truncated");
+          }
+          CountIf(ctx.metrics, "mediator.fetches_ok");
+          ObserveIf(ctx.metrics, "mediator.fetch_attempts_per_call",
+                    attempt);
+          return backup;
+        }
+        fetch_span.Event("hedge lost");
+      }
+    }
+
     if (outcome.ok()) {
       record->succeeded = true;
       record->truncated = record->truncated || !fetched->complete;
@@ -346,6 +597,13 @@ Result<WrapperResult> Mediator::FetchWithRetry(const Capability& capability,
     }
     if (attempt < max_attempts) {
       uint64_t backoff = ctx.retry->BackoffAfterAttempt(attempt, ctx.rng);
+      if (ctx.deadline_ticks > 0) {
+        // Never sleep past the request deadline: a zero or expired budget
+        // fails fast at the next loop head without waiting at all, and a
+        // nearly-spent one waits only the remainder.
+        backoff = std::min(
+            backoff, RemainingTicks(EffectiveNow(ctx), ctx.deadline_ticks));
+      }
       if (backoff > 0) {
         ctx.clock->Advance(backoff);
         record->attempts.back().backoff_ticks = backoff;
@@ -407,16 +665,10 @@ Result<OemDatabase> Mediator::Execute(const MediatorPlan& plan,
   ctx.wrapper = policy.wrapper != nullptr ? policy.wrapper : &catalog_wrapper;
   ctx.clock = policy.clock != nullptr ? policy.clock : &local_clock;
   ctx.rng = &rng;
-  ctx.retry = &policy.retry;
-  ctx.deadline_ticks =
-      policy.retry.per_query_deadline_ticks == 0
-          ? 0
-          : ctx.clock->now() + policy.retry.per_query_deadline_ticks;
   ctx.report = report != nullptr ? report : &local_report;
   ctx.answer_name = plan.rewriting.name.empty() ? "answer"
                                                 : plan.rewriting.name;
-  ctx.tracer = policy.tracer;
-  ctx.metrics = policy.metrics;
+  InitContext(policy, &ctx);
   ++ctx.report->plans_attempted;
   CountIf(ctx.metrics, "mediator.plans_attempted");
   std::string failed_source;
@@ -424,7 +676,7 @@ Result<OemDatabase> Mediator::Execute(const MediatorPlan& plan,
                          RunPlan(plan, catalog, ctx, &failed_source));
   ctx.report->completeness = exec.any_truncated ? Completeness::kPartial
                                                 : Completeness::kComplete;
-  ctx.report->finished_at_ticks = ctx.clock->now();
+  ctx.report->finished_at_ticks = EffectiveNow(ctx);
   return std::move(exec.answer);
 }
 
@@ -460,9 +712,7 @@ Result<DegradedAnswer> Mediator::Answer(const TslQuery& query,
   ExecutionPolicy effective = policy;
   if (effective.clock == nullptr) effective.clock = &local_clock;
   const uint64_t deadline_ticks =
-      effective.retry.per_query_deadline_ticks == 0
-          ? 0
-          : effective.clock->now() + effective.retry.per_query_deadline_ticks;
+      EffectiveDeadline(effective, effective.clock);
   RewriteOptions plan_options =
       PlanningOptions(effective, effective.clock, deadline_ticks);
   ScopedSpan plan_span(effective.tracer, "mediator.plan_search");
@@ -486,15 +736,9 @@ Result<DegradedAnswer> Mediator::AnswerWithPlans(
   ctx.wrapper = policy.wrapper != nullptr ? policy.wrapper : &catalog_wrapper;
   ctx.clock = policy.clock != nullptr ? policy.clock : &local_clock;
   ctx.rng = &rng;
-  ctx.retry = &policy.retry;
-  ctx.deadline_ticks =
-      policy.retry.per_query_deadline_ticks == 0
-          ? 0
-          : ctx.clock->now() + policy.retry.per_query_deadline_ticks;
   ctx.report = &report;
   ctx.answer_name = query.name.empty() ? "answer" : query.name;
-  ctx.tracer = policy.tracer;
-  ctx.metrics = policy.metrics;
+  InitContext(policy, &ctx);
   ScopedSpan answer_span(ctx.tracer, "mediator.answer");
   answer_span.Annotate("plans", static_cast<uint64_t>(plans.size()));
   CountIf(ctx.metrics, "mediator.answers");
@@ -512,6 +756,20 @@ Result<DegradedAnswer> Mediator::AnswerWithPlans(
         "shortened plan list");
   }
   if (plans.empty()) {
+    if (plans.truncated && QueryDeadlineExceeded(ctx)) {
+      // The plan search itself was cut short by the request deadline: the
+      // absence of plans is budget exhaustion, not "no plan exists" — fall
+      // into §7 rather than report a (possibly wrong) NotFound, or, with
+      // degradation disabled, fail fast with the honest status.
+      if (ctx.degrade_on_deadline) {
+        report.deadline_degraded = true;
+        CountIf(ctx.metrics, "mediator.deadline_degraded");
+        answer_span.Annotate("completeness", "deadline-degraded");
+        return DegradedFallback(query, catalog, ctx, {}, std::move(report));
+      }
+      return Status::DeadlineExceeded(
+          "request deadline expired during plan search");
+    }
     return Status::NotFound(
         "no capability-conformant plan answers this query");
   }
@@ -523,6 +781,10 @@ Result<DegradedAnswer> Mediator::AnswerWithPlans(
   std::set<std::string> dead;
   Status last_failure;
   std::optional<DegradedAnswer> answered;
+  // Set when the request deadline expired mid-execution and
+  // degrade_on_deadline routes the rest of the request into §7 instead of
+  // erroring out.
+  bool deadline_hit = false;
   // Failover loop: walk a cheapest-first plan list, skipping plans that
   // touch a view already declared dead. Returns non-OK only on hard
   // (non-failover) errors; "list exhausted" is OK with `answered` unset.
@@ -543,10 +805,13 @@ Result<DegradedAnswer> Mediator::AnswerWithPlans(
         continue;
       }
       if (QueryDeadlineExceeded(ctx)) {
+        if (ctx.degrade_on_deadline) {
+          deadline_hit = true;
+          return Status::OK();  // stop attempting; degrade below
+        }
         return Status::DeadlineExceeded(
-            StrCat("per-query deadline of ",
-                   ctx.retry->per_query_deadline_ticks,
-                   " tick(s) exceeded during plan failover"));
+            StrCat("request deadline (t=", ctx.deadline_ticks,
+                   ") exceeded during plan failover"));
       }
       ++report.plans_attempted;
       CountIf(ctx.metrics, "mediator.plans_attempted");
@@ -572,6 +837,15 @@ Result<DegradedAnswer> Mediator::AnswerWithPlans(
         CountIf(ctx.metrics, "mediator.failovers");
         continue;  // failover: try the next plan
       }
+      if (QueryDeadlineExceeded(ctx) && ctx.degrade_on_deadline) {
+        if (!failed_view.empty()) {
+          dead.insert(failed_view);
+          last_failure = run.status();
+        }
+        attempt_span.Annotate("outcome", "deadline");
+        deadline_hit = true;
+        return Status::OK();  // stop attempting; degrade below
+      }
       attempt_span.Annotate("outcome",
                             StatusCodeToString(run.status().code()));
       return run.status();  // hard error, or the query budget is gone
@@ -584,7 +858,7 @@ Result<DegradedAnswer> Mediator::AnswerWithPlans(
   // The list is exhausted: re-plan over the live views only. With a
   // truncated first search this can surface plans never enumerated; it is
   // also the natural point to notice nothing total is left.
-  if (!answered.has_value() && !dead.empty()) {
+  if (!answered.has_value() && !deadline_hit && !dead.empty()) {
     std::vector<TslQuery> live_views;
     for (const SourceDescription& sd : sources_) {
       for (const Capability& cap : sd.capabilities) {
@@ -613,7 +887,7 @@ Result<DegradedAnswer> Mediator::AnswerWithPlans(
     report.failover = report.plans_attempted + report.plans_skipped > 1;
     report.completeness = answered->completeness;
     report.unreachable_sources = SourcesOfViews(dead);
-    report.finished_at_ticks = ctx.clock->now();
+    report.finished_at_ticks = EffectiveNow(ctx);
     answered->unreachable_sources = report.unreachable_sources;
     answer_span.Annotate("completeness",
                          CompletenessToString(answered->completeness));
@@ -629,6 +903,16 @@ Result<DegradedAnswer> Mediator::AnswerWithPlans(
     return std::move(*answered);
   }
 
+  if (deadline_hit) {
+    // Budget exhausted mid-request: whatever is still reachable within §7
+    // becomes the answer (possibly empty), graded kDegraded — a resilient
+    // server answers late-budget requests with less, not with an error.
+    report.deadline_degraded = true;
+    CountIf(ctx.metrics, "mediator.deadline_degraded");
+    answer_span.Annotate("completeness", "deadline-degraded");
+    return DegradedFallback(query, catalog, ctx, std::move(dead),
+                            std::move(report));
+  }
   if (!policy.allow_degraded) {
     answer_span.Annotate("completeness", "refused");
     CountIf(ctx.metrics, "mediator.answers_refused");
@@ -692,7 +976,11 @@ Result<DegradedAnswer> Mediator::DegradedFallback(
       fetched.insert(view_name);
       continue;
     }
-    if (IsRetryableFailure(result.status()) && !QueryDeadlineExceeded(ctx)) {
+    if (IsRetryableFailure(result.status()) &&
+        (!QueryDeadlineExceeded(ctx) || ctx.degrade_on_deadline)) {
+      // An exhausted budget behaves like a dead endpoint here: the rules
+      // needing this view drop out of the union and soundness holds. With
+      // degrade_on_deadline off, a deadline failure still aborts.
       dead.insert(view_name);
       continue;
     }
@@ -733,7 +1021,7 @@ Result<DegradedAnswer> Mediator::DegradedFallback(
   answer.unreachable_sources = SourcesOfViews(dead);
   report.completeness = answer.completeness;
   report.unreachable_sources = answer.unreachable_sources;
-  report.finished_at_ticks = ctx.clock->now();
+  report.finished_at_ticks = EffectiveNow(ctx);
   degraded_span.Annotate("contained_rules",
                          static_cast<uint64_t>(
                              contained.rewriting.rules.size()));

@@ -2,6 +2,7 @@
 #define TSLRW_MEDIATOR_MEDIATOR_H_
 
 #include <cstdint>
+#include <map>
 #include <memory>
 #include <set>
 #include <string>
@@ -12,6 +13,7 @@
 #include "constraints/inference.h"
 #include "mediator/capability.h"
 #include "mediator/exec_report.h"
+#include "mediator/resilience.h"
 #include "mediator/retry.h"
 #include "mediator/wrapper.h"
 #include "oem/database.h"
@@ -96,6 +98,22 @@ struct ExecutionPolicy {
   /// Optional metric sink (attempt/retry/failover/degraded counters plus
   /// the rewriter's metrics for in-line plan searches).
   MetricRegistry* metrics = nullptr;
+  /// Optional cross-request resilience state (circuit breakers + latency
+  /// windows for hedging); not owned, may be null (no breakers, no
+  /// hedging). The serving layer shares one registry across requests so an
+  /// endpoint's history survives snapshot swaps.
+  ResilienceRegistry* resilience = nullptr;
+  /// Absolute end-to-end deadline on `clock`, stamped at admission by the
+  /// serving layer (0 = none). Combined with
+  /// `retry.per_query_deadline_ticks` the effective deadline is the
+  /// earlier of the two, so no stage — plan search, fetches, backoff —
+  /// can overspend the request budget.
+  uint64_t admission_deadline_ticks = 0;
+  /// When the effective deadline expires mid-execution, fall into the §7
+  /// degraded path (sound, possibly incomplete, possibly empty) instead of
+  /// failing with DeadlineExceeded. Requires `allow_degraded`; disable to
+  /// restore the PR 2 hard-error behavior.
+  bool degrade_on_deadline = true;
 };
 
 /// \brief A fault-tolerant answer: the consolidated result annotated with
@@ -170,10 +188,18 @@ class Mediator {
   ///        is byte-identical for every value.
   /// \param tracer / \param metrics optional observability sinks for the
   ///        underlying rewrite search (may be null).
+  /// \param deadline_clock / \param deadline_ticks optional absolute tick
+  ///        deadline for the search itself (wired to
+  ///        RewriteOptions::should_stop): past it the enumeration stops and
+  ///        the set comes back `truncated`. The serving layer threads each
+  ///        request's admission deadline here so a cold plan-cache miss
+  ///        cannot overspend the request budget.
   Result<MediatorPlanSet> Plan(const TslQuery& query,
                                size_t rewrite_parallelism = 0,
                                Tracer* tracer = nullptr,
-                               MetricRegistry* metrics = nullptr) const;
+                               MetricRegistry* metrics = nullptr,
+                               const VirtualClock* deadline_clock = nullptr,
+                               uint64_t deadline_ticks = 0) const;
 
   /// Executes a plan: sends each used capability view to its wrapper, then
   /// evaluates the rewriting over the collected results and consolidates
@@ -247,6 +273,8 @@ class Mediator {
     std::string answer_name;
     Tracer* tracer = nullptr;          ///< may be null
     MetricRegistry* metrics = nullptr; ///< may be null
+    ResilienceRegistry* resilience = nullptr;  ///< may be null
+    bool degrade_on_deadline = true;
   };
 
   Mediator(std::vector<SourceDescription> sources,
@@ -280,14 +308,34 @@ class Mediator {
                                  const VirtualClock* clock,
                                  uint64_t deadline_ticks) const;
 
-  /// True when the per-query deadline has passed on \p ctx's clock.
+  /// The modeled "now" of this execution: the raw clock minus the ticks
+  /// where a hedged backup ran concurrently with its primary. The clock is
+  /// monotonic and shared (fault SlowBy advances it), so overlapping work
+  /// is sequentialized on it and the overlap subtracted back out here; all
+  /// deadline math uses this.
+  static uint64_t EffectiveNow(const ExecContext& ctx);
+  /// True when the effective per-request deadline has passed.
   static bool QueryDeadlineExceeded(const ExecContext& ctx);
+  /// Populates the context fields shared by Execute/AnswerWithPlans,
+  /// including the effective absolute deadline (the earlier of the retry
+  /// budget and the admission deadline).
+  static void InitContext(const ExecutionPolicy& policy, ExecContext* ctx);
 
-  /// One view fetch with retry/backoff/deadlines; appends attempts to the
-  /// report. Failure means retries were exhausted (or a permanent error).
+  /// One view fetch with retry/backoff/deadlines, circuit-breaker
+  /// admission, and at most one hedged backup fetch; appends attempts to
+  /// the report. Failure means retries were exhausted (or a permanent
+  /// error, or an open breaker short-circuited the endpoint).
   Result<WrapperResult> FetchWithRetry(const Capability& capability,
                                        const SourceCatalog& catalog,
                                        const ExecContext& ctx) const;
+
+  /// Issues the one-shot hedged backup fetch against \p partner and
+  /// returns its data renamed to \p primary_view (partner views are
+  /// α-equivalent, so the bytes are the answer's either way).
+  Result<WrapperResult> HedgeFetch(const Capability& partner,
+                                   const std::string& primary_view,
+                                   const SourceCatalog& catalog,
+                                   const ExecContext& ctx) const;
 
   struct PlanExecution {
     OemDatabase answer;
@@ -312,6 +360,11 @@ class Mediator {
   std::vector<SourceDescription> sources_;
   const StructuralConstraints* constraints_;
   AnalysisReport analysis_;
+  /// view name -> the other capability views that are valid hedge targets
+  /// for it: α-equivalent view queries (equal canonical keys) over the same
+  /// source with the same bound-variable set, name-sorted. Computed once at
+  /// Make; empty for views with no replica.
+  std::map<std::string, std::vector<std::string>> hedge_partners_;
   /// Optional compiled catalog index (shared with the serving layer's
   /// snapshots; immutable, so copies of the mediator alias it safely).
   std::shared_ptr<const ViewSetIndex> catalog_index_;

@@ -1,0 +1,188 @@
+#include "mediator/resilience.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+namespace tslrw {
+
+std::string_view BreakerStateToString(BreakerState state) {
+  switch (state) {
+    case BreakerState::kClosed:
+      return "closed";
+    case BreakerState::kOpen:
+      return "open";
+    case BreakerState::kHalfOpen:
+      return "half-open";
+  }
+  return "unknown";
+}
+
+std::string BreakerSnapshot::ToString() const {
+  std::ostringstream out;
+  out << endpoint << ": " << BreakerStateToString(state) << " ("
+      << recent_failures << "/" << recent_samples << " recent failures, opened "
+      << opens_total << "x, " << short_circuits_total << " short-circuits)";
+  return out.str();
+}
+
+size_t ResilienceRegistry::RecentFailures(const Endpoint& endpoint) const {
+  size_t failures = 0;
+  for (bool failed : endpoint.outcomes) {
+    if (failed) ++failures;
+  }
+  return failures;
+}
+
+BreakerDecision ResilienceRegistry::Admit(const std::string& endpoint_name) {
+  if (!policy_.breaker.enabled) return BreakerDecision{};
+  std::lock_guard<std::mutex> lock(mu_);
+  Endpoint& endpoint = endpoints_[endpoint_name];
+  BreakerDecision decision;
+  switch (endpoint.state) {
+    case BreakerState::kClosed:
+      return decision;
+    case BreakerState::kOpen:
+      if (events_ - endpoint.opened_at_event >= policy_.breaker.open_events) {
+        endpoint.state = BreakerState::kHalfOpen;
+        endpoint.probes_used = 1;
+        endpoint.probe_successes = 0;
+        decision.probe = true;
+        decision.half_opened = true;
+        return decision;
+      }
+      ++events_;
+      ++endpoint.short_circuits_total;
+      decision.allowed = false;
+      return decision;
+    case BreakerState::kHalfOpen:
+      if (endpoint.probes_used < policy_.breaker.half_open_probes) {
+        ++endpoint.probes_used;
+        decision.probe = true;
+        return decision;
+      }
+      ++events_;
+      ++endpoint.short_circuits_total;
+      decision.allowed = false;
+      return decision;
+  }
+  return decision;
+}
+
+BreakerEvent ResilienceRegistry::Record(Endpoint& endpoint, bool failure) {
+  ++events_;
+  BreakerEvent event;
+  const CircuitBreakerPolicy& policy = policy_.breaker;
+  if (endpoint.state == BreakerState::kHalfOpen) {
+    if (failure) {
+      endpoint.state = BreakerState::kOpen;
+      endpoint.opened_at_event = events_;
+      ++endpoint.opens_total;
+      event.opened = true;
+    } else if (++endpoint.probe_successes >= policy.half_open_successes) {
+      endpoint.state = BreakerState::kClosed;
+      endpoint.outcomes.clear();
+      event.closed = true;
+    }
+    return event;
+  }
+  endpoint.outcomes.push_back(failure);
+  while (endpoint.outcomes.size() > policy.window) {
+    endpoint.outcomes.pop_front();
+  }
+  if (endpoint.state == BreakerState::kClosed &&
+      endpoint.outcomes.size() >= policy.min_samples) {
+    const size_t failures = RecentFailures(endpoint);
+    const double ratio = static_cast<double>(failures) /
+                         static_cast<double>(endpoint.outcomes.size());
+    if (ratio >= policy.failure_ratio) {
+      endpoint.state = BreakerState::kOpen;
+      endpoint.opened_at_event = events_;
+      ++endpoint.opens_total;
+      event.opened = true;
+    }
+  }
+  return event;
+}
+
+BreakerEvent ResilienceRegistry::RecordSuccess(const std::string& endpoint_name,
+                                               uint64_t latency_ticks) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Endpoint& endpoint = endpoints_[endpoint_name];
+  if (policy_.hedge.latency_window > 0) {
+    if (endpoint.latencies.size() < policy_.hedge.latency_window) {
+      endpoint.latencies.push_back(latency_ticks);
+    } else {
+      endpoint.latencies[endpoint.latency_next] = latency_ticks;
+      endpoint.latency_next =
+          (endpoint.latency_next + 1) % policy_.hedge.latency_window;
+    }
+  }
+  if (!policy_.breaker.enabled) {
+    ++events_;
+    return BreakerEvent{};
+  }
+  return Record(endpoint, /*failure=*/false);
+}
+
+BreakerEvent ResilienceRegistry::RecordFailure(
+    const std::string& endpoint_name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!policy_.breaker.enabled) {
+    ++events_;
+    return BreakerEvent{};
+  }
+  return Record(endpoints_[endpoint_name], /*failure=*/true);
+}
+
+uint64_t ResilienceRegistry::HedgeDelayTicks(
+    const std::string& endpoint_name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const uint64_t fallback = std::max<uint64_t>(
+      1, policy_.hedge.default_delay_ticks);
+  auto it = endpoints_.find(endpoint_name);
+  if (it == endpoints_.end() ||
+      it->second.latencies.size() < policy_.hedge.min_samples) {
+    return fallback;
+  }
+  std::vector<uint64_t> sorted = it->second.latencies;
+  std::sort(sorted.begin(), sorted.end());
+  const double rank = std::clamp(policy_.hedge.percentile, 0.0, 1.0) *
+                      static_cast<double>(sorted.size() - 1);
+  const uint64_t value = sorted[static_cast<size_t>(std::ceil(rank))];
+  return std::max<uint64_t>(1, value);
+}
+
+std::vector<BreakerSnapshot> ResilienceRegistry::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<BreakerSnapshot> snapshots;
+  snapshots.reserve(endpoints_.size());
+  for (const auto& [name, endpoint] : endpoints_) {
+    BreakerSnapshot snapshot;
+    snapshot.endpoint = name;
+    snapshot.state = endpoint.state;
+    snapshot.recent_failures = RecentFailures(endpoint);
+    snapshot.recent_samples = endpoint.outcomes.size();
+    snapshot.opens_total = endpoint.opens_total;
+    snapshot.short_circuits_total = endpoint.short_circuits_total;
+    snapshots.push_back(std::move(snapshot));
+  }
+  return snapshots;  // std::map iteration is already name-sorted.
+}
+
+bool ResilienceRegistry::AllClosed() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& [name, endpoint] : endpoints_) {
+    (void)name;
+    if (endpoint.state != BreakerState::kClosed) return false;
+  }
+  return true;
+}
+
+void ResilienceRegistry::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  endpoints_.clear();
+  events_ = 0;
+}
+
+}  // namespace tslrw

@@ -22,14 +22,31 @@ double DeterministicRng::NextUnit() {
 uint64_t RetryPolicy::BackoffAfterAttempt(size_t attempt,
                                           DeterministicRng* rng) const {
   if (attempt >= std::max<size_t>(max_attempts, 1)) return 0;
+  const double cap = static_cast<double>(max_backoff_ticks);
   double backoff = static_cast<double>(initial_backoff_ticks);
-  for (size_t i = 1; i < attempt; ++i) backoff *= multiplier;
-  backoff = std::min(backoff, static_cast<double>(max_backoff_ticks));
+  for (size_t i = 1; i < attempt && backoff < cap; ++i) backoff *= multiplier;
+  backoff = std::min(backoff, cap);
   if (jitter > 0.0 && rng != nullptr) {
     double fraction = std::min(std::max(jitter, 0.0), 1.0);
     backoff *= 1.0 - fraction * rng->NextUnit();
   }
+  // llround is UB outside [LLONG_MIN, LLONG_MAX]; a tick cap near 2^64
+  // (doubled past 2^63 by the growth loop, or configured that large) must
+  // saturate to the cap instead of rounding.
+  if (!(backoff < 0x1.0p63)) return max_backoff_ticks;
   return static_cast<uint64_t>(std::llround(backoff));
+}
+
+uint64_t AbsoluteDeadlineTicks(uint64_t now, uint64_t budget_ticks) {
+  if (budget_ticks == 0) return 0;
+  if (now > UINT64_MAX - budget_ticks) return UINT64_MAX;
+  return now + budget_ticks;
+}
+
+uint64_t RemainingTicks(uint64_t now, uint64_t deadline_ticks) {
+  if (deadline_ticks == 0) return UINT64_MAX;
+  if (now >= deadline_ticks) return 0;
+  return deadline_ticks - now;
 }
 
 bool IsRetryableFailure(const Status& status) {

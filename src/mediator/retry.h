@@ -45,9 +45,21 @@ struct RetryPolicy {
 
   /// The backoff to wait after failed attempt number \p attempt (1-based),
   /// jittered through \p rng. Attempts at or past max_attempts get 0 (no
-  /// wait precedes a try that will never happen).
+  /// wait precedes a try that will never happen). Saturates at
+  /// `max_backoff_ticks` for any attempt number — never overflows.
   uint64_t BackoffAfterAttempt(size_t attempt, DeterministicRng* rng) const;
 };
+
+/// Converts a relative tick budget to an absolute deadline on a clock at
+/// \p now, saturating instead of wrapping when `now + budget` would
+/// overflow. A zero budget means "no deadline" and maps to 0.
+uint64_t AbsoluteDeadlineTicks(uint64_t now, uint64_t budget_ticks);
+
+/// Ticks left before \p deadline as seen at \p now: 0 when the deadline is
+/// reached or passed, UINT64_MAX when there is no deadline (deadline 0).
+/// Expired and zero budgets therefore fail fast — callers must not sleep
+/// when this returns 0.
+uint64_t RemainingTicks(uint64_t now, uint64_t deadline_ticks);
 
 /// Whether a failed wrapper call is worth retrying: Unavailable (the source
 /// may come back) and DeadlineExceeded (the call may be fast next time).

@@ -18,6 +18,7 @@
 #include "rewrite/contained.h"
 #include "rewrite/minimize.h"
 #include "rewrite/rewriter.h"
+#include "testing/chaos.h"
 #include "tsl/parser.h"
 #include "tsl/validate.h"
 
@@ -55,6 +56,9 @@ constexpr std::string_view kHelp =
     "  serve <query> [seed <n>]         answer through the server and its\n"
     "                                   rewriting-plan cache\n"
     "  serve stop                       stop the server\n"
+    "  chaos [seed <n>] [requests <n>]  deterministic multi-phase fault\n"
+    "                                   drill over the declared\n"
+    "                                   capabilities and queries\n"
     "  stats                            serving-layer counters and session\n"
     "                                   metrics\n"
     "  trace on|off                     record span trees for rewrite,\n"
@@ -124,6 +128,7 @@ std::string ReplSession::Execute(std::string_view line) {
   if (command == "mediate") return Mediate(rest);
   if (command == "serve") return Serve(rest);
   if (command == "stats") return Stats(rest);
+  if (command == "chaos") return Chaos(rest);
   if (command == "trace") return TraceCmd(rest);
   if (command == "show") return Show(rest);
   if (command == "load") return Load(rest);
@@ -616,6 +621,46 @@ std::string ReplSession::Mediate(std::string_view rest) {
   if (tracer != nullptr) {
     out += StrCat("trace: ", tracer->span_count(),
                   " span(s) recorded (`trace dump`)\n");
+  }
+  return out;
+}
+
+std::string ReplSession::Chaos(std::string_view rest) {
+  constexpr std::string_view kUsage =
+      "usage: chaos [seed <n>] [requests <n>]\n";
+  uint64_t seed = 0;
+  size_t requests = 6;
+  while (!rest.empty()) {
+    std::string_view word = TakeWord(&rest);
+    std::string value(TakeWord(&rest));
+    if (value.empty()) return std::string(kUsage);
+    if (word == "seed") {
+      seed = std::strtoull(value.c_str(), nullptr, 10);
+    } else if (word == "requests") {
+      requests = std::strtoull(value.c_str(), nullptr, 10);
+    } else {
+      return std::string(kUsage);
+    }
+  }
+  if (capabilities_.empty()) {
+    return "error: no capabilities defined (see `capability`)\n";
+  }
+  if (queries_.empty()) return "error: no queries defined (see `query`)\n";
+  std::vector<SourceDescription> sources;
+  for (const auto& [src, sd] : capabilities_) sources.push_back(sd);
+  std::vector<TslQuery> queries;
+  for (const auto& [name, query] : queries_) queries.push_back(query);
+  ChaosOptions options;
+  options.seed = seed;
+  options.requests_per_phase = requests;
+  // The drill runs its own server (phases mutate snapshots and saturate
+  // the pool); a `serve start` session is untouched.
+  auto script = StandardChaosScript(sources, options);
+  auto drill = RunChaosDrill(sources, catalog_, queries, script, options);
+  if (!drill.ok()) return RenderError(drill.status());
+  std::string out = drill->report;
+  for (const std::string& violation : drill->violations) {
+    out += StrCat("violation: ", violation, "\n");
   }
   return out;
 }

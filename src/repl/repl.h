@@ -50,6 +50,7 @@ namespace tslrw {
 ///                               % start the concurrent serving layer
 /// serve Q3 [seed 7]             % answer through the server + plan cache
 /// serve stop
+/// chaos [seed 7]                % deterministic multi-phase fault drill
 /// stats                         % serving-layer counters + session metrics
 /// trace on                      % record spans for rewrite/mediate/serve
 /// trace dump [json]             % last trace as text or Chrome JSON
@@ -93,6 +94,7 @@ class ReplSession {
   std::string DefineCapability(std::string_view rest);
   std::string SetFault(std::string_view rest);
   std::string Mediate(std::string_view rest);
+  std::string Chaos(std::string_view rest);
   std::string Serve(std::string_view rest);
   std::string ServeStart(std::string_view rest);
   std::string Stats(std::string_view rest);

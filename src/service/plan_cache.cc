@@ -81,6 +81,15 @@ Result<PlanCache::PlanSetPtr> PlanCache::LookupOrCompute(
   return plans;
 }
 
+void PlanCache::Invalidate(const PlanCacheKey& key) {
+  Shard& shard = ShardFor(key.fingerprint);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.index.find(key.key);
+  if (it == shard.index.end()) return;
+  shard.lru.erase(it->second);
+  shard.index.erase(it);
+}
+
 void PlanCache::Clear() {
   for (Shard& shard : shards_) {
     std::lock_guard<std::mutex> lock(shard.mu);

@@ -57,6 +57,12 @@ class PlanCache {
   Result<PlanSetPtr> LookupOrCompute(const PlanCacheKey& key,
                                      const ComputeFn& compute);
 
+  /// Drops the entry for \p key, if cached. The serving layer uses this
+  /// when a cold search came back truncated because the *requesting*
+  /// query's deadline expired mid-search: such a shortened plan list must
+  /// not be served to later, better-funded requests.
+  void Invalidate(const PlanCacheKey& key);
+
   /// Drops every cached entry (in-flight computations finish and insert
   /// normally). Counters and the generation are preserved.
   void Clear();

@@ -48,6 +48,7 @@ QueryServer::QueryServer(Mediator mediator, SourceCatalog catalog,
                          WrapperFactory wrapper_factory)
     : options_(std::move(options)),
       wrapper_factory_(std::move(wrapper_factory)),
+      resilience_(options_.resilience),
       pool_(ThreadPool::Options{options_.threads, options_.queue_capacity,
                                 /*lazy_spawn=*/false, options_.metrics}) {
   auto first = std::make_shared<Snapshot>();
@@ -108,17 +109,34 @@ Result<ServeResponse> QueryServer::Answer(const TslQuery& query,
   if (serve.tracer != nullptr) serve.tracer->set_clock(&clock);
   ScopedSpan request_span(serve.tracer, "serve.request");
   CountIf(options_.metrics, "serve.requests");
+  // End-to-end deadline, stamped at admission on this request's clock:
+  // every stage below — the cold plan search included — draws from the one
+  // budget.
+  const uint64_t deadline_budget = serve.deadline_ticks != 0
+                                       ? serve.deadline_ticks
+                                       : options_.request_deadline_ticks;
+  const uint64_t admission_deadline =
+      AbsoluteDeadlineTicks(clock.now(), deadline_budget);
   PlanCacheKey key = MakePlanCacheKey(query);
   bool computed_here = false;
   Result<PlanCache::PlanSetPtr> plans = snap->plan_cache->LookupOrCompute(
       key,
-      [this, &snap, &key, &computed_here,
-       &serve]() -> Result<MediatorPlanSet> {
+      [this, &snap, &key, &computed_here, &serve, &clock,
+       admission_deadline]() -> Result<MediatorPlanSet> {
         computed_here = true;
         return snap->mediator->Plan(key.canonical,
                                     options_.rewrite_parallelism,
-                                    serve.tracer, options_.metrics);
+                                    serve.tracer, options_.metrics, &clock,
+                                    admission_deadline);
       });
+  if (computed_here && admission_deadline > 0 && plans.ok() &&
+      (*plans)->truncated && clock.now() >= admission_deadline) {
+    // This request's budget cut the search short; the shortened plan list
+    // is fine for *this* answer (§7 degrades if needed) but must not be
+    // served to later, better-funded requests.
+    snap->plan_cache->Invalidate(key);
+    CountIf(options_.metrics, "serve.plan_cache_deadline_invalidations");
+  }
   if (!plans.ok()) {
     failed_.fetch_add(1);
     CountIf(options_.metrics, "serve.failed");
@@ -140,6 +158,8 @@ Result<ServeResponse> QueryServer::Answer(const TslQuery& query,
   policy.clock = &clock;
   policy.tracer = serve.tracer;
   policy.metrics = options_.metrics;
+  policy.resilience = &resilience_;
+  policy.admission_deadline_ticks = admission_deadline;
   if (wrapper_factory_ != nullptr) {
     wrapper = wrapper_factory_(&clock, serve.seed);
     policy.wrapper = wrapper.get();
@@ -255,6 +275,8 @@ ServerStats QueryServer::stats() const {
   stats.queue_depth = pool_.queue_depth();
   stats.queue_capacity = pool_.queue_capacity();
   stats.plan_cache = snapshot()->plan_cache->stats();
+  stats.retry_after_queued = stats.queue_depth;
+  stats.breakers = resilience_.Snapshot();
   return stats;
 }
 

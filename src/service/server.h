@@ -50,6 +50,17 @@ struct ServerOptions {
   /// Counters are lock-free and shared across request threads — reads are
   /// monotonic per counter. Null disables metrics.
   MetricRegistry* metrics = nullptr;
+  /// Circuit-breaker and hedged-fetch policy (both off by default). The
+  /// server owns one ResilienceRegistry built from this, shared by every
+  /// request and surviving snapshot swaps — endpoint history is about the
+  /// endpoints, not about any one catalog version.
+  ResiliencePolicy resilience;
+  /// Default end-to-end tick budget stamped on every request at admission
+  /// (0 = unlimited): plan search, fetches, retry backoff, and hedges all
+  /// draw from it, and an exhausted budget degrades the answer per §7
+  /// instead of erroring. ServeOptions::deadline_ticks overrides per
+  /// request.
+  uint64_t request_deadline_ticks = 0;
 };
 
 /// \brief Per-request knobs.
@@ -64,6 +75,9 @@ struct ServeOptions {
   /// worker thread serves it; only cache-hit attribution can differ when
   /// requests race a cold plan search. Null disables tracing.
   Tracer* tracer = nullptr;
+  /// Per-request end-to-end tick budget; 0 = use
+  /// ServerOptions::request_deadline_ticks.
+  uint64_t deadline_ticks = 0;
 };
 
 /// \brief One served answer plus serving-layer metadata.
@@ -172,6 +186,12 @@ class QueryServer {
 
   ServerStats stats() const;
 
+  /// The shared cross-request resilience state (breaker states, hedge
+  /// latency windows). The chaos harness asserts recovery through it;
+  /// `Reset()` re-closes every breaker.
+  ResilienceRegistry& resilience() { return resilience_; }
+  const ResilienceRegistry& resilience() const { return resilience_; }
+
   /// A `/statsz`-style plain-text dump: the ServerStats snapshot followed
   /// by every metric in ServerOptions::metrics (sorted by name). The load
   /// driver and the shell's `stats` command print this verbatim.
@@ -196,6 +216,9 @@ class QueryServer {
 
   ServerOptions options_;
   WrapperFactory wrapper_factory_;
+  /// Cross-request breaker/hedge state; mutable because serving a request
+  /// (const Answer) legitimately evolves endpoint history.
+  mutable ResilienceRegistry resilience_;
 
   mutable std::mutex snapshot_mu_;  ///< guards the snapshot_ pointer only
   std::shared_ptr<const Snapshot> snapshot_;

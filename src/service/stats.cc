@@ -12,12 +12,21 @@ std::string PlanCacheStats::ToString() const {
 }
 
 std::string ServerStats::ToString() const {
-  return StrCat("server: ", threads, " thread(s), queue ", queue_depth, "/",
-                queue_capacity, "\n  requests: ", accepted, " accepted, ",
-                rejected, " rejected, ", completed, " completed, ", failed,
-                " failed\n  snapshots: ", catalog_swaps, " catalog swap(s), ",
-                mediator_swaps, " mediator swap(s)\n  ",
-                plan_cache.ToString(), "\n");
+  std::string out = StrCat(
+      "server: ", threads, " thread(s), queue ", queue_depth, "/",
+      queue_capacity, "\n  requests: ", accepted, " accepted, ", rejected,
+      " rejected, ", completed, " completed, ", failed,
+      " failed\n  snapshots: ", catalog_swaps, " catalog swap(s), ",
+      mediator_swaps, " mediator swap(s)\n  ", plan_cache.ToString(),
+      "\n  retry-after hint: ~", retry_after_queued,
+      " queued-request-time(s)\n");
+  if (!breakers.empty()) {
+    out += "  breakers:\n";
+    for (const BreakerSnapshot& breaker : breakers) {
+      out += StrCat("    ", breaker.ToString(), "\n");
+    }
+  }
+  return out;
 }
 
 }  // namespace tslrw

@@ -4,6 +4,9 @@
 #include <cstddef>
 #include <cstdint>
 #include <string>
+#include <vector>
+
+#include "mediator/resilience.h"
 
 namespace tslrw {
 
@@ -53,6 +56,14 @@ struct ServerStats {
   size_t queue_depth = 0;
   size_t queue_capacity = 0;
   PlanCacheStats plan_cache;
+  /// The admission-control retry-after hint, in queued-request-times: a
+  /// rejected client should wait roughly this many average request
+  /// durations before resubmitting (it equals the current queue depth —
+  /// the work ahead of a hypothetical next request).
+  size_t retry_after_queued = 0;
+  /// Per-endpoint circuit-breaker states (empty when the server runs
+  /// without a resilience policy or no endpoint has been touched yet).
+  std::vector<BreakerSnapshot> breakers;
 
   std::string ToString() const;
 };

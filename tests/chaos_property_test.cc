@@ -1,0 +1,154 @@
+// Randomized property sweep for the chaos-drill harness, extending the
+// PR 2 fault-tolerance properties from static fault schedules to full
+// multi-phase chaos scripts: across many seeds — each seed drawing its
+// own flap/storm targets, fault magnitudes, and request seeds — every
+// drilled answer stays sound (roots ⊆ the fault-free baseline, §7),
+// every drill recovers, and the drill report is a pure function of the
+// seed: byte-identical on replay and independent of the verification
+// parallelism used inside plan searches (1 vs 8 workers).
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "mediator/capability.h"
+#include "oem/parser.h"
+#include "testing/chaos.h"
+#include "tsl/parser.h"
+
+namespace tslrw {
+namespace {
+
+constexpr uint64_t kSeeds = 25;
+
+TslQuery Parse(const std::string& text, std::string name) {
+  auto query = ParseTslQuery(text, std::move(name));
+  EXPECT_TRUE(query.ok()) << query.status();
+  return *std::move(query);
+}
+
+std::vector<SourceDescription> DrillSources() {
+  Capability a;
+  a.view = Parse(
+      "<m(P') pub {<X' Y' Z'>}> :- <P' publication {<X' Y' Z'>}>@lib",
+      "MirrorA");
+  Capability b;
+  b.view = Parse(
+      "<m(P') pub {<X' Y' Z'>}> :- <P' publication {<X' Y' Z'>}>@lib",
+      "MirrorB");
+  Capability dump;
+  dump.view = Parse(
+      "<dump(P') pub {<X' Y' Z'>}> :- <P' publication {<X' Y' Z'>}>@s2",
+      "Dump2");
+  return {SourceDescription{"lib", {a}}, SourceDescription{"lib", {b}},
+          SourceDescription{"s2", {dump}}};
+}
+
+SourceCatalog DrillCatalog() {
+  SourceCatalog catalog;
+  auto lib = ParseOemDatabase(R"(
+    database lib {
+      <a1 publication {
+        <t1 title "Views"> <v1 venue "SIGMOD"> <y1 year "1997">
+      }>
+      <a2 publication {
+        <t2 title "Wrappers"> <v2 venue "VLDB"> <y2 year "1996">
+      }>
+      <a3 publication {
+        <t3 title "Mediators"> <v3 venue "SIGMOD"> <y3 year "1993">
+      }>
+    })");
+  EXPECT_TRUE(lib.ok()) << lib.status();
+  catalog.Put(*lib);
+  auto s2 = ParseOemDatabase(R"(
+    database s2 {
+      <b1 publication {
+        <u1 title "Warehouses"> <w1 venue "SIGMOD"> <x1 year "1996">
+      }>
+    })");
+  EXPECT_TRUE(s2.ok()) << s2.status();
+  catalog.Put(*s2);
+  return catalog;
+}
+
+std::vector<TslQuery> DrillQueries() {
+  return {
+      Parse("<f(P) sigmod yes> :- <P publication {<V venue \"SIGMOD\">}>@lib",
+            "Sigmod"),
+      Parse("<f(P) year97 yes> :- <P publication {<Y year \"1997\">}>@lib",
+            "Year97"),
+      Parse("<f(P) all2 yes> :- <P publication {<X Y Z>}>@s2", "All2"),
+  };
+}
+
+/// The one legitimate parallelism fingerprint in a trace is the
+/// `workers=N` annotation on rewrite.search spans (it reports the knob
+/// itself). Mask it so the comparison checks everything else — timings,
+/// outcomes, candidate counts — is parallelism-invariant.
+std::string MaskWorkerCounts(std::string trace) {
+  size_t at = 0;
+  while ((at = trace.find("workers=", at)) != std::string::npos) {
+    const size_t begin = at + 8;
+    size_t end = begin;
+    while (end < trace.size() && trace[end] != ' ' && trace[end] != '\n') {
+      ++end;
+    }
+    trace.replace(begin, end - begin, "*");
+    at = begin;
+  }
+  return trace;
+}
+
+ChaosOptions DrillOptions(uint64_t seed, size_t rewrite_parallelism) {
+  ChaosOptions options;
+  options.seed = seed;
+  options.requests_per_phase = 4;
+  options.server.threads = 2;
+  options.server.queue_capacity = 8;
+  options.server.rewrite_parallelism = rewrite_parallelism;
+  return options;
+}
+
+/// Every seed: sound + recovered at parallelism 1, and the drill report —
+/// tallies, breaker states, recovery line — is byte-identical at
+/// parallelism 8 (plan searches verify candidates in parallel but plans,
+/// and therefore execution, are byte-identical; docs/DETERMINISM.md).
+TEST(ChaosPropertyTest, DrillsAreSoundRecoveredAndParallelismInvariant) {
+  const std::vector<SourceDescription> sources = DrillSources();
+  const SourceCatalog catalog = DrillCatalog();
+  const std::vector<TslQuery> queries = DrillQueries();
+
+  for (uint64_t seed = 1; seed <= kSeeds; ++seed) {
+    const ChaosOptions sequential = DrillOptions(seed, 1);
+    const std::vector<ChaosPhase> script =
+        StandardChaosScript(sources, sequential);
+
+    auto drill = RunChaosDrill(sources, catalog, queries, script, sequential);
+    ASSERT_TRUE(drill.ok()) << "seed " << seed << ": " << drill.status();
+    for (const std::string& violation : drill->violations) {
+      ADD_FAILURE() << "seed " << seed << ": " << violation;
+    }
+    EXPECT_TRUE(drill->sound) << "seed " << seed;
+    EXPECT_TRUE(drill->recovered) << "seed " << seed;
+
+    const ChaosOptions parallel = DrillOptions(seed, 8);
+    auto wide = RunChaosDrill(sources, catalog, queries,
+                              StandardChaosScript(sources, parallel),
+                              parallel);
+    ASSERT_TRUE(wide.ok()) << "seed " << seed << ": " << wide.status();
+    EXPECT_TRUE(wide->sound) << "seed " << seed;
+    EXPECT_TRUE(wide->recovered) << "seed " << seed;
+    EXPECT_EQ(drill->report, wide->report)
+        << "seed " << seed
+        << ": drill report depends on rewrite parallelism";
+    EXPECT_EQ(MaskWorkerCounts(drill->traces),
+              MaskWorkerCounts(wide->traces))
+        << "seed " << seed
+        << ": drill traces depend on rewrite parallelism";
+  }
+}
+
+}  // namespace
+}  // namespace tslrw

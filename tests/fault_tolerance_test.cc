@@ -398,9 +398,42 @@ TEST(FaultToleranceTest, PerQueryDeadlineAbortsInsteadOfWaiting) {
   policy.retry.max_attempts = 3;
   policy.retry.per_call_deadline_ticks = 4;
   policy.retry.per_query_deadline_ticks = 5;
+  policy.degrade_on_deadline = false;
   auto answer = mediator.Answer(Sigmod97Query(), catalog, policy);
   ASSERT_FALSE(answer.ok());
   EXPECT_TRUE(answer.status().IsDeadlineExceeded()) << answer.status();
+}
+
+TEST(FaultToleranceTest, ExhaustedDeadlineDegradesByDefault) {
+  // Same exhausted budget, default policy: instead of erroring, the answer
+  // degrades per \S7 — sound (a subset of the fault-free answer, possibly
+  // empty), flagged incomplete, and the report says the deadline did it.
+  Mediator mediator = MakeBiblioMediator();
+  SourceCatalog catalog = BiblioCatalog();
+
+  auto fault_free = mediator.Answer(Sigmod97Query(), catalog);
+  ASSERT_TRUE(fault_free.ok()) << fault_free.status();
+
+  CatalogWrapper base;
+  VirtualClock clock;
+  FaultInjector injector(&base, /*seed=*/2, &clock);
+  FaultSchedule slow;
+  slow.steady_state = Fault::SlowBy(10);
+  injector.SetSchedule("s1", slow);
+
+  ExecutionPolicy policy;
+  policy.wrapper = &injector;
+  policy.clock = &clock;
+  policy.retry.max_attempts = 3;
+  policy.retry.per_call_deadline_ticks = 4;
+  policy.retry.per_query_deadline_ticks = 5;
+  auto answer = mediator.Answer(Sigmod97Query(), catalog, policy);
+  ASSERT_TRUE(answer.ok()) << answer.status();
+  EXPECT_EQ(answer->completeness, Completeness::kDegraded)
+      << answer->report.ToString();
+  EXPECT_TRUE(answer->report.deadline_degraded) << answer->report.ToString();
+  EXPECT_TRUE(
+      IsSubset(RootKeys(answer->result), RootKeys(fault_free->result)));
 }
 
 TEST(FaultToleranceTest, SlowSourceWithinDeadlinesStillAnswers) {
