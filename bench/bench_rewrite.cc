@@ -14,8 +14,12 @@
 #include "bench_common.h"
 #include "catalog/compiler.h"
 #include "common/virtual_clock.h"
+#include "eval/evaluator.h"
+#include "ir/compiler.h"
+#include "ir/interp.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "oem/parser.h"
 #include "rewrite/contained.h"
 #include "rewrite/minimize.h"
 #include "rewrite/rewriter.h"
@@ -345,6 +349,207 @@ void BM_MinimizeRedundantStar(benchmark::State& state) {
   state.counters["conditions"] = static_cast<double>(conditions);
 }
 BENCHMARK(BM_MinimizeRedundantStar)->RangeMultiplier(2)->Range(2, 16);
+
+// --- CL-IR (docs/IR.md): compiled plan-set execution ------------------------
+//
+// The k-arm CL-EXP-CAND star rewritten over its per-arm views fans out into
+// 2^k genuine plans once each condition may read either its view or an
+// α-equivalent replica mirror. The tree walker re-matches every condition
+// of every plan from scratch; the compiled IR hoists each condition into a
+// match unit, merges α-equivalent units across plans (CSE keys on
+// source-scoped fingerprints, so a view and its mirror stay distinct
+// units), and materializes each unit once per execution. BM_EvalIR runs
+// both backends *paired-interleaved* (same discipline as
+// BM_RewriteObserved) and exports the `speedup` ratio that
+// check_bench_regression --speedup gates at >= 1.5x for the full pass
+// stack on the k=7 workload.
+
+/// Star data: \p roots `rec` roots with \p fanout children per arm — one
+/// child carries the query's `u<i>` constant, the rest junk values.
+SourceCatalog MakeStarData(int k, int roots, int fanout) {
+  std::string text = "database db {\n";
+  for (int r = 0; r < roots; ++r) {
+    StrAppend(&text, "<p", r, " rec {\n");
+    for (int i = 0; i < k; ++i) {
+      for (int j = 0; j < fanout; ++j) {
+        StrAppend(&text, "  <c", r, "_", i, "_", j, " l", i, " ",
+                  j == 0 ? StrCat("u", i) : StrCat("x", j), ">\n");
+      }
+    }
+    StrAppend(&text, "}>\n");
+  }
+  StrAppend(&text, "}");
+  auto db = ParseOemDatabase(text);
+  if (!db.ok()) {
+    std::fprintf(stderr, "bench star data failed to parse: %s\n",
+                 db.status().ToString().c_str());
+    std::abort();
+  }
+  SourceCatalog catalog;
+  catalog.Put(std::move(db).ValueOrDie());
+  return catalog;
+}
+
+struct PlanSetWorkload {
+  std::vector<TslQuery> plans;
+  SourceCatalog view_results;
+};
+
+/// Rewrites the k-arm star over its per-arm views, then fans the base
+/// rewriting out into 2^k plans by flipping each condition between the
+/// view and its mirror replica per bit of the plan index. Both backends
+/// execute the identical plan vector over the identical materialized
+/// view results.
+PlanSetWorkload MakePlanSetWorkload(int k) {
+  PlanSetWorkload w;
+  TslQuery query = MakeStarQuery(k);
+  std::vector<TslQuery> views = MakePerArmViews(k);
+  SourceCatalog data = MakeStarData(k, /*roots=*/8, /*fanout=*/16);
+  for (const TslQuery& view : views) {
+    auto result = MaterializeView(view, data);
+    if (!result.ok()) {
+      std::fprintf(stderr, "bench view failed to materialize: %s\n",
+                   result.status().ToString().c_str());
+      std::abort();
+    }
+    OemDatabase mirror = *result;
+    mirror.set_name(result->name() + "m");
+    w.view_results.Put(std::move(result).ValueOrDie());
+    w.view_results.Put(std::move(mirror));
+  }
+  RewriteOptions options;
+  options.use_cover_heuristic = true;
+  options.prune_dominated = false;
+  options.parallelism = 1;
+  auto rewritten = RewriteQuery(query, views, options);
+  if (!rewritten.ok() || rewritten->rewritings.empty()) {
+    std::fprintf(stderr, "bench star rewrite produced no plans\n");
+    std::abort();
+  }
+  const TslQuery& base = rewritten->rewritings.front();
+  for (int j = 0; j < (1 << k); ++j) {
+    TslQuery plan = base;
+    plan.name = StrCat("plan", j);
+    int arm = 0;
+    for (Condition& condition : plan.body) {
+      if ((j >> (arm++ % k)) & 1) condition.source += "m";
+    }
+    w.plans.push_back(std::move(plan));
+  }
+  return w;
+}
+
+std::string RenderAnswer(const OemDatabase& db) {
+  return StrCat(db.name(), "\n", db.ToString());
+}
+
+void BM_EvalTree(benchmark::State& state) {
+  // The tree-walking baseline: per-plan Evaluate over the materialized
+  // view results, exactly what Mediator::Execute does on the kTree
+  // backend after view execution.
+  const int k = static_cast<int>(state.range(0));
+  PlanSetWorkload w = MakePlanSetWorkload(k);
+  for (auto _ : state) {
+    for (const TslQuery& plan : w.plans) {
+      auto answer = Evaluate(plan, w.view_results);
+      if (!answer.ok()) {
+        state.SkipWithError(answer.status().ToString().c_str());
+      }
+      benchmark::DoNotOptimize(answer);
+    }
+  }
+  state.counters["plans"] = static_cast<double>(w.plans.size());
+}
+BENCHMARK(BM_EvalTree)->Arg(3)->Arg(5)->Arg(7);
+
+void BM_EvalIR(benchmark::State& state) {
+  // Pass ablation: arg 0 = no passes, 1 = +hoist, 2 = +CSE, 3 = +copy
+  // elision (the shipped default stack). k is pinned to the 2^7-plan
+  // CL-EXP-CAND workload the CI speedup gate reads. Compilation sits
+  // outside the timed region — the mediator compiles once per cached plan
+  // set and re-executes the program per request, so steady-state
+  // execution is the honest comparison (`plan.compile` span cost is
+  // reported separately in EXPERIMENTS.md).
+  const int level = static_cast<int>(state.range(0));
+  const int k = 7;
+  PlanSetWorkload w = MakePlanSetWorkload(k);
+  IrPassOptions passes;
+  passes.hoist_invariant_submatches = level >= 1;
+  passes.common_subplan_elimination = level >= 2;
+  passes.copy_elision = level >= 3;
+  PlanCompiler compiler(passes);
+  auto program = compiler.CompilePlans(w.plans);
+  if (!program.ok()) {
+    state.SkipWithError(program.status().ToString().c_str());
+    return;
+  }
+  // Byte-identity first: the speedup below is meaningless unless the
+  // compiled program computes the tree walker's exact answers.
+  {
+    auto ir = ExecuteIrPerSegment(**program, w.view_results);
+    if (!ir.ok()) {
+      state.SkipWithError(ir.status().ToString().c_str());
+      return;
+    }
+    for (size_t i = 0; i < w.plans.size(); ++i) {
+      auto tree = Evaluate(w.plans[i], w.view_results);
+      if (!tree.ok()) {
+        state.SkipWithError(tree.status().ToString().c_str());
+        return;
+      }
+      if (RenderAnswer((*ir)[i]) != RenderAnswer(*tree)) {
+        state.SkipWithError("IR answer diverges from the tree walker");
+        return;
+      }
+    }
+  }
+  using Clock = std::chrono::steady_clock;
+  std::chrono::nanoseconds tree_ns{0};
+  std::chrono::nanoseconds ir_ns{0};
+  auto run_tree = [&] {
+    const auto start = Clock::now();
+    for (const TslQuery& plan : w.plans) {
+      auto answer = Evaluate(plan, w.view_results);
+      if (!answer.ok()) {
+        state.SkipWithError(answer.status().ToString().c_str());
+      }
+      benchmark::DoNotOptimize(answer);
+    }
+    tree_ns += Clock::now() - start;
+  };
+  auto run_ir = [&] {
+    const auto start = Clock::now();
+    auto answers = ExecuteIrPerSegment(**program, w.view_results);
+    if (!answers.ok()) {
+      state.SkipWithError(answers.status().ToString().c_str());
+    }
+    benchmark::DoNotOptimize(answers);
+    ir_ns += Clock::now() - start;
+  };
+  bool tree_first = true;
+  for (auto _ : state) {
+    if (tree_first) {
+      run_tree();
+      run_ir();
+    } else {
+      run_ir();
+      run_tree();
+    }
+    tree_first = !tree_first;
+  }
+  const double iters = static_cast<double>(std::max<int64_t>(
+      static_cast<int64_t>(state.iterations()), 1));
+  state.counters["tree_us"] =
+      static_cast<double>(tree_ns.count()) / 1e3 / iters;
+  state.counters["ir_us"] = static_cast<double>(ir_ns.count()) / 1e3 / iters;
+  state.counters["speedup"] =
+      ir_ns.count() > 0 ? static_cast<double>(tree_ns.count()) /
+                              static_cast<double>(ir_ns.count())
+                        : 0.0;
+  state.counters["plans"] = static_cast<double>(w.plans.size());
+  state.counters["ops"] = static_cast<double>((*program)->ops.size());
+}
+BENCHMARK(BM_EvalIR)->DenseRange(0, 3);
 
 void BM_RewriteSinglePathSpecialCase(benchmark::State& state) {
   // The \S3.1 algorithm: one condition, one view — the fast path.

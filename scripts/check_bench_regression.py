@@ -34,6 +34,20 @@ meaningful — comparing two separately-timed rows on a shared CI host
 drifts by far more than the tax being measured. This gates the
 observability tax of tracing + metrics on the sequential rewrite path.
 
+Speedup mode::
+
+    check_bench_regression.py CURRENT.json --speedup BM_EvalIR/3 \\
+        [--speedup-min 1.5]
+
+gates *paired* compiled-vs-tree benchmarks the other way around: each
+named benchmark runs the tree walker and the compiled IR interleaved
+within one iteration and exports a ``speedup`` counter (tree/IR
+wall-time ratio) plus ``tree_us``/``ir_us``. Every row matching a name
+prefix fails the gate when its speedup falls below ``--speedup-min``.
+The same pairing argument applies: the gate holds the compiled backend
+to a floor that separately-timed rows on a shared host could not
+enforce. This gates the k=7 plan-set execution win of src/ir.
+
 Standard library only; no third-party packages.
 """
 
@@ -110,6 +124,53 @@ def check_overhead(path, prefixes, tolerance, min_us):
     return 0
 
 
+def check_speedup(path, prefixes, minimum, min_us):
+    """Gates paired benchmarks that export a ``speedup`` ratio counter.
+
+    ``prefixes`` works like in check_overhead. Rows whose ``tree_us``
+    counter is below ``min_us`` are skipped as timer noise. Returns the
+    exit code.
+    """
+    with open(path, "r", encoding="utf-8") as f:
+        doc = json.load(f)
+    failures = []
+    compared = 0
+    for bench in doc.get("benchmarks", []):
+        if bench.get("run_type") == "aggregate":
+            continue
+        name = bench.get("name", "")
+        if not any(name == p or name.startswith(p + "/") for p in prefixes):
+            continue
+        ratio = bench.get("speedup")
+        if ratio is None:
+            print(f"  {name}: no `speedup` counter; skipped")
+            continue
+        tree_us = bench.get("tree_us", 0.0)
+        ir_us = bench.get("ir_us", 0.0)
+        if tree_us < min_us:
+            continue
+        compared += 1
+        marker = ""
+        if ratio < minimum:
+            failures.append(name)
+            marker = "  << BELOW FLOOR"
+        print(f"  {name}: {tree_us:.0f}us tree -> "
+              f"{ir_us:.0f}us IR (x{ratio:.2f}){marker}")
+
+    if not compared:
+        print("no comparable speedup rows; gate FAILS (nothing measured)")
+        return 1
+    if failures:
+        print(f"\n{len(failures)} benchmark(s) fall below the "
+              f"{minimum:.2f}x compiled-execution speedup floor:")
+        for name in failures:
+            print(f"  {name}")
+        return 1
+    print(f"compiled execution at or above {minimum:.2f}x "
+          f"on all {compared} rows")
+    return 0
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("current", help="fresh benchmark JSON")
@@ -128,13 +189,24 @@ def main():
     parser.add_argument("--overhead-tolerance", type=float, default=0.05,
                         help="allowed instrumented/plain slowdown in "
                              "--overhead mode (default 0.05)")
+    parser.add_argument("--speedup", nargs="+", metavar="BENCH",
+                        help="paired benchmarks (with a `speedup` ratio "
+                             "counter) to hold to a minimum tree/IR "
+                             "speedup instead of a baseline comparison")
+    parser.add_argument("--speedup-min", type=float, default=1.5,
+                        help="minimum tree/IR speedup in --speedup mode "
+                             "(default 1.5)")
     args = parser.parse_args()
 
     if args.overhead:
         return check_overhead(args.current, args.overhead,
                               args.overhead_tolerance, args.min_us)
+    if args.speedup:
+        return check_speedup(args.current, args.speedup,
+                             args.speedup_min, args.min_us)
     if not args.baseline:
-        parser.error("baseline JSON is required unless --overhead is given")
+        parser.error("baseline JSON is required unless --overhead or "
+                     "--speedup is given")
 
     current = load_times(args.current)
     baseline = load_times(args.baseline)

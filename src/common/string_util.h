@@ -33,6 +33,14 @@ std::string StrCat(const Args&... args) {
   return os.str();
 }
 
+/// \brief Appends the concatenation of streamable values to \p out.
+template <typename... Args>
+void StrAppend(std::string* out, const Args&... args) {
+  std::ostringstream os;
+  (os << ... << args);
+  out->append(os.str());
+}
+
 /// \brief True iff \p s starts with \p prefix.
 bool StartsWith(std::string_view s, std::string_view prefix);
 

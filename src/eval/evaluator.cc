@@ -140,13 +140,19 @@ Result<Oid> BuildObject(const ObjectPattern& pattern, const Assignment& theta,
 
 Status EvaluateInto(const TslQuery& query, const SourceCatalog& catalog,
                     const EvalOptions& options, OemDatabase* answer) {
+  ScopedSpan span(options.tracer, "eval.rule");
+  span.Annotate("rule", query.name);
+  CountIf(options.metrics, "eval.rules");
   TSLRW_ASSIGN_OR_RETURN(
       std::vector<Assignment> assignments,
       EnumerateAssignments(query.body, catalog, options.default_source));
+  span.Annotate("assignments", static_cast<uint64_t>(assignments.size()));
+  ObserveIf(options.metrics, "eval.assignments", assignments.size());
   for (const Assignment& theta : assignments) {
     TSLRW_ASSIGN_OR_RETURN(Oid root, BuildObject(query.head, theta, answer));
     TSLRW_RETURN_NOT_OK(answer->AddRoot(root));
   }
+  CountIf(options.metrics, "eval.roots_emitted", assignments.size());
   return Status::OK();
 }
 

@@ -4,6 +4,8 @@
 #include <string>
 
 #include "common/result.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "oem/database.h"
 #include "tsl/ast.h"
 
@@ -15,6 +17,13 @@ struct EvalOptions {
   std::string default_source = "db";
   /// Name given to the answer database; defaults to the query name.
   std::string answer_name;
+  /// Optional eval.* metric sink (rule evaluations, assignment counts,
+  /// emitted roots); null disables instrumentation.
+  MetricRegistry* metrics = nullptr;
+  /// Optional span tree: one `eval.rule` span per evaluated rule. Spans sit
+  /// on the deterministic control path only, so a fixed input replays the
+  /// trace byte for byte (docs/OBSERVABILITY.md).
+  Tracer* tracer = nullptr;
 };
 
 /// \brief Evaluates a TSL query over the sources in \p catalog and returns

@@ -45,10 +45,8 @@ void MatchObject(const ObjectPattern& pattern, const Oid& oid,
                  const OemDatabase& db, const Assignment& a,
                  std::vector<Assignment>* out);
 
-/// Candidate objects for one set-pattern member below \p parent, according
-/// to the member's step kind: direct children, chains of like-labeled
-/// objects (`l+`), or all proper descendants (`**`). BFS with a visited
-/// set, so cyclic data terminates.
+}  // namespace
+
 std::vector<Oid> StepCandidates(const ObjectPattern& member,
                                 const OemObject& parent,
                                 const OemDatabase& db) {
@@ -77,6 +75,8 @@ std::vector<Oid> StepCandidates(const ObjectPattern& member,
   }
   return out;
 }
+
+namespace {
 
 /// Matches a value field against the value of \p obj, extending \p a into
 /// zero or more assignments appended to \p out.

@@ -28,6 +28,17 @@ Result<std::vector<Assignment>> EnumerateAssignments(
     const std::vector<Condition>& body, const SourceCatalog& catalog,
     const std::string& default_source);
 
+/// \brief Candidate objects for one set-pattern member below \p parent,
+/// according to the member's step kind: direct children (kChild), chains of
+/// like-labeled objects (`l+`), or all proper descendants (`**`). BFS with a
+/// visited set, so cyclic data terminates. \p parent must be set-valued.
+///
+/// Shared with the compiled-plan interpreter (src/ir/), which must agree
+/// with the tree walker on candidate sets byte for byte (docs/IR.md).
+std::vector<Oid> StepCandidates(const ObjectPattern& member,
+                                const OemObject& parent,
+                                const OemDatabase& db);
+
 }  // namespace tslrw
 
 #endif  // TSLRW_EVAL_MATCHER_H_

@@ -1,0 +1,27 @@
+#ifndef TSLRW_IR_LOWERING_H_
+#define TSLRW_IR_LOWERING_H_
+
+#include <cstdint>
+#include <string>
+
+#include "ir/ir.h"
+#include "tsl/ast.h"
+
+namespace tslrw {
+
+// Internal lowering hooks shared between the compiler (compiler.cc) and the
+// optimization passes (passes.cc). Not part of the public IR surface.
+
+/// Interns \p source in the program's source pool and returns its index.
+int32_t InternIrSource(IrProgram* program, const std::string& source);
+
+/// Appends a match unit for \p condition — matched from scratch, exactly
+/// like a first body condition — to the program: ops go at the end of the
+/// op vector, the unit gets a local frame over the condition's variables
+/// (sorted), canonical column names, and an α-invariant fingerprint.
+/// Returns the unit index.
+int32_t LowerConditionUnit(IrProgram* program, const Condition& condition);
+
+}  // namespace tslrw
+
+#endif  // TSLRW_IR_LOWERING_H_

@@ -8,6 +8,8 @@
 
 #include "common/string_util.h"
 #include "eval/evaluator.h"
+#include "ir/compiler.h"
+#include "ir/interp.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "rewrite/contained.h"
@@ -373,6 +375,7 @@ void Mediator::InitContext(const ExecutionPolicy& policy, ExecContext* ctx) {
   ctx->resilience = policy.resilience;
   ctx->degrade_on_deadline = policy.degrade_on_deadline &&
                              policy.allow_degraded;
+  ctx->backend = policy.backend;
 }
 
 Result<WrapperResult> Mediator::HedgeFetch(const Capability& partner,
@@ -641,11 +644,41 @@ Result<Mediator::PlanExecution> Mediator::RunPlan(
   }
   // Collect + consolidate at the mediator: evaluate the rewriting over the
   // wrapper results (fusion merges per-source fragments by oid).
+  if (ctx.backend == ExecutionBackend::kIR) {
+    TSLRW_ASSIGN_OR_RETURN(std::shared_ptr<const IrProgram> program,
+                           CompiledProgramFor(plan, ctx));
+    ScopedSpan exec_span(ctx.tracer, "plan.exec_ir");
+    exec_span.Annotate("ops", static_cast<uint64_t>(program->ops.size()));
+    IrExecOptions ir;
+    ir.answer_name = ctx.answer_name;
+    ir.metrics = ctx.metrics;
+    TSLRW_ASSIGN_OR_RETURN(exec.answer,
+                           ExecuteIr(*program, view_results, ir));
+    return exec;
+  }
   EvalOptions eval;
   eval.answer_name = ctx.answer_name;
+  eval.metrics = ctx.metrics;
+  eval.tracer = ctx.tracer;
   TSLRW_ASSIGN_OR_RETURN(exec.answer,
                          Evaluate(plan.rewriting, view_results, eval));
   return exec;
+}
+
+Result<std::shared_ptr<const IrProgram>> Mediator::CompiledProgramFor(
+    const MediatorPlan& plan, const ExecContext& ctx) const {
+  std::lock_guard<std::mutex> lock(plan.compiled->mu);
+  if (plan.compiled->program != nullptr) {
+    CountIf(ctx.metrics, "ir.plan_cache_hits");
+    return plan.compiled->program;
+  }
+  ScopedSpan compile_span(ctx.tracer, "plan.compile");
+  PlanCompiler compiler(IrPassOptions{}, ctx.metrics);
+  TSLRW_ASSIGN_OR_RETURN(plan.compiled->program,
+                         compiler.Compile(plan.rewriting));
+  compile_span.Annotate(
+      "ops", static_cast<uint64_t>(plan.compiled->program->ops.size()));
+  return plan.compiled->program;
 }
 
 Result<OemDatabase> Mediator::Execute(const MediatorPlan& plan,
@@ -1005,10 +1038,31 @@ Result<DegradedAnswer> Mediator::DegradedFallback(
 
   OemDatabase result(ctx.answer_name);
   if (!live_rules.rules.empty()) {
-    EvalOptions eval;
-    eval.answer_name = ctx.answer_name;
-    TSLRW_ASSIGN_OR_RETURN(result,
-                           EvaluateRuleSet(live_rules, view_results, eval));
+    if (ctx.backend == ExecutionBackend::kIR) {
+      // Degraded rule sets depend on which views died, so they are compiled
+      // per execution rather than cached on a plan.
+      std::shared_ptr<const IrProgram> program;
+      {
+        ScopedSpan compile_span(ctx.tracer, "plan.compile");
+        PlanCompiler compiler(IrPassOptions{}, ctx.metrics);
+        TSLRW_ASSIGN_OR_RETURN(program, compiler.Compile(live_rules));
+        compile_span.Annotate("ops",
+                              static_cast<uint64_t>(program->ops.size()));
+      }
+      ScopedSpan exec_span(ctx.tracer, "plan.exec_ir");
+      exec_span.Annotate("ops", static_cast<uint64_t>(program->ops.size()));
+      IrExecOptions ir;
+      ir.answer_name = ctx.answer_name;
+      ir.metrics = ctx.metrics;
+      TSLRW_ASSIGN_OR_RETURN(result, ExecuteIr(*program, view_results, ir));
+    } else {
+      EvalOptions eval;
+      eval.answer_name = ctx.answer_name;
+      eval.metrics = ctx.metrics;
+      eval.tracer = ctx.tracer;
+      TSLRW_ASSIGN_OR_RETURN(result,
+                             EvaluateRuleSet(live_rules, view_results, eval));
+    }
   }
   DegradedAnswer answer;
   answer.result = std::move(result);

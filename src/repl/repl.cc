@@ -12,6 +12,8 @@
 #include "constraints/dtd.h"
 #include "equiv/equivalence.h"
 #include "eval/evaluator.h"
+#include "ir/compiler.h"
+#include "ir/ir.h"
 #include "oem/parser.h"
 #include "rewrite/candidate.h"
 #include "rewrite/compose.h"
@@ -49,6 +51,11 @@ constexpr std::string_view kHelp =
     "                                   declare a source interface view\n"
     "  fault <source> unavailable|flaky <p>|slow <ticks>|truncated <n>|none\n"
     "                                   script a wrapper fault for mediate\n"
+    "  plan <query> [ir]                rewriting plan set (over the\n"
+    "                                   capabilities when declared, else\n"
+    "                                   the views); `ir` also dumps the\n"
+    "                                   compiled flat IR with per-pass\n"
+    "                                   before/after op counts\n"
     "  mediate <query> [seed <n>]       fault-tolerant plan + execute,\n"
     "                                   with the execution report\n"
     "  serve start [threads <n>] [queue <n>] [cache <n>]\n"
@@ -125,6 +132,7 @@ std::string ReplSession::Execute(std::string_view line) {
   if (command == "materialize") return Materialize(rest);
   if (command == "capability") return DefineCapability(rest);
   if (command == "fault") return SetFault(rest);
+  if (command == "plan") return PlanCmd(rest);
   if (command == "mediate") return Mediate(rest);
   if (command == "serve") return Serve(rest);
   if (command == "stats") return Stats(rest);
@@ -572,6 +580,54 @@ std::string ReplSession::SetFault(std::string_view rest) {
   }
   faults_[std::string(source)] = fault;
   return StrCat("fault on ", source, ": ", fault.ToString(), "\n");
+}
+
+std::string ReplSession::PlanCmd(std::string_view rest) {
+  constexpr std::string_view kUsage = "usage: plan <query> [ir]\n";
+  std::string_view name = TakeWord(&rest);
+  if (name.empty()) return std::string(kUsage);
+  std::string_view mode = TakeWord(&rest);
+  if (!mode.empty() && mode != "ir") return std::string(kUsage);
+  auto query = LookupQuery(name);
+  if (!query.ok()) return RenderError(query.status());
+
+  std::vector<TslQuery> rewritings;
+  std::string out;
+  if (!capabilities_.empty()) {
+    std::vector<SourceDescription> sources;
+    for (const auto& [src, sd] : capabilities_) sources.push_back(sd);
+    auto mediator = Mediator::Make(std::move(sources), constraints_ptr());
+    if (!mediator.ok()) return RenderError(mediator.status());
+    auto plans = mediator->Plan(*query);
+    if (!plans.ok()) return RenderError(plans.status());
+    out = StrCat(plans->size(), " capability plan(s)",
+                 plans->truncated ? " (truncated)" : "", ":\n");
+    for (const MediatorPlan& plan : *plans) {
+      out += StrCat("  ", plan.ToString(), "\n");
+      rewritings.push_back(plan.rewriting);
+    }
+  } else if (!views_.empty()) {
+    RewriteOptions options;
+    options.constraints = constraints_ptr();
+    auto result = RewriteQuery(*query, Views(), options);
+    if (!result.ok()) return RenderError(result.status());
+    out = StrCat(result->rewritings.size(), " rewriting plan(s):\n");
+    for (const TslQuery& rw : result->rewritings) {
+      out += StrCat("  ", rw.ToString(), "\n");
+      rewritings.push_back(rw);
+    }
+  } else {
+    return "error: no capabilities or views defined (see `capability`, "
+           "`view`)\n";
+  }
+  if (mode != "ir") return out;
+  if (rewritings.empty()) return StrCat(out, "nothing to compile\n");
+  PlanCompiler compiler(IrPassOptions{}, &metrics_);
+  auto program = compiler.CompilePlans(rewritings);
+  if (!program.ok()) return RenderError(program.status());
+  out += PassStatsTable(**program);
+  out += Disassemble(**program);
+  return out;
 }
 
 std::string ReplSession::Mediate(std::string_view rest) {

@@ -45,6 +45,8 @@ namespace tslrw {
 /// materialize V1                % view result becomes a source
 /// capability db (Y97) <...> :- <...>@db   % declare a source interface
 /// fault db flaky 0.5            % script a wrapper fault for `mediate`
+/// plan Q3 [ir]                  % rewriting plan set; `ir` dumps the
+///                               % compiled flat IR + per-pass op counts
 /// mediate Q3 [seed 7]           % fault-tolerant plan + execute + report
 /// serve start [threads 4] [queue 128] [cache 256]
 ///                               % start the concurrent serving layer
@@ -91,6 +93,7 @@ class ReplSession {
   std::string Analyze(std::string_view rest);
   std::string Compile(std::string_view rest);
   std::string Materialize(std::string_view rest);
+  std::string PlanCmd(std::string_view rest);
   std::string DefineCapability(std::string_view rest);
   std::string SetFault(std::string_view rest);
   std::string Mediate(std::string_view rest);

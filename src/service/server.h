@@ -61,6 +61,11 @@ struct ServerOptions {
   /// instead of erroring. ServeOptions::deadline_ticks overrides per
   /// request.
   uint64_t request_deadline_ticks = 0;
+  /// Plan-evaluation backend for every request (ExecutionPolicy::backend).
+  /// kIR compiles each cached plan once — the compiled program lives and
+  /// dies with the plan-cache entry — and answers stay byte-identical to
+  /// the tree walker.
+  ExecutionBackend backend = ExecutionBackend::kTree;
 };
 
 /// \brief Per-request knobs.

@@ -248,6 +248,36 @@ TEST_F(ReplTest, FaultCommandScriptsAndClears) {
   EXPECT_NE(Run("fault").find("usage"), std::string::npos);
 }
 
+TEST_F(ReplTest, PlanCommandListsPlansAndDumpsIr) {
+  Prepare();
+  // With only views defined the command lists equivalent rewritings.
+  std::string views_out = Run("plan Q");
+  EXPECT_NE(views_out.find("rewriting plan(s)"), std::string::npos)
+      << views_out;
+  EXPECT_NE(views_out.find("@V1"), std::string::npos) << views_out;
+  // `ir` appends the per-pass op-count table and the disassembly.
+  std::string ir_out = Run("plan Q ir");
+  EXPECT_NE(ir_out.find("ops before"), std::string::npos) << ir_out;
+  EXPECT_NE(ir_out.find("hoist-invariant-submatches"), std::string::npos);
+  EXPECT_NE(ir_out.find("join_unit"), std::string::npos) << ir_out;
+  EXPECT_NE(ir_out.find("emit_head"), std::string::npos) << ir_out;
+  EXPECT_NE(ir_out.find("segment 0"), std::string::npos) << ir_out;
+  // Declared capabilities take precedence over raw views.
+  Run("capability db (Dump) <d(P') p {<X' Y' Z'>}> :- "
+      "<P' p {<X' Y' Z'>}>@db");
+  std::string cap_out = Run("plan Q ir");
+  EXPECT_NE(cap_out.find("capability plan(s)"), std::string::npos) << cap_out;
+  EXPECT_NE(cap_out.find("fuse_root"), std::string::npos) << cap_out;
+  // Usage and error paths render, never throw.
+  EXPECT_NE(Run("plan").find("usage"), std::string::npos);
+  EXPECT_NE(Run("plan Q sideways").find("usage"), std::string::npos);
+  EXPECT_NE(Run("plan NoSuch").find("error"), std::string::npos);
+  ReplSession bare;
+  bare.Execute("source database db { <p1 p { <n1 name ann> }> }");
+  bare.Execute("query (Q) <f(X) out yes> :- <X p {}>@db");
+  EXPECT_NE(bare.Execute("plan Q").find("error"), std::string::npos);
+}
+
 TEST_F(ReplTest, MediateAnswersAndReportsFaults) {
   Prepare();
   Run("capability db (Dump) <d(P') p {<X' Y' Z'>}> :- "
