@@ -1,0 +1,220 @@
+// A closed-loop load driver for the sharded cluster front-end: N client
+// threads fire a mixed workload (distinct-fingerprint queries spread over
+// the ring, plus α-renamed spellings that must land on the same shard and
+// share its plan-cache entry) at a ShardRouter, optionally through faulty
+// wrappers. Midway the driver partitions one shard, verifies its keys
+// re-route to the ring successor with byte-identical answers, rejoins it,
+// and prints the cluster /statsz.
+//
+//   tslrw_cluster [shards N] [clients N] [threads N] [requests N]
+//                 [queue N] [faults]
+//
+// Exit code 0 means every admitted request completed and the partition
+// answers matched the pre-partition bytes; admission-control rejections
+// are expected under overload and reported, not fatal.
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "cluster/cluster.h"
+#include "common/string_util.h"
+#include "mediator/fault.h"
+#include "mediator/mediator.h"
+#include "obs/metrics.h"
+#include "oem/generator.h"
+#include "service/plan_cache.h"
+#include "service/server.h"
+#include "tsl/parser.h"
+
+namespace {
+
+void Fail(const tslrw::Status& status) {
+  std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
+  std::exit(1);
+}
+
+template <typename T>
+T Must(tslrw::Result<T> result) {
+  if (!result.ok()) Fail(result.status());
+  return std::move(result).value();
+}
+
+tslrw::TslQuery MustParse(const std::string& text, std::string name) {
+  return Must(tslrw::ParseTslQuery(text, std::move(name)));
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace tslrw;
+
+  size_t shards = 4;
+  size_t clients = 4;
+  size_t threads = 2;  // per shard
+  size_t requests = 50;  // per client
+  size_t queue = 256;
+  bool faults = false;
+  for (int i = 1; i < argc; ++i) {
+    auto number = [&](const char* flag) -> size_t {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "%s needs a value\n", flag);
+        std::exit(2);
+      }
+      return static_cast<size_t>(std::strtoull(argv[++i], nullptr, 10));
+    };
+    if (std::strcmp(argv[i], "shards") == 0) {
+      shards = number("shards");
+    } else if (std::strcmp(argv[i], "clients") == 0) {
+      clients = number("clients");
+    } else if (std::strcmp(argv[i], "threads") == 0) {
+      threads = number("threads");
+    } else if (std::strcmp(argv[i], "requests") == 0) {
+      requests = number("requests");
+    } else if (std::strcmp(argv[i], "queue") == 0) {
+      queue = number("queue");
+    } else if (std::strcmp(argv[i], "faults") == 0) {
+      faults = true;
+    } else {
+      std::fprintf(stderr,
+                   "usage: tslrw_cluster [shards N] [clients N] [threads N] "
+                   "[requests N] [queue N] [faults]\n");
+      return 2;
+    }
+  }
+  if (shards == 0) {
+    std::fprintf(stderr, "shards must be at least 1\n");
+    return 2;
+  }
+
+  // One source with per-label capabilities over generated record data.
+  constexpr int kLabels = 4;
+  std::vector<Capability> caps;
+  for (int l = 0; l < kLabels; ++l) {
+    Capability cap;
+    cap.view = MustParse(
+        StrCat("<v", l, "(P') o", l, " {<w", l, "(X') m U'>}> :- ",
+               "<P' rec {<X' l", l, " U'>}>@db"),
+        StrCat("V", l));
+    caps.push_back(std::move(cap));
+  }
+  GeneratorOptions data;
+  data.seed = 11;
+  data.num_roots = 16;
+  data.max_depth = 2;
+  data.num_labels = kLabels;
+  data.root_label = "rec";
+  SourceCatalog catalog;
+  catalog.Put(GenerateOemDatabase("db", data));
+  Mediator mediator = Must(Mediator::Make({SourceDescription{"db", caps}}));
+
+  ClusterOptions options;
+  options.shards = shards;
+  options.server.threads = threads;
+  options.server.queue_capacity = queue;
+  options.server.retry.max_attempts = 3;
+  options.server.retry.initial_backoff_ticks = 1;
+  MetricRegistry metrics;  // outlives the router (workers write into it)
+  options.server.metrics = &metrics;
+  WrapperFactory factory = nullptr;
+  if (faults) {
+    // The source drops its first call of every request, then recovers:
+    // retries win on every shard, answers stay complete.
+    std::map<std::string, FaultSchedule> schedules;
+    FaultSchedule blip;
+    blip.scripted = {Fault::Unavailable()};
+    schedules["db"] = blip;
+    factory = MakeFaultInjectingWrapperFactory(std::move(schedules));
+  }
+  ShardRouter router(std::move(mediator), std::move(catalog), options,
+                     std::move(factory));
+
+  // The mixed workload: 12 distinct-fingerprint queries (the head functor
+  // is part of the canonical form, so the ring spreads them), plus an
+  // α-renamed spelling of the first — same fingerprint, same shard, same
+  // plan-cache entry.
+  std::vector<TslQuery> mix;
+  for (int q = 0; q < 12; ++q) {
+    mix.push_back(MustParse(
+        StrCat("<q", q, "(P) out yes> :- <P rec {<X l", q % kLabels,
+               " U>}>@db"),
+        StrCat("Q", q)));
+  }
+  mix.push_back(MustParse("<q0(R) out yes> :- <R rec {<Y l0 W>}>@db",
+                          "Q0renamed"));
+
+  std::atomic<uint64_t> ok_count{0};
+  std::atomic<uint64_t> rejected_count{0};
+  std::atomic<uint64_t> failed_count{0};
+  std::atomic<uint64_t> hit_count{0};
+  std::vector<std::thread> workers;
+  for (size_t c = 0; c < clients; ++c) {
+    workers.emplace_back([&, c] {
+      for (size_t r = 0; r < requests; ++r) {
+        const TslQuery& query = mix[(c + r) % mix.size()];
+        ServeOptions serve;
+        serve.seed = c * 1000 + r;
+        auto submitted = router.Submit(query, serve);
+        if (!submitted.ok()) {
+          // Admission control on the owning shard: the rejection carries
+          // that shard's retry-after hint; back off and move on.
+          rejected_count.fetch_add(1);
+          std::this_thread::yield();
+          continue;
+        }
+        auto response = std::move(submitted).value().get();
+        if (!response.ok()) {
+          failed_count.fetch_add(1);
+          continue;
+        }
+        ok_count.fetch_add(1);
+        if (response->plan_cache_hit) hit_count.fetch_add(1);
+      }
+    });
+  }
+  for (std::thread& worker : workers) worker.join();
+
+  // Partition drill: take the first query's home shard down, re-ask, and
+  // demand the ring-successor answer match the pre-partition bytes (every
+  // shard holds an identical snapshot, so failover cannot change answers).
+  bool partition_ok = true;
+  if (shards > 1) {
+    const uint64_t fp = MakePlanCacheKey(mix[0]).fingerprint;
+    const size_t home = router.HomeOf(fp);
+    ServeOptions serve;
+    serve.seed = 7;
+    const std::string before =
+        Must(router.Answer(mix[0], serve)).answer.result.ToString();
+    router.SetShardDown(home, true);
+    const size_t successor = router.RouteOf(fp);
+    const std::string during =
+        Must(router.Answer(mix[0], serve)).answer.result.ToString();
+    router.SetShardDown(home, false);
+    const std::string after =
+        Must(router.Answer(mix[0], serve)).answer.result.ToString();
+    partition_ok = during == before && after == before;
+    std::printf(
+        "partition drill: shard %zu down, key re-routed to shard %zu; "
+        "answers %s\n",
+        home, successor,
+        partition_ok ? "byte-identical across partition and rejoin"
+                     : "DIVERGED");
+  }
+
+  std::printf("--- cluster /statsz ---\n%s--- end /statsz ---\n",
+              router.Statsz().c_str());
+  std::printf(
+      "%zu shard(s); clients: %zu x %zu requests; %llu ok "
+      "(%llu plan-cache hits), %llu rejected, %llu failed\n",
+      shards, clients, requests,
+      static_cast<unsigned long long>(ok_count.load()),
+      static_cast<unsigned long long>(hit_count.load()),
+      static_cast<unsigned long long>(rejected_count.load()),
+      static_cast<unsigned long long>(failed_count.load()));
+  if (failed_count.load() != 0 || !partition_ok) return 1;
+  return 0;
+}

@@ -1,0 +1,334 @@
+#include "cluster/cluster.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/string_util.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "service/canonical.h"
+#include "tsl/canonical.h"
+
+namespace tslrw {
+
+namespace {
+
+/// Sample size for the Resize retained-fraction measurement. The probes
+/// are synthetic fingerprints (StableFingerprint of a fixed spelling), so
+/// the measurement itself is deterministic across runs and platforms.
+constexpr size_t kRebalanceProbes = 4096;
+
+}  // namespace
+
+PlanCacheStats ClusterStats::TotalPlanCache() const {
+  PlanCacheStats total;
+  for (const ServerStats& stats : shard) {
+    total.hits += stats.plan_cache.hits;
+    total.misses += stats.plan_cache.misses;
+    total.evictions += stats.plan_cache.evictions;
+    total.coalesced += stats.plan_cache.coalesced;
+    total.inflight_now += stats.plan_cache.inflight_now;
+    total.inflight_peak += stats.plan_cache.inflight_peak;
+    total.entries += stats.plan_cache.entries;
+  }
+  return total;
+}
+
+std::string ClusterStats::ToString() const {
+  std::string out = StrCat(
+      "cluster: ", shards, " shard(s); ", routed, " routed, ", rerouted,
+      " rerouted, ", resource_exhausted, " resource-exhausted; ",
+      replications, " replication(s), ", rebalances,
+      " rebalance(s)\n  cluster-wide ", TotalPlanCache().ToString(), "\n");
+  for (size_t i = 0; i < shard.size(); ++i) {
+    out += StrCat("shard ", i, ":\n", shard[i].ToString());
+  }
+  return out;
+}
+
+ShardRouter::ShardRouter(Mediator mediator, SourceCatalog catalog,
+                         ClusterOptions options,
+                         WrapperFactory wrapper_factory)
+    : options_(std::move(options)),
+      wrapper_factory_(std::move(wrapper_factory)),
+      ring_(options_.shards, options_.vnodes_per_shard),
+      template_mediator_(std::move(mediator)),
+      template_catalog_(std::move(catalog)) {
+  options_.shards = std::max<size_t>(options_.shards, 1);
+  servers_.reserve(options_.shards);
+  for (size_t i = 0; i < options_.shards; ++i) servers_.push_back(MakeShard());
+  down_.assign(options_.shards, false);
+}
+
+ShardRouter::~ShardRouter() { Shutdown(); }
+
+std::unique_ptr<QueryServer> ShardRouter::MakeShard() const {
+  auto shard = std::make_unique<QueryServer>(
+      Mediator(template_mediator_), SourceCatalog(template_catalog_),
+      options_.server, wrapper_factory_);
+  if (template_index_ != nullptr) {
+    // Seeding a new shard from the replication templates: the index was
+    // validated against this very mediator when it was attached, so the
+    // re-attach cannot fail; ignore the status to keep MakeShard infallible.
+    (void)shard->AttachCatalogIndex(template_index_);
+  }
+  return shard;
+}
+
+Result<ServeResponse> ShardRouter::Answer(const TslQuery& query,
+                                          const ServeOptions& serve) const {
+  const PlanCacheKey key = MakePlanCacheKey(query);
+  std::shared_lock<std::shared_mutex> topo(topo_mu_);
+  CountIf(options_.server.metrics, "cluster.requests");
+  const size_t home = ring_.Route(key.fingerprint);
+  size_t target = home;
+  bool rerouted = false;
+  if (down_[home]) {
+    target = ring_.RouteLive(key.fingerprint, down_);
+    if (target >= servers_.size()) {
+      CountIf(options_.server.metrics, "cluster.no_live_shard");
+      return Status::Unavailable("cluster: every shard is partitioned");
+    }
+    rerouted = true;
+    rerouted_.fetch_add(1);
+    CountIf(options_.server.metrics, "cluster.rerouted");
+  }
+  routed_.fetch_add(1);
+  {
+    // Closed before the shard serves: the shard rebinds the tracer to its
+    // per-request virtual clock, and a span still open across that rebind
+    // would be stamped on a clock that dies with the request.
+    ScopedSpan route_span(serve.tracer, "cluster.route");
+    route_span.Annotate("fingerprint", key.fingerprint);
+    route_span.Annotate("shard", static_cast<uint64_t>(target));
+    if (rerouted) route_span.Annotate("rerouted", "true");
+  }
+  return servers_[target]->Answer(query, serve);
+}
+
+Result<std::future<Result<ServeResponse>>> ShardRouter::Submit(
+    TslQuery query, ServeOptions serve) {
+  const PlanCacheKey key = MakePlanCacheKey(query);
+  std::shared_lock<std::shared_mutex> topo(topo_mu_);
+  CountIf(options_.server.metrics, "cluster.requests");
+  const size_t home = ring_.Route(key.fingerprint);
+  size_t target = home;
+  if (down_[home]) {
+    target = ring_.RouteLive(key.fingerprint, down_);
+    if (target >= servers_.size()) {
+      CountIf(options_.server.metrics, "cluster.no_live_shard");
+      return Status::Unavailable("cluster: every shard is partitioned");
+    }
+    rerouted_.fetch_add(1);
+    CountIf(options_.server.metrics, "cluster.rerouted");
+  }
+  routed_.fetch_add(1);
+  auto submitted = servers_[target]->Submit(std::move(query), serve);
+  if (!submitted.ok() && submitted.status().IsResourceExhausted()) {
+    // Overload is not failover: surface the owning shard's own retry-after
+    // hint (built from *its* queue) verbatim, tagged with the shard id —
+    // re-routing would defeat admission control and dilute the successor's
+    // cache with keys it does not own.
+    resource_exhausted_.fetch_add(1);
+    CountIf(options_.server.metrics, "cluster.resource_exhausted");
+    return Status::ResourceExhausted(
+        StrCat("shard ", target, ": ", submitted.status().message()));
+  }
+  return submitted;
+}
+
+void ShardRouter::UpdateCatalog(OemDatabase db) {
+  std::lock_guard<std::mutex> writer(mutate_mu_);
+  template_catalog_.Put(OemDatabase(db));
+  std::shared_lock<std::shared_mutex> topo(topo_mu_);
+  for (auto& shard : servers_) shard->UpdateCatalog(OemDatabase(db));
+  replications_.fetch_add(1);
+  CountIf(options_.server.metrics, "cluster.replications");
+}
+
+void ShardRouter::ReplaceCatalog(SourceCatalog catalog) {
+  std::lock_guard<std::mutex> writer(mutate_mu_);
+  template_catalog_ = catalog;
+  std::shared_lock<std::shared_mutex> topo(topo_mu_);
+  for (auto& shard : servers_) shard->ReplaceCatalog(SourceCatalog(catalog));
+  replications_.fetch_add(1);
+  CountIf(options_.server.metrics, "cluster.replications");
+}
+
+void ShardRouter::ReplaceMediator(Mediator mediator) {
+  std::lock_guard<std::mutex> writer(mutate_mu_);
+  template_mediator_ = mediator;
+  template_index_ = nullptr;
+  std::shared_lock<std::shared_mutex> topo(topo_mu_);
+  // Each shard runs its own stale-index guard: an index attached to the
+  // retiring snapshot is carried over iff it still validates.
+  for (auto& shard : servers_) shard->ReplaceMediator(Mediator(mediator));
+  replications_.fetch_add(1);
+  CountIf(options_.server.metrics, "cluster.replications");
+}
+
+Status ShardRouter::AttachCatalogIndex(
+    std::shared_ptr<const ViewSetIndex> index) {
+  std::lock_guard<std::mutex> writer(mutate_mu_);
+  std::shared_lock<std::shared_mutex> topo(topo_mu_);
+  Status status = Status::OK();
+  for (auto& shard : servers_) {
+    Status attached = shard->AttachCatalogIndex(index);
+    if (!attached.ok() && status.ok()) status = attached;
+  }
+  if (status.ok()) template_index_ = std::move(index);
+  replications_.fetch_add(1);
+  CountIf(options_.server.metrics, "cluster.replications");
+  return status;
+}
+
+void ShardRouter::InvalidatePlans() {
+  std::lock_guard<std::mutex> writer(mutate_mu_);
+  std::shared_lock<std::shared_mutex> topo(topo_mu_);
+  for (auto& shard : servers_) shard->InvalidatePlans();
+}
+
+double ShardRouter::Resize(size_t new_shards, Tracer* tracer) {
+  new_shards = std::max<size_t>(new_shards, 1);
+  std::lock_guard<std::mutex> writer(mutate_mu_);
+  ScopedSpan rebalance_span(tracer, "cluster.rebalance");
+
+  size_t old_shards = 0;
+  {
+    std::shared_lock<std::shared_mutex> topo(topo_mu_);
+    old_shards = servers_.size();
+  }
+  HashRing next(new_shards, options_.vnodes_per_shard);
+  // Retained fraction over a deterministic fingerprint sample: the share
+  // of the key space whose shard did not change, i.e. the warmed keys that
+  // will still hit their old plan-cache entries.
+  size_t retained_count = 0;
+  {
+    std::shared_lock<std::shared_mutex> topo(topo_mu_);
+    for (size_t i = 0; i < kRebalanceProbes; ++i) {
+      const uint64_t probe =
+          StableFingerprint(StrCat("rebalance probe ", i));
+      if (ring_.Route(probe) == next.Route(probe)) ++retained_count;
+    }
+  }
+  const double retained =
+      static_cast<double>(retained_count) / kRebalanceProbes;
+
+  // Build added shards before taking the exclusive lock (mediator copies
+  // are the expensive part) so readers stall only for the swap itself.
+  std::vector<std::unique_ptr<QueryServer>> added;
+  for (size_t i = old_shards; i < new_shards; ++i) {
+    added.push_back(MakeShard());
+  }
+  std::vector<std::unique_ptr<QueryServer>> removed;
+  {
+    std::unique_lock<std::shared_mutex> topo(topo_mu_);
+    ring_ = std::move(next);
+    for (auto& shard : added) servers_.push_back(std::move(shard));
+    while (servers_.size() > new_shards) {
+      removed.push_back(std::move(servers_.back()));
+      servers_.pop_back();
+    }
+    down_.resize(new_shards, false);
+  }
+  // Drain removed shards outside the topology lock.
+  removed.clear();
+
+  rebalances_.fetch_add(1);
+  CountIf(options_.server.metrics, "cluster.rebalances");
+  if (options_.server.metrics != nullptr) {
+    options_.server.metrics->GetGauge("cluster.rebalance_retained_permille")
+        ->Set(static_cast<int64_t>(retained * 1000.0));
+  }
+  rebalance_span.Annotate("from_shards", static_cast<uint64_t>(old_shards));
+  rebalance_span.Annotate("to_shards", static_cast<uint64_t>(new_shards));
+  rebalance_span.Annotate("retained_permille",
+                          static_cast<uint64_t>(retained * 1000.0));
+  return retained;
+}
+
+void ShardRouter::SetShardDown(size_t shard, bool down) {
+  std::unique_lock<std::shared_mutex> topo(topo_mu_);
+  if (shard >= down_.size()) return;
+  down_[shard] = down;
+}
+
+bool ShardRouter::shard_down(size_t shard) const {
+  std::shared_lock<std::shared_mutex> topo(topo_mu_);
+  return shard < down_.size() && down_[shard];
+}
+
+size_t ShardRouter::shards() const {
+  std::shared_lock<std::shared_mutex> topo(topo_mu_);
+  return servers_.size();
+}
+
+size_t ShardRouter::HomeOf(uint64_t fingerprint) const {
+  std::shared_lock<std::shared_mutex> topo(topo_mu_);
+  return ring_.Route(fingerprint);
+}
+
+size_t ShardRouter::RouteOf(uint64_t fingerprint) const {
+  std::shared_lock<std::shared_mutex> topo(topo_mu_);
+  const size_t home = ring_.Route(fingerprint);
+  if (!down_[home]) return home;
+  return ring_.RouteLive(fingerprint, down_);
+}
+
+QueryServer& ShardRouter::shard(size_t index) {
+  std::shared_lock<std::shared_mutex> topo(topo_mu_);
+  return *servers_[index];
+}
+
+const QueryServer& ShardRouter::shard(size_t index) const {
+  std::shared_lock<std::shared_mutex> topo(topo_mu_);
+  return *servers_[index];
+}
+
+ResilienceRegistry& ShardRouter::resilience(size_t index) {
+  std::shared_lock<std::shared_mutex> topo(topo_mu_);
+  return servers_[index]->resilience();
+}
+
+const ResilienceRegistry& ShardRouter::resilience(size_t index) const {
+  std::shared_lock<std::shared_mutex> topo(topo_mu_);
+  return servers_[index]->resilience();
+}
+
+bool ShardRouter::AllBreakersClosed() const {
+  std::shared_lock<std::shared_mutex> topo(topo_mu_);
+  for (const auto& shard : servers_) {
+    if (!shard->resilience().AllClosed()) return false;
+  }
+  return true;
+}
+
+ClusterStats ShardRouter::stats() const {
+  std::shared_lock<std::shared_mutex> topo(topo_mu_);
+  ClusterStats stats;
+  stats.shards = servers_.size();
+  stats.routed = routed_.load();
+  stats.rerouted = rerouted_.load();
+  stats.resource_exhausted = resource_exhausted_.load();
+  stats.replications = replications_.load();
+  stats.rebalances = rebalances_.load();
+  stats.shard.reserve(servers_.size());
+  for (const auto& shard : servers_) stats.shard.push_back(shard->stats());
+  return stats;
+}
+
+std::string ShardRouter::Statsz() const {
+  std::string out = stats().ToString();
+  if (options_.server.metrics != nullptr) {
+    out += "metrics:\n";
+    out += options_.server.metrics->ToText();
+  }
+  return out;
+}
+
+void ShardRouter::Shutdown() {
+  std::shared_lock<std::shared_mutex> topo(topo_mu_);
+  for (auto& shard : servers_) shard->Shutdown();
+}
+
+}  // namespace tslrw

@@ -1,0 +1,180 @@
+#ifndef TSLRW_CLUSTER_CLUSTER_H_
+#define TSLRW_CLUSTER_CLUSTER_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <shared_mutex>
+#include <string>
+#include <vector>
+
+#include "cluster/ring.h"
+#include "common/result.h"
+#include "mediator/mediator.h"
+#include "oem/database.h"
+#include "service/server.h"
+#include "service/stats.h"
+#include "tsl/ast.h"
+
+namespace tslrw {
+
+/// \brief Cluster-wide knobs. `server` configures every shard identically
+/// (threads, queue, plan cache, resilience, metrics) — homogeneous shards
+/// are what makes the byte-exactness argument below go through.
+struct ClusterOptions {
+  /// Number of QueryServer shards behind the router.
+  size_t shards = 1;
+  /// Virtual nodes per shard on the consistent-hash ring.
+  size_t vnodes_per_shard = HashRing::kDefaultVnodesPerShard;
+  /// Per-shard server configuration. `server.metrics` (when set) is shared
+  /// by the router and every shard, so serve.* counters aggregate across
+  /// the cluster and cluster.* counters land beside them.
+  ServerOptions server;
+};
+
+/// \brief A point-in-time snapshot of the whole cluster: router counters
+/// plus every shard's ServerStats (index = shard id).
+struct ClusterStats {
+  size_t shards = 0;
+  /// Requests routed (Answer + Submit), and how many of those were
+  /// re-routed to a ring successor because their home shard was down.
+  uint64_t routed = 0;
+  uint64_t rerouted = 0;
+  /// Admission rejections surfaced from shard pools (the shard's
+  /// retry-after hint is propagated verbatim — see ShardRouter::Submit).
+  uint64_t resource_exhausted = 0;
+  /// Catalog/mediator/index fan-outs replicated to every shard.
+  uint64_t replications = 0;
+  /// Ring-topology changes (Resize calls).
+  uint64_t rebalances = 0;
+  std::vector<ServerStats> shard;
+
+  /// Sums the per-shard plan-cache counters (cluster-wide hit rate).
+  PlanCacheStats TotalPlanCache() const;
+  std::string ToString() const;
+};
+
+/// \brief The sharded cluster front-end: routes each request by consistent
+/// hashing over its canonical-query StableFingerprint to one of N
+/// QueryServer shards, each with its own thread pool, sharded single-flight
+/// plan cache, and ResilienceRegistry.
+///
+/// Byte-exactness: routing only chooses *which shard's cache and pool*
+/// serve a request. Every shard holds an identical immutable snapshot
+/// (replication fans each mutation out to all shards), and a QueryServer
+/// answer is a pure function of (query, seed, snapshot) — so the cluster's
+/// answers are byte-identical to a single-shard server for every seed, at
+/// every shard count, including across failover re-routes (the successor
+/// shard holds the same snapshot). docs/SERVING.md spells the argument out.
+///
+/// Failover: SetShardDown marks a shard partitioned; its keys re-route
+/// deterministically to the ring successor until it rejoins. Overload is
+/// *not* failover — a shard pool's kResourceExhausted is surfaced to the
+/// client with that shard's retry-after hint, never silently re-routed
+/// (re-routing overload would defeat admission control and dilute the
+/// successor's cache).
+///
+/// Rebalance: Resize builds a new ring and grows/shrinks the shard set;
+/// surviving shards keep their plan caches, so only remapped fingerprints
+/// start cold. The retained-key fraction is measured and returned.
+class ShardRouter {
+ public:
+  ShardRouter(Mediator mediator, SourceCatalog catalog,
+              ClusterOptions options = {},
+              WrapperFactory wrapper_factory = nullptr);
+  ~ShardRouter();
+
+  ShardRouter(const ShardRouter&) = delete;
+  ShardRouter& operator=(const ShardRouter&) = delete;
+
+  /// Routes and serves synchronously on the calling thread. Opens a
+  /// `cluster.route` span (closed before the shard serves, so the shard's
+  /// own request span nests cleanly after it) annotated with the
+  /// fingerprint, the chosen shard, and whether failover re-routed it.
+  Result<ServeResponse> Answer(const TslQuery& query,
+                               const ServeOptions& serve = {}) const;
+
+  /// Routes and submits to the owning shard's pool. A full shard queue
+  /// rejects with kResourceExhausted; the shard's own retry-after hint is
+  /// propagated verbatim (tagged with the shard id) and counted in
+  /// `cluster.resource_exhausted`.
+  Result<std::future<Result<ServeResponse>>> Submit(TslQuery query,
+                                                    ServeOptions serve = {});
+
+  /// Replication: each mutation fans out to every shard, which performs
+  /// its own immutable snapshot swap (QueryServer semantics, including the
+  /// per-shard stale-index guard in ReplaceMediator).
+  void UpdateCatalog(OemDatabase db);
+  void ReplaceCatalog(SourceCatalog catalog);
+  void ReplaceMediator(Mediator mediator);
+  Status AttachCatalogIndex(std::shared_ptr<const ViewSetIndex> index);
+  void InvalidatePlans();
+
+  /// Changes the ring to \p new_shards shards (a `cluster.rebalance` span
+  /// on \p tracer when given). Surviving shards keep their plan caches;
+  /// new shards start from the latest replicated snapshot, cold. Returns
+  /// the fraction of a deterministic fingerprint sample whose shard did
+  /// not change — the retained-hit bound for warmed keys.
+  double Resize(size_t new_shards, Tracer* tracer = nullptr);
+
+  /// Marks a shard partitioned (down = true) or rejoined. Down shards
+  /// receive no traffic; their keys re-route to the ring successor. The
+  /// shard itself — snapshot, plan cache, breakers — is left intact, so a
+  /// rejoin restores its warmed state byte-for-byte.
+  void SetShardDown(size_t shard, bool down);
+  bool shard_down(size_t shard) const;
+
+  size_t shards() const;
+  /// The ring owner of \p fingerprint, ignoring down flags.
+  size_t HomeOf(uint64_t fingerprint) const;
+  /// The live route of \p fingerprint (owner, or its successor when down).
+  size_t RouteOf(uint64_t fingerprint) const;
+
+  QueryServer& shard(size_t index);
+  const QueryServer& shard(size_t index) const;
+  ResilienceRegistry& resilience(size_t index);
+  const ResilienceRegistry& resilience(size_t index) const;
+  bool AllBreakersClosed() const;
+
+  ClusterStats stats() const;
+  /// Cluster `/statsz`: router counters, every shard's stats (with the
+  /// per-cache-shard lines), then every metric in the shared registry.
+  std::string Statsz() const;
+
+  /// Stops every shard (drain + join). Idempotent.
+  void Shutdown();
+
+ private:
+  std::unique_ptr<QueryServer> MakeShard() const;
+
+  ClusterOptions options_;
+  WrapperFactory wrapper_factory_;
+
+  /// Guards ring_/servers_/down_ as one topology: requests hold it shared
+  /// for their whole serve (a shard must not be destroyed under a request),
+  /// Resize/SetShardDown take it exclusive.
+  mutable std::shared_mutex topo_mu_;
+  HashRing ring_;
+  std::vector<std::unique_ptr<QueryServer>> servers_;
+  std::vector<bool> down_;
+
+  /// Serializes replication and resize; also guards the replication
+  /// templates below, from which new shards are seeded.
+  mutable std::mutex mutate_mu_;
+  Mediator template_mediator_;
+  SourceCatalog template_catalog_;
+  std::shared_ptr<const ViewSetIndex> template_index_;
+
+  mutable std::atomic<uint64_t> routed_{0};
+  mutable std::atomic<uint64_t> rerouted_{0};
+  std::atomic<uint64_t> resource_exhausted_{0};
+  std::atomic<uint64_t> replications_{0};
+  std::atomic<uint64_t> rebalances_{0};
+};
+
+}  // namespace tslrw
+
+#endif  // TSLRW_CLUSTER_CLUSTER_H_

@@ -1,0 +1,51 @@
+#include "cluster/ring.h"
+
+#include <algorithm>
+
+#include "common/string_util.h"
+#include "tsl/canonical.h"
+
+namespace tslrw {
+
+HashRing::HashRing(size_t shards, size_t vnodes_per_shard)
+    : shards_(std::max<size_t>(shards, 1)),
+      vnodes_(std::max<size_t>(vnodes_per_shard, 1)) {
+  points_.reserve(shards_ * vnodes_);
+  for (size_t shard = 0; shard < shards_; ++shard) {
+    for (size_t vnode = 0; vnode < vnodes_; ++vnode) {
+      const uint64_t hash =
+          Mix64(StableFingerprint(StrCat("shard ", shard, " vnode ", vnode)));
+      points_.push_back({hash, static_cast<uint32_t>(shard)});
+    }
+  }
+  std::sort(points_.begin(), points_.end(),
+            [](const Point& a, const Point& b) {
+              return a.hash != b.hash ? a.hash < b.hash : a.shard < b.shard;
+            });
+}
+
+size_t HashRing::Route(uint64_t fingerprint) const {
+  const uint64_t mixed = Mix64(fingerprint);
+  auto it = std::lower_bound(
+      points_.begin(), points_.end(), mixed,
+      [](const Point& p, uint64_t value) { return p.hash < value; });
+  if (it == points_.end()) it = points_.begin();
+  return it->shard;
+}
+
+size_t HashRing::RouteLive(uint64_t fingerprint,
+                           const std::vector<bool>& down) const {
+  const uint64_t mixed = Mix64(fingerprint);
+  auto it = std::lower_bound(
+      points_.begin(), points_.end(), mixed,
+      [](const Point& p, uint64_t value) { return p.hash < value; });
+  if (it == points_.end()) it = points_.begin();
+  const size_t start = static_cast<size_t>(it - points_.begin());
+  for (size_t step = 0; step < points_.size(); ++step) {
+    const Point& point = points_[(start + step) % points_.size()];
+    if (point.shard >= down.size() || !down[point.shard]) return point.shard;
+  }
+  return shards_;
+}
+
+}  // namespace tslrw

@@ -1,0 +1,71 @@
+#ifndef TSLRW_CLUSTER_RING_H_
+#define TSLRW_CLUSTER_RING_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace tslrw {
+
+/// \brief A consistent-hash ring over canonical-query fingerprints.
+///
+/// Each shard owns `vnodes_per_shard` virtual nodes placed at
+/// Mix64(StableFingerprint("shard <s> vnode <v>")) — process-independent
+/// by construction, so the same fingerprint routes to the same shard in
+/// every process, on every platform, in every run (the routing analogue of
+/// the plan-cache key contract in tsl/canonical.h). Mix64 (the splitmix64
+/// finalizer) is applied to both vnode placements and looked-up keys:
+/// FNV-1a fingerprints of near-identical strings cluster on the raw ring
+/// (measured 53% of keys on one of four shards), and the finalizer's
+/// avalanche restores the ±few-percent balance vnodes are supposed to buy.
+///
+/// The ring is immutable: a topology change (adding or removing shards)
+/// builds a new ring, and the consistent-hashing guarantee is that only
+/// keys whose owning arc changed move — about 1/(N+1) of them when growing
+/// from N to N+1 shards — so the per-shard plan caches keep almost all of
+/// their working set across a rebalance.
+class HashRing {
+ public:
+  static constexpr size_t kDefaultVnodesPerShard = 64;
+
+  explicit HashRing(size_t shards,
+                    size_t vnodes_per_shard = kDefaultVnodesPerShard);
+
+  /// The splitmix64 finalizer: a bijective avalanche mix, so distinct
+  /// fingerprints stay distinct while nearby ones scatter uniformly.
+  static uint64_t Mix64(uint64_t x) {
+    x += 0x9E3779B97F4A7C15ull;
+    x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+    x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+    return x ^ (x >> 31);
+  }
+
+  size_t shards() const { return shards_; }
+  size_t vnodes_per_shard() const { return vnodes_; }
+
+  /// The shard owning \p fingerprint: the first virtual node clockwise at
+  /// or after it (wrapping at the top of the 64-bit space).
+  size_t Route(uint64_t fingerprint) const;
+
+  /// The first *live* shard clockwise from \p fingerprint, skipping every
+  /// shard whose \p down flag is set — the deterministic failover walk: the
+  /// owner when it is up, otherwise its ring successor, and so on. Returns
+  /// shards() when every shard is down.
+  size_t RouteLive(uint64_t fingerprint, const std::vector<bool>& down) const;
+
+ private:
+  struct Point {
+    uint64_t hash;
+    uint32_t shard;
+  };
+
+  /// Sorted by (hash, shard); ties broken by shard id so the order — and
+  /// therefore every routing decision — is total and deterministic.
+  std::vector<Point> points_;
+  size_t shards_;
+  size_t vnodes_;
+};
+
+}  // namespace tslrw
+
+#endif  // TSLRW_CLUSTER_RING_H_

@@ -113,6 +113,20 @@ PlanCacheStats PlanCache::stats() const {
   return stats;
 }
 
+std::vector<PlanCacheStats> PlanCache::ShardStats() const {
+  std::vector<PlanCacheStats> stats(shards_.size());
+  for (size_t i = 0; i < shards_.size(); ++i) {
+    const Shard& shard = shards_[i];
+    std::lock_guard<std::mutex> lock(shard.mu);
+    stats[i].hits = shard.hits;
+    stats[i].misses = shard.misses;
+    stats[i].evictions = shard.evictions;
+    stats[i].coalesced = shard.coalesced;
+    stats[i].entries = shard.lru.size();
+  }
+  return stats;
+}
+
 size_t PlanCache::size() const {
   size_t entries = 0;
   for (const Shard& shard : shards_) {

@@ -68,6 +68,13 @@ class PlanCache {
   void Clear();
 
   PlanCacheStats stats() const;
+
+  /// Per-lock-shard counters, index = shard (fingerprint % shards). The
+  /// cluster's per-shard statsz prints these; the aggregate stats() is
+  /// their sum. The in-flight gauges are cache-global and reported only by
+  /// stats().
+  std::vector<PlanCacheStats> ShardStats() const;
+
   size_t size() const;
 
  private:

@@ -275,7 +275,9 @@ ServerStats QueryServer::stats() const {
   stats.threads = pool_.threads();
   stats.queue_depth = pool_.queue_depth();
   stats.queue_capacity = pool_.queue_capacity();
-  stats.plan_cache = snapshot()->plan_cache->stats();
+  const std::shared_ptr<const Snapshot> snap = snapshot();
+  stats.plan_cache = snap->plan_cache->stats();
+  stats.plan_cache_shards = snap->plan_cache->ShardStats();
   stats.retry_after_queued = stats.queue_depth;
   stats.breakers = resilience_.Snapshot();
   return stats;

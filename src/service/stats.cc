@@ -18,8 +18,17 @@ std::string ServerStats::ToString() const {
       " rejected, ", completed, " completed, ", failed,
       " failed\n  snapshots: ", catalog_swaps, " catalog swap(s), ",
       mediator_swaps, " mediator swap(s)\n  ", plan_cache.ToString(),
-      "\n  retry-after hint: ~", retry_after_queued,
-      " queued-request-time(s)\n");
+      "\n");
+  for (size_t i = 0; i < plan_cache_shards.size(); ++i) {
+    const PlanCacheStats& shard = plan_cache_shards[i];
+    out += StrCat("    cache shard ", i, ": ", shard.hits, " hit(s), ",
+                  shard.misses, " miss(es), ", shard.coalesced,
+                  " coalesced, ", shard.evictions, " eviction(s), ",
+                  shard.entries, " entr", shard.entries == 1 ? "y" : "ies",
+                  "\n");
+  }
+  out += StrCat("  retry-after hint: ~", retry_after_queued,
+                " queued-request-time(s)\n");
   if (!breakers.empty()) {
     out += "  breakers:\n";
     for (const BreakerSnapshot& breaker : breakers) {

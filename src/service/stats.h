@@ -56,6 +56,10 @@ struct ServerStats {
   size_t queue_depth = 0;
   size_t queue_capacity = 0;
   PlanCacheStats plan_cache;
+  /// Per-cache-shard counters (index = fingerprint % shards): where each
+  /// lock shard's hits, misses, and coalesced waits landed. `plan_cache`
+  /// is their sum; Statsz prints one line per shard.
+  std::vector<PlanCacheStats> plan_cache_shards;
   /// The admission-control retry-after hint, in queued-request-times: a
   /// rejected client should wait roughly this many average request
   /// durations before resubmitting (it equals the current queue depth —
