@@ -61,6 +61,21 @@ Every row matching a name prefix fails the gate when its scaling falls
 below ``--scaling-min``. This gates the CL-SHARD near-linear throughput
 claim of src/cluster.
 
+Retention mode::
+
+    check_bench_regression.py CURRENT.json --retention BM_MaintSingleViewEdit \\
+        [--retention-min 0.90] [--warmhit-min 5.0]
+
+gates *paired* selective-vs-full-flush maintenance benchmarks: each named
+benchmark warms a plan cache, edits one catalog view, and re-serves the
+workload under both maintenance modes interleaved within one iteration,
+exporting a ``retained`` counter (selective-arm retained cache fraction)
+and a ``warmhit_gain`` counter (full-flush/selective re-serve wall-time
+ratio) plus ``selective_us``/``flush_us``. A row fails the gate when its
+retained fraction falls below ``--retention-min`` or its warm-hit gain
+falls below ``--warmhit-min``. This gates the CL-MAINT claim of
+src/maint: a single-view edit must not cold-start the serving layer.
+
 Standard library only; no third-party packages.
 """
 
@@ -231,6 +246,53 @@ def check_scaling(path, prefixes, minimum, min_us):
     return 0
 
 
+def check_retention(path, prefixes, retention_min, warmhit_min):
+    """Gates paired maintenance benchmarks exporting ``retained`` and
+    ``warmhit_gain`` counters. Returns the exit code."""
+    with open(path, "r", encoding="utf-8") as f:
+        doc = json.load(f)
+    failures = []
+    compared = 0
+    for bench in doc.get("benchmarks", []):
+        if bench.get("run_type") == "aggregate":
+            continue
+        name = bench.get("name", "")
+        if not any(name == p or name.startswith(p + "/") for p in prefixes):
+            continue
+        retained = bench.get("retained")
+        gain = bench.get("warmhit_gain")
+        if retained is None or gain is None:
+            print(f"  {name}: no `retained`/`warmhit_gain` counters; skipped")
+            continue
+        compared += 1
+        selective_us = bench.get("selective_us", 0.0)
+        flush_us = bench.get("flush_us", 0.0)
+        marker = ""
+        if retained < retention_min:
+            failures.append(f"{name} (retained {retained:.3f})")
+            marker = "  << LOW RETENTION"
+        if gain < warmhit_min:
+            failures.append(f"{name} (warm-hit gain x{gain:.2f})")
+            marker += "  << LOW WARM-HIT GAIN"
+        print(f"  {name}: retained {retained:.1%}, "
+              f"{flush_us:.0f}us flush -> {selective_us:.0f}us selective "
+              f"(x{gain:.2f}){marker}")
+
+    if not compared:
+        print("no comparable retention rows; gate FAILS (nothing measured)")
+        return 1
+    if failures:
+        print(f"\n{len(failures)} maintenance gate violation(s) "
+              f"(floors: retained >= {retention_min:.2f}, "
+              f"warm-hit gain >= {warmhit_min:.2f}x):")
+        for entry in failures:
+            print(f"  {entry}")
+        return 1
+    print(f"cache retention >= {retention_min:.0%} and warm-hit gain >= "
+          f"{warmhit_min:.2f}x on all {compared} rows")
+    return 0
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("current", help="fresh benchmark JSON")
@@ -264,6 +326,18 @@ def main():
     parser.add_argument("--scaling-min", type=float, default=2.5,
                         help="minimum cluster throughput scaling in "
                              "--scaling mode (default 2.5)")
+    parser.add_argument("--retention", nargs="+", metavar="BENCH",
+                        help="paired maintenance benchmarks (with "
+                             "`retained` and `warmhit_gain` counters) to "
+                             "hold to cache-retention floors instead of a "
+                             "baseline comparison")
+    parser.add_argument("--retention-min", type=float, default=0.90,
+                        help="minimum selective-arm retained cache "
+                             "fraction in --retention mode (default 0.90)")
+    parser.add_argument("--warmhit-min", type=float, default=5.0,
+                        help="minimum full-flush/selective re-serve "
+                             "wall-time ratio in --retention mode "
+                             "(default 5.0)")
     args = parser.parse_args()
 
     if args.overhead:
@@ -275,9 +349,12 @@ def main():
     if args.scaling:
         return check_scaling(args.current, args.scaling,
                              args.scaling_min, args.min_us)
+    if args.retention:
+        return check_retention(args.current, args.retention,
+                               args.retention_min, args.warmhit_min)
     if not args.baseline:
         parser.error("baseline JSON is required unless --overhead, "
-                     "--speedup, or --scaling is given")
+                     "--speedup, --scaling, or --retention is given")
 
     current = load_times(args.current)
     baseline = load_times(args.baseline)

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <utility>
 
+#include "catalog/diff.h"
 #include "common/string_util.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
@@ -155,16 +156,40 @@ void ShardRouter::ReplaceCatalog(SourceCatalog catalog) {
   CountIf(options_.server.metrics, "cluster.replications");
 }
 
-void ShardRouter::ReplaceMediator(Mediator mediator) {
+MaintenanceReport ShardRouter::ReplaceMediator(Mediator mediator) {
   std::lock_guard<std::mutex> writer(mutate_mu_);
+  // The catalog delta is computed once, against the replication template
+  // the retiring shard snapshots were all seeded from, and fanned out to
+  // every shard: homogeneous shards see the same delta, so the selective
+  // invalidation decision for any cached entry is the same on every shard
+  // (the cluster stays byte-identical to a single-shard server).
+  const CatalogDelta delta = ComputeCatalogDelta(
+      template_mediator_.sources(), template_mediator_.constraints(),
+      mediator.sources(), mediator.constraints());
   template_mediator_ = mediator;
   template_index_ = nullptr;
   std::shared_lock<std::shared_mutex> topo(topo_mu_);
   // Each shard runs its own stale-index guard: an index attached to the
   // retiring snapshot is carried over iff it still validates.
-  for (auto& shard : servers_) shard->ReplaceMediator(Mediator(mediator));
+  MaintenanceReport report;
+  bool first = true;
+  for (auto& shard : servers_) {
+    MaintenanceReport shard_report =
+        shard->ReplaceMediator(Mediator(mediator), delta);
+    if (first) {
+      report = shard_report;
+      first = false;
+    } else {
+      // Per-entry counts aggregate; the mode and delta are identical on
+      // every shard by construction.
+      report.entries_examined += shard_report.entries_examined;
+      report.entries_invalidated += shard_report.entries_invalidated;
+      report.entries_retained += shard_report.entries_retained;
+    }
+  }
   replications_.fetch_add(1);
   CountIf(options_.server.metrics, "cluster.replications");
+  return report;
 }
 
 Status ShardRouter::AttachCatalogIndex(

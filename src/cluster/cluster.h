@@ -109,7 +109,11 @@ class ShardRouter {
   /// per-shard stale-index guard in ReplaceMediator).
   void UpdateCatalog(OemDatabase db);
   void ReplaceCatalog(SourceCatalog catalog);
-  void ReplaceMediator(Mediator mediator);
+  /// The catalog delta is computed once against the replication template
+  /// and applied identically on every shard (selective invalidation or a
+  /// full flush, per ServerOptions::maintenance); the returned report
+  /// aggregates per-entry counts across shards.
+  MaintenanceReport ReplaceMediator(Mediator mediator);
   Status AttachCatalogIndex(std::shared_ptr<const ViewSetIndex> index);
   void InvalidatePlans();
 

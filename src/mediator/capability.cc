@@ -1,0 +1,38 @@
+#include "mediator/capability.h"
+
+#include <map>
+
+#include "common/string_util.h"
+#include "tsl/canonical.h"
+
+namespace tslrw {
+
+uint64_t ViewIdentityFingerprint(const Capability& capability) {
+  std::map<Term, Term> renaming;
+  const CanonicalForm canon = CanonicalizeQuery(capability.view, &renaming);
+  // Translate each bound-variable name into the canonical alphabet so the
+  // fingerprint stays stable under α-renaming. A bound name that does not
+  // occur in the view makes every plan using the capability inadmissible
+  // regardless of which name it is, so it contributes a fixed marker.
+  std::set<std::string> bound_canonical;
+  bool bound_missing = false;
+  for (const std::string& name : capability.bound_variables) {
+    bool found = false;
+    for (const auto& [orig, canonical] : renaming) {
+      if (orig.var_name() == name) {
+        bound_canonical.insert(canonical.var_name());
+        found = true;
+      }
+    }
+    if (!found) bound_missing = true;
+  }
+  std::string identity = StrCat("view:", capability.view.name, "\n",
+                                canon.key, "\n");
+  for (const std::string& name : bound_canonical) {
+    identity += StrCat("bound:", name, "\n");
+  }
+  if (bound_missing) identity += "bound-missing\n";
+  return StableFingerprint(identity);
+}
+
+}  // namespace tslrw

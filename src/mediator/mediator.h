@@ -12,6 +12,7 @@
 #include "analysis/analyzer.h"
 #include "common/result.h"
 #include "constraints/inference.h"
+#include "maint/footprint.h"
 #include "mediator/capability.h"
 #include "mediator/exec_report.h"
 #include "mediator/resilience.h"
@@ -74,6 +75,11 @@ struct MediatorPlanSet {
   /// Counters from the rewrite search that produced this list (candidate
   /// space size, shared-work cache hits, verification wall time).
   PlanSearchStats search;
+  /// What the search consulted (views admitting mappings, query-body
+  /// sources, fired constraints, the chased query): the maintenance layer's
+  /// input for deciding whether a catalog delta can affect this entry
+  /// (src/maint/invalidate.h). Captured by every Plan/PlanOverViews call.
+  PlanFootprint footprint;
 
   // Vector-style accessors: most callers only care about the plan list.
   size_t size() const { return plans.size(); }
@@ -285,6 +291,10 @@ class Mediator {
                                              {}) const;
 
   const std::vector<SourceDescription>& sources() const { return sources_; }
+
+  /// The structural constraints this mediator plans under (may be null).
+  /// The maintenance layer diffs them across snapshot swaps.
+  const StructuralConstraints* constraints() const { return constraints_; }
 
   /// The analyzer's report over all capability views, produced at Make
   /// time. Error-free by construction (errors fail Make); may carry

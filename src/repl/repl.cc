@@ -563,17 +563,20 @@ std::string ReplSession::DefineCapability(std::string_view rest) {
                     mediator.status().ToString(), "\n");
     }
     std::string where;
+    std::string maintenance;
     if (server_ != nullptr) {
-      server_->ReplaceMediator(*mediator);
+      MaintenanceReport report = server_->ReplaceMediator(*mediator);
       where = "server";
+      maintenance = report.ToString();
     }
     if (cluster_ != nullptr) {
-      cluster_->ReplaceMediator(*mediator);
+      MaintenanceReport report = cluster_->ReplaceMediator(*mediator);
       where += where.empty() ? "cluster" : " and cluster";
+      maintenance = report.ToString();
     }
     return StrCat("capability ", name, " of ", source,
                   replaced ? " redefined" : " defined", ", ", where,
-                  " mediator replaced\n");
+                  " mediator replaced: ", maintenance, "\n");
   }
   return StrCat("capability ", name, " of ", source,
                 replaced ? " redefined\n" : " defined\n");

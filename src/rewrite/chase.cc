@@ -174,6 +174,7 @@ bool ChaseOidPair(const TslQuery& q, const std::vector<Path>& paths,
 bool DetectStructuralConflicts(const std::vector<Path>& paths,
                                const StructuralConstraints& constraints,
                                const std::set<std::string>& exempt,
+                               std::set<std::string>* fired,
                                StepOutcome* out) {
   for (const Path& path : paths) {
     if (exempt.count(path.source) > 0) continue;
@@ -185,6 +186,7 @@ bool DetectStructuralConflicts(const std::vector<Path>& paths,
       bool wants_set = continues || (i + 1 == path.steps.size() &&
                                      path.tail.is_set());
       if (wants_set && constraints.IsAtomic(label)) {
+        if (fired != nullptr) fired->insert(StrCat("conflict:", label));
         out->error = Status::Unsatisfiable(
             StrCat("pattern needs subobjects under ", label,
                    ", which the constraints declare atomic (CDATA)"));
@@ -194,6 +196,10 @@ bool DetectStructuralConflicts(const std::vector<Path>& paths,
           path.steps[i + 1].label.is_atom() &&
           !constraints.AllowsChild(label,
                                    path.steps[i + 1].label.atom_name())) {
+        if (fired != nullptr) {
+          fired->insert(StrCat("conflict:", label, ".",
+                               path.steps[i + 1].label.atom_name()));
+        }
         out->error = Status::Unsatisfiable(
             StrCat("the constraints do not allow a ",
                    path.steps[i + 1].label.atom_name(), " subobject under ",
@@ -208,7 +214,8 @@ bool DetectStructuralConflicts(const std::vector<Path>& paths,
 /// \S3.3 label inference over one path: `a.?.c` with a unique middle.
 bool InferLabels(const std::vector<Path>& paths,
                  const StructuralConstraints& constraints,
-                 const std::set<std::string>& exempt, StepOutcome* out) {
+                 const std::set<std::string>& exempt,
+                 std::set<std::string>* fired, StepOutcome* out) {
   for (const Path& path : paths) {
     if (exempt.count(path.source) > 0) continue;
     for (size_t i = 0; i + 1 < path.steps.size(); ++i) {
@@ -227,6 +234,10 @@ bool InferLabels(const std::vector<Path>& paths,
           path.steps[i].label.atom_name(),
           path.steps[i + 2].label.atom_name());
       if (!middle.has_value()) continue;
+      if (fired != nullptr) {
+        fired->insert(StrCat("infer:", path.steps[i].label.atom_name(), ".",
+                             path.steps[i + 2].label.atom_name()));
+      }
       out->changed = true;
       out->subst.BindTerm(path.steps[i + 1].label,
                           Term::MakeAtom(*middle));
@@ -241,7 +252,8 @@ bool InferLabels(const std::vector<Path>& paths,
 bool ChaseLabeledFds(const std::vector<Path>& paths,
                      const std::map<Term, std::vector<Occurrence>>& occs,
                      const StructuralConstraints& constraints,
-                     const std::set<std::string>& exempt, StepOutcome* out) {
+                     const std::set<std::string>& exempt,
+                     std::set<std::string>* fired, StepOutcome* out) {
   for (const auto& [oid, list] : occs) {
     for (size_t i = 0; i < list.size(); ++i) {
       for (size_t j = i + 1; j < list.size(); ++j) {
@@ -268,6 +280,10 @@ bool ChaseLabeledFds(const std::vector<Path>& paths,
         if (!constraints.HasUniqueChild(parent.label.atom_name(),
                                         ca.label.atom_name())) {
           continue;
+        }
+        if (fired != nullptr) {
+          fired->insert(StrCat("fd:", parent.label.atom_name(), ".",
+                               ca.label.atom_name()));
         }
         TermSubstitution unifier;
         if (!Unify(ca.oid, cb.oid, &unifier)) {
@@ -325,15 +341,17 @@ Result<TslQuery> ChaseQuery(const TslQuery& query,
     if (!acted && options.constraints != nullptr) {
       acted = DetectStructuralConflicts(
           paths, *options.constraints, options.constraint_exempt_sources,
-          &out);
+          options.fired_constraints, &out);
     }
     if (!acted && options.constraints != nullptr) {
       acted = InferLabels(paths, *options.constraints,
-                          options.constraint_exempt_sources, &out);
+                          options.constraint_exempt_sources,
+                          options.fired_constraints, &out);
     }
     if (!acted && options.constraints != nullptr) {
       acted = ChaseLabeledFds(paths, occurrences, *options.constraints,
-                              options.constraint_exempt_sources, &out);
+                              options.constraint_exempt_sources,
+                              options.fired_constraints, &out);
     }
 
     if (!acted) {

@@ -22,6 +22,13 @@ struct ChaseOptions {
   /// when chasing candidates. The \S3.2 oid-key rules are source-agnostic
   /// and always apply.
   std::set<std::string> constraint_exempt_sources;
+  /// Optional sink: every constraint-derived rule that acts (or detects a
+  /// conflict) reports a stable key describing which piece of the DTD it
+  /// used — `conflict:<label>`, `infer:<parent>.<grandchild>`, or
+  /// `fd:<parent>.<child>`. The maintenance layer records these in a plan's
+  /// dependency footprint so a catalog delta can tell which cached plans a
+  /// constraint edit might affect. Keys accumulate across rounds.
+  std::set<std::string>* fired_constraints = nullptr;
 };
 
 /// \brief Chases a TSL query to a fixpoint under

@@ -135,6 +135,7 @@ Result<RewriteResult> RewriteQuery(const TslQuery& query,
   ScopedSpan rewrite_span(options.tracer, "rewrite");
   rewrite_span.Annotate("views", static_cast<uint64_t>(views.size()));
   CountIf(options.metrics, "rewrite.queries");
+  RewriteResult result;
   ChaseOptions chase_options;
   chase_options.constraints = options.constraints;
   // The constraints describe the source data; candidate bodies contain
@@ -143,6 +144,12 @@ Result<RewriteResult> RewriteQuery(const TslQuery& query,
   for (const TslQuery& view : views) {
     chase_options.constraint_exempt_sources.insert(view.name);
   }
+  // The fired-constraints sink is wired only while chasing the inputs, on
+  // this thread: candidate chases run on worker threads under parallelism,
+  // and excluding them everywhere keeps the result byte-identical across
+  // parallelism levels (and the shared set race-free).
+  ChaseOptions input_chase_options = chase_options;
+  input_chase_options.fired_constraints = &result.fired_constraints;
   ScopedSpan chase_span(options.tracer, "rewrite.chase_inputs");
   const bool indexed =
       options.view_index != nullptr && options.view_index->CoversViews(views);
@@ -150,7 +157,7 @@ Result<RewriteResult> RewriteQuery(const TslQuery& query,
   ChasedInputs inputs;
   if (indexed) {
     TSLRW_ASSIGN_OR_RETURN(
-        inputs, ChaseInputsIndexed(query, views, chase_options,
+        inputs, ChaseInputsIndexed(query, views, input_chase_options,
                                    *options.view_index, &probe));
     CountIf(options.metrics, "catalog.index_probes");
     if (options.metrics != nullptr) {
@@ -166,24 +173,29 @@ Result<RewriteResult> RewriteQuery(const TslQuery& query,
       CountIf(options.metrics, "catalog.index_misses");
       chase_span.Annotate("index_probe", "miss");
     }
-    TSLRW_ASSIGN_OR_RETURN(inputs, ChaseInputs(query, views, chase_options));
+    TSLRW_ASSIGN_OR_RETURN(
+        inputs, ChaseInputs(query, views, input_chase_options));
   }
   chase_span.Annotate("live_views", static_cast<uint64_t>(inputs.views.size()));
   chase_span.EndNow();
   if (inputs.query_unsatisfiable) {
     rewrite_span.Annotate("unsatisfiable", "true");
     CountIf(options.metrics, "rewrite.unsatisfiable_queries");
-    return RewriteResult{};
+    result.query_unsatisfiable = true;
+    return result;
   }
   const TslQuery& q = inputs.query;
+  result.chased_query = q;
 
-  RewriteResult result;
   // Step 1A: mappings from each view body into the query body, turned into
   // candidate atoms.
   ScopedSpan mappings_span(options.tracer, "rewrite.mappings");
   TSLRW_ASSIGN_OR_RETURN(
       std::vector<CandidateAtom> atoms,
       BuildCandidateAtoms(q, inputs.views, &result.mappings_found));
+  for (const CandidateAtom& atom : atoms) {
+    if (atom.is_view) result.views_touched.insert(atom.condition.source);
+  }
   mappings_span.Annotate("mappings", static_cast<uint64_t>(result.mappings_found));
   mappings_span.Annotate("candidate_atoms", static_cast<uint64_t>(atoms.size()));
   mappings_span.EndNow();

@@ -4,6 +4,8 @@
 #include <cstddef>
 #include <cstdint>
 #include <functional>
+#include <set>
+#include <string>
 #include <vector>
 
 #include "common/result.h"
@@ -128,6 +130,30 @@ struct RewriteResult {
   size_t batches_dispatched = 0;
   /// Wall-clock microseconds spent verifying candidates (both paths).
   uint64_t verify_wall_ticks = 0;
+
+  /// Dependency-footprint facts for the maintenance layer (src/maint; see
+  /// docs/SERVING.md "Incremental maintenance"). `views_touched` names every
+  /// view that contributed at least one candidate atom — i.e. whose chased
+  /// body admits a containment mapping into the chased query. It is a
+  /// superset of the views referenced by `rewritings` (dominance pruning and
+  /// truncation drop candidates, never atoms), which is exactly what makes
+  /// it a sound footprint: a view outside this set cannot change the atom
+  /// list, hence cannot change the search. Deterministic at any parallelism.
+  std::set<std::string> views_touched;
+  /// Stable keys (chase.h) of the constraint rules that fired while chasing
+  /// the *inputs* (query and views). Candidate-chase firings are excluded —
+  /// they are scheduling-dependent under the parallel pipeline — so this is
+  /// observability data, not a sound constraint footprint; the maintenance
+  /// layer flushes on any constraints delta regardless.
+  std::set<std::string> fired_constraints;
+  /// The chased input query (normal form, constraints applied). The
+  /// maintenance layer probes it when a view is *added*: if the new view's
+  /// chased body admits no containment mapping into this query, the cached
+  /// plan set is provably unchanged. Empty when `query_unsatisfiable`.
+  TslQuery chased_query;
+  /// True when the chase proved the query unsatisfiable (the empty result
+  /// holds for every view set; only a constraints change can alter it).
+  bool query_unsatisfiable = false;
 };
 
 /// \brief The complete rewriting algorithm of \S3.4.

@@ -11,6 +11,11 @@ PlanCache::PlanCache(const Options& options)
 
 Result<PlanCache::PlanSetPtr> PlanCache::LookupOrCompute(
     const PlanCacheKey& key, const ComputeFn& compute) {
+  return LookupOrCompute(key, generation_.load(), compute);
+}
+
+Result<PlanCache::PlanSetPtr> PlanCache::LookupOrCompute(
+    const PlanCacheKey& key, uint64_t generation, const ComputeFn& compute) {
   Shard& shard = ShardFor(key.fingerprint);
   std::shared_ptr<InFlight> flight;
   bool owner = false;
@@ -23,16 +28,23 @@ Result<PlanCache::PlanSetPtr> PlanCache::LookupOrCompute(
       return hit->second->second;
     }
     auto racing = shard.inflight.find(key.key);
-    if (racing != shard.inflight.end()) {
+    if (racing != shard.inflight.end() &&
+        racing->second->generation == generation) {
       ++shard.coalesced;
       flight = racing->second;
     } else {
+      // No flight, or one admitted under a different snapshot generation:
+      // detach the stale flight (it still answers its own waiters and is
+      // barred from the LRU by the insert-time generation check) and own a
+      // fresh search.
       ++shard.misses;
       flight = std::make_shared<InFlight>();
-      shard.inflight.emplace(key.key, flight);
+      flight->generation = generation;
+      shard.inflight[key.key] = flight;
       owner = true;
       // Single-flight gauge: one in-flight search per distinct canonical
-      // query, by construction — the peak proves it in tests.
+      // query and generation, by construction — the peak proves it in
+      // tests.
       const uint64_t now = inflight_now_.fetch_add(1) + 1;
       uint64_t peak = inflight_peak_.load();
       while (now > peak && !inflight_peak_.compare_exchange_weak(peak, now)) {
@@ -58,8 +70,14 @@ Result<PlanCache::PlanSetPtr> PlanCache::LookupOrCompute(
   }
   {
     std::lock_guard<std::mutex> lock(shard.mu);
-    shard.inflight.erase(key.key);
-    if (status.ok() && shard.index.find(key.key) == shard.index.end()) {
+    auto inflight_it = shard.inflight.find(key.key);
+    if (inflight_it != shard.inflight.end() && inflight_it->second == flight) {
+      shard.inflight.erase(inflight_it);  // not ours once detached
+    }
+    // The generation fence: a search admitted before a snapshot swap must
+    // not publish its (old-snapshot) plans into the post-swap cache.
+    if (status.ok() && flight->generation == generation_.load() &&
+        shard.index.find(key.key) == shard.index.end()) {
       shard.lru.emplace_front(key.key, plans);
       shard.index.emplace(key.key, shard.lru.begin());
       while (shard.lru.size() > per_shard_capacity_) {
@@ -96,6 +114,34 @@ void PlanCache::Clear() {
     shard.lru.clear();
     shard.index.clear();
   }
+}
+
+size_t PlanCache::InvalidateMatching(
+    const std::function<bool(const std::string& key,
+                             const MediatorPlanSet& plans)>& pred) {
+  size_t dropped = 0;
+  for (Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    for (auto it = shard.lru.begin(); it != shard.lru.end();) {
+      if (pred(it->first, *it->second)) {
+        shard.index.erase(it->first);
+        it = shard.lru.erase(it);
+        ++dropped;
+      } else {
+        ++it;
+      }
+    }
+  }
+  return dropped;
+}
+
+uint64_t PlanCache::BeginGeneration() {
+  return generation_.fetch_add(1) + 1;
+}
+
+void PlanCache::Flush() {
+  BeginGeneration();
+  Clear();
 }
 
 PlanCacheStats PlanCache::stats() const {

@@ -53,8 +53,17 @@ class PlanCache {
 
   /// Returns the cached plan list for \p key, or runs \p compute (once,
   /// however many callers race) and caches its result. \p compute runs
-  /// without any cache lock held.
+  /// without any cache lock held. The two-argument form computes under the
+  /// cache's current generation; the serving layer passes its snapshot's
+  /// generation explicitly so a request admitted against an old snapshot
+  /// can neither insert a stale plan set after a swap nor coalesce onto a
+  /// search that was started against a different snapshot (a stale
+  /// in-flight computation is detached — it still serves its own waiters —
+  /// and a fresh one is started).
   Result<PlanSetPtr> LookupOrCompute(const PlanCacheKey& key,
+                                     const ComputeFn& compute);
+  Result<PlanSetPtr> LookupOrCompute(const PlanCacheKey& key,
+                                     uint64_t generation,
                                      const ComputeFn& compute);
 
   /// Drops the entry for \p key, if cached. The serving layer uses this
@@ -66,6 +75,28 @@ class PlanCache {
   /// Drops every cached entry (in-flight computations finish and insert
   /// normally). Counters and the generation are preserved.
   void Clear();
+
+  /// Runs \p pred over every cached entry (under the owning shard's lock)
+  /// and drops the entries it returns true for; returns how many were
+  /// dropped. Counters survive. \p pred must not call back into the cache.
+  size_t InvalidateMatching(
+      const std::function<bool(const std::string& key,
+                               const MediatorPlanSet& plans)>& pred);
+
+  /// Starts a new entry generation and returns it. Computations begun
+  /// under an earlier generation still finish and answer their waiters,
+  /// but no longer insert into the LRU, and later lookups no longer
+  /// coalesce onto them — the fence that makes same-cache-object snapshot
+  /// swaps safe (docs/SERVING.md "Incremental maintenance").
+  uint64_t BeginGeneration();
+
+  /// The current generation (monotone; starts at 0).
+  uint64_t generation() const { return generation_.load(); }
+
+  /// Full flush that keeps the counters: BeginGeneration + Clear. The fix
+  /// for the Statsz-monotonicity bug where invalidation rebuilt the cache
+  /// object and zeroed per-shard hit/miss/coalesced counts.
+  void Flush();
 
   PlanCacheStats stats() const;
 
@@ -86,6 +117,9 @@ class PlanCache {
     bool done = false;
     Status status;
     PlanSetPtr plans;
+    /// The generation the owning computation was admitted under; set once
+    /// before the flight is published, read under the shard lock.
+    uint64_t generation = 0;
   };
 
   struct Shard {
@@ -110,6 +144,7 @@ class PlanCache {
   std::vector<Shard> shards_;
   std::atomic<uint64_t> inflight_now_{0};
   std::atomic<uint64_t> inflight_peak_{0};
+  std::atomic<uint64_t> generation_{0};
 };
 
 }  // namespace tslrw

@@ -2,11 +2,26 @@
 
 #include <utility>
 
+#include "common/string_util.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "rewrite/view_index.h"
 
 namespace tslrw {
+
+std::string MaintenanceReport::ToString() const {
+  if (full_flush) {
+    return StrCat("full flush (", flush_reason, "), ", entries_invalidated,
+                  " entries dropped");
+  }
+  if (noop) {
+    return StrCat("no-op (identical catalogs), ", entries_retained,
+                  " entries kept");
+  }
+  return StrCat("selective: ", delta_summary, "; invalidated ",
+                entries_invalidated, "/", entries_examined, ", retained ",
+                entries_retained);
+}
 
 namespace {
 
@@ -119,8 +134,11 @@ Result<ServeResponse> QueryServer::Answer(const TslQuery& query,
       AbsoluteDeadlineTicks(clock.now(), deadline_budget);
   PlanCacheKey key = MakePlanCacheKey(query);
   bool computed_here = false;
+  // The snapshot's generation rides along so a search admitted against a
+  // retired snapshot can neither publish stale plans after a swap nor
+  // capture coalescing traffic from the new snapshot.
   Result<PlanCache::PlanSetPtr> plans = snap->plan_cache->LookupOrCompute(
-      key,
+      key, snap->plan_generation,
       [this, &snap, &key, &computed_here, &serve, &clock,
        admission_deadline]() -> Result<MediatorPlanSet> {
         computed_here = true;
@@ -182,6 +200,7 @@ Result<ServeResponse> QueryServer::Answer(const TslQuery& query,
   response.answer = std::move(answer).value();
   response.plan_cache_hit = !computed_here;
   response.plan_search = (*plans)->search;
+  response.plans = *plans;
   return response;
 }
 
@@ -205,9 +224,24 @@ void QueryServer::ReplaceCatalog(SourceCatalog catalog) {
   catalog_swaps_.fetch_add(1);
 }
 
-void QueryServer::ReplaceMediator(Mediator mediator) {
+MaintenanceReport QueryServer::ReplaceMediator(Mediator mediator) {
   std::lock_guard<std::mutex> writer(mutate_mu_);
   const std::shared_ptr<const Snapshot> current = snapshot();
+  const CatalogDelta delta = ComputeCatalogDelta(
+      current->mediator->sources(), current->mediator->constraints(),
+      mediator.sources(), mediator.constraints());
+  return ReplaceMediatorLocked(std::move(mediator), delta, current);
+}
+
+MaintenanceReport QueryServer::ReplaceMediator(Mediator mediator,
+                                               const CatalogDelta& delta) {
+  std::lock_guard<std::mutex> writer(mutate_mu_);
+  return ReplaceMediatorLocked(std::move(mediator), delta, snapshot());
+}
+
+MaintenanceReport QueryServer::ReplaceMediatorLocked(
+    Mediator mediator, const CatalogDelta& delta,
+    const std::shared_ptr<const Snapshot>& current) {
   // Stale-index guard: a catalog index compiled for the retiring view set
   // must not serve the new one. Re-validate it against the incoming
   // mediator (ValidateAgainst pins names, definitions, and constraints —
@@ -221,14 +255,77 @@ void QueryServer::ReplaceMediator(Mediator mediator) {
       CountIf(options_.metrics, "catalog.index_dropped_stale");
     }
   }
+  MaintenanceReport report;
+  report.delta_summary = delta.ToString();
+  ScopedSpan maint_span(options_.maintenance_tracer, "maint.invalidate");
+  maint_span.Annotate("delta", report.delta_summary);
+
   auto next = std::make_shared<Snapshot>();
   next->mediator = std::make_shared<const Mediator>(std::move(mediator));
   next->catalog = current->catalog;
-  // Cached plans name the old mediator's capability views — start a fresh
-  // generation rather than serving plans over retired interfaces.
-  next->plan_cache = std::make_shared<PlanCache>(CacheOptions());
+  // The cache object survives the swap — entries the delta cannot affect
+  // keep serving, and the hit/miss counters stay monotone. Stale inserts
+  // and stale coalescing are fenced by the generation carried on the
+  // snapshot (plan_cache.h).
+  next->plan_cache = current->plan_cache;
+  PlanCache& cache = *next->plan_cache;
+  report.entries_examined = cache.size();
+
+  const InvalidationDecider decider(delta, next->mediator->sources(),
+                                    next->mediator->constraints());
+  if (options_.maintenance == MaintenanceMode::kFullFlush ||
+      decider.full_flush()) {
+    report.full_flush = true;
+    report.flush_reason = options_.maintenance == MaintenanceMode::kFullFlush
+                              ? "full-flush maintenance mode"
+                              : decider.flush_reason();
+    report.entries_invalidated = report.entries_examined;
+    cache.Flush();
+    maint_full_flushes_.fetch_add(1);
+    CountIf(options_.metrics, "maint.full_flushes");
+  } else if (decider.no_op()) {
+    // Identical catalogs: every entry (and every in-flight search) is
+    // exact as-is; do not even start a new generation.
+    report.noop = true;
+    report.entries_retained = report.entries_examined;
+    maint_noop_applies_.fetch_add(1);
+    CountIf(options_.metrics, "maint.noop_applies");
+  } else {
+    cache.BeginGeneration();
+    report.entries_invalidated = cache.InvalidateMatching(
+        [&decider](const std::string&, const MediatorPlanSet& plans) {
+          return decider.ShouldInvalidate(plans.footprint);
+        });
+    report.entries_retained =
+        report.entries_examined - report.entries_invalidated;
+    maint_selective_applies_.fetch_add(1);
+    CountIf(options_.metrics, "maint.selective_applies");
+  }
+  maint_entries_examined_.fetch_add(report.entries_examined);
+  maint_entries_invalidated_.fetch_add(report.entries_invalidated);
+  maint_entries_retained_.fetch_add(report.entries_retained);
+  if (options_.metrics != nullptr) {
+    options_.metrics->GetCounter("maint.entries_examined")
+        ->Increment(report.entries_examined);
+    options_.metrics->GetCounter("maint.entries_invalidated")
+        ->Increment(report.entries_invalidated);
+    options_.metrics->GetCounter("maint.entries_retained")
+        ->Increment(report.entries_retained);
+  }
+  maint_span.Annotate("mode", report.full_flush
+                                  ? "full-flush"
+                                  : (report.noop ? "noop" : "selective"));
+  maint_span.Annotate("examined",
+                      static_cast<uint64_t>(report.entries_examined));
+  maint_span.Annotate("invalidated",
+                      static_cast<uint64_t>(report.entries_invalidated));
+  maint_span.Annotate("retained",
+                      static_cast<uint64_t>(report.entries_retained));
+
+  next->plan_generation = cache.generation();
   Publish(std::move(next));
   mediator_swaps_.fetch_add(1);
+  return report;
 }
 
 Status QueryServer::AttachCatalogIndex(
@@ -259,8 +356,12 @@ uint64_t QueryServer::catalog_index_fingerprint() const {
 void QueryServer::InvalidatePlans() {
   std::lock_guard<std::mutex> writer(mutate_mu_);
   const std::shared_ptr<const Snapshot> current = snapshot();
+  // Flush in place: the cache object (and its hit/miss/coalesced counters)
+  // survives, so Statsz deltas across an invalidation stay monotone. The
+  // old code rebuilt the PlanCache here and silently zeroed them.
+  current->plan_cache->Flush();
   auto next = std::make_shared<Snapshot>(*current);
-  next->plan_cache = std::make_shared<PlanCache>(CacheOptions());
+  next->plan_generation = current->plan_cache->generation();
   Publish(std::move(next));
 }
 
@@ -272,6 +373,12 @@ ServerStats QueryServer::stats() const {
   stats.failed = failed_.load();
   stats.catalog_swaps = catalog_swaps_.load();
   stats.mediator_swaps = mediator_swaps_.load();
+  stats.maintenance.selective_applies = maint_selective_applies_.load();
+  stats.maintenance.full_flushes = maint_full_flushes_.load();
+  stats.maintenance.noop_applies = maint_noop_applies_.load();
+  stats.maintenance.entries_examined = maint_entries_examined_.load();
+  stats.maintenance.entries_invalidated = maint_entries_invalidated_.load();
+  stats.maintenance.entries_retained = maint_entries_retained_.load();
   stats.threads = pool_.threads();
   stats.queue_depth = pool_.queue_depth();
   stats.queue_capacity = pool_.queue_capacity();

@@ -9,7 +9,9 @@
 #include <mutex>
 #include <string>
 
+#include "catalog/diff.h"
 #include "common/result.h"
+#include "maint/invalidate.h"
 #include "mediator/fault.h"
 #include "mediator/mediator.h"
 #include "mediator/retry.h"
@@ -22,6 +24,35 @@
 #include "tsl/ast.h"
 
 namespace tslrw {
+
+/// \brief How a mediator swap treats the plan cache (docs/SERVING.md
+/// "Incremental maintenance").
+enum class MaintenanceMode : uint8_t {
+  /// Diff old vs new catalog (catalog/diff.h) and invalidate only the
+  /// cached plan sets whose dependency footprint the delta can affect;
+  /// everything else survives the swap verbatim. Differentially tested
+  /// byte-identical to kFullFlush (src/testing/maint_differential.h).
+  kSelective,
+  /// The pre-maintenance behavior: every swap flushes the whole cache.
+  kFullFlush,
+};
+
+/// \brief What one maintenance pass (mediator swap or InvalidatePlans) did
+/// to the plan cache; returned by ReplaceMediator for operator surfacing.
+struct MaintenanceReport {
+  bool full_flush = false;
+  bool noop = false;  ///< the delta was empty; nothing was touched
+  std::string flush_reason;  ///< why a selective pass fell back to a flush
+  std::string delta_summary;  ///< CatalogDelta::ToString()
+  size_t entries_examined = 0;
+  size_t entries_invalidated = 0;
+  size_t entries_retained = 0;
+
+  /// e.g. `selective: +0 -0 ~1 views, constraints unchanged; invalidated
+  /// 3/128, retained 125` or `full flush (constraints changed), 128
+  /// entries dropped`.
+  std::string ToString() const;
+};
 
 /// \brief Serving-layer knobs. The defaults suit a small interactive
 /// deployment; the load driver and benchmarks sweep them.
@@ -66,6 +97,12 @@ struct ServerOptions {
   /// dies with the plan-cache entry — and answers stay byte-identical to
   /// the tree walker.
   ExecutionBackend backend = ExecutionBackend::kTree;
+  /// Plan-cache treatment on mediator swaps (see MaintenanceMode).
+  MaintenanceMode maintenance = MaintenanceMode::kSelective;
+  /// Optional span sink for maintenance passes (not owned): each
+  /// ReplaceMediator opens a `maint.invalidate` span annotated with the
+  /// delta and the examined/invalidated/retained counts. Null disables.
+  Tracer* maintenance_tracer = nullptr;
 };
 
 /// \brief Per-request knobs.
@@ -96,6 +133,11 @@ struct ServeResponse {
   /// they replay the original search's numbers (the cache stores them with
   /// the plans), attributing the saved work.
   PlanSearchStats plan_search;
+  /// The immutable plan list the answer executed (shared with the cache).
+  /// The differential maintenance harness compares these across the
+  /// selective and full-flush arms; plan_search/plan_cache_hit only tell
+  /// half the story.
+  std::shared_ptr<const MediatorPlanSet> plans;
 };
 
 /// \brief Builds the per-request Wrapper (and may capture the per-request
@@ -164,14 +206,25 @@ class QueryServer {
   /// Replaces the whole catalog (same swap discipline as UpdateCatalog).
   void ReplaceCatalog(SourceCatalog catalog);
 
-  /// Replaces the mediator (new capability views): snapshot swap plus a
-  /// fresh plan-cache generation — cached plans reference retired views.
-  /// A catalog index attached to the retiring snapshot is carried over iff
-  /// it still validates against the new mediator (same views, same
-  /// constraints — the catalog-fingerprint guard); otherwise it is dropped
-  /// and `catalog.index_dropped_stale` counts the event. An index attached
-  /// to \p mediator itself always wins.
-  void ReplaceMediator(Mediator mediator);
+  /// Replaces the mediator (new capability views): snapshot swap plus plan
+  /// -cache maintenance per ServerOptions::maintenance — selective
+  /// invalidation of only the entries the old-vs-new catalog delta can
+  /// affect (the cache object, its counters, and every retained entry
+  /// survive), or a full flush. A catalog index attached to the retiring
+  /// snapshot is carried over iff it still validates against the new
+  /// mediator (same views, same constraints — the catalog-fingerprint
+  /// guard); otherwise it is dropped and `catalog.index_dropped_stale`
+  /// counts the event. An index attached to \p mediator itself always
+  /// wins. Returns what happened to the cache.
+  MaintenanceReport ReplaceMediator(Mediator mediator);
+
+  /// As above with a precomputed old-vs-new CatalogDelta: the cluster
+  /// router diffs once against its template mediator and replicates the
+  /// same delta to every shard. \p delta must describe exactly the change
+  /// from this server's current mediator to \p mediator — a wrong delta
+  /// breaks the retention proof (entries may be kept that should not be).
+  MaintenanceReport ReplaceMediator(Mediator mediator,
+                                    const CatalogDelta& delta);
 
   /// Attaches a compiled catalog index (src/catalog) to the serving
   /// snapshot: validates it against the current mediator, then publishes a
@@ -185,8 +238,10 @@ class QueryServer {
   /// The attached index's catalog fingerprint, or 0 when none is attached.
   uint64_t catalog_index_fingerprint() const;
 
-  /// Starts a fresh plan-cache generation for the current mediator.
-  /// Benchmarks use this for cold-cache runs.
+  /// Starts a fresh plan-cache generation for the current mediator and
+  /// drops every entry. Benchmarks use this for cold-cache runs. The cache
+  /// object and its hit/miss/coalesced counters survive, so Statsz deltas
+  /// across an invalidation stay monotone.
   void InvalidatePlans();
 
   ServerStats stats() const;
@@ -213,11 +268,20 @@ class QueryServer {
     /// Shared (not const): the cache synchronizes internally and is the
     /// one deliberately concurrent-mutable piece of a snapshot.
     std::shared_ptr<PlanCache> plan_cache;
+    /// The plan-cache generation this snapshot's searches are admitted
+    /// under. A search begun against a retired snapshot carries a stale
+    /// generation, so the cache rejects its insert and refuses to coalesce
+    /// new-snapshot requests onto it (plan_cache.h).
+    uint64_t plan_generation = 0;
   };
 
   std::shared_ptr<const Snapshot> snapshot() const;
   void Publish(std::shared_ptr<const Snapshot> next);
   PlanCache::Options CacheOptions() const;
+  /// Shared tail of the ReplaceMediator overloads; expects mutate_mu_.
+  MaintenanceReport ReplaceMediatorLocked(
+      Mediator mediator, const CatalogDelta& delta,
+      const std::shared_ptr<const Snapshot>& current);
 
   ServerOptions options_;
   WrapperFactory wrapper_factory_;
@@ -235,6 +299,12 @@ class QueryServer {
   mutable std::atomic<uint64_t> failed_{0};
   std::atomic<uint64_t> catalog_swaps_{0};
   std::atomic<uint64_t> mediator_swaps_{0};
+  std::atomic<uint64_t> maint_selective_applies_{0};
+  std::atomic<uint64_t> maint_full_flushes_{0};
+  std::atomic<uint64_t> maint_noop_applies_{0};
+  std::atomic<uint64_t> maint_entries_examined_{0};
+  std::atomic<uint64_t> maint_entries_invalidated_{0};
+  std::atomic<uint64_t> maint_entries_retained_{0};
 
   /// Last member: destroyed (and therefore drained+joined) first, while
   /// the snapshot and counters its tasks use are still alive.

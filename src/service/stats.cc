@@ -11,6 +11,14 @@ std::string PlanCacheStats::ToString() const {
                 inflight_now, " (peak ", inflight_peak, ")");
 }
 
+std::string MaintenanceStats::ToString() const {
+  return StrCat("maintenance: ", selective_applies, " selective, ",
+                full_flushes, " full flush(es), ", noop_applies,
+                " no-op(s); entries ", entries_examined, " examined, ",
+                entries_invalidated, " invalidated, ", entries_retained,
+                " retained");
+}
+
 std::string ServerStats::ToString() const {
   std::string out = StrCat(
       "server: ", threads, " thread(s), queue ", queue_depth, "/",
@@ -27,6 +35,7 @@ std::string ServerStats::ToString() const {
                   shard.entries, " entr", shard.entries == 1 ? "y" : "ies",
                   "\n");
   }
+  out += StrCat("  ", maintenance.ToString(), "\n");
   out += StrCat("  retry-after hint: ~", retry_after_queued,
                 " queued-request-time(s)\n");
   if (!breakers.empty()) {

@@ -40,6 +40,26 @@ struct PlanCacheStats {
   std::string ToString() const;
 };
 
+/// \brief Cumulative counters for incremental catalog maintenance: how
+/// mediator swaps were applied to the plan cache (docs/SERVING.md
+/// "Incremental maintenance").
+struct MaintenanceStats {
+  /// Swaps applied by selective, footprint-driven invalidation.
+  uint64_t selective_applies = 0;
+  /// Swaps that fell back to (or were configured as) a full flush.
+  uint64_t full_flushes = 0;
+  /// Swaps whose catalog delta was empty — nothing touched, no new
+  /// generation started.
+  uint64_t noop_applies = 0;
+  /// Cached entries examined / dropped / kept across all swaps. On a full
+  /// flush every resident entry counts as examined and invalidated.
+  uint64_t entries_examined = 0;
+  uint64_t entries_invalidated = 0;
+  uint64_t entries_retained = 0;
+
+  std::string ToString() const;
+};
+
 /// \brief A point-in-time snapshot of the serving layer as a whole.
 struct ServerStats {
   /// Requests admitted to the queue / turned away at admission control.
@@ -60,6 +80,8 @@ struct ServerStats {
   /// lock shard's hits, misses, and coalesced waits landed. `plan_cache`
   /// is their sum; Statsz prints one line per shard.
   std::vector<PlanCacheStats> plan_cache_shards;
+  /// How mediator swaps were applied to the plan cache.
+  MaintenanceStats maintenance;
   /// The admission-control retry-after hint, in queued-request-times: a
   /// rejected client should wait roughly this many average request
   /// durations before resubmitting (it equals the current queue depth —

@@ -41,8 +41,11 @@ void CollectOrdered(const ObjectPattern& p, std::vector<Term>* out,
 
 /// Renames every variable to `O<i>` / `C<i>` (by sort) in first-occurrence
 /// order over head then body. Simultaneous application keeps this correct
-/// even when the input already uses names from the target alphabet.
-TslQuery RenameFirstOccurrence(const TslQuery& query) {
+/// even when the input already uses names from the target alphabet. When
+/// \p applied is non-null the pass's own renaming is reported through it, so
+/// the caller can compose per-round renamings into an input-to-canonical map.
+TslQuery RenameFirstOccurrence(const TslQuery& query,
+                               TermSubstitution* applied = nullptr) {
   std::vector<Term> order;
   std::set<Term> seen;
   CollectOrdered(query.head, &order, &seen);
@@ -58,7 +61,9 @@ TslQuery RenameFirstOccurrence(const TslQuery& query) {
                               : StrCat("C", next_cval++);
     renaming.Bind(v, Term::MakeVar(std::move(name), v.var_kind()));
   }
-  return ApplyTermSubstitution(renaming, query);
+  TslQuery renamed = ApplyTermSubstitution(renaming, query);
+  if (applied != nullptr) *applied = std::move(renaming);
+  return renamed;
 }
 
 /// A substitution that blinds variable identities but keeps their sorts:
@@ -77,9 +82,28 @@ TermSubstitution BlindSubstitution(const TslQuery& query) {
 }  // namespace
 
 CanonicalForm CanonicalizeQuery(const TslQuery& query) {
+  return CanonicalizeQuery(query, nullptr);
+}
+
+CanonicalForm CanonicalizeQuery(const TslQuery& query,
+                                std::map<Term, Term>* renaming) {
   TslQuery canon = query;
   canon.name.clear();
   canon.span = {};
+
+  // The composed input-variable -> current-name map, threaded through every
+  // renaming round below. Sorting passes never rename, so composing just the
+  // per-round substitutions is exact.
+  std::map<Term, Term> total;
+  if (renaming != nullptr) {
+    std::set<Term> vars = canon.HeadVariables();
+    for (const Term& v : canon.BodyVariables()) vars.insert(v);
+    for (const Term& v : vars) total.emplace(v, v);
+  }
+  auto compose = [&](const TermSubstitution& round) {
+    if (renaming == nullptr) return;
+    for (auto& [orig, cur] : total) cur = round.Apply(cur);
+  };
 
   // Pass 1: order conditions by their name-blind shape, so the initial
   // numbering pass sees α-equivalent inputs in the same condition order.
@@ -91,7 +115,9 @@ CanonicalForm CanonicalizeQuery(const TslQuery& query) {
         return ApplyTermSubstitution(blind, a.pattern) <
                ApplyTermSubstitution(blind, b.pattern);
       });
-  canon = RenameFirstOccurrence(canon);
+  TermSubstitution round_renaming;
+  canon = RenameFirstOccurrence(canon, &round_renaming);
+  compose(round_renaming);
 
   // Refinement: with concrete canonical names, re-sorting can change the
   // condition order, which changes first-occurrence numbering — iterate to
@@ -100,15 +126,17 @@ CanonicalForm CanonicalizeQuery(const TslQuery& query) {
   for (int round = 0; round < 8; ++round) {
     TslQuery next = canon;
     std::sort(next.body.begin(), next.body.end());
-    next = RenameFirstOccurrence(next);
+    next = RenameFirstOccurrence(next, &round_renaming);
     if (next == canon) break;
     canon = std::move(next);
+    compose(round_renaming);
   }
 
   CanonicalForm form;
   form.key = canon.ToString();
   form.fingerprint = StableFingerprint(form.key);
   form.query = std::move(canon);
+  if (renaming != nullptr) *renaming = std::move(total);
   return form;
 }
 

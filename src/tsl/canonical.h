@@ -2,6 +2,7 @@
 #define TSLRW_TSL_CANONICAL_H_
 
 #include <cstdint>
+#include <map>
 #include <string>
 #include <string_view>
 
@@ -42,6 +43,15 @@ struct CanonicalForm {
 /// key in all non-pathological cases (and Q1-style head/body renamings and
 /// condition permutations always do).
 CanonicalForm CanonicalizeQuery(const TslQuery& query);
+
+/// \brief As above, but additionally reports the composed variable renaming
+/// from the input query's variables to their canonical `O<i>`/`C<i>` names.
+/// Lets callers translate per-variable annotations kept *outside* the query
+/// (e.g. a capability's bound-variable set) into the canonical alphabet, so
+/// those annotations become α-invariant too. Every variable of the input
+/// appears as a key in \p renaming.
+CanonicalForm CanonicalizeQuery(const TslQuery& query,
+                                std::map<Term, Term>* renaming);
 
 /// \brief FNV-1a 64-bit hash. Stable across processes by construction —
 /// cache keys, shard choices, and recorded fingerprints must not depend on

@@ -9,6 +9,7 @@
 #include <gtest/gtest.h>
 
 #include "analysis/diagnostic.h"
+#include "catalog/diff.h"
 #include "catalog/signature.h"
 #include "constraints/dtd.h"
 #include "fixtures.h"
@@ -417,6 +418,52 @@ TEST(CatalogSignatureTest, FeaturesAreAlphaInvariantNecessaryConditions) {
   };
   EXPECT_TRUE(subset(*ra, ph->provided));
   EXPECT_FALSE(subset(*ra, pm->provided));
+}
+
+// --- catalog diffs (the negative paths selective maintenance relies on) -----
+
+TEST(CatalogDiffTest, AlphaRenamedViewDiffsAsUnchanged) {
+  // Same view name, consistently renamed variables: plan-equivalent, so
+  // the delta must be empty — a swap to this catalog is a maintenance
+  // no-op and every cached plan survives.
+  std::vector<SourceDescription> old_sources = DescribeViews({MustParse(
+      "<v(P') vout {<w(X') m Z'>}> :- <P' root {<X' l0 Z'>}>@db", "V0")});
+  std::vector<SourceDescription> new_sources = DescribeViews({MustParse(
+      "<v(Q') vout {<w(Y') m W'>}> :- <Q' root {<Y' l0 W'>}>@db", "V0")});
+  CatalogDelta delta =
+      ComputeCatalogDelta(old_sources, nullptr, new_sources, nullptr);
+  EXPECT_TRUE(delta.empty()) << delta.ToString();
+  EXPECT_TRUE(delta.changed.empty());
+  EXPECT_FALSE(delta.constraints_changed);
+}
+
+TEST(CatalogDiffTest, ConstraintBodyOnlyChangeDiffsAsChanged) {
+  // Identical views, different DTD: no view-level entries, but the
+  // constraints fingerprint differs — and constraints shape every chase,
+  // so the delta must not read as empty.
+  std::vector<SourceDescription> sources = DescribeViews({MustParse(
+      "<v(P') vout {<w(X') m Z'>}> :- <P' root {<X' l0 Z'>}>@db", "V0")});
+  StructuralConstraints one_leaf = OneLeafDtd();
+  auto other_dtd =
+      Dtd::Parse("<!ELEMENT root (leaf, extra)> <!ELEMENT leaf CDATA>");
+  ASSERT_TRUE(other_dtd.ok()) << other_dtd.status();
+  StructuralConstraints other(std::move(other_dtd).ValueOrDie());
+
+  CatalogDelta delta =
+      ComputeCatalogDelta(sources, &one_leaf, sources, &other);
+  EXPECT_TRUE(delta.constraints_changed) << delta.ToString();
+  EXPECT_FALSE(delta.empty());
+  EXPECT_TRUE(delta.added.empty() && delta.removed.empty() &&
+              delta.changed.empty());
+
+  // The same DTD on both sides is not a constraints change...
+  EXPECT_FALSE(ComputeCatalogDelta(sources, &one_leaf, sources, &one_leaf)
+                   .constraints_changed);
+  // ...but attaching or dropping constraints entirely is.
+  EXPECT_TRUE(ComputeCatalogDelta(sources, nullptr, sources, &one_leaf)
+                  .constraints_changed);
+  EXPECT_TRUE(ComputeCatalogDelta(sources, &one_leaf, sources, nullptr)
+                  .constraints_changed);
 }
 
 }  // namespace

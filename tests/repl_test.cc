@@ -346,9 +346,10 @@ TEST_F(ReplTest, ServeRoutesMutationsThroughSnapshotSwaps) {
   EXPECT_EQ(after.find("f(p1)"), std::string::npos) << after;
   EXPECT_NE(after.find("plan cache: hit"), std::string::npos) << after;
 
-  // A capability change replaces the server's mediator (and with it the
-  // plan-cache generation): the next serving plans afresh.
-  EXPECT_NE(Run("capability db (Dump) <d(P') p {<X' Y' Z'>}> :- "
+  // A genuine capability change replaces the server's mediator, and
+  // selective maintenance invalidates the cached plans that the new view
+  // could extend: the next serving plans afresh.
+  EXPECT_NE(Run("capability db (Dump2) <d2(P') p {<X' Y' Z'>}> :- "
                 "<P' p {<X' Y' Z'>}>@db")
                 .find("server mediator replaced"),
             std::string::npos);
@@ -388,9 +389,10 @@ TEST_F(ReplTest, ClusterRoutesServesAndReplicatesMutations) {
   EXPECT_EQ(after.find("f(p1)"), std::string::npos) << after;
   EXPECT_NE(after.find("plan cache: hit"), std::string::npos) << after;
 
-  // A capability change replaces every shard's mediator: fresh plan-cache
-  // generation, so the next serving replans.
-  EXPECT_NE(Run("capability db (Dump) <d(P') p {<X' Y' Z'>}> :- "
+  // A genuine capability change replaces every shard's mediator, and the
+  // selective-maintenance delta (one added view usable by Q) invalidates
+  // the cached plan on every shard: the next serving replans.
+  EXPECT_NE(Run("capability db (Dump2) <d2(P') p {<X' Y' Z'>}> :- "
                 "<P' p {<X' Y' Z'>}>@db")
                 .find("cluster mediator replaced"),
             std::string::npos);

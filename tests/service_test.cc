@@ -553,17 +553,116 @@ TEST(QueryServerTest, CatalogSwapsKeepThePlanCacheAndChangeAnswers) {
 }
 
 TEST(QueryServerTest, MediatorSwapsStartAFreshPlanCacheGeneration) {
-  QueryServer server(MakeBiblioMediator(), BiblioCatalog());
+  // Under MaintenanceMode::kFullFlush every swap retires the whole cache,
+  // even when the replacement mediator is identical.
+  ServerOptions options;
+  options.maintenance = MaintenanceMode::kFullFlush;
+  QueryServer server(MakeBiblioMediator(), BiblioCatalog(), options);
   ASSERT_TRUE(server.Answer(Sigmod97Query()).ok());
   auto warm = server.Answer(Sigmod97Query());
   ASSERT_TRUE(warm.ok());
   EXPECT_TRUE(warm->plan_cache_hit);
 
-  server.ReplaceMediator(MakeBiblioMediator());
+  MaintenanceReport report = server.ReplaceMediator(MakeBiblioMediator());
+  EXPECT_TRUE(report.full_flush);
   auto cold = server.Answer(Sigmod97Query());
   ASSERT_TRUE(cold.ok());
   EXPECT_FALSE(cold->plan_cache_hit);  // cached plans named retired views
   EXPECT_EQ(server.stats().mediator_swaps, 1u);
+}
+
+TEST(QueryServerTest, IdenticalMediatorSwapIsAMaintenanceNoop) {
+  // Selective maintenance (the default) diffs the catalogs: swapping in a
+  // byte-identical mediator is a no-op and every cached plan survives.
+  QueryServer server(MakeBiblioMediator(), BiblioCatalog());
+  ASSERT_TRUE(server.Answer(Sigmod97Query()).ok());
+  ASSERT_TRUE(server.Answer(DumpQuery()).ok());
+
+  MaintenanceReport report = server.ReplaceMediator(MakeBiblioMediator());
+  EXPECT_TRUE(report.noop) << report.ToString();
+  EXPECT_FALSE(report.full_flush) << report.ToString();
+  EXPECT_EQ(report.entries_invalidated, 0u) << report.ToString();
+
+  auto warm = server.Answer(Sigmod97Query());
+  ASSERT_TRUE(warm.ok());
+  EXPECT_TRUE(warm->plan_cache_hit);
+  auto warm2 = server.Answer(DumpQuery());
+  ASSERT_TRUE(warm2.ok());
+  EXPECT_TRUE(warm2->plan_cache_hit);
+  // The swap still happened: the new mediator object is serving.
+  EXPECT_EQ(server.stats().mediator_swaps, 1u);
+  EXPECT_EQ(server.stats().maintenance.noop_applies, 1u);
+}
+
+TEST(QueryServerTest, SelectiveSwapInvalidatesOnlyAffectedEntries) {
+  // Change only the s2 view: the Sigmod97 entry (which depends on Y97
+  // over s1 alone) must survive, while the DumpQuery entry (planned over
+  // the edited view) must be invalidated.
+  QueryServer server(MakeBiblioMediator(), BiblioCatalog());
+  ASSERT_TRUE(server.Answer(Sigmod97Query()).ok());
+  ASSERT_TRUE(server.Answer(DumpQuery()).ok());
+
+  Capability y97;
+  y97.view = MustParse(
+      "<y97(P') pub {<X' Y' Z'>}> :- "
+      "<P' publication {<U' year \"1997\">}>@s1 AND "
+      "<P' publication {<X' Y' Z'>}>@s1",
+      "Y97");
+  Capability dump;  // body gains a year filter: a real semantic change
+  dump.view = MustParse(
+      "<dump(P') pub {<X' Y' Z'>}> :- "
+      "<P' publication {<X' Y' Z'>}>@s2 AND "
+      "<P' publication {<U' year \"1997\">}>@s2",
+      "Dump2");
+  auto changed = Mediator::Make(
+      {SourceDescription{"s1", {y97}}, SourceDescription{"s2", {dump}}});
+  ASSERT_TRUE(changed.ok()) << changed.status();
+
+  MaintenanceReport report =
+      server.ReplaceMediator(std::move(changed).ValueOrDie());
+  EXPECT_FALSE(report.full_flush) << report.ToString();
+  EXPECT_FALSE(report.noop) << report.ToString();
+  EXPECT_EQ(report.entries_examined, 2u) << report.ToString();
+  EXPECT_EQ(report.entries_invalidated, 1u) << report.ToString();
+  EXPECT_EQ(report.entries_retained, 1u) << report.ToString();
+
+  auto retained = server.Answer(Sigmod97Query());
+  ASSERT_TRUE(retained.ok());
+  EXPECT_TRUE(retained->plan_cache_hit);
+  auto invalidated = server.Answer(DumpQuery());
+  ASSERT_TRUE(invalidated.ok());
+  EXPECT_FALSE(invalidated->plan_cache_hit);
+
+  ServerStats stats = server.stats();
+  EXPECT_EQ(stats.maintenance.selective_applies, 1u) << stats.ToString();
+  EXPECT_EQ(stats.maintenance.entries_retained, 1u) << stats.ToString();
+  EXPECT_EQ(stats.maintenance.entries_invalidated, 1u) << stats.ToString();
+}
+
+TEST(QueryServerTest, InvalidatePlansKeepsCacheCountersMonotonic) {
+  // Regression: InvalidatePlans used to rebuild the cache object, zeroing
+  // the per-shard hit/miss/coalesced counters and making Statsz rates run
+  // backwards. A flush must drop entries, not history.
+  QueryServer server(MakeBiblioMediator(), BiblioCatalog());
+  ASSERT_TRUE(server.Answer(Sigmod97Query()).ok());
+  auto warm = server.Answer(Sigmod97Query());
+  ASSERT_TRUE(warm.ok());
+  EXPECT_TRUE(warm->plan_cache_hit);
+  ASSERT_EQ(server.stats().plan_cache.hits, 1u);
+  ASSERT_EQ(server.stats().plan_cache.misses, 1u);
+
+  server.InvalidatePlans();
+
+  PlanCacheStats after = server.stats().plan_cache;
+  EXPECT_EQ(after.hits, 1u);    // survived the flush
+  EXPECT_EQ(after.misses, 1u);  // survived the flush
+  EXPECT_EQ(after.entries, 0u);  // ...but the entries did not
+
+  auto cold = server.Answer(Sigmod97Query());
+  ASSERT_TRUE(cold.ok());
+  EXPECT_FALSE(cold->plan_cache_hit);
+  EXPECT_EQ(server.stats().plan_cache.misses, 2u);
+  EXPECT_EQ(server.stats().plan_cache.hits, 1u);
 }
 
 TEST(QueryServerTest, RequestsUnderConcurrentSwapsSeeAConsistentSnapshot) {
